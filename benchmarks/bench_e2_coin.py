@@ -1,0 +1,60 @@
+"""E2 — the Section-3 "coin" program.
+
+Paper-reported behaviour: flipping 0 ("heads") yields a possible outcome with
+*no* stable model, flipping 1 ("tails") yields a possible outcome whose set of
+stable models is ``{{Aux1, Coin(1)}, {Aux2, Coin(1)}}``; each event has
+probability 0.5.  The bench regenerates these events and times the pipeline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import TextTable
+from repro.gdatalog.engine import GDatalogEngine
+from repro.logic.atoms import fact
+from repro.logic.database import Database
+from repro.workloads import coin_program
+
+
+def _build_space():
+    return GDatalogEngine(coin_program(), Database()).output_space()
+
+
+def test_e2_coin_events(benchmark):
+    space = benchmark(_build_space)
+    assert len(space) == 2
+    events = {len(e.model_set): e.probability for e in space.events()}
+    assert events == {0: pytest.approx(0.5), 2: pytest.approx(0.5)}
+
+    tails = next(o for o in space if o.has_stable_model)
+    assert tails.visible_stable_models() == frozenset(
+        {
+            frozenset({fact("coin", 1), fact("aux1")}),
+            frozenset({fact("coin", 1), fact("aux2")}),
+        }
+    )
+
+    table = TextTable(
+        ["experiment", "event", "paper", "measured"],
+        title="E2 — the coin program (Section 3)",
+    )
+    table.add_row("E2", "P(no stable model)", 0.5, space.probability_no_stable_model())
+    table.add_row("E2", "P(two stable models)", 0.5, space.probability_has_stable_model())
+    print()
+    print(table.render())
+
+
+def test_e2_biased_coin_sweep(benchmark):
+    """Sweep the flip bias; P(no stable model) must equal 1 − bias."""
+
+    def sweep() -> list[tuple[float, float]]:
+        rows = []
+        for bias in (0.1, 0.25, 0.5, 0.75, 0.9):
+            space = GDatalogEngine(coin_program(bias=bias), Database()).output_space()
+            rows.append((bias, space.probability_no_stable_model()))
+        return rows
+
+    rows = benchmark(sweep)
+    for bias, measured in rows:
+        assert measured == pytest.approx(1.0 - bias)

@@ -1,0 +1,87 @@
+"""E5 — Theorems 3.12 and 5.3: the "as good as" ordering between grounders.
+
+Three comparisons:
+
+1. Random stratified programs — Π_GPerfect(D) must be as good as
+   Π_GSimple(D) (Theorem 5.3) and both spaces must carry total mass 1.
+2. Random positive programs — the two grounders coincide (Theorem 3.12).
+3. A stratified program with an infinite-support Δ-term guarded by negation —
+   the simple grounder activates it superfluously and loses (truncated) mass
+   to the error event, while the perfect grounder does not; this is the
+   ablation showing why the perfect grounder is strictly preferable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import TextTable
+from repro.gdatalog.chase import ChaseConfig
+from repro.gdatalog.engine import GDatalogEngine
+from repro.logic.parser import parse_gdatalog_program
+from repro.workloads import (
+    dime_quarter_database,
+    random_database,
+    random_positive_program,
+    random_stratified_program,
+)
+
+GUARDED_POISSON_SOURCE = """
+dimetail(X, flip<0.5>[X]) :- dime(X).
+somedimetail :- dimetail(X, 1).
+bonus(X, poisson<1.0>[X]) :- quarter(X), not somedimetail.
+"""
+
+
+@pytest.mark.parametrize("seed", (0, 2, 4))
+def test_e5_perfect_as_good_as_simple(benchmark, seed):
+    program = random_stratified_program(seed=seed, rule_count=3)
+    database = random_database(seed=seed, domain_size=2)
+
+    def compare() -> bool:
+        simple_space = GDatalogEngine(program, database, grounder="simple").output_space()
+        perfect_space = GDatalogEngine(program, database, grounder="perfect").output_space()
+        return perfect_space.as_good_as(simple_space)
+
+    assert benchmark(compare)
+
+
+def test_e5_positive_programs_coincide(benchmark):
+    program = random_positive_program(seed=1, rule_count=4)
+    database = random_database(seed=1)
+
+    def compare() -> tuple[bool, bool]:
+        simple_space = GDatalogEngine(program, database, grounder="simple").output_space()
+        perfect_space = GDatalogEngine(program, database, grounder="perfect").output_space()
+        return simple_space.as_good_as(perfect_space), perfect_space.as_good_as(simple_space)
+
+    forward, backward = benchmark(compare)
+    assert forward and backward
+
+
+def test_e5_superfluous_grounding_ablation(benchmark):
+    program = parse_gdatalog_program(GUARDED_POISSON_SOURCE)
+    database = dime_quarter_database(dimes=1, quarters=1)
+    config = ChaseConfig(mass_tolerance=1e-3, max_support=16)
+
+    def build():
+        simple_space = GDatalogEngine(
+            program, database, grounder="simple", chase_config=config
+        ).output_space()
+        perfect_space = GDatalogEngine(
+            program, database, grounder="perfect", chase_config=config
+        ).output_space()
+        return simple_space, perfect_space
+
+    simple_space, perfect_space = benchmark(build)
+    table = TextTable(
+        ["grounder", "outcomes", "finite mass", "error mass"],
+        title="E5 — superfluous activation of an infinite-support Δ-term (ablation)",
+    )
+    table.add_row("simple", len(simple_space), simple_space.finite_probability, simple_space.error_probability)
+    table.add_row("perfect", len(perfect_space), perfect_space.finite_probability, perfect_space.error_probability)
+    print()
+    print(table.render())
+    assert perfect_space.as_good_as(simple_space)
+    assert perfect_space.finite_probability > simple_space.finite_probability
+    assert perfect_space.error_probability < simple_space.error_probability

@@ -1,0 +1,74 @@
+"""E7 — synthetic scaling study (substitution: the paper has no performance section).
+
+The exhaustive chase is exponential in the number of probabilistic choices,
+while Monte-Carlo forward sampling scales with the per-sample chase depth.
+The bench sweeps network size for the resilience workload and reports
+
+* the number of finite possible outcomes and exact-inference time,
+* the Monte-Carlo estimate (fixed sample budget) and its absolute error,
+
+so the expected *shape* — exponential growth of the exact method, roughly
+linear growth and bounded error for sampling — can be read off the table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import TextTable, Timer, absolute_error
+from repro.gdatalog.engine import GDatalogEngine
+from repro.workloads import network_database, resilience_program, topology_graph
+
+SIZES = (3, 4, 5, 6)
+
+
+def _engine(n: int) -> GDatalogEngine:
+    database = network_database(topology_graph("chain", n), infected_seeds=[0])
+    return GDatalogEngine(resilience_program(0.3), database, grounder="simple")
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_e7_exact_inference_scaling(benchmark, n):
+    engine = _engine(n)
+    probability = benchmark(lambda: GDatalogEngine(
+        resilience_program(0.3),
+        network_database(topology_graph("chain", n), infected_seeds=[0]),
+        grounder="simple",
+    ).probability_has_stable_model())
+    assert 0.0 <= probability <= 1.0
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_e7_monte_carlo_scaling(benchmark, n):
+    engine = _engine(n)
+    exact = engine.probability_has_stable_model()
+    estimate = benchmark(lambda: engine.estimate_has_stable_model(n=300, seed=0).value)
+    assert absolute_error(estimate, exact) < 0.12
+
+
+def test_e7_report(benchmark):
+    def sweep():
+        rows = []
+        for n in SIZES:
+            engine = _engine(n)
+            with Timer() as exact_timer:
+                exact = engine.probability_has_stable_model()
+            outcomes = len(engine.possible_outcomes())
+            with Timer() as sampling_timer:
+                estimate = engine.estimate_has_stable_model(n=300, seed=0).value
+            rows.append((n, outcomes, exact, exact_timer.elapsed, estimate, sampling_timer.elapsed))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = TextTable(
+        ["routers", "outcomes", "P(dominated)", "exact s", "MC estimate", "MC s"],
+        title="E7 — scaling on chain networks (p=0.3, exact chase vs 300-sample Monte-Carlo)",
+    )
+    previous_outcomes = 0
+    for n, outcomes, exact, exact_seconds, estimate, sampling_seconds in rows:
+        table.add_row(n, outcomes, exact, f"{exact_seconds:.3f}", estimate, f"{sampling_seconds:.3f}")
+        assert outcomes >= previous_outcomes  # outcome count grows with network size
+        previous_outcomes = outcomes
+        assert abs(estimate - exact) < 0.12
+    print()
+    print(table.render())

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Comparing GDatalog¬ with the BCKOV, ProbLog-style and credal-PASP baselines.
+
+Three comparisons on workloads expressible in several formalisms:
+
+1. *Positive programs*: our simple-grounder semantics versus the original
+   BCKOV semantics of Bárány et al. (they are isomorphic — Theorem C.4).
+2. *Monotone infection reachability*: GDatalog¬ attribute-level sampling
+   versus ProbLog-style probabilistic edge facts.
+3. *Non-monotone choice*: the fair-coin program versus its credal
+   probabilistic-ASP reading (lower/upper probabilities).
+
+Run with::
+
+    python examples/baseline_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro import GDatalogEngine
+from repro.analysis import TextTable
+from repro.baselines import BCKOVEngine, PASPProgram, ProbabilisticFact, ProbLogProgram
+from repro.logic import Database, fact, parse_datalog_program, parse_gdatalog_program
+from repro.workloads import coin_program, random_database, random_positive_program
+
+
+def bckov_comparison() -> None:
+    print("=== 1. positive programs: simple-grounder semantics vs BCKOV ===")
+    table = TextTable(["seed", "outcomes (ours)", "outcomes (BCKOV)", "max |Δp|"])
+    for seed in range(4):
+        program = random_positive_program(seed=seed, rule_count=4)
+        database = random_database(seed=seed)
+        engine = GDatalogEngine(program, database, grounder="simple")
+        ours: dict[frozenset, float] = {}
+        for outcome in engine.possible_outcomes():
+            key = next(iter(outcome.stable_models_modulo(hide_active=True, hide_result=False)))
+            ours[key] = ours.get(key, 0.0) + outcome.probability
+        bckov = BCKOVEngine(program, database).run()
+        theirs = bckov.distribution_over_instances()
+        keys = set(ours) | set(theirs)
+        max_diff = max(abs(ours.get(k, 0.0) - theirs.get(k, 0.0)) for k in keys)
+        table.add_row(seed, len(engine.possible_outcomes()), len(bckov), f"{max_diff:.2e}")
+    print(table.render())
+    print()
+
+
+def problog_comparison() -> None:
+    print("=== 2. monotone reachability: GDatalog¬ vs ProbLog-style facts ===")
+    # GDatalog¬ encoding: each edge transmits with probability 0.5.
+    gdatalog_source = """
+    infected(Y, flip<0.5>[X, Y]) :- infected(X, 1), connected(X, Y).
+    """
+    gdatalog_db = """
+    infected(1, 1).
+    connected(1, 2). connected(2, 3).
+    """
+    engine = GDatalogEngine.from_source(gdatalog_source, gdatalog_db)
+
+    # ProbLog-style encoding: probabilistic "transmits" facts + reachability rules.
+    problog_rules = parse_datalog_program(
+        """
+        reached(X) :- seed(X).
+        reached(Y) :- reached(X), transmits(X, Y).
+        """
+    )
+    problog = ProbLogProgram(
+        [ProbabilisticFact(0.5, fact("transmits", 1, 2)), ProbabilisticFact(0.5, fact("transmits", 2, 3))],
+        problog_rules,
+        Database([fact("seed", 1)]),
+    )
+    table = TextTable(["query", "GDatalog¬", "ProbLog baseline"])
+    table.add_row("node 2 reached", engine.marginal("infected(2, 1)"), problog.query(fact("reached", 2)))
+    table.add_row("node 3 reached", engine.marginal("infected(3, 1)"), problog.query(fact("reached", 3)))
+    print(table.render())
+    print()
+
+
+def pasp_comparison() -> None:
+    print("=== 3. non-monotone choice: the coin program vs credal PASP ===")
+    engine = GDatalogEngine(coin_program(), Database())
+    space = engine.output_space()
+    print(f"GDatalog¬: P(some stable model) = {space.probability_has_stable_model():.3f}; "
+          f"P(aux1 brave) = {space.marginal(fact('aux1'), 'brave'):.3f}; "
+          f"P(aux1 cautious) = {space.marginal(fact('aux1'), 'cautious'):.3f}")
+
+    pasp_rules = parse_datalog_program(
+        """
+        aux1 :- coin1, not aux2.
+        aux2 :- coin1, not aux1.
+        """
+    )
+    pasp = PASPProgram([ProbabilisticFact(0.5, fact("coin1"))], pasp_rules)
+    interval = pasp.query(fact("aux1"))
+    print(f"credal PASP: P(aux1) ∈ {interval}")
+    print()
+    print("The GDatalog¬ brave/cautious marginals coincide with the credal upper/lower")
+    print("probabilities on this workload, while additionally assigning positive mass")
+    print("to the inconsistent ('heads') outcome instead of excluding it a priori.")
+
+
+def main() -> None:
+    bckov_comparison()
+    problog_comparison()
+    pasp_comparison()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Stratified negation and the perfect grounder (Appendix E, Figure 1).
+
+A set of dimes is tossed; only if none of them shows tail, a set of quarters
+is tossed as well.  The example prints the dependency graph of the program
+(the paper's Figure 1), its stratification, and compares the possible
+outcomes produced by the simple and by the perfect grounder — the perfect
+grounder never activates the quarter flips on branches where a dime already
+showed tail, yielding fewer (but probabilistically equivalent) outcomes.
+
+Run with::
+
+    python examples/dimes_and_quarters.py
+"""
+
+from __future__ import annotations
+
+from repro import GDatalogEngine
+from repro.analysis import TextTable
+from repro.gdatalog import format_dependency_graph, format_stratification, to_dot
+from repro.workloads import dime_quarter_database, dime_quarter_program
+
+
+def main() -> None:
+    program = dime_quarter_program()
+    database = dime_quarter_database(dimes=2, quarters=1)
+
+    print("=== program ===")
+    print(program)
+    print()
+    print("=== dependency graph dg(Π)  (Figure 1; [neg] = dashed edge) ===")
+    print(format_dependency_graph(program))
+    print()
+    print("=== stratification (topological ordering over scc(Π)) ===")
+    print(format_stratification(program))
+    print()
+    print("=== Graphviz DOT (paste into `dot -Tpng`) ===")
+    print(to_dot(program, name="figure1"))
+    print()
+
+    table = TextTable(
+        ["grounder", "outcomes", "P(somedimetail)", "P(quartertail)", "mass"],
+        title="Simple vs perfect grounder on the dime/quarter program",
+    )
+    spaces = {}
+    for grounder in ("simple", "perfect"):
+        engine = GDatalogEngine(program, database, grounder=grounder)
+        space = engine.output_space()
+        spaces[grounder] = space
+        table.add_row(
+            grounder,
+            len(space),
+            engine.marginal("somedimetail"),
+            engine.marginal("quartertail(3, 1)"),
+            space.finite_probability,
+        )
+    print(table.render())
+    print()
+
+    print("Theorem 5.3 check: perfect is as good as simple:",
+          spaces["perfect"].as_good_as(spaces["simple"]))
+    print()
+
+    print("=== possible outcomes under the perfect grounder ===")
+    engine = GDatalogEngine(program, database, grounder="perfect")
+    for outcome in engine.possible_outcomes():
+        choices = ", ".join(
+            f"{r.active_atom.args[-1]}↦{int(r.outcome_value)}" for r in sorted(outcome.atr_rules, key=str)
+        )
+        model = next(iter(outcome.visible_stable_models()))
+        rendered_model = ", ".join(sorted(str(a) for a in model))
+        print(f"p = {outcome.probability:.4f}  choices [{choices}]  model {{{rendered_model}}}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+"""repro — Generative Datalog with Stable Negation (PODS 2023 reproduction).
+
+A from-scratch implementation of generative Datalog¬[Δ]: a probabilistic
+extension of Datalog with sampling Δ-terms in rule heads and negation as
+failure under the stable model semantics.  The package provides
+
+* a logical substrate (terms, atoms, rules, programs, databases, a parser),
+* a stable-model engine (grounding, GL reduct, well-founded semantics,
+  enumeration),
+* parameterized discrete distributions,
+* the GDatalog¬[Δ] core: translation to TGD¬, the simple and perfect
+  grounders, the chase, exact output probability spaces and Monte-Carlo
+  sampling,
+* a PPDL layer (constraints and conditioning),
+* baselines (BCKOV positive semantics, a ProbLog-style engine, credal
+  probabilistic ASP), and
+* workload generators and analysis helpers used by the benchmark harness.
+
+Quickstart::
+
+    from repro import GDatalogEngine
+
+    PROGRAM = '''
+    infected(Y, 1) :- seed(Y).
+    infected(Y, flip<0.1>[X, Y]) :- infected(X, 1), connected(X, Y).
+    uninfected(X) :- router(X), not infected(X, 1).
+    :- uninfected(X), uninfected(Y), connected(X, Y).
+    '''
+    DATABASE = '''
+    router(1). router(2). router(3).
+    seed(1).
+    connected(1, 2). connected(2, 1). connected(1, 3).
+    connected(3, 1). connected(2, 3). connected(3, 2).
+    '''
+    engine = GDatalogEngine.from_source(PROGRAM, DATABASE)
+    print(engine.probability_has_stable_model())   # ≈ 0.19 (Example 3.10)
+"""
+
+from repro.distributions import DistributionRegistry, ParameterizedDistribution, default_registry
+from repro.gdatalog import (
+    ChaseConfig,
+    DeltaTerm,
+    GDatalogEngine,
+    GDatalogProgram,
+    GDatalogRule,
+    MonteCarloSampler,
+    OutputSpace,
+    PerfectGrounder,
+    PossibleOutcome,
+    SimpleGrounder,
+    translate_program,
+)
+from repro.logic import (
+    Atom,
+    Constant,
+    Database,
+    DatalogProgram,
+    Predicate,
+    Rule,
+    Variable,
+    atom,
+    fact,
+    parse_database,
+    parse_datalog_program,
+    parse_gdatalog_program,
+)
+from repro.stable import StableModelSolver, stable_models
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DistributionRegistry",
+    "ParameterizedDistribution",
+    "default_registry",
+    "ChaseConfig",
+    "DeltaTerm",
+    "GDatalogEngine",
+    "GDatalogProgram",
+    "GDatalogRule",
+    "MonteCarloSampler",
+    "OutputSpace",
+    "PerfectGrounder",
+    "PossibleOutcome",
+    "SimpleGrounder",
+    "translate_program",
+    "Atom",
+    "Constant",
+    "Database",
+    "DatalogProgram",
+    "Predicate",
+    "Rule",
+    "Variable",
+    "atom",
+    "fact",
+    "parse_database",
+    "parse_datalog_program",
+    "parse_gdatalog_program",
+    "StableModelSolver",
+    "stable_models",
+    "__version__",
+]

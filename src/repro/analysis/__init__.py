@@ -1,0 +1,25 @@
+"""Analysis helpers: distribution metrics, text tables and timing."""
+
+from repro.analysis.metrics import (
+    absolute_error,
+    distributions_close,
+    kl_divergence,
+    normalize_distribution,
+    relative_error,
+    total_variation_distance,
+)
+from repro.analysis.tables import TextTable, format_probability
+from repro.analysis.timing import Timer, time_call
+
+__all__ = [
+    "absolute_error",
+    "distributions_close",
+    "kl_divergence",
+    "normalize_distribution",
+    "relative_error",
+    "total_variation_distance",
+    "TextTable",
+    "format_probability",
+    "Timer",
+    "time_call",
+]

@@ -1,0 +1,70 @@
+"""Metrics for comparing probability distributions and estimates.
+
+Used by the benchmark harness and the equivalence tests: total-variation
+distance between discrete distributions, absolute/relative error of
+estimates, and Kullback–Leibler divergence (with absolute-continuity
+checking).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, Mapping
+
+__all__ = [
+    "total_variation_distance",
+    "kl_divergence",
+    "absolute_error",
+    "relative_error",
+    "normalize_distribution",
+    "distributions_close",
+]
+
+
+def normalize_distribution(distribution: Mapping[Hashable, float]) -> dict[Hashable, float]:
+    """Rescale a non-negative weight function to sum to one."""
+    total = sum(distribution.values())
+    if total <= 0.0:
+        raise ValueError("cannot normalize a distribution with zero total mass")
+    return {key: value / total for key, value in distribution.items()}
+
+
+def total_variation_distance(
+    left: Mapping[Hashable, float], right: Mapping[Hashable, float]
+) -> float:
+    """``TV(P, Q) = 0.5 * Σ |P(x) − Q(x)|`` over the union of supports."""
+    keys = set(left) | set(right)
+    return 0.5 * sum(abs(left.get(key, 0.0) - right.get(key, 0.0)) for key in keys)
+
+
+def kl_divergence(left: Mapping[Hashable, float], right: Mapping[Hashable, float]) -> float:
+    """``KL(P || Q)``; infinite if ``P`` is not absolutely continuous w.r.t. ``Q``."""
+    divergence = 0.0
+    for key, probability in left.items():
+        if probability <= 0.0:
+            continue
+        other = right.get(key, 0.0)
+        if other <= 0.0:
+            return math.inf
+        divergence += probability * math.log(probability / other)
+    return divergence
+
+
+def absolute_error(estimate: float, truth: float) -> float:
+    """``|estimate − truth|``."""
+    return abs(estimate - truth)
+
+
+def relative_error(estimate: float, truth: float) -> float:
+    """``|estimate − truth| / |truth|`` (``inf`` when the truth is zero and the estimate is not)."""
+    if truth == 0.0:
+        return 0.0 if estimate == 0.0 else math.inf
+    return abs(estimate - truth) / abs(truth)
+
+
+def distributions_close(
+    left: Mapping[Hashable, float], right: Mapping[Hashable, float], tolerance: float = 1e-9
+) -> bool:
+    """Whether two discrete distributions agree pointwise up to *tolerance*."""
+    keys = set(left) | set(right)
+    return all(abs(left.get(key, 0.0) - right.get(key, 0.0)) <= tolerance for key in keys)

@@ -1,0 +1,66 @@
+"""Plain-text tables for benchmark and example reports.
+
+The benchmark harness prints the rows/series the paper (or our synthetic
+evaluation) reports; :class:`TextTable` renders them with aligned columns so
+the console output can be pasted directly into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["TextTable", "format_probability"]
+
+
+def format_probability(value: float, digits: int = 6) -> str:
+    """Format a probability with a fixed number of digits."""
+    return f"{value:.{digits}f}"
+
+
+class TextTable:
+    """A minimal column-aligned ASCII table."""
+
+    def __init__(self, columns: Sequence[str], title: str | None = None):
+        self.columns = list(columns)
+        self.title = title
+        self._rows: list[list[str]] = []
+
+    def add_row(self, *values: object) -> "TextTable":
+        """Append a row (values are converted to strings; floats get 6 digits)."""
+        if len(values) != len(self.columns):
+            raise ValueError(f"expected {len(self.columns)} values, got {len(values)}")
+        rendered = [
+            format_probability(v) if isinstance(v, float) else str(v) for v in values
+        ]
+        self._rows.append(rendered)
+        return self
+
+    def add_rows(self, rows: Iterable[Sequence[object]]) -> "TextTable":
+        for row in rows:
+            self.add_row(*row)
+        return self
+
+    @property
+    def rows(self) -> list[list[str]]:
+        return [list(row) for row in self._rows]
+
+    def render(self) -> str:
+        """Render the table with aligned columns and a header rule."""
+        widths = [len(c) for c in self.columns]
+        for row in self._rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def render_row(cells: Sequence[str]) -> str:
+            return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(render_row(self.columns))
+        lines.append("-+-".join("-" * w for w in widths))
+        lines.extend(render_row(row) for row in self._rows)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

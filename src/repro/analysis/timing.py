@@ -1,0 +1,42 @@
+"""Lightweight timing helpers for the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["Timer", "time_call"]
+
+
+@dataclass
+class Timer:
+    """A context-manager stopwatch.
+
+    >>> with Timer() as timer:
+    ...     sum(range(10))
+    45
+    >>> timer.elapsed >= 0.0
+    True
+    """
+
+    elapsed: float = 0.0
+    _start: float = field(default=0.0, repr=False)
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *_exc_info: object) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+    @property
+    def milliseconds(self) -> float:
+        return self.elapsed * 1000.0
+
+
+def time_call(function: Callable[[], object]) -> tuple[object, float]:
+    """Call *function* and return ``(result, elapsed_seconds)``."""
+    with Timer() as timer:
+        result = function()
+    return result, timer.elapsed

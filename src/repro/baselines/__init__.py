@@ -1,0 +1,15 @@
+"""Baselines implemented from scratch: BCKOV positive semantics, ProbLog-style facts, credal PASP."""
+
+from repro.baselines.bckov import BCKOVEngine, BCKOVOutcome, BCKOVResult
+from repro.baselines.pasp import CredalInterval, PASPProgram
+from repro.baselines.problog import ProbabilisticFact, ProbLogProgram
+
+__all__ = [
+    "BCKOVEngine",
+    "BCKOVOutcome",
+    "BCKOVResult",
+    "CredalInterval",
+    "PASPProgram",
+    "ProbabilisticFact",
+    "ProbLogProgram",
+]

@@ -1,0 +1,231 @@
+"""The BCKOV semantics for *positive* generative Datalog (Bárány et al. 2017).
+
+Appendix C of the paper recalls the original semantics of positive
+GDatalog[Δ] programs: possible outcomes are minimal models of the
+translation ``Σ̃_Π`` (which omits the intermediate Active predicates) whose
+Result atoms all have positive probability, and the probability of a finite
+outcome is the product of the probabilities of its Result atoms.
+
+This module implements that semantics directly with an instance-level chase:
+states are instances (sets of ground atoms); whenever a rule body matches
+and a needed Result atom is missing, the chase branches over the outcomes of
+the corresponding distribution; deterministic consequences are closed under
+the rules.  The result is the set ``Ω^BCKOV_Π(D)`` with probabilities, which
+Theorem C.4 relates (by isomorphism) to the simple-grounder semantics of the
+main text — the relationship the test suite and bench E4 verify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.distributions.registry import DistributionRegistry
+from repro.exceptions import ChaseLimitError, ValidationError
+from repro.gdatalog.atr import AtRSpec, outcome_to_constant
+from repro.gdatalog.delta_terms import DeltaTerm
+from repro.gdatalog.syntax import GDatalogProgram, GDatalogRule
+from repro.logic.atoms import Atom
+from repro.logic.database import Database
+from repro.logic.substitution import Substitution
+from repro.logic.terms import Constant, Term, Variable
+from repro.logic.unify import FactIndex, match_conjunction
+
+__all__ = ["BCKOVOutcome", "BCKOVResult", "BCKOVEngine"]
+
+
+@dataclass(frozen=True)
+class BCKOVOutcome:
+    """A BCKOV possible outcome: a minimal model with its probability."""
+
+    instance: frozenset[Atom]
+    probability: float
+
+    def visible_atoms(self) -> frozenset[Atom]:
+        """The atoms over the original schema (Result atoms hidden)."""
+        return frozenset(a for a in self.instance if not a.predicate.name.startswith("result_"))
+
+    def __len__(self) -> int:
+        return len(self.instance)
+
+
+@dataclass
+class BCKOVResult:
+    """All BCKOV possible outcomes plus truncation bookkeeping."""
+
+    outcomes: list[BCKOVOutcome]
+    error_probability: float
+
+    @property
+    def finite_probability(self) -> float:
+        return sum(o.probability for o in self.outcomes)
+
+    def distribution_over_instances(self, visible_only: bool = False) -> dict[frozenset[Atom], float]:
+        """``J ↦ P(J)`` (summing duplicates, which minimality rules out anyway)."""
+        distribution: dict[frozenset[Atom], float] = {}
+        for outcome in self.outcomes:
+            key = outcome.visible_atoms() if visible_only else outcome.instance
+            distribution[key] = distribution.get(key, 0.0) + outcome.probability
+        return distribution
+
+    def __iter__(self):
+        return iter(self.outcomes)
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+
+@dataclass(frozen=True)
+class _PendingSample:
+    """A Result atom that must be invented to satisfy a matched rule body."""
+
+    spec: AtRSpec
+    prefix: tuple[Constant, ...]  # ground parameters followed by the event signature
+
+
+class BCKOVEngine:
+    """Exhaustive enumeration of BCKOV possible outcomes of a positive GDatalog[Δ] program."""
+
+    def __init__(
+        self,
+        program: GDatalogProgram,
+        database: Database,
+        max_depth: int = 10_000,
+        max_outcomes: int = 200_000,
+        mass_tolerance: float = 1e-9,
+        max_support: int = 64,
+    ):
+        if not program.is_positive:
+            raise ValidationError("the BCKOV baseline only supports positive programs without constraints")
+        self.program = program
+        self.database = database
+        self.registry: DistributionRegistry = program.registry
+        self.max_depth = max_depth
+        self.max_outcomes = max_outcomes
+        self.mass_tolerance = mass_tolerance
+        self.max_support = max_support
+
+    # -- chase -------------------------------------------------------------------
+
+    def run(self) -> BCKOVResult:
+        """Enumerate all (finite) BCKOV possible outcomes of ``D`` w.r.t. ``Π``."""
+        outcomes: list[BCKOVOutcome] = []
+        error_mass = 0.0
+        stack: list[tuple[frozenset[Atom], float, int]] = [(frozenset(self.database.facts), 1.0, 0)]
+
+        while stack:
+            instance, probability, depth = stack.pop()
+            instance = self._deterministic_closure(instance)
+            pending = self._first_pending_sample(instance)
+            if pending is None:
+                if len(outcomes) >= self.max_outcomes:
+                    raise ChaseLimitError("BCKOV chase exceeded the configured number of outcomes")
+                outcomes.append(BCKOVOutcome(instance, probability))
+                continue
+            if depth >= self.max_depth:
+                error_mass += probability
+                continue
+            distribution = self.registry.get(pending.spec.distribution)
+            params = tuple(c.as_number() for c in pending.prefix[: pending.spec.parameter_count])
+            supported, _mass = distribution.truncated_support(
+                params, mass_tolerance=self.mass_tolerance, max_outcomes=self.max_support
+            )
+            branch_mass = 0.0
+            for outcome_value in supported:
+                pmf = distribution.pmf(params, outcome_value)
+                if pmf <= 0.0:
+                    continue
+                result_atom = Atom(
+                    pending.spec.result_predicate, pending.prefix + (outcome_to_constant(outcome_value),)
+                )
+                stack.append((instance | {result_atom}, probability * pmf, depth + 1))
+                branch_mass += pmf
+            error_mass += probability * max(1.0 - branch_mass, 0.0)
+
+        outcomes.sort(key=lambda o: sorted(str(a) for a in o.instance))
+        return BCKOVResult(outcomes, min(error_mass, 1.0))
+
+    # -- helpers --------------------------------------------------------------------
+
+    def _deterministic_closure(self, instance: frozenset[Atom]) -> frozenset[Atom]:
+        """Close the instance under rule applications whose Result atoms are present."""
+        atoms = set(instance)
+        index = FactIndex(atoms)
+        changed = True
+        while changed:
+            changed = False
+            for rule_ in self.program.rules:
+                for substitution in match_conjunction(rule_.positive_body, index):
+                    head_atom = self._instantiate_head(rule_, substitution, index)
+                    if head_atom is not None and head_atom not in atoms:
+                        atoms.add(head_atom)
+                        index.add(head_atom)
+                        changed = True
+        return frozenset(atoms)
+
+    def _instantiate_head(
+        self, rule_: GDatalogRule, substitution: Substitution, index: FactIndex
+    ) -> Atom | None:
+        """The ground head atom for a body match, or ``None`` if a Result atom is missing."""
+        head_args: list[Term] = []
+        for arg in rule_.head.args:
+            if isinstance(arg, DeltaTerm):
+                prefix = self._ground_prefix(arg, substitution)
+                spec = _spec_for(arg)
+                sampled = self._lookup_result(index, spec, prefix)
+                if sampled is None:
+                    return None
+                head_args.append(sampled)
+            elif isinstance(arg, Variable):
+                value = substitution.get(arg)
+                if value is None:
+                    return None
+                head_args.append(value)
+            else:
+                head_args.append(arg)
+        return Atom(rule_.head.predicate, tuple(head_args))
+
+    def _first_pending_sample(self, instance: frozenset[Atom]) -> _PendingSample | None:
+        """The first Δ-term occurrence whose Result atom is missing, if any."""
+        index = FactIndex(instance)
+        pending: list[_PendingSample] = []
+        for rule_ in self.program.rules:
+            if not rule_.is_generative:
+                continue
+            for substitution in match_conjunction(rule_.positive_body, index):
+                for _, delta in rule_.delta_terms():
+                    prefix = self._ground_prefix(delta, substitution)
+                    spec = _spec_for(delta)
+                    if self._lookup_result(index, spec, prefix) is None:
+                        pending.append(_PendingSample(spec, prefix))
+        if not pending:
+            return None
+        return sorted(pending, key=lambda p: (str(p.spec.result_predicate), str(p.prefix)))[0]
+
+    @staticmethod
+    def _ground_prefix(delta: DeltaTerm, substitution: Substitution) -> tuple[Constant, ...]:
+        grounded = delta.substitute(substitution.as_dict())
+        prefix: list[Constant] = []
+        for term in grounded.parameters + grounded.event_signature:
+            if not isinstance(term, Constant):
+                raise ValidationError(f"Δ-term {delta} not ground under body match")
+            prefix.append(term)
+        return tuple(prefix)
+
+    @staticmethod
+    def _lookup_result(index: FactIndex, spec: AtRSpec, prefix: tuple[Constant, ...]) -> Constant | None:
+        """The sampled constant stored for ``Result(prefix, ·)``, if present."""
+        for candidate in index.facts_for(spec.result_predicate):
+            if candidate.args[:-1] == prefix:
+                last = candidate.args[-1]
+                assert isinstance(last, Constant)
+                return last
+        return None
+
+
+def _spec_for(delta: DeltaTerm) -> AtRSpec:
+    return AtRSpec(
+        distribution=delta.distribution.lower(),
+        parameter_count=delta.parameter_dimension,
+        event_count=delta.event_arity,
+    )

@@ -1,0 +1,133 @@
+"""Probabilistic Answer Set Programming baseline (credal semantics).
+
+Probabilistic ASP (Cozman & Mauá; Baral et al.) attaches probabilities to
+facts of an answer-set program.  Because a total choice may admit several
+stable models (or none), queries are answered with *lower* and *upper*
+probabilities:
+
+* lower: mass of the total choices in which the query holds in **every**
+  stable model;
+* upper: mass of the total choices in which the query holds in **some**
+  stable model.
+
+Total choices without stable models are reported separately as
+``inconsistent_mass`` (under the standard credal semantics the program is
+required to be consistent for every total choice; the paper's coin example
+shows how generative Datalog¬ deliberately departs from this).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.baselines.problog import ProbabilisticFact
+from repro.exceptions import ValidationError
+from repro.logic.atoms import Atom
+from repro.logic.database import Database
+from repro.logic.program import DatalogProgram
+from repro.stable.grounding import ground_program
+from repro.stable.solver import SolverConfig, StableModelSolver
+
+__all__ = ["CredalInterval", "PASPProgram"]
+
+
+@dataclass(frozen=True)
+class CredalInterval:
+    """A lower/upper probability pair (plus the mass of inconsistent choices)."""
+
+    lower: float
+    upper: float
+    inconsistent_mass: float = 0.0
+
+    def width(self) -> float:
+        return self.upper - self.lower
+
+    def __str__(self) -> str:
+        rendered = f"[{self.lower:.6f}, {self.upper:.6f}]"
+        if self.inconsistent_mass > 0.0:
+            rendered += f" (inconsistent mass {self.inconsistent_mass:.6f})"
+        return rendered
+
+
+class PASPProgram:
+    """Probabilistic facts + an answer-set (Datalog¬ with constraints) program."""
+
+    def __init__(
+        self,
+        probabilistic_facts: Iterable[ProbabilisticFact],
+        rules: DatalogProgram,
+        database: Database | Iterable[Atom] = (),
+        solver_config: SolverConfig | None = None,
+    ):
+        self.probabilistic_facts = tuple(probabilistic_facts)
+        self.rules = rules
+        self.database = database if isinstance(database, Database) else Database(database)
+        self.solver = StableModelSolver(solver_config)
+        if len(self.probabilistic_facts) > 25:
+            raise ValidationError(
+                "exact credal inference enumerates 2^n total choices; use estimate_query for n > 25"
+            )
+
+    # -- exact inference -----------------------------------------------------------
+
+    def _total_choices(self) -> Iterable[tuple[tuple[bool, ...], float]]:
+        for selection in itertools.product((False, True), repeat=len(self.probabilistic_facts)):
+            probability = 1.0
+            for chosen, fact in zip(selection, self.probabilistic_facts):
+                probability *= fact.probability if chosen else (1.0 - fact.probability)
+            if probability > 0.0:
+                yield selection, probability
+
+    def _stable_models_for_choice(self, selection: Sequence[bool]) -> list[frozenset[Atom]]:
+        chosen = [f.atom for picked, f in zip(selection, self.probabilistic_facts) if picked]
+        ground = ground_program(self.rules, self.database.with_facts(chosen))
+        return self.solver.all_stable_models(ground)
+
+    def query(self, atom: Atom) -> CredalInterval:
+        """Exact lower/upper probability of *atom*."""
+        lower = 0.0
+        upper = 0.0
+        inconsistent = 0.0
+        for selection, mass in self._total_choices():
+            models = self._stable_models_for_choice(selection)
+            if not models:
+                inconsistent += mass
+                continue
+            if any(atom in model for model in models):
+                upper += mass
+            if all(atom in model for model in models):
+                lower += mass
+        return CredalInterval(lower, upper, inconsistent)
+
+    def consistency_probability(self) -> float:
+        """Mass of the total choices possessing at least one stable model."""
+        mass = 0.0
+        for selection, probability in self._total_choices():
+            if self._stable_models_for_choice(selection):
+                mass += probability
+        return mass
+
+    # -- approximate inference --------------------------------------------------------
+
+    def estimate_query(self, atom: Atom, n: int = 1000, seed: int | None = None) -> CredalInterval:
+        """Monte-Carlo estimate of the credal interval of *atom*."""
+        rng = np.random.default_rng(seed)
+        probabilities = np.array([f.probability for f in self.probabilistic_facts])
+        lower_hits = 0
+        upper_hits = 0
+        inconsistent = 0
+        for _ in range(n):
+            selection = tuple(bool(b) for b in (rng.random(len(probabilities)) < probabilities))
+            models = self._stable_models_for_choice(selection)
+            if not models:
+                inconsistent += 1
+                continue
+            if any(atom in model for model in models):
+                upper_hits += 1
+            if all(atom in model for model in models):
+                lower_hits += 1
+        return CredalInterval(lower_hits / n, upper_hits / n, inconsistent / n)

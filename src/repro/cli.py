@@ -1,0 +1,194 @@
+"""Command-line interface for generative Datalog¬ inference.
+
+Installed as the ``gdatalog`` console script (and callable with
+``python -m repro``).  Sub-commands:
+
+* ``run``      — exact inference: print the output probability space.
+* ``query``    — exact marginal / has-stable-model queries.
+* ``sample``   — Monte-Carlo estimation.
+* ``ground``   — show the translation Σ_Π and the grounding of the empty AtR set.
+* ``graph``    — dependency graph / stratification of a program (Figure-1 style).
+
+Examples::
+
+    gdatalog run examples/programs/resilience.dl --database network.facts
+    gdatalog query program.dl -d db.facts --atom "infected(2, 1)" --mode cautious
+    gdatalog sample program.dl -d db.facts -n 5000 --seed 7
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis import TextTable
+from repro.exceptions import ReproError
+from repro.gdatalog.chase import ChaseConfig
+from repro.gdatalog.dependency import format_dependency_graph, format_stratification, to_dot
+from repro.gdatalog.engine import GDatalogEngine
+from repro.gdatalog.grounders import heads_of
+from repro.logic.parser import parse_gdatalog_program
+
+__all__ = ["build_parser", "main"]
+
+
+def _read_text(path: str | None) -> str:
+    if path is None:
+        return ""
+    return Path(path).read_text(encoding="utf-8")
+
+
+def _make_engine(args: argparse.Namespace) -> GDatalogEngine:
+    chase_config = ChaseConfig(
+        max_depth=args.max_depth,
+        max_outcomes=args.max_outcomes,
+        mass_tolerance=args.mass_tolerance,
+    )
+    return GDatalogEngine.from_source(
+        _read_text(args.program),
+        _read_text(args.database),
+        grounder=args.grounder,
+        chase_config=chase_config,
+    )
+
+
+def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("program", help="path to the GDatalog¬[Δ] program file")
+    parser.add_argument("-d", "--database", help="path to the database (facts) file", default=None)
+    parser.add_argument(
+        "-g", "--grounder", choices=("simple", "perfect"), default="simple", help="grounder to use"
+    )
+    parser.add_argument("--max-depth", type=int, default=200, help="chase depth limit")
+    parser.add_argument("--max-outcomes", type=int, default=200_000, help="maximum finite outcomes")
+    parser.add_argument(
+        "--mass-tolerance", type=float, default=1e-9, help="truncation tolerance for infinite supports"
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level ``argparse`` parser (exposed for testing and documentation)."""
+    parser = argparse.ArgumentParser(
+        prog="gdatalog", description="Generative Datalog with stable negation — inference CLI"
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser("run", help="exact inference: print the output space")
+    _add_common_arguments(run_parser)
+    run_parser.add_argument("--show-outcomes", action="store_true", help="list every possible outcome")
+
+    query_parser = subparsers.add_parser("query", help="exact marginal / stable-model queries")
+    _add_common_arguments(query_parser)
+    query_parser.add_argument("--atom", action="append", default=[], help="atom to query (repeatable)")
+    query_parser.add_argument(
+        "--mode", choices=("brave", "cautious"), default="brave", help="marginal mode"
+    )
+
+    sample_parser = subparsers.add_parser("sample", help="Monte-Carlo estimation")
+    _add_common_arguments(sample_parser)
+    sample_parser.add_argument("-n", "--samples", type=int, default=1000, help="number of samples")
+    sample_parser.add_argument("--seed", type=int, default=None, help="random seed")
+    sample_parser.add_argument("--atom", action="append", default=[], help="atom to estimate (repeatable)")
+
+    ground_parser = subparsers.add_parser("ground", help="show the translation and initial grounding")
+    _add_common_arguments(ground_parser)
+
+    graph_parser = subparsers.add_parser("graph", help="dependency graph and stratification")
+    graph_parser.add_argument("program", help="path to the GDatalog¬[Δ] program file")
+    graph_parser.add_argument("--dot", action="store_true", help="emit Graphviz DOT instead of ASCII")
+
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# Sub-command implementations (each returns the text to print)
+# ---------------------------------------------------------------------------
+
+
+def _command_run(args: argparse.Namespace) -> str:
+    engine = _make_engine(args)
+    lines = [engine.report()]
+    if args.show_outcomes:
+        lines.append("")
+        for outcome in engine.possible_outcomes():
+            lines.append(str(outcome))
+    return "\n".join(lines)
+
+
+def _command_query(args: argparse.Namespace) -> str:
+    engine = _make_engine(args)
+    table = TextTable(["query", "probability"], title=f"exact queries ({args.mode} mode)")
+    table.add_row("has stable model", engine.probability_has_stable_model())
+    for atom_text in args.atom:
+        table.add_row(atom_text, engine.marginal(atom_text, mode=args.mode))
+    return table.render()
+
+
+def _command_sample(args: argparse.Namespace) -> str:
+    engine = _make_engine(args)
+    table = TextTable(["query", "estimate", "std error"], title=f"Monte-Carlo ({args.samples} samples)")
+    estimate = engine.estimate_has_stable_model(n=args.samples, seed=args.seed)
+    table.add_row("has stable model", estimate.value, estimate.standard_error)
+    for atom_text in args.atom:
+        atom_estimate = engine.estimate_marginal(atom_text, n=args.samples, seed=args.seed)
+        table.add_row(atom_text, atom_estimate.value, atom_estimate.standard_error)
+    return table.render()
+
+
+def _command_ground(args: argparse.Namespace) -> str:
+    engine = _make_engine(args)
+    translated = engine.translated
+    lines = ["% Σ∄_Π (existential-free part of the translation)"]
+    lines.extend(str(rule_) for rule_ in translated.existential_free_rules)
+    lines.append("")
+    lines.append("% AtR specs (Σ∃_Π up to grounding)")
+    for spec in translated.atr_specs:
+        lines.append(
+            f"% {spec.active_predicate} -> exists y . {spec.result_predicate} "
+            f"[distribution {spec.distribution}]"
+        )
+    grounding = engine.grounder.ground(frozenset())
+    lines.append("")
+    lines.append(f"% G(∅): {len(grounding)} ground rules, {len(heads_of(grounding))} head atoms")
+    lines.extend(str(rule_) for rule_ in sorted(grounding, key=str))
+    return "\n".join(lines)
+
+
+def _command_graph(args: argparse.Namespace) -> str:
+    program = parse_gdatalog_program(_read_text(args.program))
+    if args.dot:
+        return to_dot(program)
+    lines = ["dependency graph dg(Π):", format_dependency_graph(program), ""]
+    if program.is_stratified:
+        lines.append("stratification:")
+        lines.append(format_stratification(program))
+    else:
+        lines.append("program is NOT stratified (a cycle traverses a negative edge)")
+    return "\n".join(lines)
+
+
+_COMMANDS = {
+    "run": _command_run,
+    "query": _command_query,
+    "sample": _command_sample,
+    "ground": _command_ground,
+    "graph": _command_graph,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        output = _COMMANDS[args.command](args)
+    except (ReproError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(output)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,29 @@
+"""Parameterized discrete distributions (the set Δ) and their registry."""
+
+from repro.distributions.base import Outcome, ParameterizedDistribution
+from repro.distributions.discrete import (
+    BinomialDistribution,
+    CategoricalDistribution,
+    ConstantDistribution,
+    DieDistribution,
+    FlipDistribution,
+    GeometricDistribution,
+    PoissonDistribution,
+    UniformIntDistribution,
+)
+from repro.distributions.registry import DistributionRegistry, default_registry
+
+__all__ = [
+    "Outcome",
+    "ParameterizedDistribution",
+    "BinomialDistribution",
+    "CategoricalDistribution",
+    "ConstantDistribution",
+    "DieDistribution",
+    "FlipDistribution",
+    "GeometricDistribution",
+    "PoissonDistribution",
+    "UniformIntDistribution",
+    "DistributionRegistry",
+    "default_registry",
+]

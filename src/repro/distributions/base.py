@@ -1,0 +1,122 @@
+"""Parameterized numerical discrete probability distributions (the set Δ).
+
+Following Section 2 of the paper, a parameterized probability distribution
+``δ`` of parameter dimension ``k`` maps every parameter tuple ``p̄ ∈ R^k`` to
+a discrete probability distribution ``δ⟨p̄⟩`` over a sample space ``Ω ⊆ R``.
+
+A :class:`ParameterizedDistribution` exposes exactly the three operations the
+semantics needs:
+
+* ``pmf(params, outcome)`` — the probability ``δ⟨p̄⟩(o)``;
+* ``support(params)`` — the outcomes with positive probability, in a
+  deterministic order (needed for exhaustive chase enumeration).  Infinite
+  supports are exposed lazily and flagged via :meth:`has_finite_support`;
+* ``sample(params, rng)`` — draw an outcome (used by Monte-Carlo inference).
+
+Outcomes are Python numbers (``int``/``float``/``bool``); the translation to
+:class:`~repro.logic.terms.Constant` happens in the chase.
+
+Mirroring the die example of the paper's appendix, invalid parameter tuples
+do not raise during ``pmf``/``support``; instead each distribution declares a
+``fallback_outcome`` (the appendix uses ``0``) that receives probability 1
+when the parameters are invalid.  Construction-time validation is available
+via :meth:`validate_params` for callers that prefer strictness.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import DistributionError
+
+__all__ = ["Outcome", "ParameterizedDistribution"]
+
+#: The numeric payload of a sampled value.
+Outcome = int | float | bool
+
+
+class ParameterizedDistribution(abc.ABC):
+    """Abstract base class for the members of Δ."""
+
+    #: Canonical lowercase name used in Δ-terms (``flip``, ``categorical``, ...).
+    name: str = "distribution"
+    #: Number of parameters the distribution expects; ``None`` means variadic.
+    parameter_dimension: int | None = None
+    #: Whether the distribution is discrete (continuous ones are future work).
+    is_continuous: bool = False
+
+    # -- interface -----------------------------------------------------------
+
+    @abc.abstractmethod
+    def pmf(self, params: Sequence[float], outcome: Outcome) -> float:
+        """The probability ``δ⟨p̄⟩(o)``; 0.0 for outcomes outside the support."""
+
+    @abc.abstractmethod
+    def support(self, params: Sequence[float]) -> Iterable[Outcome]:
+        """The outcomes with positive probability, deterministically ordered.
+
+        For infinite supports (e.g. Poisson) this is a lazy, monotone
+        enumeration; callers must combine it with a mass tolerance.
+        """
+
+    @abc.abstractmethod
+    def has_finite_support(self, params: Sequence[float]) -> bool:
+        """Whether :meth:`support` terminates for these parameters."""
+
+    def sample(self, params: Sequence[float], rng: np.random.Generator) -> Outcome:
+        """Draw one outcome according to ``δ⟨p̄⟩`` (default: inverse-CDF over support)."""
+        target = float(rng.random())
+        cumulative = 0.0
+        last: Outcome | None = None
+        for outcome in self.support(params):
+            cumulative += self.pmf(params, outcome)
+            last = outcome
+            if target < cumulative:
+                return outcome
+        if last is None:
+            raise DistributionError(f"{self.name}: empty support for parameters {list(params)}")
+        return last
+
+    # -- shared helpers -------------------------------------------------------
+
+    def validate_params(self, params: Sequence[float]) -> None:
+        """Raise :class:`DistributionError` on a malformed parameter tuple."""
+        if self.parameter_dimension is not None and len(params) != self.parameter_dimension:
+            raise DistributionError(
+                f"{self.name} expects {self.parameter_dimension} parameter(s), got {len(params)}"
+            )
+        if not self.params_valid(params):
+            raise DistributionError(f"{self.name}: invalid parameters {list(params)}")
+
+    def params_valid(self, params: Sequence[float]) -> bool:
+        """Whether the parameter tuple instantiates a proper distribution."""
+        if self.parameter_dimension is not None and len(params) != self.parameter_dimension:
+            return False
+        return True
+
+    def truncated_support(
+        self, params: Sequence[float], mass_tolerance: float = 0.0, max_outcomes: int | None = None
+    ) -> tuple[list[Outcome], float]:
+        """A finite prefix of the support covering at least ``1 - mass_tolerance`` mass.
+
+        Returns ``(outcomes, covered_mass)``.  For finite supports the whole
+        support is returned regardless of the tolerance.
+        """
+        outcomes: list[Outcome] = []
+        covered = 0.0
+        finite = self.has_finite_support(params)
+        for i, outcome in enumerate(self.support(params)):
+            outcomes.append(outcome)
+            covered += self.pmf(params, outcome)
+            if not finite:
+                if covered >= 1.0 - mass_tolerance:
+                    break
+                if max_outcomes is not None and i + 1 >= max_outcomes:
+                    break
+        return outcomes, min(covered, 1.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,290 @@
+"""Built-in discrete parameterized distributions.
+
+All distributions follow the convention of the paper's appendix (the biased
+die example): an invalid parameter tuple does not raise, it collapses the
+distribution onto a designated *fallback outcome* (``0`` unless stated
+otherwise) with probability 1.  This keeps the semantics total, exactly as
+the paper's ``Die⟨p̄⟩`` does.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.distributions.base import Outcome, ParameterizedDistribution
+
+__all__ = [
+    "FlipDistribution",
+    "CategoricalDistribution",
+    "DieDistribution",
+    "UniformIntDistribution",
+    "BinomialDistribution",
+    "GeometricDistribution",
+    "PoissonDistribution",
+    "ConstantDistribution",
+]
+
+_EPSILON = 1e-12
+
+
+class FlipDistribution(ParameterizedDistribution):
+    """``Flip⟨p⟩``: 1 with probability ``p`` and 0 with probability ``1 - p``.
+
+    This is the distribution used throughout the paper (network resilience,
+    coin, dime/quarter examples).
+    """
+
+    name = "flip"
+    parameter_dimension = 1
+
+    def params_valid(self, params: Sequence[float]) -> bool:
+        return len(params) == 1 and 0.0 <= params[0] <= 1.0
+
+    def pmf(self, params: Sequence[float], outcome: Outcome) -> float:
+        if not self.params_valid(params):
+            return 1.0 if outcome == 0 else 0.0
+        p = float(params[0])
+        if outcome == 1:
+            return p
+        if outcome == 0:
+            return 1.0 - p
+        return 0.0
+
+    def support(self, params: Sequence[float]) -> Iterable[Outcome]:
+        if not self.params_valid(params):
+            return [0]
+        p = float(params[0])
+        outcomes: list[Outcome] = []
+        if 1.0 - p > _EPSILON:
+            outcomes.append(0)
+        if p > _EPSILON:
+            outcomes.append(1)
+        return outcomes
+
+    def has_finite_support(self, params: Sequence[float]) -> bool:
+        return True
+
+
+class CategoricalDistribution(ParameterizedDistribution):
+    """``Categorical⟨p1, ..., pk⟩``: outcome ``i`` (1-based) with probability ``p_i``.
+
+    If the weights do not sum to 1 (within tolerance) or any weight is
+    negative, the distribution collapses to the fallback outcome 0 —
+    mirroring the biased-die example in the paper's appendix.
+    """
+
+    name = "categorical"
+    parameter_dimension = None  # variadic
+
+    def params_valid(self, params: Sequence[float]) -> bool:
+        if not params:
+            return False
+        if any(p < 0.0 for p in params):
+            return False
+        return math.isclose(sum(params), 1.0, abs_tol=1e-9)
+
+    def pmf(self, params: Sequence[float], outcome: Outcome) -> float:
+        if not self.params_valid(params):
+            return 1.0 if outcome == 0 else 0.0
+        if isinstance(outcome, bool) or not isinstance(outcome, int):
+            return 0.0
+        if 1 <= outcome <= len(params):
+            return float(params[outcome - 1])
+        return 0.0
+
+    def support(self, params: Sequence[float]) -> Iterable[Outcome]:
+        if not self.params_valid(params):
+            return [0]
+        return [i + 1 for i, p in enumerate(params) if p > _EPSILON]
+
+    def has_finite_support(self, params: Sequence[float]) -> bool:
+        return True
+
+
+class DieDistribution(CategoricalDistribution):
+    """``Die⟨p1, ..., p6⟩``: the paper's appendix example of a biased die.
+
+    Exactly a 6-ary categorical distribution with the fallback outcome 0 for
+    incorrect parameter instantiations.
+    """
+
+    name = "die"
+    parameter_dimension = 6
+
+    def params_valid(self, params: Sequence[float]) -> bool:
+        return len(params) == 6 and super().params_valid(params)
+
+
+class UniformIntDistribution(ParameterizedDistribution):
+    """``UniformInt⟨lo, hi⟩``: uniform over the integers ``lo..hi`` (inclusive)."""
+
+    name = "uniform_int"
+    parameter_dimension = 2
+
+    def params_valid(self, params: Sequence[float]) -> bool:
+        if len(params) != 2:
+            return False
+        lo, hi = params
+        return float(lo).is_integer() and float(hi).is_integer() and lo <= hi
+
+    def pmf(self, params: Sequence[float], outcome: Outcome) -> float:
+        if not self.params_valid(params):
+            return 1.0 if outcome == 0 else 0.0
+        lo, hi = int(params[0]), int(params[1])
+        if isinstance(outcome, bool) or not float(outcome).is_integer():
+            return 0.0
+        if lo <= int(outcome) <= hi:
+            return 1.0 / (hi - lo + 1)
+        return 0.0
+
+    def support(self, params: Sequence[float]) -> Iterable[Outcome]:
+        if not self.params_valid(params):
+            return [0]
+        return list(range(int(params[0]), int(params[1]) + 1))
+
+    def has_finite_support(self, params: Sequence[float]) -> bool:
+        return True
+
+
+class BinomialDistribution(ParameterizedDistribution):
+    """``Binomial⟨n, p⟩``: number of successes in ``n`` independent ``p``-trials."""
+
+    name = "binomial"
+    parameter_dimension = 2
+
+    def params_valid(self, params: Sequence[float]) -> bool:
+        if len(params) != 2:
+            return False
+        n, p = params
+        return float(n).is_integer() and n >= 0 and 0.0 <= p <= 1.0
+
+    def pmf(self, params: Sequence[float], outcome: Outcome) -> float:
+        if not self.params_valid(params):
+            return 1.0 if outcome == 0 else 0.0
+        n, p = int(params[0]), float(params[1])
+        if isinstance(outcome, bool) or not float(outcome).is_integer():
+            return 0.0
+        k = int(outcome)
+        if not 0 <= k <= n:
+            return 0.0
+        return float(math.comb(n, k) * (p**k) * ((1.0 - p) ** (n - k)))
+
+    def support(self, params: Sequence[float]) -> Iterable[Outcome]:
+        if not self.params_valid(params):
+            return [0]
+        n = int(params[0])
+        return [k for k in range(n + 1) if self.pmf(params, k) > _EPSILON]
+
+    def has_finite_support(self, params: Sequence[float]) -> bool:
+        return True
+
+
+class GeometricDistribution(ParameterizedDistribution):
+    """``Geometric⟨p⟩``: number of failures before the first success (support ``0, 1, 2, ...``)."""
+
+    name = "geometric"
+    parameter_dimension = 1
+
+    def params_valid(self, params: Sequence[float]) -> bool:
+        return len(params) == 1 and 0.0 < params[0] <= 1.0
+
+    def pmf(self, params: Sequence[float], outcome: Outcome) -> float:
+        if not self.params_valid(params):
+            return 1.0 if outcome == 0 else 0.0
+        p = float(params[0])
+        if isinstance(outcome, bool) or not float(outcome).is_integer():
+            return 0.0
+        k = int(outcome)
+        if k < 0:
+            return 0.0
+        return float(((1.0 - p) ** k) * p)
+
+    def support(self, params: Sequence[float]) -> Iterator[Outcome]:
+        if not self.params_valid(params):
+            yield 0
+            return
+        if params[0] == 1.0:
+            yield 0
+            return
+        k = 0
+        while True:
+            yield k
+            k += 1
+
+    def has_finite_support(self, params: Sequence[float]) -> bool:
+        return not self.params_valid(params) or params[0] == 1.0
+
+    def sample(self, params: Sequence[float], rng: np.random.Generator) -> Outcome:
+        if not self.params_valid(params):
+            return 0
+        return int(rng.geometric(float(params[0])) - 1)
+
+
+class PoissonDistribution(ParameterizedDistribution):
+    """``Poisson⟨λ⟩``: Poisson-distributed non-negative integer counts."""
+
+    name = "poisson"
+    parameter_dimension = 1
+
+    def params_valid(self, params: Sequence[float]) -> bool:
+        return len(params) == 1 and params[0] > 0.0
+
+    def pmf(self, params: Sequence[float], outcome: Outcome) -> float:
+        if not self.params_valid(params):
+            return 1.0 if outcome == 0 else 0.0
+        lam = float(params[0])
+        if isinstance(outcome, bool) or not float(outcome).is_integer():
+            return 0.0
+        k = int(outcome)
+        if k < 0:
+            return 0.0
+        return float(math.exp(-lam) * lam**k / math.factorial(k))
+
+    def support(self, params: Sequence[float]) -> Iterator[Outcome]:
+        if not self.params_valid(params):
+            yield 0
+            return
+        k = 0
+        while True:
+            yield k
+            k += 1
+
+    def has_finite_support(self, params: Sequence[float]) -> bool:
+        return not self.params_valid(params)
+
+    def sample(self, params: Sequence[float], rng: np.random.Generator) -> Outcome:
+        if not self.params_valid(params):
+            return 0
+        return int(rng.poisson(float(params[0])))
+
+
+class ConstantDistribution(ParameterizedDistribution):
+    """``Constant⟨c⟩``: the Dirac distribution placing all mass on ``c``.
+
+    Useful for deterministic value invention and as a degenerate baseline in
+    tests and ablations.
+    """
+
+    name = "constant"
+    parameter_dimension = 1
+
+    def params_valid(self, params: Sequence[float]) -> bool:
+        return len(params) == 1
+
+    def pmf(self, params: Sequence[float], outcome: Outcome) -> float:
+        if not self.params_valid(params):
+            return 1.0 if outcome == 0 else 0.0
+        value = params[0]
+        return 1.0 if float(outcome) == float(value) else 0.0
+
+    def support(self, params: Sequence[float]) -> Iterable[Outcome]:
+        if not self.params_valid(params):
+            return [0]
+        value = params[0]
+        return [int(value) if float(value).is_integer() else float(value)]
+
+    def has_finite_support(self, params: Sequence[float]) -> bool:
+        return True

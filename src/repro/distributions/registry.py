@@ -1,0 +1,87 @@
+"""Registry mapping Δ-term distribution names to distribution objects.
+
+A :class:`DistributionRegistry` plays the role of the finite set Δ fixed in
+Section 3 of the paper.  Programs carry a registry so that Δ-terms such as
+``flip<0.1>[X, Y]`` can be resolved to concrete pmf / support / sampling
+implementations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.distributions.base import ParameterizedDistribution
+from repro.distributions.discrete import (
+    BinomialDistribution,
+    CategoricalDistribution,
+    ConstantDistribution,
+    DieDistribution,
+    FlipDistribution,
+    GeometricDistribution,
+    PoissonDistribution,
+    UniformIntDistribution,
+)
+from repro.exceptions import DistributionError
+
+__all__ = ["DistributionRegistry", "default_registry"]
+
+
+class DistributionRegistry:
+    """A named collection of parameterized distributions (the set Δ)."""
+
+    def __init__(self, distributions: list[ParameterizedDistribution] | None = None):
+        self._distributions: dict[str, ParameterizedDistribution] = {}
+        for distribution in distributions or []:
+            self.register(distribution)
+
+    def register(self, distribution: ParameterizedDistribution) -> "DistributionRegistry":
+        """Register a distribution under its canonical name (case-insensitive)."""
+        key = distribution.name.lower()
+        if key in self._distributions and type(self._distributions[key]) is not type(distribution):
+            raise DistributionError(f"distribution name {key!r} already registered")
+        self._distributions[key] = distribution
+        return self
+
+    def knows(self, name: str) -> bool:
+        return name.lower() in self._distributions
+
+    def get(self, name: str) -> ParameterizedDistribution:
+        try:
+            return self._distributions[name.lower()]
+        except KeyError as exc:
+            raise DistributionError(
+                f"unknown distribution {name!r}; known: {sorted(self._distributions)}"
+            ) from exc
+
+    def names(self) -> list[str]:
+        return sorted(self._distributions)
+
+    def __iter__(self) -> Iterator[ParameterizedDistribution]:
+        return iter(self._distributions.values())
+
+    def __len__(self) -> int:
+        return len(self._distributions)
+
+    def __contains__(self, name: object) -> bool:
+        return isinstance(name, str) and self.knows(name)
+
+    def copy(self) -> "DistributionRegistry":
+        registry = DistributionRegistry()
+        registry._distributions = dict(self._distributions)
+        return registry
+
+
+def default_registry() -> DistributionRegistry:
+    """A fresh registry containing every built-in distribution."""
+    return DistributionRegistry(
+        [
+            FlipDistribution(),
+            CategoricalDistribution(),
+            DieDistribution(),
+            UniformIntDistribution(),
+            BinomialDistribution(),
+            GeometricDistribution(),
+            PoissonDistribution(),
+            ConstantDistribution(),
+        ]
+    )

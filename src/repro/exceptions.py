@@ -1,0 +1,68 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class.  More specific subclasses are used
+where a caller may reasonably want to distinguish failure modes (parse
+errors vs. semantic validation vs. solver limits).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class ParseError(ReproError):
+    """Raised when the textual Datalog / GDatalog syntax cannot be parsed.
+
+    Attributes
+    ----------
+    line, column:
+        1-based position of the offending token, when available.
+    """
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        self.line = line
+        self.column = column
+        location = ""
+        if line is not None:
+            location = f" (line {line}" + (f", column {column})" if column is not None else ")")
+        super().__init__(message + location)
+
+
+class ValidationError(ReproError):
+    """Raised when a rule or program violates a syntactic restriction.
+
+    Examples: unsafe rules (a head or negative-body variable that does not
+    occur in the positive body), Δ-terms in body position, unknown
+    distribution names, or arity mismatches.
+    """
+
+
+class StratificationError(ReproError):
+    """Raised when stratified negation is required but the program is not stratified."""
+
+
+class GroundingError(ReproError):
+    """Raised when grounding a program fails (e.g. inconsistent AtR sets)."""
+
+
+class SolverError(ReproError):
+    """Raised when stable-model computation cannot proceed."""
+
+
+class SolverLimitError(SolverError):
+    """Raised when a configured search limit of the stable-model solver is exceeded."""
+
+
+class ChaseLimitError(ReproError):
+    """Raised when the chase exceeds its configured depth/outcome limits in strict mode."""
+
+
+class InferenceError(ReproError):
+    """Raised for invalid probabilistic queries (e.g. conditioning on a zero-probability event)."""
+
+
+class DistributionError(ReproError):
+    """Raised when a distribution is instantiated with invalid parameters."""

@@ -1,0 +1,79 @@
+"""Generative Datalog with stable negation: syntax, translation, grounders, chase, inference."""
+
+from repro.gdatalog.atr import (
+    AtRSpec,
+    GroundAtRRule,
+    atr_function,
+    is_compatible,
+    is_consistent,
+    pending_active_atoms,
+)
+from repro.gdatalog.chase import ChaseConfig, ChaseEngine, ChaseNode, ChaseResult, TriggerStrategy
+from repro.gdatalog.delta_terms import DeltaTerm
+from repro.gdatalog.dependency import (
+    format_dependency_graph,
+    format_stratification,
+    to_dot,
+    to_networkx,
+)
+from repro.gdatalog.engine import GDatalogEngine
+from repro.gdatalog.grounders import Grounder, PerfectGrounder, SimpleGrounder, heads_of, make_grounder
+from repro.gdatalog.outcomes import PossibleOutcome, outcome_probability
+from repro.gdatalog.probability_space import Event, OutputSpace
+from repro.gdatalog.sampler import Estimate, MonteCarloSampler, SampleStats
+from repro.gdatalog.syntax import GDatalogProgram, GDatalogRule, HeadAtom, desugar_constraints
+from repro.gdatalog.translate import RuleTranslation, TranslatedProgram, translate_program, translate_rule
+from repro.gdatalog.verification import (
+    GrounderCheckReport,
+    check_monotonicity,
+    check_semantic_adequacy,
+    collect_chase_atr_sets,
+    reference_stable_models,
+    totalizers_of,
+)
+
+__all__ = [
+    "AtRSpec",
+    "GroundAtRRule",
+    "atr_function",
+    "is_compatible",
+    "is_consistent",
+    "pending_active_atoms",
+    "ChaseConfig",
+    "ChaseEngine",
+    "ChaseNode",
+    "ChaseResult",
+    "TriggerStrategy",
+    "DeltaTerm",
+    "format_dependency_graph",
+    "format_stratification",
+    "to_dot",
+    "to_networkx",
+    "GDatalogEngine",
+    "Grounder",
+    "PerfectGrounder",
+    "SimpleGrounder",
+    "heads_of",
+    "make_grounder",
+    "PossibleOutcome",
+    "outcome_probability",
+    "Event",
+    "OutputSpace",
+    "Estimate",
+    "MonteCarloSampler",
+    "SampleStats",
+    "GDatalogProgram",
+    "GDatalogRule",
+    "HeadAtom",
+    "desugar_constraints",
+    "RuleTranslation",
+    "TranslatedProgram",
+    "translate_program",
+    "translate_rule",
+    "GrounderCheckReport",
+    "check_monotonicity",
+    "check_semantic_adequacy",
+    "collect_chase_atr_sets",
+    "reference_stable_models",
+    "totalizers_of",
+]

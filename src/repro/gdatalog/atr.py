@@ -1,0 +1,220 @@
+"""Active-to-Result (AtR) machinery: specs, ground AtR rules, consistency.
+
+The translation of a GDatalog¬[Δ] program introduces, for every Δ-term
+``δ⟨p̄⟩[q̄]`` occurring in a rule head, a pair of fresh predicates::
+
+    Active^δ_{|q̄|}(p̄, q̄)            (arity |p̄| + |q̄|)
+    Result^δ_{|q̄|}(p̄, q̄, y)         (arity |p̄| + |q̄| + 1)
+
+linked by the *active-to-result TGD* ``Active(p̄, q̄) → ∃y Result(p̄, q̄, y)``.
+A **ground AtR rule** fixes the existential witness to a concrete outcome:
+``Active(p̄, q̄) → Result(p̄, q̄, o)``; sets of ground AtR rules encode
+configurations of probabilistic choices.  This module provides:
+
+* :class:`AtRSpec` — metadata tying the fresh predicates back to the
+  distribution;
+* :class:`GroundAtRRule` — a single ground AtR TGD;
+* consistency (Definition: functional on the Active atom), the induced
+  partial function, compatibility ``AtR_Σ ↩→ Σ'`` and totalizers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.distributions.base import Outcome
+from repro.distributions.registry import DistributionRegistry
+from repro.exceptions import GroundingError, ValidationError
+from repro.logic.atoms import Atom, Predicate
+from repro.logic.rules import Rule
+from repro.logic.terms import Constant
+
+__all__ = [
+    "AtRSpec",
+    "GroundAtRRule",
+    "active_predicate_name",
+    "result_predicate_name",
+    "is_consistent",
+    "atr_function",
+    "is_compatible",
+    "pending_active_atoms",
+    "outcome_to_constant",
+]
+
+
+def active_predicate_name(distribution: str, parameter_count: int, event_count: int) -> str:
+    """The fresh predicate name ``active_<δ>_<|p̄|>_<|q̄|>``."""
+    return f"active_{distribution}_{parameter_count}_{event_count}"
+
+
+def result_predicate_name(distribution: str, parameter_count: int, event_count: int) -> str:
+    """The fresh predicate name ``result_<δ>_<|p̄|>_<|q̄|>``."""
+    return f"result_{distribution}_{parameter_count}_{event_count}"
+
+
+def outcome_to_constant(outcome: Outcome) -> Constant:
+    """Convert a distribution outcome (a Python number) into a :class:`Constant`."""
+    if isinstance(outcome, bool):
+        return Constant(int(outcome))
+    if isinstance(outcome, float) and outcome.is_integer():
+        return Constant(int(outcome))
+    return Constant(outcome)
+
+
+@dataclass(frozen=True)
+class AtRSpec:
+    """Metadata of one Active/Result predicate pair introduced by the translation."""
+
+    distribution: str
+    parameter_count: int
+    event_count: int
+
+    @property
+    def active_predicate(self) -> Predicate:
+        return Predicate(
+            active_predicate_name(self.distribution, self.parameter_count, self.event_count),
+            self.parameter_count + self.event_count,
+        )
+
+    @property
+    def result_predicate(self) -> Predicate:
+        return Predicate(
+            result_predicate_name(self.distribution, self.parameter_count, self.event_count),
+            self.parameter_count + self.event_count + 1,
+        )
+
+    def parameters_of(self, active_atom: Atom) -> tuple[float, ...]:
+        """Extract the distribution parameters ``p̄`` from a ground Active atom."""
+        values: list[float] = []
+        for term in active_atom.args[: self.parameter_count]:
+            if not isinstance(term, Constant):
+                raise GroundingError(f"active atom {active_atom} is not ground")
+            values.append(term.as_number())
+        return tuple(values)
+
+    def result_atom(self, active_atom: Atom, outcome: Outcome) -> Atom:
+        """The Result atom obtained by appending *outcome* to an Active atom."""
+        return Atom(self.result_predicate, active_atom.args + (outcome_to_constant(outcome),))
+
+
+@dataclass(frozen=True)
+class GroundAtRRule:
+    """A ground active-to-result TGD ``Active(p̄, q̄) → Result(p̄, q̄, o)``."""
+
+    spec: AtRSpec
+    active_atom: Atom
+    result_atom: Atom
+
+    def __post_init__(self) -> None:
+        if self.active_atom.predicate != self.spec.active_predicate:
+            raise ValidationError(
+                f"active atom {self.active_atom} does not match spec predicate {self.spec.active_predicate}"
+            )
+        if self.result_atom.predicate != self.spec.result_predicate:
+            raise ValidationError(
+                f"result atom {self.result_atom} does not match spec predicate {self.spec.result_predicate}"
+            )
+        if self.result_atom.args[:-1] != self.active_atom.args:
+            raise ValidationError(
+                f"result atom {self.result_atom} does not extend active atom {self.active_atom}"
+            )
+        if not self.active_atom.is_ground or not self.result_atom.is_ground:
+            raise ValidationError("ground AtR rules must be ground")
+
+    # -- constructors ----------------------------------------------------------
+
+    @staticmethod
+    def of(spec: AtRSpec, active_atom: Atom, outcome: Outcome) -> "GroundAtRRule":
+        return GroundAtRRule(spec, active_atom, spec.result_atom(active_atom, outcome))
+
+    # -- inspection ------------------------------------------------------------
+
+    @property
+    def outcome(self) -> Constant:
+        """The chosen sample ``o`` (last argument of the Result atom)."""
+        last = self.result_atom.args[-1]
+        assert isinstance(last, Constant)
+        return last
+
+    @property
+    def outcome_value(self) -> float:
+        return self.outcome.as_number()
+
+    def parameters(self) -> tuple[float, ...]:
+        return self.spec.parameters_of(self.active_atom)
+
+    def probability(self, registry: DistributionRegistry) -> float:
+        """``δ⟨p̄⟩(o)`` under the given distribution registry."""
+        distribution = registry.get(self.spec.distribution)
+        return distribution.pmf(self.parameters(), _constant_to_outcome(self.outcome))
+
+    def as_rule(self) -> Rule:
+        """The ground AtR rule viewed as a plain ground Datalog rule."""
+        return Rule(self.result_atom, (self.active_atom,), ())
+
+    def __str__(self) -> str:
+        return f"{self.result_atom} :- {self.active_atom}."
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"GroundAtRRule({self!s})"
+
+
+def _constant_to_outcome(constant: Constant) -> Outcome:
+    value = constant.value
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, (int, float)):
+        return value
+    return constant.as_number()
+
+
+# -- set-level notions ---------------------------------------------------------
+
+
+def is_consistent(atr_rules: Iterable[GroundAtRRule]) -> bool:
+    """Functional consistency: no two AtR rules share an Active atom with different outcomes."""
+    chosen: dict[Atom, Constant] = {}
+    for rule_ in atr_rules:
+        existing = chosen.get(rule_.active_atom)
+        if existing is not None and existing != rule_.outcome:
+            return False
+        chosen[rule_.active_atom] = rule_.outcome
+    return True
+
+
+def atr_function(atr_rules: Iterable[GroundAtRRule]) -> dict[Atom, Atom]:
+    """The partial function ``AtR_Σ : Act → Res`` induced by a consistent AtR set."""
+    mapping: dict[Atom, Atom] = {}
+    for rule_ in atr_rules:
+        existing = mapping.get(rule_.active_atom)
+        if existing is not None and existing != rule_.result_atom:
+            raise GroundingError(
+                f"inconsistent AtR set: {rule_.active_atom} maps to both {existing} and {rule_.result_atom}"
+            )
+        mapping[rule_.active_atom] = rule_.result_atom
+    return mapping
+
+
+def is_compatible(
+    atr_rules: Iterable[GroundAtRRule],
+    head_atoms: Iterable[Atom],
+    active_predicates: set[Predicate],
+) -> bool:
+    """``AtR_Σ ↩→ Σ'``: the AtR function is defined on every Active atom in *head_atoms*."""
+    return not pending_active_atoms(atr_rules, head_atoms, active_predicates)
+
+
+def pending_active_atoms(
+    atr_rules: Iterable[GroundAtRRule],
+    head_atoms: Iterable[Atom],
+    active_predicates: set[Predicate],
+) -> list[Atom]:
+    """Active atoms occurring in *head_atoms* for which no AtR rule exists (the chase triggers)."""
+    defined = {rule_.active_atom for rule_ in atr_rules}
+    pending = {
+        atom_
+        for atom_ in head_atoms
+        if atom_.predicate in active_predicates and atom_ not in defined
+    }
+    return sorted(pending, key=str)

@@ -1,0 +1,265 @@
+"""The chase procedure on ground AtR programs (Section 4).
+
+The chase operates on sets of ground AtR rules ("configurations of
+probabilistic choices").  A node labelled ``Σ`` has, for a *trigger*
+``α = Active^δ(p̄, q̄) ∈ heads(G(Σ))`` not yet covered by ``Σ``, one child per
+outcome ``o`` with ``δ⟨p̄⟩(o) > 0``; a node without triggers is a leaf and its
+label (joined with ``G(Σ)``) is a finite possible outcome.  Lemma 4.4 shows
+the set of finite-path results is independent of the trigger order; the test
+suite exercises this with different :class:`TriggerStrategy` choices.
+
+Distributions with infinite support are truncated at a configurable
+probability-mass tolerance, and paths exceeding the depth limit are cut off;
+the probability mass lost this way is accounted to the error event
+``Ω∞`` (mirroring the treatment of infinite outcomes in the paper).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Iterator, Sequence
+
+from repro.exceptions import ChaseLimitError
+from repro.gdatalog.atr import GroundAtRRule
+from repro.gdatalog.grounders import Grounder
+from repro.gdatalog.outcomes import PossibleOutcome, outcome_probability
+from repro.logic.atoms import Atom
+from repro.logic.rules import Rule
+
+__all__ = ["TriggerStrategy", "ChaseConfig", "ChaseNode", "ChaseResult", "ChaseEngine"]
+
+
+class TriggerStrategy(str, Enum):
+    """How the chase picks the next trigger among the pending Active atoms.
+
+    By Lemma 4.4 every strategy yields the same set of finite possible
+    outcomes; exposing the choice lets the tests verify order independence.
+    """
+
+    FIRST = "first"
+    LAST = "last"
+    RANDOM = "random"
+
+
+@dataclass(frozen=True)
+class ChaseConfig:
+    """Limits and tolerances of the exhaustive chase.
+
+    Attributes
+    ----------
+    max_depth:
+        Maximum number of trigger applications along one path; deeper paths
+        are truncated and their mass moves to the error event.
+    max_outcomes:
+        Upper bound on the number of finite possible outcomes produced;
+        exceeding it raises :class:`ChaseLimitError` in strict mode and
+        truncates (moving the remaining mass to the error event) otherwise.
+    mass_tolerance:
+        For distributions with infinite support, outcomes are enumerated
+        until at least ``1 - mass_tolerance`` of the conditional mass is
+        covered; the remainder goes to the error event.
+    max_support:
+        Hard cap on the number of branches per trigger.
+    strict:
+        Whether hitting ``max_outcomes`` raises instead of truncating.
+    trigger_strategy / seed:
+        Trigger selection policy (see :class:`TriggerStrategy`).
+    """
+
+    max_depth: int = 200
+    max_outcomes: int = 200_000
+    mass_tolerance: float = 1e-9
+    max_support: int = 64
+    strict: bool = False
+    trigger_strategy: TriggerStrategy = TriggerStrategy.FIRST
+    seed: int = 0
+
+
+@dataclass(frozen=True)
+class ChaseNode:
+    """A node of the chase tree: an AtR set, its grounding, and bookkeeping."""
+
+    atr_rules: frozenset[GroundAtRRule]
+    grounding: frozenset[Rule]
+    probability: float
+    depth: int
+
+    def triggers(self, grounder: Grounder) -> list[Atom]:
+        return grounder.pending_triggers(self.atr_rules, self.grounding)
+
+
+@dataclass
+class ChaseResult:
+    """The outcome of an exhaustive chase.
+
+    ``error_probability`` collects the mass of truncated branches (infinite
+    supports cut at the tolerance, depth-limited paths, outcome-count
+    truncation); it upper-bounds the paper's ``P(Ω∞)`` for the configured
+    limits and equals it in the limit of unbounded exploration.
+    """
+
+    outcomes: list[PossibleOutcome]
+    error_probability: float
+    truncated_paths: int
+    max_depth_reached: int
+
+    @property
+    def finite_probability(self) -> float:
+        return sum(o.probability for o in self.outcomes)
+
+    def __iter__(self) -> Iterator[PossibleOutcome]:
+        return iter(self.outcomes)
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+
+class ChaseEngine:
+    """Exhaustive, order-independent chase over a fixed grounder."""
+
+    def __init__(self, grounder: Grounder, config: ChaseConfig | None = None):
+        self.grounder = grounder
+        self.config = config or ChaseConfig()
+        self._registry = grounder.translated.program.registry
+        import random
+
+        self._rng = random.Random(self.config.seed)
+
+    # -- public API -------------------------------------------------------------
+
+    def root(self) -> ChaseNode:
+        """The root node: the empty AtR set and its grounding."""
+        empty: frozenset[GroundAtRRule] = frozenset()
+        return ChaseNode(empty, self.grounder.ground(empty), 1.0, 0)
+
+    def expand(self, node: ChaseNode, trigger: Atom) -> list[ChaseNode]:
+        """One trigger application ``Σ⟨α⟩{Σ1, Σ2, ...}`` (Definition 4.1).
+
+        Children are created only for outcomes with positive probability;
+        infinite supports are truncated at the configured tolerance.
+        """
+        spec = self.grounder.translated.spec_for_active(trigger.predicate)
+        distribution = self._registry.get(spec.distribution)
+        params = spec.parameters_of(trigger)
+        outcomes, _covered = distribution.truncated_support(
+            params, mass_tolerance=self.config.mass_tolerance, max_outcomes=self.config.max_support
+        )
+        children: list[ChaseNode] = []
+        for outcome in outcomes:
+            probability = distribution.pmf(params, outcome)
+            if probability <= 0.0:
+                continue
+            atr_rule = GroundAtRRule.of(spec, trigger, outcome)
+            child_atr = node.atr_rules | {atr_rule}
+            child_grounding = self.grounder.ground(child_atr, seed=node.grounding)
+            children.append(
+                ChaseNode(
+                    frozenset(child_atr),
+                    child_grounding,
+                    node.probability * probability,
+                    node.depth + 1,
+                )
+            )
+        return children
+
+    def select_trigger(self, triggers: Sequence[Atom]) -> Atom:
+        """Pick the next trigger according to the configured strategy."""
+        if self.config.trigger_strategy is TriggerStrategy.LAST:
+            return triggers[-1]
+        if self.config.trigger_strategy is TriggerStrategy.RANDOM:
+            return triggers[self._rng.randrange(len(triggers))]
+        return triggers[0]
+
+    def run(self) -> ChaseResult:
+        """Exhaustively enumerate the finite possible outcomes (depth-first)."""
+        outcomes: list[PossibleOutcome] = []
+        error_mass = 0.0
+        truncated = 0
+        max_depth_reached = 0
+
+        stack: list[ChaseNode] = [self.root()]
+        while stack:
+            node = stack.pop()
+            max_depth_reached = max(max_depth_reached, node.depth)
+            triggers = node.triggers(self.grounder)
+            if not triggers:
+                if len(outcomes) >= self.config.max_outcomes:
+                    if self.config.strict:
+                        raise ChaseLimitError(
+                            f"chase produced more than {self.config.max_outcomes} possible outcomes"
+                        )
+                    error_mass += node.probability
+                    truncated += 1
+                    continue
+                outcomes.append(
+                    PossibleOutcome(
+                        atr_rules=node.atr_rules,
+                        grounding=node.grounding,
+                        probability=node.probability,
+                        translated=self.grounder.translated,
+                    )
+                )
+                continue
+            if node.depth >= self.config.max_depth:
+                if self.config.strict:
+                    raise ChaseLimitError(
+                        f"chase exceeded the maximum depth of {self.config.max_depth}"
+                    )
+                error_mass += node.probability
+                truncated += 1
+                continue
+            trigger = self.select_trigger(triggers)
+            children = self.expand(node, trigger)
+            branch_mass = sum(c.probability for c in children)
+            # Mass lost to truncated (infinite) supports.
+            error_mass += max(node.probability - branch_mass, 0.0)
+            stack.extend(children)
+
+        outcomes.sort(key=lambda o: sorted(str(r) for r in o.atr_rules))
+        return ChaseResult(
+            outcomes=outcomes,
+            error_probability=min(error_mass, 1.0),
+            truncated_paths=truncated,
+            max_depth_reached=max_depth_reached,
+        )
+
+    # -- single-path sampling (used by the Monte-Carlo sampler) -------------------
+
+    def sample_path(self, rng) -> tuple[PossibleOutcome | None, int]:
+        """Follow a single random chase path; ``None`` signals the error event.
+
+        Returns ``(outcome, depth)``.  Each trigger is resolved by sampling
+        the corresponding distribution, so the path ends at a possible
+        outcome with exactly its semantic probability.
+        """
+        node = self.root()
+        while True:
+            triggers = node.triggers(self.grounder)
+            if not triggers:
+                return (
+                    PossibleOutcome(
+                        atr_rules=node.atr_rules,
+                        grounding=node.grounding,
+                        probability=node.probability,
+                        translated=self.grounder.translated,
+                    ),
+                    node.depth,
+                )
+            if node.depth >= self.config.max_depth:
+                return None, node.depth
+            trigger = self.select_trigger(triggers)
+            spec = self.grounder.translated.spec_for_active(trigger.predicate)
+            distribution = self._registry.get(spec.distribution)
+            params = spec.parameters_of(trigger)
+            outcome = distribution.sample(params, rng)
+            probability = distribution.pmf(params, outcome)
+            atr_rule = GroundAtRRule.of(spec, trigger, outcome)
+            child_atr = node.atr_rules | {atr_rule}
+            node = ChaseNode(
+                frozenset(child_atr),
+                self.grounder.ground(child_atr, seed=node.grounding),
+                node.probability * probability,
+                node.depth + 1,
+            )

@@ -1,0 +1,91 @@
+"""Δ-terms: symbolic samples from parameterized distributions.
+
+A Δ-term ``δ⟨p̄⟩[q̄]`` consists of a distribution name ``δ ∈ Δ``, a non-empty
+tuple of *distribution parameters* ``p̄`` and a (possibly empty) tuple of
+terms ``q̄`` called the *event signature*.  It denotes a sample from the
+distribution ``δ⟨p̄⟩``; distinct event signatures yield distinct (independent)
+samples, while ground atoms agreeing on ``δ``, ``p̄`` and ``q̄`` share the
+same sample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.exceptions import ValidationError
+from repro.logic.terms import Constant, Term, Variable
+
+__all__ = ["DeltaTerm"]
+
+
+@dataclass(frozen=True)
+class DeltaTerm:
+    """The syntactic object ``δ⟨p̄⟩[q̄]`` appearing in GDatalog¬[Δ] rule heads."""
+
+    distribution: str
+    parameters: tuple[Term, ...]
+    event_signature: tuple[Term, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.distribution:
+            raise ValidationError("Δ-terms need a distribution name")
+        if not self.parameters:
+            raise ValidationError(f"Δ-term {self.distribution} needs a non-empty parameter tuple")
+        for term in self.parameters + self.event_signature:
+            if not isinstance(term, (Constant, Variable)):
+                raise ValidationError(
+                    f"Δ-term arguments must be ordinary terms, got {type(term).__name__}"
+                )
+
+    # -- inspection ---------------------------------------------------------
+
+    @property
+    def parameter_dimension(self) -> int:
+        return len(self.parameters)
+
+    @property
+    def event_arity(self) -> int:
+        return len(self.event_signature)
+
+    def variables(self) -> set[Variable]:
+        """All variables occurring in the parameters or the event signature."""
+        return {t for t in self.parameters + self.event_signature if isinstance(t, Variable)}
+
+    @property
+    def is_ground(self) -> bool:
+        return not self.variables()
+
+    # -- construction -------------------------------------------------------
+
+    def substitute(self, mapping: Mapping[Variable, Term]) -> "DeltaTerm":
+        """Apply a variable mapping to the parameters and the event signature."""
+        new_params = tuple(mapping.get(t, t) if isinstance(t, Variable) else t for t in self.parameters)
+        new_events = tuple(
+            mapping.get(t, t) if isinstance(t, Variable) else t for t in self.event_signature
+        )
+        if new_params == self.parameters and new_events == self.event_signature:
+            return self
+        return DeltaTerm(self.distribution, new_params, new_events)
+
+    def parameter_values(self) -> tuple[float, ...]:
+        """The parameters as real numbers (requires the Δ-term to be ground)."""
+        values: list[float] = []
+        for term in self.parameters:
+            if not isinstance(term, Constant):
+                raise ValidationError(f"Δ-term {self} is not ground")
+            values.append(term.as_number())
+        return tuple(values)
+
+    # -- dunder -------------------------------------------------------------
+
+    def __str__(self) -> str:
+        params = ", ".join(str(t) for t in self.parameters)
+        rendered = f"{self.distribution}<{params}>"
+        if self.event_signature:
+            events = ", ".join(str(t) for t in self.event_signature)
+            rendered += f"[{events}]"
+        return rendered
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DeltaTerm({self!s})"

@@ -1,0 +1,63 @@
+"""Dependency-graph utilities for GDatalog¬ programs (Figure 1 of the paper).
+
+The core dependency analysis (edges, SCCs, stratification) lives on
+:class:`repro.logic.program.DependencyGraph`; this module adds exports to
+``networkx`` and to Graphviz DOT / ASCII renderings used by the examples and
+the Figure-1 benchmark.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.gdatalog.syntax import GDatalogProgram
+from repro.logic.program import DependencyGraph
+
+__all__ = ["to_networkx", "to_dot", "format_dependency_graph", "format_stratification"]
+
+
+def to_networkx(program: GDatalogProgram) -> nx.MultiDiGraph:
+    """Export ``dg(Π)`` as a ``networkx`` multigraph with a ``negative`` edge attribute."""
+    graph: DependencyGraph = program.dependency_graph()
+    result = nx.MultiDiGraph()
+    for predicate in sorted(graph.vertices, key=str):
+        result.add_node(predicate.name, arity=predicate.arity)
+    for source, target in sorted(graph.positive_edges, key=lambda e: (str(e[0]), str(e[1]))):
+        result.add_edge(source.name, target.name, negative=False)
+    for source, target in sorted(graph.negative_edges, key=lambda e: (str(e[0]), str(e[1]))):
+        result.add_edge(source.name, target.name, negative=True)
+    return result
+
+
+def to_dot(program: GDatalogProgram, name: str = "dependency_graph") -> str:
+    """Render ``dg(Π)`` in Graphviz DOT syntax (negative edges dashed, as in Figure 1)."""
+    graph = program.dependency_graph()
+    lines = [f"digraph {name} {{", "  rankdir=LR;"]
+    for predicate in sorted(graph.vertices, key=str):
+        lines.append(f'  "{predicate.name}";')
+    for source, target in sorted(graph.positive_edges, key=lambda e: (str(e[0]), str(e[1]))):
+        lines.append(f'  "{source.name}" -> "{target.name}";')
+    for source, target in sorted(graph.negative_edges, key=lambda e: (str(e[0]), str(e[1]))):
+        lines.append(f'  "{source.name}" -> "{target.name}" [style=dashed];')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def format_dependency_graph(program: GDatalogProgram) -> str:
+    """An ASCII listing of the edges of ``dg(Π)`` (negative edges marked ``[neg]``)."""
+    graph = program.dependency_graph()
+    lines = []
+    for source, target in sorted(graph.positive_edges, key=lambda e: (str(e[0]), str(e[1]))):
+        lines.append(f"{source.name} -> {target.name}")
+    for source, target in sorted(graph.negative_edges, key=lambda e: (str(e[0]), str(e[1]))):
+        lines.append(f"{source.name} -> {target.name} [neg]")
+    return "\n".join(lines)
+
+
+def format_stratification(program: GDatalogProgram) -> str:
+    """A one-line-per-stratum rendering of a topological ordering over ``scc(Π)``."""
+    lines = []
+    for i, component in enumerate(program.stratification(), start=1):
+        names = ", ".join(sorted(p.name for p in component))
+        lines.append(f"C{i}: {{{names}}}")
+    return "\n".join(lines)

@@ -1,0 +1,158 @@
+"""High-level facade for generative Datalog¬ inference.
+
+:class:`GDatalogEngine` wires the pieces together: parse or accept a
+GDatalog¬[Δ] program and a database, translate to ``Σ_Π``, pick a grounder,
+run the chase (exact) or the sampler (Monte-Carlo), and answer probabilistic
+queries.
+
+Typical usage::
+
+    engine = GDatalogEngine.from_source(PROGRAM_TEXT, DATABASE_TEXT, grounder="simple")
+    space = engine.output_space()
+    space.probability_has_stable_model()
+    engine.marginal("infected(2, 1)")
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Callable, Iterable
+
+from repro.exceptions import ValidationError
+from repro.gdatalog.chase import ChaseConfig, ChaseEngine, ChaseResult
+from repro.gdatalog.grounders import Grounder, make_grounder
+from repro.gdatalog.outcomes import PossibleOutcome
+from repro.gdatalog.probability_space import OutputSpace
+from repro.gdatalog.sampler import Estimate, MonteCarloSampler
+from repro.gdatalog.syntax import GDatalogProgram, desugar_constraints
+from repro.gdatalog.translate import TranslatedProgram, translate_program
+from repro.logic.atoms import Atom
+from repro.logic.database import Database
+from repro.logic.parser import parse_atom, parse_database, parse_gdatalog_program
+
+__all__ = ["GDatalogEngine"]
+
+
+class GDatalogEngine:
+    """Exact and approximate inference for a GDatalog¬[Δ] program on a database."""
+
+    def __init__(
+        self,
+        program: GDatalogProgram,
+        database: Database | Iterable[Atom] = (),
+        grounder: str | Grounder = "simple",
+        chase_config: ChaseConfig | None = None,
+        constraint_mode: str = "native",
+        require_edb_database: bool = False,
+    ):
+        if constraint_mode not in ("native", "desugar"):
+            raise ValidationError(f"constraint_mode must be 'native' or 'desugar', got {constraint_mode!r}")
+        self.program = desugar_constraints(program) if constraint_mode == "desugar" else program
+        self.database = database if isinstance(database, Database) else Database(database)
+        if require_edb_database:
+            # Definition-level strictness: a database of edb(Π) only.  The
+            # paper's own Example 3.6 places the intensional fact
+            # Infected(1, 1) in the database, so the permissive behaviour is
+            # the default.
+            self._validate_database()
+        self.chase_config = chase_config or ChaseConfig()
+        self.translated: TranslatedProgram = translate_program(self.program)
+        self.grounder: Grounder = make_grounder(grounder, self.translated, self.database)
+
+    # -- constructors ------------------------------------------------------------
+
+    @classmethod
+    def from_source(
+        cls,
+        program_source: str,
+        database_source: str = "",
+        grounder: str | Grounder = "simple",
+        chase_config: ChaseConfig | None = None,
+        constraint_mode: str = "native",
+        registry=None,
+        require_edb_database: bool = False,
+    ) -> "GDatalogEngine":
+        """Build an engine from textual program and database sources."""
+        program = parse_gdatalog_program(program_source, registry=registry)
+        database = parse_database(database_source) if database_source.strip() else Database()
+        return cls(
+            program,
+            database,
+            grounder=grounder,
+            chase_config=chase_config,
+            constraint_mode=constraint_mode,
+            require_edb_database=require_edb_database,
+        )
+
+    # -- validation ----------------------------------------------------------------
+
+    def _validate_database(self) -> None:
+        """The database must range over ``edb(Π)`` only (Definition of ``Π[D]``)."""
+        intensional = {p for p in self.program.intensional_predicates()}
+        offending = sorted(
+            str(a) for a in self.database.facts if a.predicate in intensional
+        )
+        if offending:
+            raise ValidationError(
+                "database facts must use extensional predicates only; "
+                f"intensional facts found: {offending}"
+            )
+
+    # -- exact inference --------------------------------------------------------------
+
+    @cached_property
+    def chase_result(self) -> ChaseResult:
+        """The exhaustive chase (cached; rerun by constructing a new engine)."""
+        return ChaseEngine(self.grounder, self.chase_config).run()
+
+    def output_space(self) -> OutputSpace:
+        """The output probability space ``Π_G(D)`` restricted to finite outcomes."""
+        result = self.chase_result
+        return OutputSpace(result.outcomes, error_probability=result.error_probability)
+
+    def possible_outcomes(self) -> list[PossibleOutcome]:
+        """``Ω^fin``: the finite possible outcomes."""
+        return list(self.chase_result.outcomes)
+
+    def probability_has_stable_model(self) -> float:
+        """P("Π[D] has some stable model")."""
+        return self.output_space().probability_has_stable_model()
+
+    def marginal(self, atom: Atom | str, mode: str = "brave") -> float:
+        """Brave/cautious marginal probability of an atom (string or object)."""
+        resolved = parse_atom(atom) if isinstance(atom, str) else atom
+        return self.output_space().marginal(resolved, mode=mode)
+
+    def probability(self, predicate: Callable[[PossibleOutcome], bool]) -> float:
+        """Probability of an arbitrary outcome-level event."""
+        return self.output_space().probability(predicate)
+
+    # -- approximate inference ------------------------------------------------------------
+
+    def sampler(self, seed: int | None = None) -> MonteCarloSampler:
+        """A Monte-Carlo sampler sharing this engine's grounder and chase configuration."""
+        return MonteCarloSampler(self.grounder, self.chase_config, seed=seed)
+
+    def estimate_has_stable_model(self, n: int = 1000, seed: int | None = None) -> Estimate:
+        """Monte-Carlo estimate of P("Π[D] has some stable model")."""
+        return self.sampler(seed=seed).estimate_has_stable_model(n=n)
+
+    def estimate_marginal(
+        self, atom: Atom | str, mode: str = "brave", n: int = 1000, seed: int | None = None
+    ) -> Estimate:
+        """Monte-Carlo estimate of an atom marginal."""
+        resolved = parse_atom(atom) if isinstance(atom, str) else atom
+        return self.sampler(seed=seed).estimate_marginal(resolved, mode=mode, n=n)
+
+    # -- reporting -------------------------------------------------------------------------
+
+    def report(self) -> str:
+        """A human-readable report of the exact output space."""
+        space = self.output_space()
+        header = [
+            f"program rules:   {len(self.program)}",
+            f"database facts:  {len(self.database)}",
+            f"grounder:        {type(self.grounder).__name__}",
+        ]
+        return "\n".join(header) + "\n" + space.summary()

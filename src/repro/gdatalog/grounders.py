@@ -1,0 +1,240 @@
+"""Grounders for generative Datalog¬: the simple and the perfect grounder.
+
+A *grounder* of ``Π[D]`` (Definition 3.3) is a monotone function mapping
+every functionally consistent set ``Σ`` of ground AtR rules to a set of
+ground existential-free rules ``G(Σ) ⊆ ground(Σ∄_{Π[D]})`` such that,
+whenever ``AtR_Σ`` is compatible with ``G(Σ)``, the stable models of
+``G(Σ) ∪ Σ`` are exactly those of ``Σ∄_{Π[D]}`` joined with any totalizer of
+``AtR_Σ``.
+
+Two grounders are provided:
+
+* :class:`SimpleGrounder` (Definition 3.4) — forward-chains rule instances
+  whose *positive* bodies match already-derived heads, ignoring negation.
+* :class:`PerfectGrounder` (Definition 5.1) — for stratified programs;
+  processes the strata of ``Π`` in topological order and additionally
+  requires the instantiated *negative* body to be disjoint from the heads
+  derived so far, which prunes rule instances that can never fire.  If the
+  AtR set does not cover the Active atoms derived up to some stratum, the
+  grounding stops extending at that stratum (the "otherwise" branch of
+  Definition 5.1).
+
+Both grounders treat the database ``D`` through the fact rules ``→ α`` of
+``Π[D]`` and instantiate integrity constraints by positive-body matching
+after the head set has converged.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, Sequence
+
+from repro.exceptions import GroundingError, StratificationError
+from repro.gdatalog.atr import GroundAtRRule, is_consistent, pending_active_atoms
+from repro.gdatalog.translate import TranslatedProgram
+from repro.logic.atoms import Atom, Predicate
+from repro.logic.database import Database
+from repro.logic.rules import Rule, fact_rule
+from repro.logic.unify import FactIndex, match_conjunction
+
+__all__ = ["Grounder", "SimpleGrounder", "PerfectGrounder", "heads_of", "make_grounder"]
+
+
+def heads_of(rules: Iterable[Rule]) -> frozenset[Atom]:
+    """``heads(Σ)``: the head atoms of the non-constraint rules of *rules*."""
+    return frozenset(r.head for r in rules if not r.is_constraint)
+
+
+class Grounder(abc.ABC):
+    """Base class of grounders for a fixed program ``Π`` and database ``D``."""
+
+    def __init__(self, translated: TranslatedProgram, database: Database):
+        self.translated = translated
+        self.database = database
+        self._fact_rules: tuple[Rule, ...] = tuple(fact_rule(a) for a in sorted(database.facts, key=str))
+        self._active_predicates: set[Predicate] = set(translated.active_predicates)
+
+    # -- interface ------------------------------------------------------------
+
+    @abc.abstractmethod
+    def ground(
+        self, atr_rules: frozenset[GroundAtRRule], seed: frozenset[Rule] | None = None
+    ) -> frozenset[Rule]:
+        """``G(Σ)``: the ground existential-free rules assigned to the AtR set ``Σ``.
+
+        *seed* may carry the grounding of a subset of ``Σ``; by monotonicity
+        of grounders the result is unchanged, but the fixpoint computation
+        can start from the seed instead of from scratch.
+        """
+
+    # -- shared helpers ---------------------------------------------------------
+
+    @property
+    def active_predicates(self) -> set[Predicate]:
+        return self._active_predicates
+
+    def pending_triggers(
+        self, atr_rules: frozenset[GroundAtRRule], grounding: frozenset[Rule]
+    ) -> list[Atom]:
+        """Active atoms in ``heads(G(Σ))`` that ``Σ`` does not cover (the chase triggers)."""
+        return pending_active_atoms(atr_rules, heads_of(grounding), self._active_predicates)
+
+    def is_terminal(self, atr_rules: frozenset[GroundAtRRule], grounding: frozenset[Rule] | None = None) -> bool:
+        """Whether ``Σ ∈ terminals(G)``, i.e. ``AtR_Σ ↩→ G(Σ)``."""
+        actual = grounding if grounding is not None else self.ground(atr_rules)
+        return not self.pending_triggers(atr_rules, actual)
+
+    def _check_consistent(self, atr_rules: frozenset[GroundAtRRule]) -> None:
+        if not is_consistent(atr_rules):
+            raise GroundingError("grounders are only defined on functionally consistent AtR sets")
+
+    @staticmethod
+    def _saturate(
+        non_ground_rules: Sequence[Rule],
+        atr_rules: Iterable[GroundAtRRule],
+        initial_rules: Iterable[Rule],
+        respect_negation: bool,
+    ) -> set[Rule]:
+        """Forward-chain ground rule instances whose positive bodies match derived heads.
+
+        When *respect_negation* is set (perfect grounder), an instance is only
+        added if its negative body is disjoint from the heads derived so far.
+        Returns the set of derived ground rules **including** the AtR rules
+        that fired (callers subtract them as required by ``\\ Σ``).
+        """
+        derived_rules: set[Rule] = set()
+        heads = FactIndex()
+
+        def add_rule(rule_: Rule) -> bool:
+            if rule_ in derived_rules:
+                return False
+            derived_rules.add(rule_)
+            if not rule_.is_constraint:
+                heads.add(rule_.head)
+            return True
+
+        for rule_ in initial_rules:
+            add_rule(rule_)
+
+        atr_plain = [r.as_rule() for r in atr_rules]
+        proper = [r for r in non_ground_rules if not r.is_constraint]
+        constraints = [r for r in non_ground_rules if r.is_constraint]
+
+        changed = True
+        while changed:
+            changed = False
+            for rule_ in atr_plain:
+                if rule_ in derived_rules:
+                    continue
+                if rule_.positive_body[0] in heads:
+                    if add_rule(rule_):
+                        changed = True
+            for rule_ in proper:
+                for substitution in match_conjunction(rule_.positive_body, heads):
+                    grounded = rule_.substitute(substitution.as_dict())
+                    if not grounded.is_ground or grounded in derived_rules:
+                        continue
+                    if respect_negation and any(b in heads for b in grounded.negative_body):
+                        continue
+                    if add_rule(grounded):
+                        changed = True
+
+        for rule_ in constraints:
+            for substitution in match_conjunction(rule_.positive_body, heads):
+                grounded = rule_.substitute(substitution.as_dict())
+                if grounded.is_ground:
+                    derived_rules.add(grounded)
+
+        return derived_rules
+
+
+class SimpleGrounder(Grounder):
+    """The simple grounder ``GSimple_{Π[D]}`` of Definition 3.4."""
+
+    def ground(
+        self, atr_rules: frozenset[GroundAtRRule], seed: frozenset[Rule] | None = None
+    ) -> frozenset[Rule]:
+        self._check_consistent(atr_rules)
+        initial: list[Rule] = list(self._fact_rules)
+        if seed:
+            initial.extend(seed)
+        derived = self._saturate(
+            non_ground_rules=self.translated.existential_free_rules,
+            atr_rules=atr_rules,
+            initial_rules=initial,
+            respect_negation=False,
+        )
+        atr_plain = {r.as_rule() for r in atr_rules}
+        return frozenset(derived - atr_plain)
+
+
+class PerfectGrounder(Grounder):
+    """The perfect grounder ``GPerfect_{Π[D]}`` of Definition 5.1 (stratified programs only)."""
+
+    def __init__(self, translated: TranslatedProgram, database: Database):
+        super().__init__(translated, database)
+        if not translated.program.is_stratified:
+            raise StratificationError("the perfect grounder requires a stratified GDatalog¬ program")
+        self._strata: list[frozenset[Predicate]] = translated.program.stratification()
+        known = set().union(*self._strata) if self._strata else set()
+        orphan_predicates = frozenset(
+            p for p in (a.predicate for a in database.facts) if p not in known
+        )
+        if orphan_predicates:
+            # Database predicates never mentioned by the program form a
+            # lowest pseudo-stratum of their own.
+            self._strata = [orphan_predicates] + self._strata
+
+    def ground(
+        self, atr_rules: frozenset[GroundAtRRule], seed: frozenset[Rule] | None = None
+    ) -> frozenset[Rule]:
+        self._check_consistent(atr_rules)
+        current: set[Rule] = set()
+
+        for component in self._strata:
+            # Compatibility check of Definition 5.1: stop extending as soon as
+            # the AtR set fails to cover an Active atom already derived.
+            if pending_active_atoms(atr_rules, heads_of(current), self._active_predicates):
+                break
+            stratum_rules = list(self.translated.rules_for_head_predicates(component))
+            stratum_facts = [r for r in self._fact_rules if r.head.predicate in component]
+            derived = self._saturate(
+                non_ground_rules=stratum_rules,
+                atr_rules=atr_rules,
+                initial_rules=list(current) + stratum_facts,
+                respect_negation=True,
+            )
+            atr_plain = {r.as_rule() for r in atr_rules}
+            current = set(derived - atr_plain)
+
+        # Integrity constraints are instantiated against the final head set
+        # (they belong to no stratum; they never derive atoms).
+        constraint_sources = [
+            rule_
+            for translation in self.translated.translations
+            if translation.source.is_constraint
+            for rule_ in translation.rules
+        ]
+        if constraint_sources:
+            heads = FactIndex(heads_of(current))
+            for rule_ in constraint_sources:
+                for substitution in match_conjunction(rule_.positive_body, heads):
+                    grounded = rule_.substitute(substitution.as_dict())
+                    if grounded.is_ground:
+                        current.add(grounded)
+
+        return frozenset(current)
+
+
+def make_grounder(
+    name_or_instance: str | Grounder, translated: TranslatedProgram, database: Database
+) -> Grounder:
+    """Resolve ``"simple"`` / ``"perfect"`` / a ready-made grounder instance."""
+    if isinstance(name_or_instance, Grounder):
+        return name_or_instance
+    normalized = name_or_instance.lower()
+    if normalized == "simple":
+        return SimpleGrounder(translated, database)
+    if normalized == "perfect":
+        return PerfectGrounder(translated, database)
+    raise GroundingError(f"unknown grounder {name_or_instance!r}; expected 'simple' or 'perfect'")

@@ -1,0 +1,186 @@
+"""The output probability space of a GDatalog¬[Δ] program (Definition 3.8).
+
+The sample space is the set of possible outcomes; the σ-algebra is generated
+by the error event ``Ω∞`` and the maximal sets of finite outcomes inducing
+the same set of stable models; the measure of a finite outcome is
+``Pr(Σ) = ∏ δ⟨p̄⟩(o)``.
+
+:class:`OutputSpace` materializes the finite part of this space (as produced
+by the chase) and exposes the queries the examples, the PPDL layer and the
+benchmarks need: event probabilities, marginals, the distribution over sets
+of stable models and the "as good as" comparison of Definition 3.11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Mapping
+
+from repro.exceptions import InferenceError
+from repro.gdatalog.outcomes import PossibleOutcome
+from repro.logic.atoms import Atom
+
+__all__ = ["Event", "OutputSpace"]
+
+#: A set of stable models (each a frozenset of atoms), used as event identity.
+ModelSet = frozenset[frozenset[Atom]]
+
+
+@dataclass(frozen=True)
+class Event:
+    """A basic event: all finite outcomes inducing the same set of stable models."""
+
+    model_set: ModelSet
+    outcomes: tuple[PossibleOutcome, ...]
+    probability: float
+
+    @property
+    def has_stable_model(self) -> bool:
+        return bool(self.model_set)
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+
+class OutputSpace:
+    """The (finite part of the) probability space ``Π_G(D)``."""
+
+    def __init__(
+        self,
+        outcomes: Iterable[PossibleOutcome],
+        error_probability: float = 0.0,
+        visible_only: bool = True,
+    ):
+        self._outcomes: tuple[PossibleOutcome, ...] = tuple(outcomes)
+        self._error_probability = float(error_probability)
+        self._visible_only = visible_only
+
+    # -- basic accounting ------------------------------------------------------
+
+    @property
+    def outcomes(self) -> tuple[PossibleOutcome, ...]:
+        """The finite possible outcomes ``Ω^fin``."""
+        return self._outcomes
+
+    @property
+    def error_probability(self) -> float:
+        """The mass of the error event ``Ω∞`` (infinite / truncated outcomes)."""
+        return self._error_probability
+
+    @property
+    def finite_probability(self) -> float:
+        """``P(Ω^fin)``: total mass of the finite outcomes."""
+        return sum(o.probability for o in self._outcomes)
+
+    def total_probability(self) -> float:
+        """Finite mass plus error mass (should be ≈ 1 up to truncation error)."""
+        return self.finite_probability + self._error_probability
+
+    def __len__(self) -> int:
+        return len(self._outcomes)
+
+    def __iter__(self) -> Iterator[PossibleOutcome]:
+        return iter(self._outcomes)
+
+    # -- events ------------------------------------------------------------------
+
+    def _model_set_of(self, outcome: PossibleOutcome) -> ModelSet:
+        if self._visible_only:
+            return outcome.visible_stable_models()
+        return outcome.stable_models
+
+    def events(self) -> list[Event]:
+        """The basic events: maximal sets of finite outcomes with equal stable-model sets."""
+        grouped: dict[ModelSet, list[PossibleOutcome]] = {}
+        for outcome in self._outcomes:
+            grouped.setdefault(self._model_set_of(outcome), []).append(outcome)
+        events = [
+            Event(model_set, tuple(members), sum(o.probability for o in members))
+            for model_set, members in grouped.items()
+        ]
+        events.sort(key=lambda e: (-e.probability, len(e.model_set)))
+        return events
+
+    def distribution_over_model_sets(self) -> dict[ModelSet, float]:
+        """``I ↦ P({Σ finite : sms(Σ) = I})``."""
+        return {event.model_set: event.probability for event in self.events()}
+
+    # -- probability queries --------------------------------------------------------
+
+    def probability(self, predicate: Callable[[PossibleOutcome], bool]) -> float:
+        """Probability of the set of finite outcomes satisfying *predicate*."""
+        return sum(o.probability for o in self._outcomes if predicate(o))
+
+    def probability_has_stable_model(self) -> float:
+        """Probability of the event "the program has some stable model"."""
+        return self.probability(lambda o: o.has_stable_model)
+
+    def probability_no_stable_model(self) -> float:
+        """Probability of the event "the program has no stable model"."""
+        return self.probability(lambda o: not o.has_stable_model)
+
+    def marginal(self, atom: Atom, mode: str = "brave") -> float:
+        """Probability that *atom* holds in some (brave) / every (cautious) stable model.
+
+        Outcomes without stable models never satisfy either condition (there
+        is no model for the atom to hold in).
+        """
+        if mode not in ("brave", "cautious"):
+            raise InferenceError(f"marginal mode must be 'brave' or 'cautious', got {mode!r}")
+
+        def satisfied(outcome: PossibleOutcome) -> bool:
+            models = outcome.stable_models
+            if not models:
+                return False
+            if mode == "brave":
+                return any(atom in model for model in models)
+            return all(atom in model for model in models)
+
+        return self.probability(satisfied)
+
+    def conditional(self, predicate: Callable[[PossibleOutcome], bool]) -> "OutputSpace":
+        """The sub-space obtained by conditioning on an event of positive probability.
+
+        Probabilities of the retained outcomes are renormalized by the event
+        mass (the error event is discarded — conditioning is only defined on
+        finite outcomes, as in the PPDL constraint semantics).
+        """
+        selected = [o for o in self._outcomes if predicate(o)]
+        mass = sum(o.probability for o in selected)
+        if mass <= 0.0:
+            raise InferenceError("cannot condition on an event of probability zero")
+        rescaled = [
+            PossibleOutcome(o.atr_rules, o.grounding, o.probability / mass, o.translated)
+            for o in selected
+        ]
+        return OutputSpace(rescaled, error_probability=0.0, visible_only=self._visible_only)
+
+    # -- comparison of semantics (Definition 3.11) -------------------------------------
+
+    def as_good_as(self, other: "OutputSpace", tolerance: float = 1e-9) -> bool:
+        """Whether this space is *as good as* *other*.
+
+        For every set of stable models ``I``, the mass this space assigns to
+        ``{Σ finite : sms(Σ) = I}`` must be at least the mass *other* assigns.
+        """
+        mine = self.distribution_over_model_sets()
+        theirs = other.distribution_over_model_sets()
+        for model_set in set(mine) | set(theirs):
+            if mine.get(model_set, 0.0) + tolerance < theirs.get(model_set, 0.0):
+                return False
+        return True
+
+    # -- reporting -----------------------------------------------------------------------
+
+    def summary(self) -> str:
+        """A human-readable multi-line summary of the space."""
+        lines = [
+            f"possible outcomes (finite): {len(self._outcomes)}",
+            f"finite probability mass:    {self.finite_probability:.6f}",
+            f"error-event mass:           {self._error_probability:.6f}",
+            f"P(has stable model):        {self.probability_has_stable_model():.6f}",
+        ]
+        for i, event in enumerate(self.events()):
+            label = f"{len(event.model_set)} stable model(s)" if event.model_set else "no stable model"
+            lines.append(f"  event {i}: p={event.probability:.6f}  [{label}, {len(event)} outcome(s)]")
+        return "\n".join(lines)

@@ -1,0 +1,126 @@
+"""Monte-Carlo (forward-sampling) inference for GDatalog¬[Δ] programs.
+
+Exhaustive chase enumeration is exponential in the number of probabilistic
+choices; the sampler instead follows single chase paths, resolving each
+trigger by drawing from the corresponding distribution.  Every sampled path
+ends at a possible outcome with exactly its semantic probability (or in the
+error event if the depth limit is hit), so empirical frequencies of outcome
+properties are unbiased estimators of the exact event probabilities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.gdatalog.chase import ChaseConfig, ChaseEngine
+from repro.gdatalog.grounders import Grounder
+from repro.gdatalog.outcomes import PossibleOutcome
+
+__all__ = ["Estimate", "SampleStats", "MonteCarloSampler"]
+
+
+@dataclass(frozen=True)
+class Estimate:
+    """A Monte-Carlo estimate with its standard error and sample size."""
+
+    value: float
+    standard_error: float
+    samples: int
+
+    def confidence_interval(self, z: float = 1.96) -> tuple[float, float]:
+        """A normal-approximation confidence interval (95% by default)."""
+        return (self.value - z * self.standard_error, self.value + z * self.standard_error)
+
+    def __str__(self) -> str:
+        return f"{self.value:.6f} ± {self.standard_error:.6f} (n={self.samples})"
+
+
+@dataclass
+class SampleStats:
+    """Aggregate statistics of one sampling run."""
+
+    samples: int
+    error_samples: int
+    has_stable_model: int
+    mean_depth: float
+
+    @property
+    def error_rate(self) -> float:
+        return self.error_samples / self.samples if self.samples else 0.0
+
+
+class MonteCarloSampler:
+    """Forward sampler over the chase of a fixed grounder."""
+
+    def __init__(self, grounder: Grounder, config: ChaseConfig | None = None, seed: int | None = None):
+        self._engine = ChaseEngine(grounder, config or ChaseConfig())
+        self._rng = np.random.default_rng(seed)
+
+    # -- sampling --------------------------------------------------------------
+
+    def sample_outcome(self) -> PossibleOutcome | None:
+        """Draw one possible outcome; ``None`` signals the error event (depth limit)."""
+        outcome, _depth = self._engine.sample_path(self._rng)
+        return outcome
+
+    def sample_outcomes(self, n: int) -> list[PossibleOutcome | None]:
+        """Draw *n* independent outcomes."""
+        return [self.sample_outcome() for _ in range(n)]
+
+    # -- estimation ---------------------------------------------------------------
+
+    def estimate(
+        self, predicate: Callable[[PossibleOutcome], bool], n: int = 1000
+    ) -> Estimate:
+        """Estimate the probability of the event defined by *predicate*.
+
+        Error-event samples count as *not* satisfying the predicate, matching
+        the exact semantics where events are subsets of the finite outcomes.
+        """
+        successes = 0
+        for _ in range(n):
+            outcome = self.sample_outcome()
+            if outcome is not None and predicate(outcome):
+                successes += 1
+        p_hat = successes / n
+        standard_error = float(np.sqrt(max(p_hat * (1.0 - p_hat), 1e-300) / n))
+        return Estimate(p_hat, standard_error, n)
+
+    def estimate_has_stable_model(self, n: int = 1000) -> Estimate:
+        """Estimate P("the program has some stable model")."""
+        return self.estimate(lambda outcome: outcome.has_stable_model, n=n)
+
+    def estimate_marginal(self, atom, mode: str = "brave", n: int = 1000) -> Estimate:
+        """Estimate the brave/cautious marginal probability of an atom."""
+
+        def satisfied(outcome: PossibleOutcome) -> bool:
+            models = outcome.stable_models
+            if not models:
+                return False
+            if mode == "brave":
+                return any(atom in model for model in models)
+            return all(atom in model for model in models)
+
+        return self.estimate(satisfied, n=n)
+
+    def run_stats(self, n: int = 1000) -> SampleStats:
+        """Draw *n* samples and return aggregate statistics."""
+        error_samples = 0
+        stable = 0
+        depths: list[int] = []
+        for _ in range(n):
+            outcome, depth = self._engine.sample_path(self._rng)
+            depths.append(depth)
+            if outcome is None:
+                error_samples += 1
+            elif outcome.has_stable_model:
+                stable += 1
+        return SampleStats(
+            samples=n,
+            error_samples=error_samples,
+            has_stable_model=stable,
+            mean_depth=float(np.mean(depths)) if depths else 0.0,
+        )

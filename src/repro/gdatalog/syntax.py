@@ -1,0 +1,354 @@
+"""Syntax of GDatalog¬[Δ] programs: Δ-atoms, rules and programs.
+
+A GDatalog¬[Δ] rule has the shape::
+
+    R1(ū1), ..., Rn(ūn), ¬P1(v̄1), ..., ¬Pm(v̄m)  →  R0(w̄)
+
+where ``w̄`` may mix ordinary terms and Δ-terms, and every variable of the
+head (including those inside Δ-terms), and of every negative literal, must
+occur in some positive body atom (safety).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.distributions.registry import DistributionRegistry, default_registry
+from repro.exceptions import StratificationError, ValidationError
+from repro.gdatalog.delta_terms import DeltaTerm
+from repro.logic.atoms import Atom, Predicate
+from repro.logic.program import DatalogProgram, DependencyGraph
+from repro.logic.rules import FALSE_ATOM, FALSE_PREDICATE, Rule
+from repro.logic.terms import Constant, Term, Variable
+
+__all__ = ["HeadAtom", "GDatalogRule", "GDatalogProgram", "desugar_constraints"]
+
+#: Argument of a head atom: an ordinary term or a Δ-term.
+HeadArg = Term | DeltaTerm
+
+
+@dataclass(frozen=True)
+class HeadAtom:
+    """A Δ-atom: an atom whose arguments may include Δ-terms (head position only)."""
+
+    predicate: Predicate
+    args: tuple[HeadArg, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.args) != self.predicate.arity:
+            raise ValidationError(
+                f"Δ-atom {self.predicate.name} expects {self.predicate.arity} arguments, got {len(self.args)}"
+            )
+        for arg in self.args:
+            if not isinstance(arg, (Constant, Variable, DeltaTerm)):
+                raise ValidationError(
+                    f"Δ-atom arguments must be terms or Δ-terms, got {type(arg).__name__}"
+                )
+
+    # -- inspection ---------------------------------------------------------
+
+    @property
+    def has_delta(self) -> bool:
+        return any(isinstance(a, DeltaTerm) for a in self.args)
+
+    def delta_terms(self) -> tuple[tuple[int, DeltaTerm], ...]:
+        """The Δ-terms of the atom together with their argument positions."""
+        return tuple((i, a) for i, a in enumerate(self.args) if isinstance(a, DeltaTerm))
+
+    def variables(self) -> set[Variable]:
+        result: set[Variable] = set()
+        for arg in self.args:
+            if isinstance(arg, Variable):
+                result.add(arg)
+            elif isinstance(arg, DeltaTerm):
+                result |= arg.variables()
+        return result
+
+    def to_atom(self) -> Atom:
+        """The plain atom, valid only when no Δ-terms occur."""
+        if self.has_delta:
+            raise ValidationError(f"Δ-atom {self} contains Δ-terms and is not a plain atom")
+        return Atom(self.predicate, tuple(a for a in self.args if isinstance(a, (Constant, Variable))))
+
+    # -- construction -------------------------------------------------------
+
+    def substitute(self, mapping: Mapping[Variable, Term]) -> "HeadAtom":
+        new_args: list[HeadArg] = []
+        for arg in self.args:
+            if isinstance(arg, Variable):
+                new_args.append(mapping.get(arg, arg))
+            elif isinstance(arg, DeltaTerm):
+                new_args.append(arg.substitute(mapping))
+            else:
+                new_args.append(arg)
+        return HeadAtom(self.predicate, tuple(new_args))
+
+    @staticmethod
+    def from_atom(atom_: Atom) -> "HeadAtom":
+        return HeadAtom(atom_.predicate, atom_.args)
+
+    # -- dunder -------------------------------------------------------------
+
+    def __str__(self) -> str:
+        if not self.args:
+            return self.predicate.name
+        return f"{self.predicate.name}({', '.join(str(a) for a in self.args)})"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"HeadAtom({self!s})"
+
+
+@dataclass(frozen=True)
+class GDatalogRule:
+    """A GDatalog¬[Δ] rule (or an integrity constraint when the head is ``⊥``)."""
+
+    head: HeadAtom
+    positive_body: tuple[Atom, ...] = ()
+    negative_body: tuple[Atom, ...] = ()
+
+    def __post_init__(self) -> None:
+        positive_vars: set[Variable] = set()
+        for atom_ in self.positive_body:
+            positive_vars |= atom_.variables()
+        unsafe_head = self.head.variables() - positive_vars
+        if unsafe_head:
+            raise ValidationError(
+                f"unsafe GDatalog rule {self}: head variables "
+                f"{sorted(str(v) for v in unsafe_head)} do not occur in the positive body"
+            )
+        for atom_ in self.negative_body:
+            missing = atom_.variables() - positive_vars
+            if missing:
+                raise ValidationError(
+                    f"unsafe GDatalog rule {self}: negated variables "
+                    f"{sorted(str(v) for v in missing)} do not occur in the positive body"
+                )
+
+    # -- constructors --------------------------------------------------------
+
+    @staticmethod
+    def constraint(positive: Sequence[Atom] = (), negative: Sequence[Atom] = ()) -> "GDatalogRule":
+        """Build an integrity constraint ``⊥ ← body``."""
+        return GDatalogRule(HeadAtom.from_atom(FALSE_ATOM), tuple(positive), tuple(negative))
+
+    @staticmethod
+    def from_rule(rule_: Rule) -> "GDatalogRule":
+        """Lift a plain Datalog¬ rule into a (non-generative) GDatalog rule."""
+        return GDatalogRule(HeadAtom.from_atom(rule_.head), rule_.positive_body, rule_.negative_body)
+
+    # -- inspection ----------------------------------------------------------
+
+    @property
+    def is_constraint(self) -> bool:
+        return self.head.predicate == FALSE_PREDICATE
+
+    @property
+    def is_generative(self) -> bool:
+        """Whether the head mentions at least one Δ-term."""
+        return self.head.has_delta
+
+    @property
+    def is_positive(self) -> bool:
+        return not self.negative_body
+
+    @property
+    def is_fact(self) -> bool:
+        return not self.positive_body and not self.negative_body and not self.head.variables()
+
+    def delta_terms(self) -> tuple[tuple[int, DeltaTerm], ...]:
+        return self.head.delta_terms()
+
+    def predicates(self) -> set[Predicate]:
+        result = {self.head.predicate}
+        result |= {a.predicate for a in self.positive_body}
+        result |= {a.predicate for a in self.negative_body}
+        result.discard(FALSE_PREDICATE)
+        return result
+
+    def variables(self) -> set[Variable]:
+        result = self.head.variables()
+        for atom_ in self.positive_body + self.negative_body:
+            result |= atom_.variables()
+        return result
+
+    def to_rule(self) -> Rule:
+        """The plain Datalog¬ rule, valid only for non-generative rules."""
+        if self.is_generative:
+            raise ValidationError(f"rule {self} is generative and has no plain-Datalog reading")
+        head = FALSE_ATOM if self.is_constraint else self.head.to_atom()
+        return Rule(head, self.positive_body, self.negative_body)
+
+    # -- dunder ---------------------------------------------------------------
+
+    def __str__(self) -> str:
+        body = [str(a) for a in self.positive_body] + [f"not {a}" for a in self.negative_body]
+        head = "" if self.is_constraint else str(self.head)
+        if not body:
+            return f"{head}."
+        prefix = f"{head} " if head else ""
+        return f"{prefix}:- {', '.join(body)}."
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"GDatalogRule({self!s})"
+
+
+class GDatalogProgram:
+    """A finite set of GDatalog¬[Δ] rules together with the distribution set Δ."""
+
+    def __init__(
+        self,
+        rules: Iterable[GDatalogRule],
+        registry: DistributionRegistry | None = None,
+    ):
+        self._rules: tuple[GDatalogRule, ...] = tuple(rules)
+        self._registry = registry if registry is not None else default_registry()
+        for rule_ in self._rules:
+            if not isinstance(rule_, GDatalogRule):
+                raise ValidationError(f"GDatalog programs contain GDatalog rules, got {type(rule_).__name__}")
+        self._validate_delta_terms()
+
+    # -- validation -----------------------------------------------------------
+
+    def _validate_delta_terms(self) -> None:
+        for rule_ in self._rules:
+            for _, delta in rule_.delta_terms():
+                if not self._registry.knows(delta.distribution):
+                    raise ValidationError(
+                        f"rule {rule_} uses unknown distribution {delta.distribution!r}"
+                    )
+                distribution = self._registry.get(delta.distribution)
+                expected = distribution.parameter_dimension
+                if expected is not None and delta.parameter_dimension != expected:
+                    raise ValidationError(
+                        f"distribution {delta.distribution!r} expects {expected} parameter(s), "
+                        f"Δ-term {delta} supplies {delta.parameter_dimension}"
+                    )
+
+    # -- views ------------------------------------------------------------------
+
+    @property
+    def rules(self) -> tuple[GDatalogRule, ...]:
+        return self._rules
+
+    @property
+    def registry(self) -> DistributionRegistry:
+        return self._registry
+
+    def __iter__(self) -> Iterator[GDatalogRule]:
+        return iter(self._rules)
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __str__(self) -> str:
+        return "\n".join(str(r) for r in self._rules)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"GDatalogProgram({len(self._rules)} rules)"
+
+    # -- schema -------------------------------------------------------------------
+
+    def predicates(self) -> frozenset[Predicate]:
+        """``sch(Π)`` (excluding ``⊥``)."""
+        result: set[Predicate] = set()
+        for rule_ in self._rules:
+            result |= rule_.predicates()
+        return frozenset(result)
+
+    def intensional_predicates(self) -> frozenset[Predicate]:
+        """``idb(Π)``: predicates occurring in some (non-constraint) rule head."""
+        return frozenset(r.head.predicate for r in self._rules if not r.is_constraint)
+
+    def extensional_predicates(self) -> frozenset[Predicate]:
+        """``edb(Π)``: predicates occurring only in rule bodies."""
+        return frozenset(self.predicates() - self.intensional_predicates())
+
+    # -- properties ------------------------------------------------------------------
+
+    @property
+    def is_positive(self) -> bool:
+        return all(r.is_positive for r in self._rules) and not any(r.is_constraint for r in self._rules)
+
+    @property
+    def has_constraints(self) -> bool:
+        return any(r.is_constraint for r in self._rules)
+
+    def generative_rules(self) -> tuple[GDatalogRule, ...]:
+        return tuple(r for r in self._rules if r.is_generative)
+
+    def constraints(self) -> tuple[GDatalogRule, ...]:
+        return tuple(r for r in self._rules if r.is_constraint)
+
+    # -- dependency / stratification ----------------------------------------------------
+
+    def dependency_graph(self) -> DependencyGraph:
+        """``dg(Π)``: the predicate dependency multigraph (constraints excluded)."""
+        positive: set[tuple[Predicate, Predicate]] = set()
+        negative: set[tuple[Predicate, Predicate]] = set()
+        for rule_ in self._rules:
+            if rule_.is_constraint:
+                continue
+            head_predicate = rule_.head.predicate
+            for atom_ in rule_.positive_body:
+                positive.add((atom_.predicate, head_predicate))
+            for atom_ in rule_.negative_body:
+                negative.add((atom_.predicate, head_predicate))
+        return DependencyGraph(self.predicates(), frozenset(positive), frozenset(negative))
+
+    @property
+    def is_stratified(self) -> bool:
+        """Whether ``dg(Π)`` has no cycle through a negative edge (GDatalog¬ˢ[Δ])."""
+        return not self.dependency_graph().has_negative_cycle()
+
+    def stratification(self) -> list[frozenset[Predicate]]:
+        """A topological ordering over ``scc(Π)``; raises if not stratified."""
+        graph = self.dependency_graph()
+        if graph.has_negative_cycle():
+            raise StratificationError("GDatalog¬ program is not stratified")
+        return graph.strongly_connected_components()
+
+    # -- composition ----------------------------------------------------------------------
+
+    def with_rules(self, extra: Iterable[GDatalogRule]) -> "GDatalogProgram":
+        return GDatalogProgram(self._rules + tuple(extra), self._registry)
+
+    def restricted_to_heads(self, predicates: Iterable[Predicate]) -> "GDatalogProgram":
+        """``Π|_C``: rules whose head predicate belongs to *predicates*."""
+        allowed = set(predicates)
+        return GDatalogProgram(
+            (r for r in self._rules if r.head.predicate in allowed), self._registry
+        )
+
+    def non_generative_part(self) -> DatalogProgram:
+        """The plain Datalog¬ program formed by the non-generative rules."""
+        return DatalogProgram(r.to_rule() for r in self._rules if not r.is_generative)
+
+
+def desugar_constraints(program: GDatalogProgram) -> GDatalogProgram:
+    """Replace ``⊥`` constraints by the paper's stable-negation simulation.
+
+    Every constraint ``← body`` becomes ``fail ← body`` plus the single rule
+    ``aux ← fail, ¬aux`` (with fresh 0-ary predicates ``__fail__aux`` /
+    ``__fail__flag``), which admits no stable model containing ``fail``.
+    """
+    fail_predicate = Predicate("__fail__flag", 0)
+    aux_predicate = Predicate("__fail__aux", 0)
+    fail_atom = Atom(fail_predicate, ())
+    aux_atom = Atom(aux_predicate, ())
+
+    new_rules: list[GDatalogRule] = []
+    has_constraint = False
+    for rule_ in program.rules:
+        if rule_.is_constraint:
+            has_constraint = True
+            new_rules.append(
+                GDatalogRule(HeadAtom.from_atom(fail_atom), rule_.positive_body, rule_.negative_body)
+            )
+        else:
+            new_rules.append(rule_)
+    if has_constraint:
+        new_rules.append(
+            GDatalogRule(HeadAtom.from_atom(aux_atom), (fail_atom,), (aux_atom,))
+        )
+    return GDatalogProgram(new_rules, program.registry)

@@ -1,0 +1,195 @@
+"""Translation of GDatalog¬[Δ] programs into TGD¬ programs (Section 3).
+
+For a rule ``ρ``::
+
+    R1(ū1), ..., Rn(ūn), ¬P1(v̄1), ..., ¬Pm(v̄m) → R0(w̄)
+
+whose head carries Δ-terms ``δ1⟨p̄1⟩[q̄1], ..., δr⟨p̄r⟩[q̄r]`` the set ``ρ∃``
+consists of:
+
+* one **activation rule** per Δ-term: ``body → Active^δj(p̄j, q̄j)``,
+* one **active-to-result TGD** per Δ-term:
+  ``Active^δj(p̄j, q̄j) → ∃yj Result^δj(p̄j, q̄j, yj)``  (represented here by
+  its :class:`~repro.gdatalog.atr.AtRSpec`, since all its ground instances
+  are generated lazily by the chase), and
+* one **result-consumption rule**:
+  ``Result^δ1(p̄1, q̄1, y1), ..., Result^δr(p̄r, q̄r, yr), body → R0(w̄')``
+  with the Δ-terms of ``w̄`` replaced by the fresh variables ``yj``.
+
+Rules without Δ-terms translate to themselves.  ``Σ_Π = ⋃ρ ρ∃``; the
+existential-free part ``Σ∄_Π`` is what grounders manipulate, the AtR part
+``Σ∃_Π`` is represented by the collected specs.
+
+The same module also implements the **BCKOV translation** (appendix C) used
+by the positive-semantics baseline: identical except that the activation
+rules are omitted and the existential TGD quantifies directly over the rule
+body.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.exceptions import ValidationError
+from repro.gdatalog.atr import AtRSpec
+from repro.gdatalog.delta_terms import DeltaTerm
+from repro.gdatalog.syntax import GDatalogProgram, GDatalogRule, HeadAtom
+from repro.logic.atoms import Atom, Predicate
+from repro.logic.rules import FALSE_ATOM, Rule
+from repro.logic.terms import Constant, Term, Variable
+
+__all__ = ["RuleTranslation", "TranslatedProgram", "translate_program", "translate_rule"]
+
+
+@dataclass(frozen=True)
+class RuleTranslation:
+    """The translation ``ρ∃`` of a single GDatalog¬[Δ] rule."""
+
+    source: GDatalogRule
+    #: Existential-free TGD¬ rules produced for this rule (activation rules,
+    #: the result-consumption rule, or the rule itself if non-generative).
+    rules: tuple[Rule, ...]
+    #: AtR specs for the Δ-terms of the rule head (empty for non-generative rules).
+    atr_specs: tuple[AtRSpec, ...]
+
+
+@dataclass(frozen=True)
+class TranslatedProgram:
+    """``Σ_Π`` split into its existential-free part and its AtR specs."""
+
+    program: GDatalogProgram
+    translations: tuple[RuleTranslation, ...]
+
+    # -- views ----------------------------------------------------------------
+
+    @property
+    def existential_free_rules(self) -> tuple[Rule, ...]:
+        """``Σ∄_Π``: all existential-free rules of the translation."""
+        collected: list[Rule] = []
+        for translation in self.translations:
+            collected.extend(translation.rules)
+        return tuple(collected)
+
+    @property
+    def atr_specs(self) -> tuple[AtRSpec, ...]:
+        """All distinct AtR specs (``Σ∃_Π`` up to grounding)."""
+        seen: dict[AtRSpec, None] = {}
+        for translation in self.translations:
+            for spec in translation.atr_specs:
+                seen.setdefault(spec, None)
+        return tuple(seen)
+
+    @property
+    def active_predicates(self) -> frozenset[Predicate]:
+        return frozenset(spec.active_predicate for spec in self.atr_specs)
+
+    @property
+    def result_predicates(self) -> frozenset[Predicate]:
+        return frozenset(spec.result_predicate for spec in self.atr_specs)
+
+    @property
+    def auxiliary_predicate_names(self) -> frozenset[str]:
+        """Names of the fresh predicates introduced by the translation."""
+        names = {p.name for p in self.active_predicates} | {p.name for p in self.result_predicates}
+        return frozenset(names)
+
+    def spec_for_active(self, predicate: Predicate) -> AtRSpec:
+        for spec in self.atr_specs:
+            if spec.active_predicate == predicate:
+                return spec
+        raise KeyError(f"no AtR spec for predicate {predicate}")
+
+    def rules_for_head_predicates(self, predicates: Iterable[Predicate]) -> tuple[Rule, ...]:
+        """``Σ∄_{Π|C}``: existential-free rules stemming from source rules with head in *predicates*.
+
+        Constraints (head ``⊥``) are included only when ``FALSE`` is passed
+        explicitly in *predicates*; the perfect grounder attaches them to the
+        final stratum.
+        """
+        allowed = set(predicates)
+        collected: list[Rule] = []
+        for translation in self.translations:
+            if translation.source.head.predicate in allowed:
+                collected.extend(translation.rules)
+        return tuple(collected)
+
+    def strip_auxiliary(self, atoms: Iterable[Atom]) -> frozenset[Atom]:
+        """Drop Active/Result atoms from an interpretation ("modulo active/result")."""
+        auxiliary = self.auxiliary_predicate_names
+        return frozenset(a for a in atoms if a.predicate.name not in auxiliary)
+
+    def strip_active(self, atoms: Iterable[Atom]) -> frozenset[Atom]:
+        """Drop only the Active atoms (the paper's "modulo active")."""
+        active_names = {p.name for p in self.active_predicates}
+        return frozenset(a for a in atoms if a.predicate.name not in active_names)
+
+
+# -- translation of a single rule ------------------------------------------------
+
+
+def _fresh_variable(index: int, taken: set[Variable]) -> Variable:
+    name = f"Fresh_{index}"
+    while Variable(name) in taken:
+        name = "_" + name
+    return Variable(name)
+
+
+def translate_rule(rule_: GDatalogRule, bckov: bool = False) -> RuleTranslation:
+    """Translate one GDatalog¬[Δ] rule into ``ρ∃`` (or its BCKOV variant)."""
+    deltas = rule_.delta_terms()
+    if not deltas:
+        return RuleTranslation(rule_, (rule_.to_rule(),), ())
+
+    taken = rule_.variables()
+    specs: list[AtRSpec] = []
+    produced: list[Rule] = []
+    fresh_for_position: dict[int, Variable] = {}
+    result_atoms: list[Atom] = []
+
+    for j, (position, delta) in enumerate(deltas):
+        spec = AtRSpec(
+            distribution=delta.distribution.lower(),
+            parameter_count=delta.parameter_dimension,
+            event_count=delta.event_arity,
+        )
+        specs.append(spec)
+        fresh = _fresh_variable(j, taken)
+        taken.add(fresh)
+        fresh_for_position[position] = fresh
+
+        active_atom = Atom(spec.active_predicate, delta.parameters + delta.event_signature)
+        result_atom = Atom(
+            spec.result_predicate, delta.parameters + delta.event_signature + (fresh,)
+        )
+        result_atoms.append(result_atom)
+        if not bckov:
+            produced.append(Rule(active_atom, rule_.positive_body, rule_.negative_body))
+
+    head_args: list[Term] = []
+    for position, arg in enumerate(rule_.head.args):
+        if isinstance(arg, DeltaTerm):
+            head_args.append(fresh_for_position[position])
+        else:
+            head_args.append(arg)
+    consumption_head = Atom(rule_.head.predicate, tuple(head_args))
+    produced.append(
+        Rule(
+            consumption_head,
+            tuple(result_atoms) + rule_.positive_body,
+            rule_.negative_body,
+        )
+    )
+    return RuleTranslation(rule_, tuple(produced), tuple(specs))
+
+
+def translate_program(program: GDatalogProgram, bckov: bool = False) -> TranslatedProgram:
+    """Translate a GDatalog¬[Δ] program into ``Σ_Π`` (or ``Σ̃_Π`` with ``bckov=True``)."""
+    reserved = {"active_", "result_"}
+    for predicate in program.predicates():
+        if any(predicate.name.startswith(prefix) for prefix in reserved):
+            raise ValidationError(
+                f"predicate name {predicate.name!r} clashes with the reserved Active/Result namespace"
+            )
+    translations = tuple(translate_rule(rule_, bckov=bckov) for rule_ in program.rules)
+    return TranslatedProgram(program, translations)

@@ -1,0 +1,184 @@
+"""Empirical verification of the grounder axioms (Definition 3.3).
+
+The paper's future-work section calls for *sophisticated grounders* beyond
+``GSimple`` and ``GPerfect``.  Anyone implementing a custom
+:class:`~repro.gdatalog.grounders.Grounder` needs to establish two properties
+(Definition 3.3):
+
+1. **Monotonicity** — ``Σ ⊆ Σ'`` implies ``G(Σ) ⊆ G(Σ')``.
+2. **Semantic adequacy** — whenever ``AtR_Σ ↩→ G(Σ)``, the stable models of
+   ``G(Σ) ∪ Σ`` coincide with those of ``Σ∄_{Π[D]} ∪ Σ'`` for every totalizer
+   ``Σ'`` of ``AtR_Σ``.
+
+Proving this for arbitrary grounders is out of scope for a library, but the
+functions in this module *check* both properties on concrete AtR sets (for
+instance, all the sets visited by a chase), which is how the test suite turns
+Propositions 3.5 and 5.2 into executable evidence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Iterable, Sequence
+
+from repro.gdatalog.atr import GroundAtRRule, pending_active_atoms
+from repro.gdatalog.chase import ChaseConfig, ChaseEngine
+from repro.gdatalog.grounders import Grounder, heads_of
+from repro.logic.atoms import Atom
+from repro.logic.rules import Rule, fact_rule
+from repro.stable.grounding import ground_program
+from repro.logic.program import DatalogProgram
+from repro.stable.solver import SolverConfig, StableModelSolver
+
+__all__ = [
+    "GrounderCheckReport",
+    "totalizers_of",
+    "reference_stable_models",
+    "check_semantic_adequacy",
+    "check_monotonicity",
+    "collect_chase_atr_sets",
+]
+
+
+@dataclass(frozen=True)
+class GrounderCheckReport:
+    """Outcome of a verification run over a collection of AtR sets."""
+
+    checked_sets: int
+    failures: tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def __str__(self) -> str:
+        status = "OK" if self.ok else f"{len(self.failures)} failure(s)"
+        return f"GrounderCheckReport({self.checked_sets} AtR sets checked, {status})"
+
+
+def collect_chase_atr_sets(
+    grounder: Grounder, config: ChaseConfig | None = None, include_internal_nodes: bool = True
+) -> list[frozenset[GroundAtRRule]]:
+    """All AtR sets labelling the nodes of a chase tree for *grounder*.
+
+    These are precisely the consistent AtR sets that matter in practice; leaf
+    labels are the terminals.
+    """
+    engine = ChaseEngine(grounder, config or ChaseConfig())
+    collected: list[frozenset[GroundAtRRule]] = []
+    stack = [engine.root()]
+    while stack:
+        node = stack.pop()
+        triggers = node.triggers(grounder)
+        if include_internal_nodes or not triggers:
+            collected.append(node.atr_rules)
+        if triggers and node.depth < engine.config.max_depth:
+            stack.extend(engine.expand(node, engine.select_trigger(triggers)))
+    return collected
+
+
+def totalizers_of(
+    grounder: Grounder, atr_rules: frozenset[GroundAtRRule], max_extra_atoms: int = 3
+) -> Iterable[frozenset[GroundAtRRule]]:
+    """Enumerate totalizers of ``AtR_Σ`` restricted to the Active atoms of ``G(Σ)``.
+
+    A totalizer extends ``Σ`` with one Result choice for every still-uncovered
+    Active atom occurring in the grounding.  (The paper's totalizers range
+    over *all* Active atoms of the infinite grounding; for the semantic
+    adequacy check only the atoms of ``G(Σ)`` are relevant because only they
+    occur in rule bodies of ``G(Σ) ∪ Σ``.)
+    """
+    grounding = grounder.ground(atr_rules)
+    pending = pending_active_atoms(atr_rules, heads_of(grounding), grounder.active_predicates)
+    if len(pending) > max_extra_atoms:
+        pending = pending[:max_extra_atoms]
+    registry = grounder.translated.program.registry
+
+    per_atom_choices: list[list[GroundAtRRule]] = []
+    for active_atom in pending:
+        spec = grounder.translated.spec_for_active(active_atom.predicate)
+        distribution = registry.get(spec.distribution)
+        params = spec.parameters_of(active_atom)
+        outcomes, _mass = distribution.truncated_support(params, mass_tolerance=1e-6, max_outcomes=8)
+        per_atom_choices.append([GroundAtRRule.of(spec, active_atom, o) for o in outcomes])
+
+    if not per_atom_choices:
+        yield atr_rules
+        return
+    for combination in product(*per_atom_choices):
+        yield atr_rules | frozenset(combination)
+
+
+def reference_stable_models(
+    grounder: Grounder, totalizer: frozenset[GroundAtRRule]
+) -> frozenset[frozenset[Atom]]:
+    """``sms(Σ∄_{Π[D]} ∪ Σ')`` computed from scratch (the right-hand side of Definition 3.3).
+
+    The existential-free translation is grounded against the database facts
+    *and* the Result atoms fixed by the totalizer, then solved with the
+    stable-model engine.
+    """
+    translated = grounder.translated
+    program = DatalogProgram(translated.existential_free_rules)
+    seed_atoms = list(grounder.database.facts) + [rule_.result_atom for rule_ in totalizer]
+    ground = ground_program(program, seed_atoms)
+    # The Result atoms come from AtR rules, not from facts; replace the fact
+    # rules synthesized for them by the corresponding AtR rules so that the
+    # Result atom is only derivable when its Active atom is.
+    result_atoms = {rule_.result_atom for rule_ in totalizer}
+    adjusted: list[Rule] = [r for r in ground.rules if not (r.is_fact and r.head in result_atoms)]
+    adjusted.extend(rule_.as_rule() for rule_ in totalizer)
+    solver = StableModelSolver(SolverConfig())
+    return frozenset(solver.enumerate(adjusted))
+
+
+def check_semantic_adequacy(
+    grounder: Grounder,
+    atr_sets: Sequence[frozenset[GroundAtRRule]],
+    max_totalizers: int = 8,
+) -> GrounderCheckReport:
+    """Check Definition 3.3's stable-model condition on the given AtR sets."""
+    solver = StableModelSolver(SolverConfig())
+    failures: list[str] = []
+    checked = 0
+    for atr_rules in atr_sets:
+        grounding = grounder.ground(atr_rules)
+        if pending_active_atoms(atr_rules, heads_of(grounding), grounder.active_predicates):
+            continue  # compatibility does not hold; nothing to check
+        checked += 1
+        left = frozenset(
+            solver.enumerate(tuple(grounding) + tuple(r.as_rule() for r in atr_rules))
+        )
+        for i, totalizer in enumerate(totalizers_of(grounder, atr_rules)):
+            if i >= max_totalizers:
+                break
+            right = reference_stable_models(grounder, totalizer)
+            if left != right:
+                failures.append(
+                    f"AtR set of size {len(atr_rules)}: sms(G(Σ) ∪ Σ) has {len(left)} models, "
+                    f"reference has {len(right)}"
+                )
+                break
+    return GrounderCheckReport(checked, tuple(failures))
+
+
+def check_monotonicity(
+    grounder: Grounder, atr_sets: Sequence[frozenset[GroundAtRRule]]
+) -> GrounderCheckReport:
+    """Check ``Σ ⊆ Σ' ⇒ G(Σ) ⊆ G(Σ')`` on every comparable pair of the given sets."""
+    failures: list[str] = []
+    checked = 0
+    groundings = {atr_rules: grounder.ground(atr_rules) for atr_rules in set(atr_sets)}
+    ordered = list(groundings)
+    for smaller in ordered:
+        for larger in ordered:
+            if smaller == larger or not smaller <= larger:
+                continue
+            checked += 1
+            if not groundings[smaller] <= groundings[larger]:
+                missing = groundings[smaller] - groundings[larger]
+                failures.append(
+                    f"monotonicity violated: {len(missing)} rule(s) of G(Σ) missing from G(Σ')"
+                )
+    return GrounderCheckReport(checked, tuple(failures))

@@ -1,0 +1,122 @@
+"""Predicates, relational atoms and ground atoms.
+
+An atom ``R(t1, ..., tn)`` pairs a :class:`Predicate` of arity ``n`` with a
+tuple of terms.  Ground atoms (no variables) double as database facts and as
+the elements of instances / stable models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping
+
+from repro.exceptions import ValidationError
+from repro.logic.terms import Constant, Term, Variable, make_term
+
+__all__ = ["Predicate", "Atom", "atom", "fact"]
+
+
+@dataclass(frozen=True, order=True)
+class Predicate:
+    """A relation name with an associated arity."""
+
+    name: str
+    arity: int
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("predicate name must be non-empty")
+        if self.arity < 0:
+            raise ValidationError("predicate arity must be non-negative")
+
+    def __str__(self) -> str:
+        return f"{self.name}/{self.arity}"
+
+    def __call__(self, *args: object) -> "Atom":
+        """Convenience constructor: ``Predicate('edge', 2)(1, 2)``."""
+        return Atom(self, tuple(make_term(a) for a in args))
+
+
+@dataclass(frozen=True)
+class Atom:
+    """A relational atom over ordinary terms (constants and variables)."""
+
+    predicate: Predicate
+    args: tuple[Term, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.args) != self.predicate.arity:
+            raise ValidationError(
+                f"atom {self.predicate.name} expects {self.predicate.arity} arguments, "
+                f"got {len(self.args)}"
+            )
+        for arg in self.args:
+            if not isinstance(arg, (Constant, Variable)):
+                raise ValidationError(
+                    f"atom arguments must be constants or variables, got {type(arg).__name__}"
+                )
+
+    # -- inspection ---------------------------------------------------------
+
+    @property
+    def is_ground(self) -> bool:
+        """Whether the atom mentions no variables."""
+        return all(isinstance(a, Constant) for a in self.args)
+
+    def variables(self) -> set[Variable]:
+        """The set of variables mentioned by the atom."""
+        return {a for a in self.args if isinstance(a, Variable)}
+
+    def constants(self) -> set[Constant]:
+        """The set of constants mentioned by the atom."""
+        return {a for a in self.args if isinstance(a, Constant)}
+
+    # -- construction -------------------------------------------------------
+
+    def substitute(self, mapping: Mapping[Variable, Term]) -> "Atom":
+        """Apply a variable-to-term mapping, returning a new atom."""
+        new_args = tuple(mapping.get(a, a) if isinstance(a, Variable) else a for a in self.args)
+        if new_args == self.args:
+            return self
+        return Atom(self.predicate, new_args)
+
+    def with_args(self, args: Iterable[object]) -> "Atom":
+        """Return a copy with the arguments replaced (coercing via :func:`make_term`)."""
+        return Atom(self.predicate, tuple(make_term(a) for a in args))
+
+    # -- dunder -------------------------------------------------------------
+
+    def __str__(self) -> str:
+        if not self.args:
+            return self.predicate.name
+        return f"{self.predicate.name}({', '.join(str(a) for a in self.args)})"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Atom({self!s})"
+
+    def __iter__(self) -> Iterator[Term]:
+        return iter(self.args)
+
+    def __hash__(self) -> int:
+        return hash((self.predicate, self.args))
+
+
+def atom(name: str, *args: object) -> Atom:
+    """Build an atom, inferring the predicate arity from the argument count.
+
+    Strings starting with an uppercase letter become variables (see
+    :func:`repro.logic.terms.make_term`).
+
+    >>> str(atom("edge", 1, "X"))
+    'edge(1, X)'
+    """
+    terms = tuple(make_term(a) for a in args)
+    return Atom(Predicate(name, len(terms)), terms)
+
+
+def fact(name: str, *args: object) -> Atom:
+    """Build a ground atom; raises if any argument would become a variable."""
+    built = atom(name, *args)
+    if not built.is_ground:
+        raise ValidationError(f"fact {built} contains variables")
+    return built

@@ -1,0 +1,63 @@
+"""Literals: positive or negated atoms.
+
+A literal over a schema is either an atom (positive literal) or an atom
+preceded by the negation symbol ``¬`` (negative literal).  Negation in this
+library is always *stable negation* (negation as failure), never classical
+negation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.logic.atoms import Atom
+from repro.logic.terms import Term, Variable
+
+__all__ = ["Literal", "pos", "neg"]
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A positive or negative occurrence of an atom in a rule body."""
+
+    atom: Atom
+    positive: bool = True
+
+    @property
+    def negative(self) -> bool:
+        """Whether this is a negated literal."""
+        return not self.positive
+
+    @property
+    def is_ground(self) -> bool:
+        return self.atom.is_ground
+
+    def variables(self) -> set[Variable]:
+        return self.atom.variables()
+
+    def substitute(self, mapping: Mapping[Variable, Term]) -> "Literal":
+        new_atom = self.atom.substitute(mapping)
+        if new_atom is self.atom:
+            return self
+        return Literal(new_atom, self.positive)
+
+    def negate(self) -> "Literal":
+        """Return the complementary literal."""
+        return Literal(self.atom, not self.positive)
+
+    def __str__(self) -> str:
+        return str(self.atom) if self.positive else f"not {self.atom}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Literal({self!s})"
+
+
+def pos(atom: Atom) -> Literal:
+    """Build a positive literal."""
+    return Literal(atom, True)
+
+
+def neg(atom: Atom) -> Literal:
+    """Build a negative literal."""
+    return Literal(atom, False)

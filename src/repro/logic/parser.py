@@ -1,0 +1,376 @@
+"""A textual surface syntax for Datalog¬ and GDatalog¬[Δ] programs.
+
+The grammar (Prolog-flavoured, ``%`` starts a line comment)::
+
+    program     ::= (statement)*
+    statement   ::= fact | rule | constraint
+    fact        ::= atom '.'
+    rule        ::= head_atom ':-' body '.'
+    constraint  ::= ':-' body '.'
+    body        ::= literal (',' literal)*
+    literal     ::= atom | 'not' atom
+    head_atom   ::= ident '(' head_term (',' head_term)* ')' | ident
+    atom        ::= ident '(' term (',' term)* ')' | ident
+    head_term   ::= term | delta_term
+    delta_term  ::= ident '<' term (',' term)* '>' ('[' term (',' term)* ']')?
+    term        ::= VARIABLE | NUMBER | STRING | ident
+
+Identifiers starting with an uppercase letter or ``_`` are variables;
+everything else is a constant symbol.  Δ-terms such as ``flip<0.1>[X, Y]``
+are only allowed in rule heads; the distribution name must be registered in
+the :class:`~repro.distributions.registry.DistributionRegistry` supplied to
+:func:`parse_gdatalog_program` (the default registry knows the built-in
+distributions).
+
+Two entry points are provided:
+
+* :func:`parse_datalog_program` — plain Datalog¬ (Δ-terms rejected).
+* :func:`parse_gdatalog_program` — GDatalog¬[Δ] (returns a
+  :class:`~repro.gdatalog.syntax.GDatalogProgram`).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.exceptions import ParseError
+from repro.logic.atoms import Atom, Predicate
+from repro.logic.database import Database
+from repro.logic.program import DatalogProgram
+from repro.logic.rules import FALSE_ATOM, Rule
+from repro.logic.terms import Constant, Term, Variable
+
+__all__ = [
+    "Token",
+    "tokenize",
+    "parse_datalog_program",
+    "parse_gdatalog_program",
+    "parse_atom",
+    "parse_database",
+]
+
+
+# ---------------------------------------------------------------------------
+# Tokenizer
+# ---------------------------------------------------------------------------
+
+_TOKEN_SPEC: tuple[tuple[str, str], ...] = (
+    ("COMMENT", r"%[^\n]*"),
+    ("ARROW", r":-"),
+    ("NUMBER", r"-?\d+\.\d+|-?\d+"),
+    ("STRING", r'"[^"\n]*"'),
+    ("IDENT", r"[A-Za-z_][A-Za-z0-9_]*"),
+    ("LPAREN", r"\("),
+    ("RPAREN", r"\)"),
+    ("LANGLE", r"<"),
+    ("RANGLE", r">"),
+    ("LBRACK", r"\["),
+    ("RBRACK", r"\]"),
+    ("COMMA", r","),
+    ("DOT", r"\."),
+    ("NEWLINE", r"\n"),
+    ("SKIP", r"[ \t\r]+"),
+    ("MISMATCH", r"."),
+)
+
+_TOKEN_REGEX = re.compile("|".join(f"(?P<{name}>{pattern})" for name, pattern in _TOKEN_SPEC))
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexical token with its source position (1-based)."""
+
+    kind: str
+    text: str
+    line: int
+    column: int
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize *source*, dropping comments and whitespace."""
+    tokens: list[Token] = []
+    line = 1
+    line_start = 0
+    for match in _TOKEN_REGEX.finditer(source):
+        kind = match.lastgroup or "MISMATCH"
+        text = match.group()
+        column = match.start() - line_start + 1
+        if kind == "NEWLINE":
+            line += 1
+            line_start = match.end()
+            continue
+        if kind in ("SKIP", "COMMENT"):
+            continue
+        if kind == "MISMATCH":
+            raise ParseError(f"unexpected character {text!r}", line, column)
+        tokens.append(Token(kind, text, line, column))
+    return tokens
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ParsedDeltaTerm:
+    """A Δ-term as produced by the parser (resolved later against a registry)."""
+
+    name: str
+    parameters: tuple[Term, ...]
+    event_signature: tuple[Term, ...]
+
+
+@dataclass(frozen=True)
+class ParsedAtom:
+    """An atom whose arguments may include parsed Δ-terms (heads only)."""
+
+    name: str
+    args: tuple[object, ...]  # Term | ParsedDeltaTerm
+
+    @property
+    def has_delta(self) -> bool:
+        return any(isinstance(a, ParsedDeltaTerm) for a in self.args)
+
+    def to_atom(self) -> Atom:
+        if self.has_delta:
+            raise ParseError(f"Δ-terms are not allowed here: {self.name}")
+        return Atom(Predicate(self.name, len(self.args)), tuple(self.args))  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class ParsedRule:
+    """A raw parsed statement before semantic validation."""
+
+    head: ParsedAtom | None  # ``None`` for constraints
+    positive_body: tuple[ParsedAtom, ...]
+    negative_body: tuple[ParsedAtom, ...]
+
+    @property
+    def is_constraint(self) -> bool:
+        return self.head is None
+
+
+class _Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, tokens: Sequence[Token]):
+        self._tokens = list(tokens)
+        self._position = 0
+
+    # -- token helpers ------------------------------------------------------
+
+    def _peek(self) -> Token | None:
+        if self._position < len(self._tokens):
+            return self._tokens[self._position]
+        return None
+
+    def _advance(self) -> Token:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of input")
+        self._position += 1
+        return token
+
+    def _expect(self, kind: str) -> Token:
+        token = self._peek()
+        if token is None:
+            raise ParseError(f"expected {kind}, found end of input")
+        if token.kind != kind:
+            raise ParseError(f"expected {kind}, found {token.text!r}", token.line, token.column)
+        return self._advance()
+
+    def _check(self, kind: str) -> bool:
+        token = self._peek()
+        return token is not None and token.kind == kind
+
+    # -- grammar ------------------------------------------------------------
+
+    def parse_program(self) -> list[ParsedRule]:
+        statements: list[ParsedRule] = []
+        while self._peek() is not None:
+            statements.append(self._statement())
+        return statements
+
+    def _statement(self) -> ParsedRule:
+        if self._check("ARROW"):
+            self._advance()
+            positive, negative = self._body()
+            self._expect("DOT")
+            return ParsedRule(None, positive, negative)
+        head = self._atom(allow_delta=True)
+        if self._check("DOT"):
+            self._advance()
+            return ParsedRule(head, (), ())
+        self._expect("ARROW")
+        positive, negative = self._body()
+        self._expect("DOT")
+        return ParsedRule(head, positive, negative)
+
+    def _body(self) -> tuple[tuple[ParsedAtom, ...], tuple[ParsedAtom, ...]]:
+        positive: list[ParsedAtom] = []
+        negative: list[ParsedAtom] = []
+        while True:
+            negated = False
+            token = self._peek()
+            if token is not None and token.kind == "IDENT" and token.text == "not":
+                self._advance()
+                negated = True
+            atom_ = self._atom(allow_delta=False)
+            (negative if negated else positive).append(atom_)
+            if self._check("COMMA"):
+                self._advance()
+                continue
+            break
+        return tuple(positive), tuple(negative)
+
+    def _atom(self, allow_delta: bool) -> ParsedAtom:
+        name_token = self._expect("IDENT")
+        name = name_token.text
+        if name[0].isupper() or name[0] == "_":
+            raise ParseError(f"predicate names must start with a lowercase letter: {name!r}",
+                             name_token.line, name_token.column)
+        if not self._check("LPAREN"):
+            return ParsedAtom(name, ())
+        self._advance()
+        args: list[object] = []
+        while True:
+            args.append(self._head_term() if allow_delta else self._term())
+            if self._check("COMMA"):
+                self._advance()
+                continue
+            break
+        self._expect("RPAREN")
+        return ParsedAtom(name, tuple(args))
+
+    def _head_term(self) -> object:
+        token = self._peek()
+        if token is not None and token.kind == "IDENT" and not (token.text[0].isupper() or token.text[0] == "_"):
+            # Could be a plain constant symbol or the start of a Δ-term.
+            next_token = self._tokens[self._position + 1] if self._position + 1 < len(self._tokens) else None
+            if next_token is not None and next_token.kind == "LANGLE":
+                return self._delta_term()
+        return self._term()
+
+    def _delta_term(self) -> ParsedDeltaTerm:
+        name = self._expect("IDENT").text
+        self._expect("LANGLE")
+        parameters: list[Term] = [self._term()]
+        while self._check("COMMA"):
+            self._advance()
+            parameters.append(self._term())
+        self._expect("RANGLE")
+        event_signature: list[Term] = []
+        if self._check("LBRACK"):
+            self._advance()
+            if not self._check("RBRACK"):
+                event_signature.append(self._term())
+                while self._check("COMMA"):
+                    self._advance()
+                    event_signature.append(self._term())
+            self._expect("RBRACK")
+        return ParsedDeltaTerm(name, tuple(parameters), tuple(event_signature))
+
+    def _term(self) -> Term:
+        token = self._advance()
+        if token.kind == "NUMBER":
+            if "." in token.text:
+                return Constant(float(token.text))
+            return Constant(int(token.text))
+        if token.kind == "STRING":
+            return Constant(token.text[1:-1])
+        if token.kind == "IDENT":
+            if token.text[0].isupper() or token.text[0] == "_":
+                return Variable(token.text)
+            return Constant(token.text)
+        raise ParseError(f"expected a term, found {token.text!r}", token.line, token.column)
+
+
+# ---------------------------------------------------------------------------
+# Public entry points
+# ---------------------------------------------------------------------------
+
+
+def _parsed_atom_to_atom(parsed: ParsedAtom) -> Atom:
+    return parsed.to_atom()
+
+
+def parse_atom(source: str) -> Atom:
+    """Parse a single (possibly non-ground) atom, e.g. ``"edge(1, X)"``."""
+    parser = _Parser(tokenize(source))
+    parsed = parser._atom(allow_delta=False)
+    if parser._peek() is not None:
+        token = parser._peek()
+        assert token is not None
+        raise ParseError(f"trailing input after atom: {token.text!r}", token.line, token.column)
+    return _parsed_atom_to_atom(parsed)
+
+
+def parse_database(source: str) -> Database:
+    """Parse a sequence of facts (``atom.`` statements) into a :class:`Database`."""
+    statements = _Parser(tokenize(source)).parse_program()
+    facts: list[Atom] = []
+    for statement in statements:
+        if statement.is_constraint or statement.positive_body or statement.negative_body:
+            raise ParseError("databases may only contain facts")
+        assert statement.head is not None
+        atom_ = _parsed_atom_to_atom(statement.head)
+        if not atom_.is_ground:
+            raise ParseError(f"database facts must be ground, got {atom_}")
+        facts.append(atom_)
+    return Database(facts)
+
+
+def parse_datalog_program(source: str) -> DatalogProgram:
+    """Parse a plain Datalog¬ program (rejecting Δ-terms)."""
+    statements = _Parser(tokenize(source)).parse_program()
+    rules: list[Rule] = []
+    for statement in statements:
+        positive = tuple(_parsed_atom_to_atom(a) for a in statement.positive_body)
+        negative = tuple(_parsed_atom_to_atom(a) for a in statement.negative_body)
+        if statement.is_constraint:
+            rules.append(Rule(FALSE_ATOM, positive, negative))
+            continue
+        assert statement.head is not None
+        if statement.head.has_delta:
+            raise ParseError(
+                f"Δ-term in head of {statement.head.name}: use parse_gdatalog_program for GDatalog¬[Δ] programs"
+            )
+        rules.append(Rule(_parsed_atom_to_atom(statement.head), positive, negative))
+    return DatalogProgram(rules)
+
+
+def parse_gdatalog_program(source: str, registry=None):
+    """Parse a GDatalog¬[Δ] program.
+
+    The returned object is a :class:`repro.gdatalog.syntax.GDatalogProgram`.
+    *registry* defaults to the built-in distribution registry.
+    """
+    # Imported lazily to avoid a circular import (gdatalog.syntax imports terms etc.).
+    from repro.distributions.registry import default_registry
+    from repro.gdatalog.delta_terms import DeltaTerm
+    from repro.gdatalog.syntax import GDatalogProgram, GDatalogRule, HeadAtom
+
+    active_registry = registry if registry is not None else default_registry()
+    statements = _Parser(tokenize(source)).parse_program()
+    rules: list[GDatalogRule] = []
+    for statement in statements:
+        positive = tuple(_parsed_atom_to_atom(a) for a in statement.positive_body)
+        negative = tuple(_parsed_atom_to_atom(a) for a in statement.negative_body)
+        if statement.is_constraint:
+            rules.append(GDatalogRule.constraint(positive, negative))
+            continue
+        assert statement.head is not None
+        head_args: list[object] = []
+        for arg in statement.head.args:
+            if isinstance(arg, ParsedDeltaTerm):
+                if not active_registry.knows(arg.name):
+                    raise ParseError(f"unknown distribution {arg.name!r} in Δ-term")
+                head_args.append(DeltaTerm(arg.name, arg.parameters, arg.event_signature))
+            else:
+                head_args.append(arg)
+        head = HeadAtom(Predicate(statement.head.name, len(head_args)), tuple(head_args))
+        rules.append(GDatalogRule(head, positive, negative))
+    return GDatalogProgram(rules, registry=active_registry)

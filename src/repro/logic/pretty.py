@@ -1,0 +1,60 @@
+"""Pretty printing of atoms, rules, programs, interpretations and outcomes.
+
+The ``__str__`` implementations of the data model already give a usable
+Prolog-like notation; this module layers multi-line, sorted and indented
+renderings on top, which the examples and the benchmark harness use for
+human-readable reports.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.logic.atoms import Atom
+from repro.logic.program import DatalogProgram
+from repro.logic.rules import Rule
+
+__all__ = [
+    "format_atom_set",
+    "format_interpretation",
+    "format_rules",
+    "format_program",
+    "format_model_set",
+]
+
+
+def format_atom_set(atoms: Iterable[Atom], indent: str = "") -> str:
+    """Render a set of atoms as a sorted, comma-separated block."""
+    rendered = sorted(str(a) for a in atoms)
+    if not rendered:
+        return indent + "{}"
+    return indent + "{" + ", ".join(rendered) + "}"
+
+
+def format_interpretation(atoms: Iterable[Atom], hide_auxiliary: bool = True, indent: str = "") -> str:
+    """Render an interpretation, optionally hiding ``Active``/``Result``/internal atoms."""
+    visible = []
+    for atom_ in atoms:
+        name = atom_.predicate.name
+        if hide_auxiliary and (name.startswith("__") or name.startswith("active_") or name.startswith("result_")):
+            continue
+        visible.append(atom_)
+    return format_atom_set(visible, indent)
+
+
+def format_rules(rules: Iterable[Rule], indent: str = "") -> str:
+    """Render rules one per line, sorted for reproducible output."""
+    return "\n".join(indent + str(r) for r in sorted(rules, key=str))
+
+
+def format_program(program: DatalogProgram, indent: str = "") -> str:
+    """Render a program (rules in their original order)."""
+    return "\n".join(indent + str(r) for r in program.rules)
+
+
+def format_model_set(models: Iterable[frozenset[Atom]], hide_auxiliary: bool = True, indent: str = "") -> str:
+    """Render a set of stable models, one model per line."""
+    lines = sorted(format_interpretation(m, hide_auxiliary) for m in models)
+    if not lines:
+        return indent + "(no stable models)"
+    return "\n".join(indent + line for line in lines)

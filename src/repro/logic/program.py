@@ -1,0 +1,255 @@
+"""Datalog¬ programs: finite sets of rules with schema and stratification helpers.
+
+A :class:`DatalogProgram` collects :class:`~repro.logic.rules.Rule` objects
+and exposes the derived notions the engine needs: extensional vs. intensional
+predicates, the predicate dependency graph (with positive/negative edges),
+strongly connected components, topological stratification, and the standard
+checks (positive / stratified).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.exceptions import StratificationError, ValidationError
+from repro.logic.atoms import Predicate
+from repro.logic.rules import FALSE_PREDICATE, Rule
+
+__all__ = ["DependencyGraph", "DatalogProgram"]
+
+
+@dataclass(frozen=True)
+class DependencyGraph:
+    """The predicate dependency multigraph ``dg(Π)`` of a program.
+
+    ``positive_edges`` and ``negative_edges`` are sets of ``(source, target)``
+    pairs: there is an edge from ``R`` to ``P`` whenever ``R`` occurs in the
+    body of a rule whose head predicate is ``P`` (positive or negative edge
+    according to the body occurrence).
+    """
+
+    vertices: frozenset[Predicate]
+    positive_edges: frozenset[tuple[Predicate, Predicate]]
+    negative_edges: frozenset[tuple[Predicate, Predicate]]
+
+    @property
+    def edges(self) -> frozenset[tuple[Predicate, Predicate]]:
+        return self.positive_edges | self.negative_edges
+
+    def successors(self, predicate: Predicate) -> set[Predicate]:
+        return {t for (s, t) in self.edges if s == predicate}
+
+    def predecessors(self, predicate: Predicate) -> set[Predicate]:
+        return {s for (s, t) in self.edges if t == predicate}
+
+    def depends_on(self, target: Predicate, source: Predicate) -> bool:
+        """Whether *target* depends on *source*, i.e. a non-empty path from *source* to *target* exists."""
+        frontier = [source]
+        seen: set[Predicate] = set()
+        while frontier:
+            current = frontier.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            for nxt in self.successors(current):
+                if nxt == target:
+                    return True
+                if nxt not in seen:
+                    frontier.append(nxt)
+        return False
+
+    def strongly_connected_components(self) -> list[frozenset[Predicate]]:
+        """Tarjan's algorithm, iterative, deterministic output order.
+
+        Components are returned in topological order of the condensation:
+        a component only depends on components appearing *earlier* in the
+        returned list.  This is exactly the topological ordering over
+        ``scc(Π)`` required by the perfect grounder (Tarjan emits sinks
+        first, so the raw emission order is reversed before returning).
+        """
+        adjacency: dict[Predicate, list[Predicate]] = defaultdict(list)
+        for source, target in sorted(self.edges, key=lambda e: (str(e[0]), str(e[1]))):
+            adjacency[source].append(target)
+        index_counter = 0
+        indices: dict[Predicate, int] = {}
+        lowlink: dict[Predicate, int] = {}
+        on_stack: set[Predicate] = set()
+        stack: list[Predicate] = []
+        components: list[frozenset[Predicate]] = []
+
+        ordered_vertices = sorted(self.vertices, key=str)
+
+        for root in ordered_vertices:
+            if root in indices:
+                continue
+            work: list[tuple[Predicate, Iterator[Predicate]]] = [(root, iter(adjacency[root]))]
+            indices[root] = lowlink[root] = index_counter
+            index_counter += 1
+            stack.append(root)
+            on_stack.add(root)
+            while work:
+                vertex, successors = work[-1]
+                advanced = False
+                for successor in successors:
+                    if successor not in indices:
+                        indices[successor] = lowlink[successor] = index_counter
+                        index_counter += 1
+                        stack.append(successor)
+                        on_stack.add(successor)
+                        work.append((successor, iter(adjacency[successor])))
+                        advanced = True
+                        break
+                    if successor in on_stack:
+                        lowlink[vertex] = min(lowlink[vertex], indices[successor])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[vertex])
+                if lowlink[vertex] == indices[vertex]:
+                    component: set[Predicate] = set()
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.add(member)
+                        if member == vertex:
+                            break
+                    components.append(frozenset(component))
+        components.reverse()
+        return components
+
+    def has_negative_cycle(self) -> bool:
+        """Whether some cycle of the graph traverses a negative edge."""
+        component_of: dict[Predicate, int] = {}
+        for i, component in enumerate(self.strongly_connected_components()):
+            for predicate in component:
+                component_of[predicate] = i
+        for source, target in self.negative_edges:
+            if component_of.get(source) == component_of.get(target):
+                return True
+        return False
+
+
+class DatalogProgram:
+    """A finite set of Datalog¬ rules."""
+
+    def __init__(self, rules: Iterable[Rule] = ()):
+        self._rules: tuple[Rule, ...] = tuple(rules)
+        for r in self._rules:
+            if not isinstance(r, Rule):
+                raise ValidationError(f"programs contain rules, got {type(r).__name__}")
+
+    # -- basic views ---------------------------------------------------------
+
+    @property
+    def rules(self) -> tuple[Rule, ...]:
+        return self._rules
+
+    def __iter__(self) -> Iterator[Rule]:
+        return iter(self._rules)
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, DatalogProgram):
+            return set(self._rules) == set(other._rules)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._rules))
+
+    def __str__(self) -> str:
+        return "\n".join(str(r) for r in self._rules)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DatalogProgram({len(self._rules)} rules)"
+
+    # -- schema --------------------------------------------------------------
+
+    def predicates(self) -> frozenset[Predicate]:
+        """``sch(Π)``: all predicates occurring in the program (excluding ``⊥``)."""
+        result: set[Predicate] = set()
+        for r in self._rules:
+            result |= r.predicates()
+        result.discard(FALSE_PREDICATE)
+        return frozenset(result)
+
+    def head_predicates(self) -> frozenset[Predicate]:
+        return frozenset(r.head.predicate for r in self._rules if not r.is_constraint)
+
+    def intensional_predicates(self) -> frozenset[Predicate]:
+        """``idb(Π)``: predicates occurring in some rule head."""
+        return self.head_predicates()
+
+    def extensional_predicates(self) -> frozenset[Predicate]:
+        """``edb(Π)``: predicates occurring only in rule bodies."""
+        return frozenset(self.predicates() - self.head_predicates())
+
+    # -- composition ---------------------------------------------------------
+
+    def with_rules(self, extra: Iterable[Rule]) -> "DatalogProgram":
+        return DatalogProgram(self._rules + tuple(extra))
+
+    def constraints(self) -> tuple[Rule, ...]:
+        return tuple(r for r in self._rules if r.is_constraint)
+
+    def proper_rules(self) -> tuple[Rule, ...]:
+        """Rules that are not constraints."""
+        return tuple(r for r in self._rules if not r.is_constraint)
+
+    def restricted_to_heads(self, predicates: Iterable[Predicate]) -> "DatalogProgram":
+        """``Π|_C``: the rules whose head predicate belongs to *predicates*."""
+        allowed = set(predicates)
+        return DatalogProgram(r for r in self._rules if r.head.predicate in allowed)
+
+    # -- properties ----------------------------------------------------------
+
+    @property
+    def is_positive(self) -> bool:
+        return all(r.is_positive for r in self._rules)
+
+    @property
+    def is_ground(self) -> bool:
+        return all(r.is_ground for r in self._rules)
+
+    # -- dependency analysis ---------------------------------------------------
+
+    def dependency_graph(self) -> DependencyGraph:
+        """``dg(Π)``: positive/negative predicate dependency edges."""
+        positive: set[tuple[Predicate, Predicate]] = set()
+        negative: set[tuple[Predicate, Predicate]] = set()
+        vertices: set[Predicate] = set(self.predicates())
+        for r in self._rules:
+            head_predicate = r.head.predicate
+            if head_predicate == FALSE_PREDICATE:
+                continue
+            for atom_ in r.positive_body:
+                positive.add((atom_.predicate, head_predicate))
+            for atom_ in r.negative_body:
+                negative.add((atom_.predicate, head_predicate))
+        return DependencyGraph(frozenset(vertices), frozenset(positive), frozenset(negative))
+
+    @property
+    def is_stratified(self) -> bool:
+        """Whether no cycle of the dependency graph goes through a negative edge."""
+        return not self.dependency_graph().has_negative_cycle()
+
+    def stratification(self) -> list[frozenset[Predicate]]:
+        """A topological ordering ``C1, ..., Cn`` over ``scc(Π)``.
+
+        Raises :class:`StratificationError` when the program is not stratified.
+        The returned components are ordered so that no predicate of ``C_i``
+        depends on a predicate of ``C_j`` for ``i < j``.
+        """
+        graph = self.dependency_graph()
+        if graph.has_negative_cycle():
+            raise StratificationError("program is not stratified: a cycle traverses a negative edge")
+        return graph.strongly_connected_components()
+
+    def strata(self) -> list["DatalogProgram"]:
+        """The sub-programs ``Π|_{C_1}, ..., Π|_{C_n}`` along the stratification."""
+        return [self.restricted_to_heads(component) for component in self.stratification()]

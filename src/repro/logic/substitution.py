@@ -1,0 +1,150 @@
+"""Substitutions: finite mappings from variables to terms.
+
+Substitutions are immutable value objects.  They support application to
+terms/atoms, composition, and restriction, and they are hashable so that
+sets of homomorphisms can be deduplicated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+from repro.exceptions import ValidationError
+from repro.logic.atoms import Atom
+from repro.logic.terms import Constant, Term, Variable
+
+__all__ = ["Substitution", "EMPTY_SUBSTITUTION"]
+
+
+@dataclass(frozen=True)
+class Substitution:
+    """An immutable mapping from :class:`Variable` to :class:`Term`."""
+
+    _mapping: tuple[tuple[Variable, Term], ...] = field(default=())
+
+    # -- construction -------------------------------------------------------
+
+    @staticmethod
+    def of(mapping: Mapping[Variable, Term] | Iterable[tuple[Variable, Term]] = ()) -> "Substitution":
+        """Build a substitution from a mapping or an iterable of pairs."""
+        if isinstance(mapping, Mapping):
+            items = mapping.items()
+        else:
+            items = mapping
+        normalized: dict[Variable, Term] = {}
+        for var, term in items:
+            if not isinstance(var, Variable):
+                raise ValidationError(f"substitution keys must be variables, got {var!r}")
+            if not isinstance(term, (Constant, Variable)):
+                raise ValidationError(f"substitution values must be terms, got {term!r}")
+            if var in normalized and normalized[var] != term:
+                raise ValidationError(f"conflicting bindings for {var}: {normalized[var]} vs {term}")
+            normalized[var] = term
+        ordered = tuple(sorted(normalized.items(), key=lambda kv: kv[0].name))
+        return Substitution(ordered)
+
+    # -- mapping protocol ----------------------------------------------------
+
+    def as_dict(self) -> dict[Variable, Term]:
+        """The substitution as a plain dictionary (copy)."""
+        return dict(self._mapping)
+
+    def __contains__(self, var: Variable) -> bool:
+        return any(v == var for v, _ in self._mapping)
+
+    def __getitem__(self, var: Variable) -> Term:
+        for v, t in self._mapping:
+            if v == var:
+                return t
+        raise KeyError(var)
+
+    def get(self, var: Variable, default: Term | None = None) -> Term | None:
+        for v, t in self._mapping:
+            if v == var:
+                return t
+        return default
+
+    def __iter__(self) -> Iterator[Variable]:
+        return (v for v, _ in self._mapping)
+
+    def __len__(self) -> int:
+        return len(self._mapping)
+
+    def items(self) -> Iterator[tuple[Variable, Term]]:
+        return iter(self._mapping)
+
+    @property
+    def domain(self) -> set[Variable]:
+        return {v for v, _ in self._mapping}
+
+    # -- application ---------------------------------------------------------
+
+    def apply_term(self, term: Term) -> Term:
+        """Apply the substitution to a single term."""
+        if isinstance(term, Variable):
+            return self.get(term, term)
+        return term
+
+    def apply_atom(self, atom: Atom) -> Atom:
+        """Apply the substitution to an atom."""
+        return atom.substitute(self.as_dict())
+
+    def apply_atoms(self, atoms: Iterable[Atom]) -> tuple[Atom, ...]:
+        """Apply the substitution to each atom in *atoms*."""
+        mapping = self.as_dict()
+        return tuple(a.substitute(mapping) for a in atoms)
+
+    # -- algebra ------------------------------------------------------------
+
+    def bind(self, var: Variable, term: Term) -> "Substitution | None":
+        """Extend with ``var -> term``; return ``None`` on a conflicting binding."""
+        existing = self.get(var)
+        if existing is not None:
+            return self if existing == term else None
+        return Substitution.of(list(self._mapping) + [(var, term)])
+
+    def merge(self, other: "Substitution") -> "Substitution | None":
+        """Union of two substitutions, or ``None`` if they conflict."""
+        result: "Substitution | None" = self
+        for var, term in other.items():
+            if result is None:
+                return None
+            result = result.bind(var, term)
+        return result
+
+    def compose(self, other: "Substitution") -> "Substitution":
+        """Composition ``self ∘ other``: apply *self* first, then *other*.
+
+        ``(self.compose(other)).apply_term(t) == other.apply_term(self.apply_term(t))``.
+        """
+        combined: dict[Variable, Term] = {}
+        for var, term in self._mapping:
+            combined[var] = other.apply_term(term)
+        for var, term in other.items():
+            combined.setdefault(var, term)
+        return Substitution.of(combined)
+
+    def restrict(self, variables: Iterable[Variable]) -> "Substitution":
+        """Restrict the domain to the given variables."""
+        allowed = set(variables)
+        return Substitution.of({v: t for v, t in self._mapping if v in allowed})
+
+    @property
+    def is_ground(self) -> bool:
+        """Whether every value in the range is a constant."""
+        return all(isinstance(t, Constant) for _, t in self._mapping)
+
+    # -- dunder --------------------------------------------------------------
+
+    def __str__(self) -> str:
+        if not self._mapping:
+            return "{}"
+        return "{" + ", ".join(f"{v} -> {t}" for v, t in self._mapping) + "}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Substitution({self!s})"
+
+
+#: The identity substitution.
+EMPTY_SUBSTITUTION = Substitution()

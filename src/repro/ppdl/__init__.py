@@ -1,0 +1,23 @@
+"""PPDL layer: constraint components, conditioning and declarative queries."""
+
+from repro.ppdl.conditioning import ConditioningResult, condition
+from repro.ppdl.constraints import ConstraintSet, Observation
+from repro.ppdl.queries import (
+    AtomQuery,
+    ConditionalQuery,
+    EventQuery,
+    HasStableModelQuery,
+    Query,
+)
+
+__all__ = [
+    "ConditioningResult",
+    "condition",
+    "ConstraintSet",
+    "Observation",
+    "AtomQuery",
+    "ConditionalQuery",
+    "EventQuery",
+    "HasStableModelQuery",
+    "Query",
+]

@@ -1,0 +1,50 @@
+"""Conditioning an output probability space on a constraint component.
+
+Given the prior space ``Π_G(D)`` and a :class:`~repro.ppdl.constraints.ConstraintSet`
+``C`` with positive prior probability, the posterior is the subspace of the
+finite outcomes satisfying ``C``, renormalized by ``P(C)`` — exactly the
+PPDL reading of constraints as conditioning (Bárány et al., carried over to
+the stable-negation setting in the paper's conclusions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import InferenceError
+from repro.gdatalog.probability_space import OutputSpace
+from repro.ppdl.constraints import ConstraintSet
+
+__all__ = ["ConditioningResult", "condition"]
+
+
+@dataclass(frozen=True)
+class ConditioningResult:
+    """The posterior space together with the evidence probability."""
+
+    posterior: OutputSpace
+    evidence_probability: float
+    prior_outcomes: int
+    posterior_outcomes: int
+
+    def __str__(self) -> str:
+        return (
+            f"P(evidence)={self.evidence_probability:.6f}, "
+            f"{self.posterior_outcomes}/{self.prior_outcomes} outcomes retained"
+        )
+
+
+def condition(space: OutputSpace, constraints: ConstraintSet) -> ConditioningResult:
+    """Condition *space* on *constraints* (which must have positive probability)."""
+    evidence = space.probability(constraints.satisfied_by)
+    if evidence <= 0.0:
+        raise InferenceError(
+            "the constraint component has probability zero under the prior; conditioning is undefined"
+        )
+    posterior = space.conditional(constraints.satisfied_by)
+    return ConditioningResult(
+        posterior=posterior,
+        evidence_probability=evidence,
+        prior_outcomes=len(space),
+        posterior_outcomes=len(posterior),
+    )

@@ -1,0 +1,122 @@
+"""The constraint component of PPDL programs.
+
+A PPDL program (Bárány et al.) pairs a generative component — here a
+GDatalog¬[Δ] program — with a *constraint component*: a set of logical
+constraints that the relevant possible outcomes must satisfy.  Semantically,
+constraints transform the prior distribution into the posterior obtained by
+conditioning on the constraint event.
+
+This module models constraints as observation predicates over the stable
+models of an outcome; :mod:`repro.ppdl.conditioning` applies them to an
+:class:`~repro.gdatalog.probability_space.OutputSpace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.gdatalog.outcomes import PossibleOutcome
+from repro.logic.atoms import Atom
+from repro.logic.parser import parse_atom
+
+__all__ = ["Observation", "ConstraintSet"]
+
+
+@dataclass(frozen=True)
+class Observation:
+    """A single observation: an atom required to hold (or not) in the outcome's models.
+
+    ``mode`` selects the entailment regime:
+
+    * ``"cautious"`` — the atom must hold in *every* stable model (default);
+    * ``"brave"``    — the atom must hold in *some* stable model.
+
+    With ``negated=True`` the observation requires the opposite.
+    """
+
+    atom: Atom
+    negated: bool = False
+    mode: str = "cautious"
+
+    @staticmethod
+    def of(atom: Atom | str, negated: bool = False, mode: str = "cautious") -> "Observation":
+        resolved = parse_atom(atom) if isinstance(atom, str) else atom
+        return Observation(resolved, negated=negated, mode=mode)
+
+    def holds_in(self, outcome: PossibleOutcome) -> bool:
+        """Whether the observation is satisfied by the given possible outcome."""
+        models = outcome.stable_models
+        if not models:
+            # An outcome with no stable models satisfies no positive
+            # observation and every negated one (there is no model providing
+            # a counterexample).
+            return self.negated
+        if self.mode == "brave":
+            satisfied = any(self.atom in model for model in models)
+        else:
+            satisfied = all(self.atom in model for model in models)
+        return not satisfied if self.negated else satisfied
+
+    def __str__(self) -> str:
+        prefix = "not " if self.negated else ""
+        return f"{prefix}{self.atom} [{self.mode}]"
+
+
+class ConstraintSet:
+    """A conjunction of observations plus arbitrary outcome predicates."""
+
+    def __init__(
+        self,
+        observations: Iterable[Observation] = (),
+        predicates: Sequence[Callable[[PossibleOutcome], bool]] = (),
+        require_stable_model: bool = False,
+    ):
+        self._observations = tuple(observations)
+        self._predicates = tuple(predicates)
+        self._require_stable_model = require_stable_model
+
+    # -- construction ------------------------------------------------------------
+
+    @staticmethod
+    def observing(*atoms: Atom | str, mode: str = "cautious") -> "ConstraintSet":
+        """Shorthand for conditioning on a conjunction of positive observations."""
+        return ConstraintSet(Observation.of(a, mode=mode) for a in atoms)
+
+    def and_observation(self, observation: Observation) -> "ConstraintSet":
+        return ConstraintSet(
+            self._observations + (observation,), self._predicates, self._require_stable_model
+        )
+
+    def and_predicate(self, predicate: Callable[[PossibleOutcome], bool]) -> "ConstraintSet":
+        return ConstraintSet(
+            self._observations, self._predicates + (predicate,), self._require_stable_model
+        )
+
+    def requiring_stable_model(self) -> "ConstraintSet":
+        """Additionally require the outcome to possess at least one stable model."""
+        return ConstraintSet(self._observations, self._predicates, True)
+
+    # -- evaluation ----------------------------------------------------------------
+
+    @property
+    def observations(self) -> tuple[Observation, ...]:
+        return self._observations
+
+    def satisfied_by(self, outcome: PossibleOutcome) -> bool:
+        """Whether every observation and predicate holds for *outcome*."""
+        if self._require_stable_model and not outcome.has_stable_model:
+            return False
+        if not all(obs.holds_in(outcome) for obs in self._observations):
+            return False
+        return all(predicate(outcome) for predicate in self._predicates)
+
+    def __len__(self) -> int:
+        return len(self._observations) + len(self._predicates) + int(self._require_stable_model)
+
+    def __str__(self) -> str:
+        parts = [str(o) for o in self._observations]
+        if self._require_stable_model:
+            parts.append("<has stable model>")
+        parts.extend(f"<predicate {i}>" for i in range(len(self._predicates)))
+        return " AND ".join(parts) if parts else "<no constraints>"

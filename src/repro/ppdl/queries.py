@@ -1,0 +1,121 @@
+"""Declarative probabilistic queries over GDatalog¬[Δ] output spaces.
+
+Queries package the common question shapes (atom marginals, stable-model
+existence, conditional queries) as objects that can be evaluated exactly
+against an :class:`~repro.gdatalog.probability_space.OutputSpace` or
+approximately against a :class:`~repro.gdatalog.sampler.MonteCarloSampler`.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.gdatalog.outcomes import PossibleOutcome
+from repro.gdatalog.probability_space import OutputSpace
+from repro.gdatalog.sampler import Estimate, MonteCarloSampler
+from repro.logic.atoms import Atom
+from repro.logic.parser import parse_atom
+from repro.ppdl.conditioning import condition
+from repro.ppdl.constraints import ConstraintSet
+
+__all__ = ["Query", "AtomQuery", "HasStableModelQuery", "EventQuery", "ConditionalQuery"]
+
+
+class Query(abc.ABC):
+    """A probabilistic query evaluable exactly or by sampling."""
+
+    @abc.abstractmethod
+    def outcome_predicate(self, outcome: PossibleOutcome) -> bool:
+        """Whether a single possible outcome satisfies the query."""
+
+    def evaluate(self, space: OutputSpace) -> float:
+        """Exact probability of the query under *space*."""
+        return space.probability(self.outcome_predicate)
+
+    def estimate(self, sampler: MonteCarloSampler, n: int = 1000) -> Estimate:
+        """Monte-Carlo estimate of the query probability."""
+        return sampler.estimate(self.outcome_predicate, n=n)
+
+
+@dataclass(frozen=True)
+class AtomQuery(Query):
+    """Marginal probability that an atom holds bravely/cautiously in the outcome's models."""
+
+    atom: Atom
+    mode: str = "brave"
+
+    @staticmethod
+    def of(atom: Atom | str, mode: str = "brave") -> "AtomQuery":
+        return AtomQuery(parse_atom(atom) if isinstance(atom, str) else atom, mode)
+
+    def outcome_predicate(self, outcome: PossibleOutcome) -> bool:
+        models = outcome.stable_models
+        if not models:
+            return False
+        if self.mode == "brave":
+            return any(self.atom in model for model in models)
+        return all(self.atom in model for model in models)
+
+    def __str__(self) -> str:
+        return f"P[{self.mode}]({self.atom})"
+
+
+@dataclass(frozen=True)
+class HasStableModelQuery(Query):
+    """Probability that the program has at least one stable model."""
+
+    def outcome_predicate(self, outcome: PossibleOutcome) -> bool:
+        return outcome.has_stable_model
+
+    def __str__(self) -> str:
+        return "P(has stable model)"
+
+
+@dataclass(frozen=True)
+class EventQuery(Query):
+    """A query defined by an arbitrary outcome predicate (escape hatch)."""
+
+    predicate: object
+    name: str = "event"
+
+    def outcome_predicate(self, outcome: PossibleOutcome) -> bool:
+        return bool(self.predicate(outcome))  # type: ignore[operator]
+
+    def __str__(self) -> str:
+        return f"P({self.name})"
+
+
+@dataclass(frozen=True)
+class ConditionalQuery:
+    """``P(query | evidence)`` where the evidence is a :class:`ConstraintSet`."""
+
+    query: Query
+    evidence: ConstraintSet
+
+    def evaluate(self, space: OutputSpace) -> float:
+        """Exact conditional probability (raises if the evidence has mass zero)."""
+        result = condition(space, self.evidence)
+        return self.query.evaluate(result.posterior)
+
+    def estimate(self, sampler: MonteCarloSampler, n: int = 1000) -> Estimate:
+        """Monte-Carlo estimate using rejection sampling on the evidence."""
+        accepted = 0
+        satisfied = 0
+        for _ in range(n):
+            outcome = sampler.sample_outcome()
+            if outcome is None or not self.evidence.satisfied_by(outcome):
+                continue
+            accepted += 1
+            if self.query.outcome_predicate(outcome):
+                satisfied += 1
+        if accepted == 0:
+            return Estimate(float("nan"), float("nan"), 0)
+        p_hat = satisfied / accepted
+        import numpy as np
+
+        standard_error = float(np.sqrt(max(p_hat * (1.0 - p_hat), 1e-300) / accepted))
+        return Estimate(p_hat, standard_error, accepted)
+
+    def __str__(self) -> str:
+        return f"{self.query} | {self.evidence}"

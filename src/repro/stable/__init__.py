@@ -1,0 +1,31 @@
+"""Stable-model engine: grounding, reducts, well-founded semantics, enumeration."""
+
+from repro.stable.fixpoint import immediate_consequences, least_model, satisfies_rule, violated_constraints
+from repro.stable.grounding import GroundProgram, ground_program, ground_rules_against
+from repro.stable.interpretation import Interpretation, PartialInterpretation
+from repro.stable.reduct import gelfond_lifschitz_reduct, is_stable_model
+from repro.stable.solver import SolverConfig, StableModelSolver, has_stable_model, stable_models
+from repro.stable.stratified import perfect_model, perfect_model_ground
+from repro.stable.wellfounded import gamma_operator, well_founded_model
+
+__all__ = [
+    "immediate_consequences",
+    "least_model",
+    "satisfies_rule",
+    "violated_constraints",
+    "GroundProgram",
+    "ground_program",
+    "ground_rules_against",
+    "Interpretation",
+    "PartialInterpretation",
+    "gelfond_lifschitz_reduct",
+    "is_stable_model",
+    "SolverConfig",
+    "StableModelSolver",
+    "has_stable_model",
+    "stable_models",
+    "perfect_model",
+    "perfect_model_ground",
+    "gamma_operator",
+    "well_founded_model",
+]

@@ -1,0 +1,93 @@
+"""Immediate-consequence operator and least models of positive ground programs.
+
+The least model of a positive (negation-free) ground program is the least
+fixpoint of the immediate-consequence operator ``T_P``.  Constraints are not
+used for derivation; :func:`violated_constraints` checks them separately.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable
+
+from repro.logic.atoms import Atom
+from repro.logic.rules import Rule
+
+__all__ = ["immediate_consequences", "least_model", "violated_constraints", "satisfies_rule"]
+
+
+def immediate_consequences(rules: Iterable[Rule], interpretation: set[Atom]) -> set[Atom]:
+    """One application of ``T_P`` to *interpretation* (positive ground rules only)."""
+    derived: set[Atom] = set()
+    for rule in rules:
+        if rule.is_constraint:
+            continue
+        if all(b in interpretation for b in rule.positive_body) and not any(
+            b in interpretation for b in rule.negative_body
+        ):
+            derived.add(rule.head)
+    return derived
+
+
+def least_model(rules: Iterable[Rule]) -> frozenset[Atom]:
+    """The least model of a *positive* ground program (constraints ignored).
+
+    Implemented semi-naively: rules are indexed by their body atoms so each
+    round only revisits rules whose body gained a new atom.
+    """
+    rule_list = [r for r in rules if not r.is_constraint]
+    for r in rule_list:
+        if r.negative_body:
+            raise ValueError(f"least_model requires a positive program, rule has negation: {r}")
+
+    model: set[Atom] = set()
+    # Index: body atom -> rules waiting on it; counter of unsatisfied body atoms.
+    waiting: dict[Atom, list[int]] = defaultdict(list)
+    remaining: list[int] = []
+    queue: list[Atom] = []
+
+    for idx, r in enumerate(rule_list):
+        remaining.append(len(set(r.positive_body)))
+        if remaining[idx] == 0:
+            if r.head not in model:
+                model.add(r.head)
+                queue.append(r.head)
+        else:
+            for body_atom in set(r.positive_body):
+                waiting[body_atom].append(idx)
+
+    while queue:
+        atom_ = queue.pop()
+        for idx in waiting.get(atom_, ()):
+            remaining[idx] -= 1
+            if remaining[idx] == 0:
+                head = rule_list[idx].head
+                if head not in model:
+                    model.add(head)
+                    queue.append(head)
+    return frozenset(model)
+
+
+def satisfies_rule(rule: Rule, interpretation: frozenset[Atom] | set[Atom]) -> bool:
+    """Classical satisfaction of a ground rule by an interpretation."""
+    body_holds = all(b in interpretation for b in rule.positive_body) and not any(
+        b in interpretation for b in rule.negative_body
+    )
+    if not body_holds:
+        return True
+    if rule.is_constraint:
+        return False
+    return rule.head in interpretation
+
+
+def violated_constraints(rules: Iterable[Rule], interpretation: frozenset[Atom] | set[Atom]) -> list[Rule]:
+    """The ground constraints of *rules* whose body is satisfied by *interpretation*."""
+    violated: list[Rule] = []
+    for rule in rules:
+        if not rule.is_constraint:
+            continue
+        if all(b in interpretation for b in rule.positive_body) and not any(
+            b in interpretation for b in rule.negative_body
+        ):
+            violated.append(rule)
+    return violated

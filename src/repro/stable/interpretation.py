@@ -1,0 +1,107 @@
+"""Interpretations (instances) and three-valued partial interpretations.
+
+An interpretation is a set of ground atoms.  The solver additionally works
+with *partial* interpretations splitting the Herbrand base into true /
+false / unknown atoms (used by the well-founded semantics and as branching
+state).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.logic.atoms import Atom
+
+__all__ = ["Interpretation", "PartialInterpretation"]
+
+
+class Interpretation:
+    """An immutable set of ground atoms with convenience helpers."""
+
+    __slots__ = ("_atoms",)
+
+    def __init__(self, atoms: Iterable[Atom] = ()):
+        self._atoms: frozenset[Atom] = frozenset(atoms)
+
+    @property
+    def atoms(self) -> frozenset[Atom]:
+        return self._atoms
+
+    def __contains__(self, atom_: Atom) -> bool:
+        return atom_ in self._atoms
+
+    def __iter__(self) -> Iterator[Atom]:
+        return iter(self._atoms)
+
+    def __len__(self) -> int:
+        return len(self._atoms)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Interpretation):
+            return self._atoms == other._atoms
+        if isinstance(other, (set, frozenset)):
+            return self._atoms == frozenset(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._atoms)
+
+    def __le__(self, other: "Interpretation") -> bool:
+        return self._atoms <= other._atoms
+
+    def __lt__(self, other: "Interpretation") -> bool:
+        return self._atoms < other._atoms
+
+    def __or__(self, other: "Interpretation | Iterable[Atom]") -> "Interpretation":
+        other_atoms = other._atoms if isinstance(other, Interpretation) else frozenset(other)
+        return Interpretation(self._atoms | other_atoms)
+
+    def __and__(self, other: "Interpretation | Iterable[Atom]") -> "Interpretation":
+        other_atoms = other._atoms if isinstance(other, Interpretation) else frozenset(other)
+        return Interpretation(self._atoms & other_atoms)
+
+    def restrict_predicates(self, names: Iterable[str]) -> "Interpretation":
+        """Keep only atoms whose predicate name is in *names*."""
+        allowed = set(names)
+        return Interpretation(a for a in self._atoms if a.predicate.name in allowed)
+
+    def without_predicates(self, names: Iterable[str]) -> "Interpretation":
+        """Drop atoms whose predicate name is in *names* (e.g. auxiliary predicates)."""
+        banned = set(names)
+        return Interpretation(a for a in self._atoms if a.predicate.name not in banned)
+
+    def __str__(self) -> str:
+        return "{" + ", ".join(sorted(str(a) for a in self._atoms)) + "}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Interpretation({len(self._atoms)} atoms)"
+
+
+@dataclass
+class PartialInterpretation:
+    """A three-valued interpretation over a finite Herbrand base.
+
+    ``true`` and ``false`` are disjoint; every other atom of the base is
+    *unknown*.
+    """
+
+    true: set[Atom] = field(default_factory=set)
+    false: set[Atom] = field(default_factory=set)
+
+    def unknown(self, base: Iterable[Atom]) -> set[Atom]:
+        return {a for a in base if a not in self.true and a not in self.false}
+
+    def is_consistent(self) -> bool:
+        return not (self.true & self.false)
+
+    def decides(self, atom_: Atom) -> bool:
+        return atom_ in self.true or atom_ in self.false
+
+    def copy(self) -> "PartialInterpretation":
+        return PartialInterpretation(set(self.true), set(self.false))
+
+    def __str__(self) -> str:
+        true_part = ", ".join(sorted(str(a) for a in self.true))
+        false_part = ", ".join(sorted(str(a) for a in self.false))
+        return f"T={{{true_part}}} F={{{false_part}}}"

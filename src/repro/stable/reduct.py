@@ -1,0 +1,47 @@
+"""The Gelfond–Lifschitz reduct of a ground Datalog¬ program.
+
+Given a ground program ``P`` and an interpretation ``I``, the reduct ``P^I``
+is obtained by (i) deleting every rule that has a negative literal ``not b``
+with ``b ∈ I`` and (ii) deleting all remaining negative literals.  ``I`` is a
+stable model of ``P`` iff ``I`` is the least model of ``P^I`` and ``I``
+violates no constraint of ``P``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.logic.atoms import Atom
+from repro.logic.rules import Rule
+from repro.stable.fixpoint import least_model, violated_constraints
+
+__all__ = ["gelfond_lifschitz_reduct", "is_stable_model"]
+
+
+def gelfond_lifschitz_reduct(rules: Iterable[Rule], interpretation: frozenset[Atom] | set[Atom]) -> list[Rule]:
+    """The GL reduct ``P^I`` (a positive ground program, constraints preserved)."""
+    reduct: list[Rule] = []
+    for rule in rules:
+        if any(b in interpretation for b in rule.negative_body):
+            continue
+        if rule.negative_body:
+            reduct.append(Rule(rule.head, rule.positive_body, ()))
+        else:
+            reduct.append(rule)
+    return reduct
+
+
+def is_stable_model(rules: Iterable[Rule], interpretation: frozenset[Atom] | set[Atom]) -> bool:
+    """Whether *interpretation* is a stable model of the ground program *rules*.
+
+    Constraints are interpreted as rules with the ``⊥`` head that must never
+    fire: an interpretation satisfying some constraint body is not a stable
+    model (this matches the paper's simulation of ``⊥`` via the
+    ``Fail, ¬Aux → Aux`` encoding).
+    """
+    rule_list = list(rules)
+    candidate = frozenset(interpretation)
+    if violated_constraints(rule_list, candidate):
+        return False
+    reduct = gelfond_lifschitz_reduct((r for r in rule_list if not r.is_constraint), candidate)
+    return least_model(reduct) == candidate

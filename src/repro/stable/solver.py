@@ -1,0 +1,172 @@
+"""Complete stable-model enumeration for ground Datalog¬ programs.
+
+The solver is a two-phase procedure tailored to the small ground programs
+that arise as possible outcomes of generative Datalog¬ programs:
+
+1. **Well-founded pruning.**  The well-founded model fixes the truth value of
+   every atom that is decided in all stable models.  If it is total, the
+   single candidate is checked directly.
+
+2. **Branching over negative-body atoms.**  Stable models of a ground
+   program are uniquely determined by their intersection with the set ``N``
+   of atoms occurring in negative bodies: for a guess ``S ⊆ N`` the GL
+   reduct only depends on ``S``, and a guess is *stable* iff the least model
+   ``M`` of the reduct satisfies ``M ∩ N = S``.  The solver enumerates the
+   guesses compatible with the well-founded model, checks each, and filters
+   candidates violating an integrity constraint.
+
+The branching step is exponential in the number of *undecided* negative-body
+atoms, which is the expected complexity class (deciding stable-model
+existence is NP-complete); a configurable guess limit guards against
+accidentally huge instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Iterable, Iterator
+
+from repro.exceptions import SolverLimitError
+from repro.logic.atoms import Atom
+from repro.logic.database import Database
+from repro.logic.program import DatalogProgram
+from repro.logic.rules import Rule
+from repro.stable.fixpoint import least_model, violated_constraints
+from repro.stable.grounding import GroundProgram, ground_program
+from repro.stable.reduct import is_stable_model
+from repro.stable.wellfounded import well_founded_model
+
+__all__ = ["SolverConfig", "StableModelSolver", "stable_models", "has_stable_model"]
+
+
+@dataclass(frozen=True)
+class SolverConfig:
+    """Tuning knobs for the stable-model solver.
+
+    Attributes
+    ----------
+    max_guesses:
+        Upper bound on the number of branching guesses explored
+        (``2**len(undecided negative atoms)``); exceeded → :class:`SolverLimitError`.
+    use_well_founded:
+        Whether to run the well-founded pruning phase (disable only in tests
+        that exercise the raw branching procedure).
+    """
+
+    max_guesses: int = 1 << 20
+    use_well_founded: bool = True
+
+
+class StableModelSolver:
+    """Enumerates the stable models of ground Datalog¬ programs."""
+
+    def __init__(self, config: SolverConfig | None = None):
+        self.config = config or SolverConfig()
+
+    # -- public API ---------------------------------------------------------
+
+    def enumerate(self, program: GroundProgram | Iterable[Rule]) -> Iterator[frozenset[Atom]]:
+        """Yield every stable model of the ground program, each exactly once."""
+        ground = program if isinstance(program, GroundProgram) else GroundProgram(tuple(program))
+        rules = list(ground.rules)
+        negative_atoms = set(ground.negative_body_atoms())
+
+        forced_true: set[Atom] = set()
+        forced_false: set[Atom] = set()
+        if self.config.use_well_founded:
+            wf = well_founded_model(rules)
+            forced_true = wf.true & negative_atoms
+            forced_false = wf.false & negative_atoms
+
+        undecided = sorted(negative_atoms - forced_true - forced_false, key=str)
+        guess_count = 1 << len(undecided)
+        if guess_count > self.config.max_guesses:
+            raise SolverLimitError(
+                f"{len(undecided)} undecided negative-body atoms would require {guess_count} guesses "
+                f"(limit {self.config.max_guesses})"
+            )
+
+        non_constraint_rules = [r for r in rules if not r.is_constraint]
+        seen: set[frozenset[Atom]] = set()
+        for size in range(len(undecided) + 1):
+            for extra in combinations(undecided, size):
+                assumed_true = forced_true | set(extra)
+                candidate = self._candidate_for_guess(non_constraint_rules, negative_atoms, assumed_true)
+                if candidate is None or candidate in seen:
+                    continue
+                if violated_constraints(rules, candidate):
+                    continue
+                seen.add(candidate)
+                yield candidate
+
+    def all_stable_models(self, program: GroundProgram | Iterable[Rule]) -> list[frozenset[Atom]]:
+        """All stable models, sorted for reproducible output."""
+        return sorted(self.enumerate(program), key=lambda m: sorted(str(a) for a in m))
+
+    def has_stable_model(self, program: GroundProgram | Iterable[Rule]) -> bool:
+        """Whether at least one stable model exists."""
+        return next(self.enumerate(program), None) is not None
+
+    def count(self, program: GroundProgram | Iterable[Rule]) -> int:
+        """The number of stable models."""
+        return sum(1 for _ in self.enumerate(program))
+
+    def brave_consequences(self, program: GroundProgram | Iterable[Rule]) -> frozenset[Atom]:
+        """Atoms true in *some* stable model."""
+        result: set[Atom] = set()
+        for model in self.enumerate(program):
+            result |= model
+        return frozenset(result)
+
+    def cautious_consequences(self, program: GroundProgram | Iterable[Rule]) -> frozenset[Atom] | None:
+        """Atoms true in *every* stable model, or ``None`` if there are no stable models."""
+        result: set[Atom] | None = None
+        for model in self.enumerate(program):
+            result = set(model) if result is None else result & model
+        return frozenset(result) if result is not None else None
+
+    def is_stable(self, program: GroundProgram | Iterable[Rule], candidate: Iterable[Atom]) -> bool:
+        """Direct stability check of a candidate interpretation (GL reduct test)."""
+        rules = program.rules if isinstance(program, GroundProgram) else tuple(program)
+        return is_stable_model(rules, frozenset(candidate))
+
+    # -- internals ----------------------------------------------------------
+
+    @staticmethod
+    def _candidate_for_guess(
+        rules: list[Rule], negative_atoms: set[Atom], assumed_true: set[Atom]
+    ) -> frozenset[Atom] | None:
+        """Least model of the reduct induced by a guess, or ``None`` if the guess is unstable."""
+        reduct: list[Rule] = []
+        for r in rules:
+            if any(b in assumed_true for b in r.negative_body):
+                continue
+            reduct.append(Rule(r.head, r.positive_body, ()) if r.negative_body else r)
+        model = least_model(reduct)
+        if model & negative_atoms != assumed_true:
+            return None
+        return model
+
+
+# -- module-level conveniences ------------------------------------------------
+
+
+def stable_models(
+    program: DatalogProgram,
+    database: Database | Iterable[Atom] = (),
+    config: SolverConfig | None = None,
+) -> list[frozenset[Atom]]:
+    """Ground ``Π[D]`` and enumerate ``sms(D, Π)``."""
+    ground = ground_program(program, database)
+    return StableModelSolver(config).all_stable_models(ground)
+
+
+def has_stable_model(
+    program: DatalogProgram,
+    database: Database | Iterable[Atom] = (),
+    config: SolverConfig | None = None,
+) -> bool:
+    """Whether ``Π[D]`` has at least one stable model."""
+    ground = ground_program(program, database)
+    return StableModelSolver(config).has_stable_model(ground)

@@ -1,0 +1,45 @@
+"""Workload generators: network resilience, coin/dime-quarter scenarios, random programs."""
+
+from repro.workloads.coins import (
+    COIN_PROGRAM_SOURCE,
+    DIME_QUARTER_PROGRAM_SOURCE,
+    biased_die_program,
+    coin_program,
+    dime_quarter_database,
+    dime_quarter_program,
+)
+from repro.workloads.networks import (
+    RESILIENCE_PROGRAM_TEMPLATE,
+    monotone_infection_program,
+    network_database,
+    paper_example_database,
+    random_network,
+    resilience_program,
+    topology_graph,
+)
+from repro.workloads.random_programs import (
+    WorkloadSchema,
+    random_database,
+    random_positive_program,
+    random_stratified_program,
+)
+
+__all__ = [
+    "COIN_PROGRAM_SOURCE",
+    "DIME_QUARTER_PROGRAM_SOURCE",
+    "biased_die_program",
+    "coin_program",
+    "dime_quarter_database",
+    "dime_quarter_program",
+    "RESILIENCE_PROGRAM_TEMPLATE",
+    "monotone_infection_program",
+    "network_database",
+    "paper_example_database",
+    "random_network",
+    "resilience_program",
+    "topology_graph",
+    "WorkloadSchema",
+    "random_database",
+    "random_positive_program",
+    "random_stratified_program",
+]

@@ -1,0 +1,73 @@
+"""Coin-flipping workloads from the paper: the fair-coin program and the dime/quarter scenario.
+
+* :func:`coin_program` — the Section-3 program ``Π_coin``: a fair coin whose
+  "heads" outcome admits no stable model and whose "tails" outcome admits two
+  (an even negative loop over ``aux1``/``aux2``).
+* :func:`dime_quarter_program` / :func:`dime_quarter_database` — the
+  stratified-negation example of Appendix E (Figure 1): a set of dimes is
+  tossed and, only if none shows tail, a set of quarters is tossed as well.
+"""
+
+from __future__ import annotations
+
+from repro.gdatalog.syntax import GDatalogProgram
+from repro.logic.atoms import fact
+from repro.logic.database import Database
+from repro.logic.parser import parse_gdatalog_program
+
+__all__ = [
+    "COIN_PROGRAM_SOURCE",
+    "DIME_QUARTER_PROGRAM_SOURCE",
+    "coin_program",
+    "dime_quarter_program",
+    "dime_quarter_database",
+    "biased_die_program",
+]
+
+#: ``Π_coin`` from Section 3 (⊥ written as a native constraint).
+COIN_PROGRAM_SOURCE = """
+coin(flip<0.5>).
+aux2 :- coin(1), not aux1.
+aux1 :- coin(1), not aux2.
+:- coin(0).
+"""
+
+#: The Appendix-E dime/quarter program (stratified negation; Figure 1).
+DIME_QUARTER_PROGRAM_SOURCE = """
+dimetail(X, flip<0.5>[X]) :- dime(X).
+somedimetail :- dimetail(X, 1).
+quartertail(X, flip<0.5>[X]) :- quarter(X), not somedimetail.
+"""
+
+#: A biased-die roll per player (appendix B's parameterized-distribution example).
+BIASED_DIE_PROGRAM_SOURCE = """
+roll(X, die<{p1}, {p2}, {p3}, {p4}, {p5}, {p6}>[X]) :- player(X).
+"""
+
+
+def coin_program(bias: float = 0.5) -> GDatalogProgram:
+    """``Π_coin`` with a configurable bias for the flip."""
+    source = COIN_PROGRAM_SOURCE.replace("0.5", str(bias), 1)
+    return parse_gdatalog_program(source)
+
+
+def dime_quarter_program(dime_bias: float = 0.5, quarter_bias: float = 0.5) -> GDatalogProgram:
+    """The dime/quarter program with configurable biases."""
+    source = DIME_QUARTER_PROGRAM_SOURCE.replace("flip<0.5>[X]) :- dime", f"flip<{dime_bias}>[X]) :- dime")
+    source = source.replace("flip<0.5>[X]) :- quarter", f"flip<{quarter_bias}>[X]) :- quarter")
+    return parse_gdatalog_program(source)
+
+
+def dime_quarter_database(dimes: int = 2, quarters: int = 1) -> Database:
+    """The Appendix-E database: dimes ``1..d`` and quarters ``d+1..d+q`` (global identifiers)."""
+    facts = [fact("dime", i) for i in range(1, dimes + 1)]
+    facts += [fact("quarter", dimes + j) for j in range(1, quarters + 1)]
+    return Database(facts)
+
+
+def biased_die_program(weights: tuple[float, float, float, float, float, float]) -> GDatalogProgram:
+    """One biased-die roll per ``player`` fact (Appendix B's Die distribution)."""
+    source = BIASED_DIE_PROGRAM_SOURCE.format(
+        p1=weights[0], p2=weights[1], p3=weights[2], p4=weights[3], p5=weights[4], p6=weights[5]
+    )
+    return parse_gdatalog_program(source)

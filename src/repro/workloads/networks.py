@@ -1,0 +1,129 @@
+"""Network-resilience workloads (the paper's running example, Examples 1.1/3.1/3.6).
+
+A network of routers, some initially infected by a malware that attempts to
+infect neighbours with a fixed success rate.  The network is *dominated*
+when every router is infected or isolated (connected only to infected
+routers); the GDatalog¬[Δ] encoding uses a Flip Δ-term for propagation, a
+negated literal for "uninfected", and a constraint for the existence of two
+connected uninfected routers.
+
+This module builds the program and databases for a family of topologies so
+the benchmark harness can sweep over network size and infection probability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import networkx as nx
+
+from repro.exceptions import ValidationError
+from repro.gdatalog.syntax import GDatalogProgram
+from repro.logic.atoms import fact
+from repro.logic.database import Database
+from repro.logic.parser import parse_gdatalog_program
+
+__all__ = [
+    "RESILIENCE_PROGRAM_TEMPLATE",
+    "resilience_program",
+    "monotone_infection_program",
+    "network_database",
+    "paper_example_database",
+    "random_network",
+    "topology_graph",
+]
+
+#: The GDatalog¬[Δ] encoding of malware domination (Example 3.1), parameterized
+#: by the propagation probability.
+RESILIENCE_PROGRAM_TEMPLATE = """
+infected(Y, flip<{p}>[X, Y]) :- infected(X, 1), connected(X, Y).
+uninfected(X) :- router(X), not infected(X, 1).
+:- uninfected(X), uninfected(Y), connected(X, Y).
+"""
+
+#: The purely monotone propagation fragment (no negation), used when comparing
+#: against baselines that cannot express the non-monotonic domination check.
+MONOTONE_PROGRAM_TEMPLATE = """
+infected(Y, flip<{p}>[X, Y]) :- infected(X, 1), connected(X, Y).
+reached(X) :- infected(X, 1).
+"""
+
+
+def resilience_program(infection_probability: float = 0.1) -> GDatalogProgram:
+    """The domination program with the given propagation probability."""
+    if not 0.0 <= infection_probability <= 1.0:
+        raise ValidationError("infection probability must lie in [0, 1]")
+    return parse_gdatalog_program(RESILIENCE_PROGRAM_TEMPLATE.format(p=infection_probability))
+
+
+def monotone_infection_program(infection_probability: float = 0.1) -> GDatalogProgram:
+    """The negation-free propagation program (comparable with ProbLog-style baselines)."""
+    if not 0.0 <= infection_probability <= 1.0:
+        raise ValidationError("infection probability must lie in [0, 1]")
+    return parse_gdatalog_program(MONOTONE_PROGRAM_TEMPLATE.format(p=infection_probability))
+
+
+def topology_graph(kind: str, n: int, seed: int = 0, edge_probability: float = 0.4) -> nx.Graph:
+    """Build an undirected router topology.
+
+    Supported kinds: ``clique``, ``star``, ``chain``, ``cycle``, ``grid``
+    (⌈√n⌉ × ⌈√n⌉ truncated to *n* nodes), ``er`` (Erdős–Rényi) and ``ba``
+    (Barabási–Albert).
+    """
+    if n <= 0:
+        raise ValidationError("topologies need at least one router")
+    if kind == "clique":
+        return nx.complete_graph(n)
+    if kind == "star":
+        return nx.star_graph(n - 1)
+    if kind == "chain":
+        return nx.path_graph(n)
+    if kind == "cycle":
+        return nx.cycle_graph(n)
+    if kind == "grid":
+        side = int(n**0.5) + (0 if int(n**0.5) ** 2 == n else 1)
+        grid = nx.grid_2d_graph(side, side)
+        relabelled = nx.convert_node_labels_to_integers(grid, ordering="sorted")
+        return relabelled.subgraph(range(n)).copy()
+    if kind == "er":
+        return nx.gnp_random_graph(n, edge_probability, seed=seed)
+    if kind == "ba":
+        attachment = max(1, min(2, n - 1))
+        return nx.barabasi_albert_graph(n, attachment, seed=seed)
+    raise ValidationError(f"unknown topology kind {kind!r}")
+
+
+def network_database(graph: nx.Graph, infected_seeds: Iterable[int] = (0,)) -> Database:
+    """Encode a topology and its infection seeds as a database.
+
+    Routers are numbered ``1..n`` (graph nodes are shifted by one so the
+    encoding matches the paper's Example 3.6); every undirected edge yields
+    two ``connected`` facts.
+    """
+    facts = []
+    mapping = {node: i + 1 for i, node in enumerate(sorted(graph.nodes()))}
+    for node in graph.nodes():
+        facts.append(fact("router", mapping[node]))
+    for left, right in graph.edges():
+        facts.append(fact("connected", mapping[left], mapping[right]))
+        facts.append(fact("connected", mapping[right], mapping[left]))
+    for seed in infected_seeds:
+        if seed not in graph.nodes():
+            raise ValidationError(f"infection seed {seed} is not a node of the topology")
+        facts.append(fact("infected", mapping[seed], 1))
+    return Database(facts)
+
+
+def paper_example_database() -> Database:
+    """The database of Example 3.6: a 3-router clique with router 1 infected."""
+    return network_database(topology_graph("clique", 3), infected_seeds=[0])
+
+
+def random_network(
+    n: int, kind: str = "er", seed: int = 0, edge_probability: float = 0.4, seeds: Sequence[int] = (0,)
+) -> Database:
+    """A random topology of *n* routers with the given infection seeds."""
+    graph = topology_graph(kind, n, seed=seed, edge_probability=edge_probability)
+    usable_seeds = [s for s in seeds if s in graph.nodes()] or [sorted(graph.nodes())[0]]
+    return network_database(graph, infected_seeds=usable_seeds)

@@ -1,0 +1,93 @@
+"""Unit tests for metrics, text tables and timing helpers."""
+
+from __future__ import annotations
+
+import math
+import time
+
+import pytest
+
+from repro.analysis import (
+    TextTable,
+    Timer,
+    absolute_error,
+    distributions_close,
+    format_probability,
+    kl_divergence,
+    normalize_distribution,
+    relative_error,
+    time_call,
+    total_variation_distance,
+)
+
+
+class TestMetrics:
+    def test_total_variation(self):
+        left = {"a": 0.5, "b": 0.5}
+        right = {"a": 0.25, "b": 0.75}
+        assert total_variation_distance(left, right) == pytest.approx(0.25)
+        assert total_variation_distance(left, left) == 0.0
+
+    def test_total_variation_disjoint_supports(self):
+        assert total_variation_distance({"a": 1.0}, {"b": 1.0}) == pytest.approx(1.0)
+
+    def test_kl_divergence(self):
+        p = {"a": 0.5, "b": 0.5}
+        q = {"a": 0.9, "b": 0.1}
+        assert kl_divergence(p, p) == pytest.approx(0.0)
+        assert kl_divergence(p, q) > 0.0
+        assert math.isinf(kl_divergence({"a": 1.0}, {"b": 1.0}))
+
+    def test_normalize(self):
+        assert normalize_distribution({"a": 2.0, "b": 2.0}) == {"a": 0.5, "b": 0.5}
+        with pytest.raises(ValueError):
+            normalize_distribution({"a": 0.0})
+
+    def test_errors(self):
+        assert absolute_error(0.2, 0.25) == pytest.approx(0.05)
+        assert relative_error(0.2, 0.25) == pytest.approx(0.2)
+        assert relative_error(0.0, 0.0) == 0.0
+        assert math.isinf(relative_error(0.1, 0.0))
+
+    def test_distributions_close(self):
+        assert distributions_close({"a": 0.5}, {"a": 0.5 + 1e-12})
+        assert not distributions_close({"a": 0.5}, {"a": 0.6})
+
+
+class TestTextTable:
+    def test_render_alignment(self):
+        table = TextTable(["name", "p"], title="demo")
+        table.add_row("clique", 0.19)
+        table.add_row("chain", 0.5)
+        rendered = table.render()
+        lines = rendered.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1] and "p" in lines[1]
+        assert "0.190000" in rendered
+
+    def test_wrong_column_count(self):
+        with pytest.raises(ValueError):
+            TextTable(["a", "b"]).add_row(1)
+
+    def test_add_rows_and_rows_copy(self):
+        table = TextTable(["a"]).add_rows([[1], [2]])
+        rows = table.rows
+        rows[0][0] = "mutated"
+        assert table.rows[0][0] == "1"
+
+    def test_format_probability(self):
+        assert format_probability(0.1234567) == "0.123457"
+        assert format_probability(0.5, digits=2) == "0.50"
+
+
+class TestTiming:
+    def test_timer_context(self):
+        with Timer() as timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= 0.005
+        assert timer.milliseconds >= 5.0
+
+    def test_time_call(self):
+        result, elapsed = time_call(lambda: 21 * 2)
+        assert result == 42
+        assert elapsed >= 0.0

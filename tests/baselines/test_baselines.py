@@ -1,0 +1,185 @@
+"""Unit tests for the BCKOV, ProbLog-style and credal-PASP baselines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    BCKOVEngine,
+    CredalInterval,
+    PASPProgram,
+    ProbabilisticFact,
+    ProbLogProgram,
+)
+from repro.exceptions import ValidationError
+from repro.gdatalog.engine import GDatalogEngine
+from repro.logic.atoms import atom, fact
+from repro.logic.database import Database
+from repro.logic.parser import parse_datalog_program, parse_gdatalog_program
+from repro.workloads import random_database, random_positive_program
+
+
+class TestBCKOVEngine:
+    def test_rejects_negation_and_constraints(self):
+        program = parse_gdatalog_program("p(X) :- q(X), not r(X).")
+        with pytest.raises(ValidationError):
+            BCKOVEngine(program, Database())
+
+    def test_single_flip(self):
+        program = parse_gdatalog_program("value(X, flip<0.3>[X]) :- item(X).")
+        result = BCKOVEngine(program, Database([fact("item", 1)])).run()
+        assert len(result) == 2
+        assert result.finite_probability == pytest.approx(1.0)
+        probabilities = sorted(o.probability for o in result.outcomes)
+        assert probabilities == pytest.approx([0.3, 0.7])
+        # Each outcome contains the sampled value atom plus the Result atom.
+        for outcome in result.outcomes:
+            values = [a for a in outcome.instance if a.predicate.name == "value"]
+            assert len(values) == 1
+            assert len(outcome.visible_atoms()) < len(outcome.instance)
+
+    def test_derived_chain(self):
+        program = parse_gdatalog_program(
+            """
+            value(X, flip<0.5>[X]) :- item(X).
+            good(X) :- value(X, 1).
+            """
+        )
+        result = BCKOVEngine(program, Database([fact("item", 1)])).run()
+        good_mass = sum(o.probability for o in result.outcomes if fact("good", 1) in o.instance)
+        assert good_mass == pytest.approx(0.5)
+
+    def test_shared_event_signature_shares_sample(self):
+        # Two rules sampling with the same Δ-term signature must agree on the value.
+        program = parse_gdatalog_program(
+            """
+            a(X, flip<0.5>[X]) :- item(X).
+            b(X, flip<0.5>[X]) :- item(X).
+            """
+        )
+        result = BCKOVEngine(program, Database([fact("item", 1)])).run()
+        assert len(result) == 2
+        for outcome in result.outcomes:
+            a_value = next(a.args[-1] for a in outcome.instance if a.predicate.name == "a")
+            b_value = next(a.args[-1] for a in outcome.instance if a.predicate.name == "b")
+            assert a_value == b_value
+
+    def test_matches_simple_grounder_semantics(self):
+        """Theorem C.4 (spot check): identical distributions over minimal models."""
+        for seed in (0, 3, 5):
+            program = random_positive_program(seed=seed, rule_count=4)
+            database = random_database(seed=seed)
+            bckov = BCKOVEngine(program, database).run()
+            engine = GDatalogEngine(program, database, grounder="simple")
+            ours: dict[frozenset, float] = {}
+            for outcome in engine.possible_outcomes():
+                models = outcome.stable_models_modulo(hide_active=True, hide_result=False)
+                assert len(models) == 1  # Lemma C.5(1)
+                key = next(iter(models))
+                ours[key] = ours.get(key, 0.0) + outcome.probability
+            theirs = bckov.distribution_over_instances()
+            assert set(ours) == set(theirs)
+            for key in ours:
+                assert ours[key] == pytest.approx(theirs[key])
+
+
+REACH_RULES = parse_datalog_program(
+    """
+    reach(X) :- start(X).
+    reach(Y) :- reach(X), edge(X, Y).
+    blocked(X) :- node(X), not reach(X).
+    """
+)
+
+
+class TestProbLog:
+    def setup_method(self):
+        self.facts = [
+            ProbabilisticFact(0.5, fact("edge", 1, 2)),
+            ProbabilisticFact(0.4, fact("edge", 2, 3)),
+        ]
+        self.db = Database.from_relations({"start": [(1,)], "node": [(1,), (2,), (3,)]})
+        self.program = ProbLogProgram(self.facts, REACH_RULES, self.db)
+
+    def test_query_probability(self):
+        assert self.program.query(fact("reach", 2)) == pytest.approx(0.5)
+        assert self.program.query(fact("reach", 3)) == pytest.approx(0.2)
+        assert self.program.query(fact("blocked", 3)) == pytest.approx(0.8)
+
+    def test_query_many_consistent_with_query(self):
+        atoms = [fact("reach", 2), fact("reach", 3)]
+        combined = self.program.query_many(atoms)
+        for a in atoms:
+            assert combined[a] == pytest.approx(self.program.query(a))
+
+    def test_distribution_over_models_sums_to_one(self):
+        distribution = self.program.distribution_over_models()
+        assert sum(distribution.values()) == pytest.approx(1.0)
+        assert len(distribution) == 4
+
+    def test_estimate_close_to_exact(self):
+        estimate = self.program.estimate_query(fact("reach", 3), n=3000, seed=0)
+        assert abs(estimate - 0.2) < 0.03
+
+    def test_probability_validation(self):
+        with pytest.raises(ValidationError):
+            ProbabilisticFact(1.5, fact("edge", 1, 2))
+        with pytest.raises(ValidationError):
+            ProbabilisticFact(0.5, atom("edge", 1, "X"))
+
+    def test_requires_stratified_rules(self):
+        unstratified = parse_datalog_program("a(X) :- n(X), not b(X). b(X) :- n(X), not a(X).")
+        with pytest.raises(ValidationError):
+            ProbLogProgram([], unstratified, Database())
+
+    def test_str_rendering(self):
+        assert "0.5::edge(1, 2)." in str(self.program)
+
+
+class TestPASP:
+    def setup_method(self):
+        # World: a coin; if it lands heads we may choose one of two colours
+        # (even loop → two stable models); tails forces no colour.
+        self.rules = parse_datalog_program(
+            """
+            red :- heads, not blue.
+            blue :- heads, not red.
+            """
+        )
+        self.facts = [ProbabilisticFact(0.6, fact("heads"))]
+        self.program = PASPProgram(self.facts, self.rules)
+
+    def test_credal_interval(self):
+        interval = self.program.query(fact("red"))
+        assert interval.lower == pytest.approx(0.0)
+        assert interval.upper == pytest.approx(0.6)
+        assert interval.inconsistent_mass == pytest.approx(0.0)
+        assert interval.width() == pytest.approx(0.6)
+
+    def test_deterministic_consequence_has_tight_interval(self):
+        rules = parse_datalog_program("win :- heads.")
+        program = PASPProgram([ProbabilisticFact(0.3, fact("heads"))], rules)
+        interval = program.query(fact("win"))
+        assert interval.lower == pytest.approx(0.3)
+        assert interval.upper == pytest.approx(0.3)
+
+    def test_inconsistent_choices_reported(self):
+        rules = parse_datalog_program("a :- heads, not a.")
+        program = PASPProgram([ProbabilisticFact(0.25, fact("heads"))], rules)
+        interval = program.query(fact("a"))
+        assert interval.inconsistent_mass == pytest.approx(0.25)
+        assert program.consistency_probability() == pytest.approx(0.75)
+
+    def test_estimate_close_to_exact(self):
+        estimate = self.program.estimate_query(fact("red"), n=2000, seed=1)
+        assert abs(estimate.upper - 0.6) < 0.05
+        assert estimate.lower == pytest.approx(0.0)
+
+    def test_too_many_facts_rejected(self):
+        many = [ProbabilisticFact(0.5, fact("f", i)) for i in range(30)]
+        with pytest.raises(ValidationError):
+            PASPProgram(many, parse_datalog_program("g :- f(0)."))
+
+    def test_interval_str(self):
+        rendered = str(CredalInterval(0.1, 0.5, 0.05))
+        assert "0.1" in rendered and "inconsistent" in rendered

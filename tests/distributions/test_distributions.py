@@ -1,0 +1,209 @@
+"""Unit tests for the parameterized distributions and the registry."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distributions import (
+    BinomialDistribution,
+    CategoricalDistribution,
+    ConstantDistribution,
+    DieDistribution,
+    DistributionRegistry,
+    FlipDistribution,
+    GeometricDistribution,
+    PoissonDistribution,
+    UniformIntDistribution,
+    default_registry,
+)
+from repro.exceptions import DistributionError
+
+
+class TestFlip:
+    def setup_method(self):
+        self.flip = FlipDistribution()
+
+    def test_pmf(self):
+        assert self.flip.pmf([0.3], 1) == pytest.approx(0.3)
+        assert self.flip.pmf([0.3], 0) == pytest.approx(0.7)
+        assert self.flip.pmf([0.3], 2) == 0.0
+
+    def test_support(self):
+        assert list(self.flip.support([0.3])) == [0, 1]
+        assert list(self.flip.support([0.0])) == [0]
+        assert list(self.flip.support([1.0])) == [1]
+
+    def test_invalid_parameters_collapse_to_fallback(self):
+        assert self.flip.pmf([1.5], 0) == 1.0
+        assert list(self.flip.support([1.5])) == [0]
+
+    def test_validate_params(self):
+        with pytest.raises(DistributionError):
+            self.flip.validate_params([1.5])
+        with pytest.raises(DistributionError):
+            self.flip.validate_params([0.2, 0.3])
+        self.flip.validate_params([0.2])
+
+    def test_sampling_frequency(self):
+        rng = np.random.default_rng(0)
+        samples = [self.flip.sample([0.25], rng) for _ in range(4000)]
+        assert abs(sum(samples) / len(samples) - 0.25) < 0.03
+
+    def test_finite_support(self):
+        assert self.flip.has_finite_support([0.5])
+
+
+class TestCategoricalAndDie:
+    def test_categorical_pmf(self):
+        categorical = CategoricalDistribution()
+        weights = [0.2, 0.3, 0.5]
+        assert categorical.pmf(weights, 1) == pytest.approx(0.2)
+        assert categorical.pmf(weights, 3) == pytest.approx(0.5)
+        assert categorical.pmf(weights, 4) == 0.0
+        assert list(categorical.support(weights)) == [1, 2, 3]
+
+    def test_categorical_invalid_weights(self):
+        categorical = CategoricalDistribution()
+        assert categorical.pmf([0.5, 0.2], 0) == 1.0
+        assert list(categorical.support([0.5, 0.2])) == [0]
+
+    def test_zero_weight_excluded_from_support(self):
+        categorical = CategoricalDistribution()
+        assert list(categorical.support([0.5, 0.0, 0.5])) == [1, 3]
+
+    def test_die_matches_paper_appendix(self):
+        die = DieDistribution()
+        fair = [1 / 6] * 6
+        assert die.pmf(fair, 3) == pytest.approx(1 / 6)
+        assert die.pmf(fair, 0) == 0.0
+        # Incorrect instantiation: all the mass goes to the fallback outcome 0.
+        assert die.pmf([0.5] * 6, 0) == 1.0
+        assert die.pmf([1 / 6] * 5, 0) == 1.0
+
+    def test_die_support_sums_to_one(self):
+        die = DieDistribution()
+        fair = [1 / 6] * 6
+        assert sum(die.pmf(fair, o) for o in die.support(fair)) == pytest.approx(1.0)
+
+
+class TestUniformBinomial:
+    def test_uniform_int(self):
+        uniform = UniformIntDistribution()
+        assert uniform.pmf([1, 4], 2) == pytest.approx(0.25)
+        assert list(uniform.support([1, 4])) == [1, 2, 3, 4]
+        assert uniform.pmf([4, 1], 2) == 0.0  # invalid: lo > hi → fallback
+        assert uniform.pmf([4, 1], 0) == 1.0
+
+    def test_binomial(self):
+        binomial = BinomialDistribution()
+        assert binomial.pmf([3, 0.5], 0) == pytest.approx(0.125)
+        assert binomial.pmf([3, 0.5], 2) == pytest.approx(0.375)
+        assert sum(binomial.pmf([5, 0.3], k) for k in binomial.support([5, 0.3])) == pytest.approx(1.0)
+        assert binomial.pmf([3, 0.5], 7) == 0.0
+
+
+class TestGeometricPoisson:
+    def test_geometric_pmf(self):
+        geometric = GeometricDistribution()
+        assert geometric.pmf([0.5], 0) == pytest.approx(0.5)
+        assert geometric.pmf([0.5], 2) == pytest.approx(0.125)
+        assert not geometric.has_finite_support([0.5])
+        assert geometric.has_finite_support([1.0])
+
+    def test_geometric_truncated_support(self):
+        geometric = GeometricDistribution()
+        outcomes, mass = geometric.truncated_support([0.5], mass_tolerance=1e-3)
+        assert outcomes[0] == 0
+        assert mass >= 1 - 1e-3
+
+    def test_geometric_sampling(self):
+        geometric = GeometricDistribution()
+        rng = np.random.default_rng(1)
+        samples = [geometric.sample([0.5], rng) for _ in range(2000)]
+        assert abs(np.mean(samples) - 1.0) < 0.15  # mean of Geometric(0.5) failures = 1
+
+    def test_poisson_pmf(self):
+        poisson = PoissonDistribution()
+        assert poisson.pmf([2.0], 0) == pytest.approx(math.exp(-2.0))
+        assert poisson.pmf([2.0], 3) == pytest.approx(math.exp(-2.0) * 8 / 6)
+        assert not poisson.has_finite_support([2.0])
+
+    def test_poisson_truncation_and_sampling(self):
+        poisson = PoissonDistribution()
+        outcomes, mass = poisson.truncated_support([1.0], mass_tolerance=1e-6)
+        assert mass >= 1 - 1e-6
+        rng = np.random.default_rng(2)
+        samples = [poisson.sample([4.0], rng) for _ in range(2000)]
+        assert abs(np.mean(samples) - 4.0) < 0.25
+
+
+class TestConstant:
+    def test_dirac(self):
+        constant = ConstantDistribution()
+        assert constant.pmf([7], 7) == 1.0
+        assert constant.pmf([7], 6) == 0.0
+        assert list(constant.support([7])) == [7]
+        assert list(constant.support([2.5])) == [2.5]
+
+
+class TestRegistry:
+    def test_default_registry_contents(self):
+        registry = default_registry()
+        for name in ("flip", "categorical", "die", "uniform_int", "binomial", "geometric", "poisson", "constant"):
+            assert registry.knows(name)
+        assert len(registry) == 8
+
+    def test_lookup_case_insensitive(self):
+        registry = default_registry()
+        assert registry.get("Flip").name == "flip"
+        assert "FLIP" in registry
+
+    def test_unknown_distribution(self):
+        with pytest.raises(DistributionError):
+            default_registry().get("mystery")
+
+    def test_register_custom(self):
+        class Always42(ConstantDistribution):
+            name = "always42"
+
+        registry = DistributionRegistry([Always42()])
+        assert registry.knows("always42")
+
+    def test_conflicting_registration_rejected(self):
+        registry = default_registry()
+
+        class FakeFlip(ConstantDistribution):
+            name = "flip"
+
+        with pytest.raises(DistributionError):
+            registry.register(FakeFlip())
+
+    def test_copy_is_independent(self):
+        registry = default_registry()
+        clone = registry.copy()
+
+        class Extra(ConstantDistribution):
+            name = "extra"
+
+        clone.register(Extra())
+        assert not registry.knows("extra")
+
+
+class TestPmfNormalization:
+    @pytest.mark.parametrize(
+        "distribution,params",
+        [
+            (FlipDistribution(), [0.3]),
+            (CategoricalDistribution(), [0.1, 0.2, 0.7]),
+            (DieDistribution(), [1 / 6] * 6),
+            (UniformIntDistribution(), [2, 5]),
+            (BinomialDistribution(), [4, 0.4]),
+            (ConstantDistribution(), [3]),
+        ],
+    )
+    def test_finite_supports_sum_to_one(self, distribution, params):
+        total = sum(distribution.pmf(params, o) for o in distribution.support(params))
+        assert total == pytest.approx(1.0)

@@ -1,0 +1,238 @@
+"""Unit tests for the simple and perfect grounders (Definitions 3.4 and 5.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GroundingError, StratificationError
+from repro.gdatalog.atr import GroundAtRRule
+from repro.gdatalog.grounders import PerfectGrounder, SimpleGrounder, heads_of, make_grounder
+from repro.gdatalog.translate import translate_program
+from repro.logic.atoms import Atom, atom, fact
+from repro.logic.database import Database
+from repro.logic.parser import parse_gdatalog_program
+from repro.logic.terms import Constant
+from repro.workloads import (
+    dime_quarter_database,
+    dime_quarter_program,
+    paper_example_database,
+    resilience_program,
+)
+
+
+@pytest.fixture()
+def resilience_setup():
+    program = resilience_program(0.1)
+    database = paper_example_database()
+    translated = translate_program(program)
+    return translated, database
+
+
+@pytest.fixture()
+def dime_quarter_setup():
+    program = dime_quarter_program()
+    database = dime_quarter_database(dimes=2, quarters=1)
+    translated = translate_program(program)
+    return translated, database
+
+
+class TestSimpleGrounder:
+    def test_empty_atr_set_grounds_initial_activations(self, resilience_setup):
+        translated, database = resilience_setup
+        grounder = SimpleGrounder(translated, database)
+        grounding = grounder.ground(frozenset())
+        heads = heads_of(grounding)
+        spec = translated.atr_specs[0]
+        # Router 1 is infected and connected to routers 2 and 3: two activations.
+        active_12 = Atom(spec.active_predicate, (Constant(0.1), Constant(1), Constant(2)))
+        active_13 = Atom(spec.active_predicate, (Constant(0.1), Constant(1), Constant(3)))
+        assert active_12 in heads and active_13 in heads
+        # Example 3.6: the uninfected rules for all three routers are present.
+        assert fact("uninfected", 2) in heads or any(
+            r.head == fact("uninfected", 2) for r in grounding
+        )
+
+    def test_triggers_reported(self, resilience_setup):
+        translated, database = resilience_setup
+        grounder = SimpleGrounder(translated, database)
+        grounding = grounder.ground(frozenset())
+        triggers = grounder.pending_triggers(frozenset(), grounding)
+        assert len(triggers) == 2
+        assert not grounder.is_terminal(frozenset(), grounding)
+
+    def test_extension_with_atr_rules_adds_consumption(self, resilience_setup):
+        """Mirrors Example 3.6: both flips fail, routers 2 and 3 stay uninfected."""
+        translated, database = resilience_setup
+        grounder = SimpleGrounder(translated, database)
+        spec = translated.atr_specs[0]
+        atr = frozenset(
+            GroundAtRRule.of(spec, Atom(spec.active_predicate, (Constant(0.1), Constant(1), Constant(i))), 0)
+            for i in (2, 3)
+        )
+        grounding = grounder.ground(atr)
+        heads = heads_of(grounding)
+        assert fact("infected", 2, 0) in heads
+        assert fact("infected", 3, 0) in heads
+        assert grounder.is_terminal(atr, grounding)
+
+    def test_monotonicity(self, resilience_setup):
+        translated, database = resilience_setup
+        grounder = SimpleGrounder(translated, database)
+        spec = translated.atr_specs[0]
+        small = frozenset(
+            [GroundAtRRule.of(spec, Atom(spec.active_predicate, (Constant(0.1), Constant(1), Constant(2))), 0)]
+        )
+        large = small | {
+            GroundAtRRule.of(spec, Atom(spec.active_predicate, (Constant(0.1), Constant(1), Constant(3))), 1)
+        }
+        assert grounder.ground(small) <= grounder.ground(large)
+
+    def test_seeding_does_not_change_result(self, resilience_setup):
+        translated, database = resilience_setup
+        grounder = SimpleGrounder(translated, database)
+        spec = translated.atr_specs[0]
+        base = grounder.ground(frozenset())
+        atr = frozenset(
+            [GroundAtRRule.of(spec, Atom(spec.active_predicate, (Constant(0.1), Constant(1), Constant(2))), 1)]
+        )
+        assert grounder.ground(atr) == grounder.ground(atr, seed=base)
+
+    def test_inconsistent_atr_set_rejected(self, resilience_setup):
+        translated, database = resilience_setup
+        grounder = SimpleGrounder(translated, database)
+        spec = translated.atr_specs[0]
+        active = Atom(spec.active_predicate, (Constant(0.1), Constant(1), Constant(2)))
+        inconsistent = frozenset(
+            [GroundAtRRule.of(spec, active, 0), GroundAtRRule.of(spec, active, 1)]
+        )
+        with pytest.raises(GroundingError):
+            grounder.ground(inconsistent)
+
+    def test_constraints_are_instantiated(self, resilience_setup):
+        translated, database = resilience_setup
+        grounder = SimpleGrounder(translated, database)
+        grounding = grounder.ground(frozenset())
+        constraint_instances = [r for r in grounding if r.is_constraint]
+        assert constraint_instances  # uninfected pairs among routers 1..3
+        assert all(r.is_ground for r in constraint_instances)
+
+
+class TestPerfectGrounder:
+    def test_requires_stratified_program(self):
+        unstratified = parse_gdatalog_program(
+            "a(X) :- e(X), not b(X). b(X) :- e(X), not a(X)."
+        )
+        with pytest.raises(StratificationError):
+            PerfectGrounder(translate_program(unstratified), Database([fact("e", 1)]))
+
+    def test_initial_grounding_stops_at_uncovered_stratum(self, dime_quarter_setup):
+        translated, database = dime_quarter_setup
+        grounder = PerfectGrounder(translated, database)
+        grounding = grounder.ground(frozenset())
+        heads = heads_of(grounding)
+        spec = translated.atr_specs[0]
+        # Dime activations present, quarter activation absent (its stratum is
+        # blocked by the uncovered dime Active atoms).
+        assert Atom(spec.active_predicate, (Constant(0.5), Constant(1))) in heads
+        assert Atom(spec.active_predicate, (Constant(0.5), Constant(2))) in heads
+        assert Atom(spec.active_predicate, (Constant(0.5), Constant(3))) not in heads
+
+    def test_appendix_example_some_dime_tail(self, dime_quarter_setup):
+        """First worked example of Appendix E: dime 1 tails, dime 2 heads."""
+        translated, database = dime_quarter_setup
+        grounder = PerfectGrounder(translated, database)
+        spec = translated.atr_specs[0]
+        atr = frozenset(
+            [
+                GroundAtRRule.of(spec, Atom(spec.active_predicate, (Constant(0.5), Constant(1))), 1),
+                GroundAtRRule.of(spec, Atom(spec.active_predicate, (Constant(0.5), Constant(2))), 0),
+            ]
+        )
+        grounding = grounder.ground(atr)
+        heads = heads_of(grounding)
+        assert fact("dimetail", 1, 1) in heads
+        assert fact("somedimetail") in heads
+        # The quarter is never activated: SomeDimeTail blocks the rule.
+        assert Atom(spec.active_predicate, (Constant(0.5), Constant(3))) not in heads
+        assert grounder.is_terminal(atr, grounding)
+
+    def test_appendix_example_no_dime_tail(self, dime_quarter_setup):
+        """Second worked example of Appendix E: both dimes show heads."""
+        translated, database = dime_quarter_setup
+        grounder = PerfectGrounder(translated, database)
+        spec = translated.atr_specs[0]
+        atr = frozenset(
+            [
+                GroundAtRRule.of(spec, Atom(spec.active_predicate, (Constant(0.5), Constant(1))), 0),
+                GroundAtRRule.of(spec, Atom(spec.active_predicate, (Constant(0.5), Constant(2))), 0),
+            ]
+        )
+        grounding = grounder.ground(atr)
+        heads = heads_of(grounding)
+        assert fact("somedimetail") not in heads
+        # Now the quarter activation appears, so this AtR set is not terminal.
+        assert Atom(spec.active_predicate, (Constant(0.5), Constant(3))) in heads
+        assert not grounder.is_terminal(atr, grounding)
+
+    def test_perfect_prunes_superfluous_rules_compared_to_simple(self, dime_quarter_setup):
+        translated, database = dime_quarter_setup
+        simple = SimpleGrounder(translated, database)
+        perfect = PerfectGrounder(translated, database)
+        spec = translated.atr_specs[0]
+        atr = frozenset(
+            [
+                GroundAtRRule.of(spec, Atom(spec.active_predicate, (Constant(0.5), Constant(1))), 1),
+                GroundAtRRule.of(spec, Atom(spec.active_predicate, (Constant(0.5), Constant(2))), 0),
+            ]
+        )
+        simple_grounding = simple.ground(atr)
+        perfect_grounding = perfect.ground(atr)
+        assert perfect_grounding < simple_grounding
+        # The simple grounder keeps the (superfluous) quarter activation.
+        quarter_active = Atom(spec.active_predicate, (Constant(0.5), Constant(3)))
+        assert quarter_active in heads_of(simple_grounding)
+        assert quarter_active not in heads_of(perfect_grounding)
+
+    def test_stable_models_agree_between_grounders_on_terminals(self, dime_quarter_setup):
+        from repro.stable.solver import StableModelSolver
+
+        translated, database = dime_quarter_setup
+        simple = SimpleGrounder(translated, database)
+        perfect = PerfectGrounder(translated, database)
+        spec = translated.atr_specs[0]
+        # Terminal for the perfect grounder (dime 1 shows tail).
+        atr = frozenset(
+            [
+                GroundAtRRule.of(spec, Atom(spec.active_predicate, (Constant(0.5), Constant(1))), 1),
+                GroundAtRRule.of(spec, Atom(spec.active_predicate, (Constant(0.5), Constant(2))), 1),
+            ]
+        )
+        solver = StableModelSolver()
+
+        def models(grounder):
+            rules = tuple(grounder.ground(atr)) + tuple(r.as_rule() for r in atr)
+            projected = set()
+            for model in solver.enumerate(rules):
+                projected.add(
+                    frozenset(a for a in model if not a.predicate.name.startswith(("active_", "result_")))
+                )
+            return projected
+
+        assert models(simple) == models(perfect)
+
+
+class TestMakeGrounder:
+    def test_resolve_by_name(self, dime_quarter_setup):
+        translated, database = dime_quarter_setup
+        assert isinstance(make_grounder("simple", translated, database), SimpleGrounder)
+        assert isinstance(make_grounder("perfect", translated, database), PerfectGrounder)
+
+    def test_pass_through_instance(self, dime_quarter_setup):
+        translated, database = dime_quarter_setup
+        instance = SimpleGrounder(translated, database)
+        assert make_grounder(instance, translated, database) is instance
+
+    def test_unknown_name(self, dime_quarter_setup):
+        translated, database = dime_quarter_setup
+        with pytest.raises(GroundingError):
+            make_grounder("clever", translated, database)

@@ -1,0 +1,111 @@
+"""Edge-case tests for chase limits, output spaces and sampler reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ChaseLimitError
+from repro.gdatalog.chase import ChaseConfig, ChaseEngine
+from repro.gdatalog.grounders import SimpleGrounder, heads_of
+from repro.gdatalog.probability_space import OutputSpace
+from repro.gdatalog.sampler import Estimate
+from repro.gdatalog.translate import translate_program
+from repro.logic.atoms import fact
+from repro.logic.database import Database
+from repro.logic.parser import parse_gdatalog_program
+from repro.logic.rules import constraint, fact_rule
+from repro.workloads import paper_example_database, resilience_program
+
+
+class TestChaseLimits:
+    def _grounder(self):
+        translated = translate_program(resilience_program(0.5))
+        return SimpleGrounder(translated, paper_example_database())
+
+    def test_max_outcomes_truncation(self):
+        config = ChaseConfig(max_outcomes=3)
+        result = ChaseEngine(self._grounder(), config).run()
+        assert len(result.outcomes) == 3
+        assert result.truncated_paths > 0
+        assert result.error_probability > 0.0
+        assert result.finite_probability + result.error_probability == pytest.approx(1.0)
+
+    def test_max_outcomes_strict_raises(self):
+        config = ChaseConfig(max_outcomes=3, strict=True)
+        with pytest.raises(ChaseLimitError):
+            ChaseEngine(self._grounder(), config).run()
+
+    def test_max_support_caps_branching(self):
+        program = parse_gdatalog_program("count(X, poisson<3.0>[X]) :- item(X).")
+        translated = translate_program(program)
+        grounder = SimpleGrounder(translated, Database([fact("item", 1)]))
+        config = ChaseConfig(mass_tolerance=0.0, max_support=4)
+        result = ChaseEngine(grounder, config).run()
+        assert len(result.outcomes) == 4
+        assert result.error_probability > 0.0
+
+    def test_deterministic_program_single_empty_outcome(self):
+        program = parse_gdatalog_program("p(X) :- q(X).")
+        translated = translate_program(program)
+        grounder = SimpleGrounder(translated, Database([fact("q", 1)]))
+        result = ChaseEngine(grounder).run()
+        assert len(result.outcomes) == 1
+        only = result.outcomes[0]
+        assert only.probability == pytest.approx(1.0)
+        assert only.atr_rules == frozenset()
+        assert fact("p", 1) in heads_of(only.grounding)
+
+
+class TestOutputSpaceEdgeCases:
+    def test_empty_space(self):
+        space = OutputSpace([], error_probability=1.0)
+        assert len(space) == 0
+        assert space.finite_probability == 0.0
+        assert space.total_probability() == pytest.approx(1.0)
+        assert space.events() == []
+        assert space.probability_has_stable_model() == 0.0
+
+    def test_visible_only_flag_changes_event_grouping(self, resilience_engine):
+        outcomes = resilience_engine.possible_outcomes()
+        visible_space = OutputSpace(outcomes, visible_only=True)
+        raw_space = OutputSpace(outcomes, visible_only=False)
+        # Grouping by raw stable models (which include Result atoms) is at
+        # least as fine as grouping by visible stable models.
+        assert len(raw_space.events()) >= len(visible_space.events())
+        assert raw_space.finite_probability == pytest.approx(visible_space.finite_probability)
+
+    def test_conditional_preserves_translated_reference(self, resilience_engine):
+        space = resilience_engine.output_space()
+        posterior = space.conditional(lambda o: o.has_stable_model)
+        for outcome in posterior:
+            assert outcome.translated is resilience_engine.translated
+
+
+class TestEstimateAndStats:
+    def test_estimate_rendering_and_interval(self):
+        estimate = Estimate(0.25, 0.01, 400)
+        rendered = str(estimate)
+        assert "0.25" in rendered and "n=400" in rendered
+        low, high = estimate.confidence_interval(z=2.0)
+        assert low == pytest.approx(0.23)
+        assert high == pytest.approx(0.27)
+
+    def test_constraint_only_outcomes(self):
+        """A program whose only generative choice feeds a constraint."""
+        source = """
+        coin(flip<0.5>).
+        :- coin(1).
+        """
+        from repro.gdatalog.engine import GDatalogEngine
+
+        engine = GDatalogEngine.from_source(source)
+        space = engine.output_space()
+        assert len(space) == 2
+        assert space.probability_has_stable_model() == pytest.approx(0.5)
+        assert space.probability_no_stable_model() == pytest.approx(0.5)
+
+
+class TestGrounderHelpers:
+    def test_heads_of_skips_constraints(self):
+        rules = [fact_rule(fact("a", 1)), constraint([fact("a", 1)])]
+        assert heads_of(rules) == frozenset({fact("a", 1)})

@@ -1,0 +1,267 @@
+"""Unit tests for Δ-terms, GDatalog syntax, the translation Π → Σ_Π and AtR machinery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GroundingError, StratificationError, ValidationError
+from repro.gdatalog.atr import (
+    AtRSpec,
+    GroundAtRRule,
+    atr_function,
+    is_compatible,
+    is_consistent,
+    outcome_to_constant,
+    pending_active_atoms,
+)
+from repro.gdatalog.delta_terms import DeltaTerm
+from repro.gdatalog.syntax import GDatalogProgram, GDatalogRule, HeadAtom, desugar_constraints
+from repro.gdatalog.translate import translate_program, translate_rule
+from repro.logic.atoms import Atom, Predicate, atom
+from repro.logic.parser import parse_gdatalog_program
+from repro.logic.terms import Constant, Variable
+from repro.distributions import default_registry
+
+X, Y = Variable("X"), Variable("Y")
+
+
+class TestDeltaTerm:
+    def test_construction_and_views(self):
+        delta = DeltaTerm("flip", (Constant(0.1),), (X, Y))
+        assert delta.parameter_dimension == 1
+        assert delta.event_arity == 2
+        assert delta.variables() == {X, Y}
+        assert not delta.is_ground
+
+    def test_empty_parameters_rejected(self):
+        with pytest.raises(ValidationError):
+            DeltaTerm("flip", (), ())
+
+    def test_substitute(self):
+        delta = DeltaTerm("flip", (X,), (Y,))
+        grounded = delta.substitute({X: Constant(0.5), Y: Constant(2)})
+        assert grounded.is_ground
+        assert grounded.parameter_values() == (0.5,)
+
+    def test_parameter_values_requires_ground(self):
+        with pytest.raises(ValidationError):
+            DeltaTerm("flip", (X,), ()).parameter_values()
+
+    def test_str(self):
+        assert str(DeltaTerm("flip", (Constant(0.1),), (X,))) == "flip<0.1>[X]"
+        assert str(DeltaTerm("flip", (Constant(0.5),), ())) == "flip<0.5>"
+
+
+class TestHeadAtomAndRule:
+    def test_head_atom_views(self):
+        head = HeadAtom(Predicate("v", 2), (X, DeltaTerm("flip", (Constant(0.1),), (X,))))
+        assert head.has_delta
+        assert head.variables() == {X}
+        assert len(head.delta_terms()) == 1
+        with pytest.raises(ValidationError):
+            head.to_atom()
+
+    def test_plain_head_atom(self):
+        head = HeadAtom.from_atom(atom("p", "X"))
+        assert not head.has_delta
+        assert head.to_atom() == atom("p", "X")
+
+    def test_rule_safety_checks(self):
+        delta = DeltaTerm("flip", (Constant(0.1),), (Y,))
+        with pytest.raises(ValidationError):
+            GDatalogRule(HeadAtom(Predicate("v", 1), (delta,)), (atom("q", "X"),), ())
+        with pytest.raises(ValidationError):
+            GDatalogRule(HeadAtom.from_atom(atom("p", "X")), (atom("q", "X"),), (atom("r", "Z"),))
+
+    def test_rule_views(self):
+        program = parse_gdatalog_program("v(X, flip<0.1>[X]) :- q(X), not r(X).")
+        rule_ = program.rules[0]
+        assert rule_.is_generative
+        assert not rule_.is_constraint
+        assert not rule_.is_positive
+        assert {p.name for p in rule_.predicates()} == {"v", "q", "r"}
+        with pytest.raises(ValidationError):
+            rule_.to_rule()
+
+    def test_constraint_constructor(self):
+        constraint_rule = GDatalogRule.constraint((atom("a", "X"),), (atom("b", "X"),))
+        assert constraint_rule.is_constraint
+        assert constraint_rule.to_rule().is_constraint
+
+
+class TestProgramValidation:
+    def test_unknown_distribution(self):
+        delta = DeltaTerm("mystery", (Constant(0.1),), ())
+        rule_ = GDatalogRule(HeadAtom(Predicate("v", 1), (delta,)), (), ())
+        with pytest.raises(ValidationError):
+            GDatalogProgram([rule_])
+
+    def test_wrong_parameter_dimension(self):
+        delta = DeltaTerm("flip", (Constant(0.1), Constant(0.2)), ())
+        rule_ = GDatalogRule(HeadAtom(Predicate("v", 1), (delta,)), (), ())
+        with pytest.raises(ValidationError):
+            GDatalogProgram([rule_])
+
+    def test_edb_idb_partition(self):
+        program = parse_gdatalog_program("v(X, flip<0.1>[X]) :- q(X).")
+        assert {p.name for p in program.intensional_predicates()} == {"v"}
+        assert {p.name for p in program.extensional_predicates()} == {"q"}
+
+    def test_stratification_detection(self):
+        stratified = parse_gdatalog_program(
+            "a(X) :- e(X). b(X) :- e(X), not a(X)."
+        )
+        assert stratified.is_stratified
+        unstratified = parse_gdatalog_program(
+            "a(X) :- e(X), not b(X). b(X) :- e(X), not a(X)."
+        )
+        assert not unstratified.is_stratified
+        with pytest.raises(StratificationError):
+            unstratified.stratification()
+
+    def test_desugar_constraints(self):
+        program = parse_gdatalog_program("p(X) :- q(X). :- p(X), bad(X).")
+        desugared = desugar_constraints(program)
+        assert not any(r.is_constraint for r in desugared.rules)
+        head_names = {r.head.predicate.name for r in desugared.rules}
+        assert "__fail__flag" in head_names and "__fail__aux" in head_names
+
+    def test_desugar_noop_without_constraints(self):
+        program = parse_gdatalog_program("p(X) :- q(X).")
+        assert len(desugar_constraints(program)) == len(program)
+
+    def test_restricted_to_heads(self):
+        program = parse_gdatalog_program("a(X) :- e(X). b(X) :- a(X).")
+        restricted = program.restricted_to_heads([Predicate("a", 1)])
+        assert len(restricted) == 1
+
+
+class TestTranslation:
+    def test_non_generative_rule_translates_to_itself(self):
+        program = parse_gdatalog_program("p(X) :- q(X), not r(X).")
+        translation = translate_rule(program.rules[0])
+        assert len(translation.rules) == 1
+        assert translation.atr_specs == ()
+        assert translation.rules[0].negative_body == (atom("r", "X"),)
+
+    def test_generative_rule_produces_activation_and_consumption(self):
+        program = parse_gdatalog_program("infected(Y, flip<0.1>[X, Y]) :- infected(X, 1), connected(X, Y).")
+        translation = translate_rule(program.rules[0])
+        assert len(translation.rules) == 2
+        assert len(translation.atr_specs) == 1
+        spec = translation.atr_specs[0]
+        assert spec.active_predicate.name == "active_flip_1_2"
+        assert spec.active_predicate.arity == 3
+        assert spec.result_predicate.arity == 4
+        activation, consumption = translation.rules
+        assert activation.head.predicate == spec.active_predicate
+        assert consumption.head.predicate.name == "infected"
+        # The consumption rule joins the Result atom with the original body.
+        assert any(a.predicate == spec.result_predicate for a in consumption.positive_body)
+
+    def test_negative_body_copied_to_both_rules(self):
+        program = parse_gdatalog_program("v(X, flip<0.5>[X]) :- q(X), not r(X).")
+        translation = translate_rule(program.rules[0])
+        for produced in translation.rules:
+            assert produced.negative_body == (atom("r", "X"),)
+
+    def test_multiple_delta_terms_in_one_head(self):
+        program = parse_gdatalog_program("pair(X, flip<0.5>[X], flip<0.3>[X]) :- item(X).")
+        translation = translate_rule(program.rules[0])
+        assert len(translation.atr_specs) == 2
+        assert len(translation.rules) == 3  # two activations + one consumption
+
+    def test_translated_program_views(self):
+        program = parse_gdatalog_program(
+            """
+            v(X, flip<0.5>[X]) :- item(X).
+            w(X) :- v(X, 1).
+            """
+        )
+        translated = translate_program(program)
+        assert len(translated.existential_free_rules) == 3
+        assert len(translated.atr_specs) == 1
+        assert len(translated.active_predicates) == 1
+        spec = translated.atr_specs[0]
+        assert translated.spec_for_active(spec.active_predicate) == spec
+        with pytest.raises(KeyError):
+            translated.spec_for_active(Predicate("active_unknown_1_0", 1))
+
+    def test_rules_for_head_predicates(self):
+        program = parse_gdatalog_program(
+            """
+            v(X, flip<0.5>[X]) :- item(X).
+            w(X) :- v(X, 1).
+            """
+        )
+        translated = translate_program(program)
+        v_rules = translated.rules_for_head_predicates([Predicate("v", 2)])
+        assert len(v_rules) == 2
+        w_rules = translated.rules_for_head_predicates([Predicate("w", 1)])
+        assert len(w_rules) == 1
+
+    def test_reserved_prefix_rejected(self):
+        program = parse_gdatalog_program("active_thing(X) :- q(X).")
+        with pytest.raises(ValidationError):
+            translate_program(program)
+
+    def test_bckov_translation_omits_activation_rules(self):
+        program = parse_gdatalog_program("v(X, flip<0.5>[X]) :- item(X).")
+        translated = translate_program(program, bckov=True)
+        assert len(translated.existential_free_rules) == 1
+
+    def test_strip_helpers(self):
+        program = parse_gdatalog_program("v(X, flip<0.5>[X]) :- item(X).")
+        translated = translate_program(program)
+        spec = translated.atr_specs[0]
+        active = Atom(spec.active_predicate, (Constant(0.5), Constant(1)))
+        result = Atom(spec.result_predicate, (Constant(0.5), Constant(1), Constant(1)))
+        visible = atom("v", 1, 1)
+        assert translated.strip_active([active, result, visible]) == frozenset({result, visible})
+        assert translated.strip_auxiliary([active, result, visible]) == frozenset({visible})
+
+
+class TestAtR:
+    def setup_method(self):
+        self.spec = AtRSpec("flip", 1, 1)
+        self.active = Atom(self.spec.active_predicate, (Constant(0.5), Constant(7)))
+
+    def test_spec_predicates(self):
+        assert self.spec.active_predicate.arity == 2
+        assert self.spec.result_predicate.arity == 3
+
+    def test_ground_atr_rule(self):
+        rule_ = GroundAtRRule.of(self.spec, self.active, 1)
+        assert rule_.outcome == Constant(1)
+        assert rule_.parameters() == (0.5,)
+        assert rule_.probability(default_registry()) == pytest.approx(0.5)
+        plain = rule_.as_rule()
+        assert plain.positive_body == (self.active,)
+
+    def test_mismatched_atoms_rejected(self):
+        wrong_result = Atom(self.spec.result_predicate, (Constant(0.9), Constant(7), Constant(1)))
+        with pytest.raises(ValidationError):
+            GroundAtRRule(self.spec, self.active, wrong_result)
+
+    def test_consistency(self):
+        first = GroundAtRRule.of(self.spec, self.active, 1)
+        second = GroundAtRRule.of(self.spec, self.active, 0)
+        assert is_consistent([first])
+        assert not is_consistent([first, second])
+        with pytest.raises(GroundingError):
+            atr_function([first, second])
+
+    def test_atr_function_and_compatibility(self):
+        rule_ = GroundAtRRule.of(self.spec, self.active, 1)
+        mapping = atr_function([rule_])
+        assert mapping[self.active] == rule_.result_atom
+        actives = {self.spec.active_predicate}
+        assert is_compatible([rule_], [self.active], actives)
+        other_active = Atom(self.spec.active_predicate, (Constant(0.5), Constant(8)))
+        assert not is_compatible([rule_], [self.active, other_active], actives)
+        assert pending_active_atoms([rule_], [self.active, other_active], actives) == [other_active]
+
+    def test_outcome_to_constant(self):
+        assert outcome_to_constant(True) == Constant(1)
+        assert outcome_to_constant(2.0) == Constant(2)
+        assert outcome_to_constant(2.5) == Constant(2.5)

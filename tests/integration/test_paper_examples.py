@@ -1,0 +1,170 @@
+"""Integration tests reproducing every worked example of the paper.
+
+* Example 1.1 / 3.1 / 3.6 / 3.10 — network resilience, P(dominated) = 0.19.
+* Section 3 "coin" program — heads ↦ no stable model, tails ↦ two stable models.
+* Appendix B — the biased die with its fallback outcome.
+* Appendix E — the dime/quarter program under the perfect grounder (Figure 1).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gdatalog.engine import GDatalogEngine
+from repro.logic.atoms import atom, fact
+from repro.logic.database import Database
+from repro.workloads import (
+    biased_die_program,
+    coin_program,
+    dime_quarter_database,
+    dime_quarter_program,
+)
+
+
+class TestNetworkResilienceExample:
+    """Examples 3.1, 3.6 and 3.10."""
+
+    def test_domination_probability_is_019(self, resilience_engine):
+        assert resilience_engine.probability_has_stable_model() == pytest.approx(0.19)
+
+    def test_example_36_outcome_has_probability_081(self, resilience_engine):
+        """The possible outcome where both initial flips fail has Pr = 0.9²."""
+        space = resilience_engine.output_space()
+        no_model_mass = space.probability_no_stable_model()
+        assert no_model_mass == pytest.approx(0.81)
+        # That event is realized by exactly one possible outcome: both flips 0.
+        failing = [o for o in space if not o.has_stable_model]
+        assert len(failing) == 1
+        assert failing[0].probability == pytest.approx(0.81)
+        assert len(failing[0].atr_rules) == 2
+        assert all(r.outcome_value == 0 for r in failing[0].atr_rules)
+
+    def test_total_probability_mass(self, resilience_engine):
+        space = resilience_engine.output_space()
+        assert space.finite_probability == pytest.approx(1.0)
+        assert space.error_probability == pytest.approx(0.0, abs=1e-9)
+
+    def test_domination_under_both_grounders(self, resilience_engine):
+        from repro.workloads import paper_example_database, resilience_program
+
+        perfect = GDatalogEngine(resilience_program(0.1), paper_example_database(), grounder="perfect")
+        assert perfect.probability_has_stable_model() == pytest.approx(0.19)
+
+    def test_higher_infection_rate_increases_domination(self):
+        from repro.workloads import paper_example_database, resilience_program
+
+        low = GDatalogEngine(resilience_program(0.1), paper_example_database())
+        high = GDatalogEngine(resilience_program(0.5), paper_example_database())
+        assert high.probability_has_stable_model() > low.probability_has_stable_model()
+
+    def test_uninfected_marginal(self, resilience_engine):
+        """Router 2 is uninfected exactly when no flip targeting it succeeds."""
+        # P(uninfected(2)) among outcomes WITH stable models: only when 3 was
+        # infected but failed to pass the malware on to 2.
+        p = resilience_engine.marginal(atom("uninfected", 2), mode="cautious")
+        assert 0.0 < p < 0.19
+
+
+class TestCoinExample:
+    """The Π_coin program of Section 3."""
+
+    def test_two_possible_outcomes(self, coin_engine):
+        space = coin_engine.output_space()
+        assert len(space) == 2
+        assert space.finite_probability == pytest.approx(1.0)
+
+    def test_heads_has_no_stable_model(self, coin_engine):
+        space = coin_engine.output_space()
+        heads = next(o for o in space if not o.has_stable_model)
+        assert heads.probability == pytest.approx(0.5)
+        assert any(r.outcome_value == 0 for r in heads.atr_rules)
+
+    def test_tails_has_two_stable_models(self, coin_engine):
+        space = coin_engine.output_space()
+        tails = next(o for o in space if o.has_stable_model)
+        assert tails.probability == pytest.approx(0.5)
+        visible = tails.visible_stable_models()
+        assert len(visible) == 2
+        expected = {
+            frozenset({fact("coin", 1), fact("aux1")}),
+            frozenset({fact("coin", 1), fact("aux2")}),
+        }
+        assert visible == expected
+
+    def test_adding_constraint_on_tails_merges_events(self):
+        """Adding ``:- coin(1).`` makes both outcomes induce the empty model set."""
+        source = """
+        coin(flip<0.5>).
+        aux2 :- coin(1), not aux1.
+        aux1 :- coin(1), not aux2.
+        :- coin(0).
+        :- coin(1).
+        """
+        engine = GDatalogEngine.from_source(source)
+        space = engine.output_space()
+        assert len(space) == 2
+        events = space.events()
+        assert len(events) == 1
+        assert events[0].probability == pytest.approx(1.0)
+        assert not events[0].has_stable_model
+
+
+class TestBiasedDieExample:
+    """Appendix B: the parameterized Die distribution."""
+
+    def test_valid_die(self):
+        program = biased_die_program((0.1, 0.1, 0.1, 0.1, 0.1, 0.5))
+        engine = GDatalogEngine(program, Database([fact("player", 1)]))
+        space = engine.output_space()
+        assert len(space) == 6
+        assert space.marginal(fact("roll", 1, 6)) == pytest.approx(0.5)
+        assert space.marginal(fact("roll", 1, 0)) == pytest.approx(0.0)
+
+    def test_invalid_die_collapses_to_outcome_zero(self):
+        program = biased_die_program((0.5, 0.5, 0.5, 0.5, 0.5, 0.5))
+        engine = GDatalogEngine(program, Database([fact("player", 1)]))
+        space = engine.output_space()
+        assert len(space) == 1
+        assert space.marginal(fact("roll", 1, 0)) == pytest.approx(1.0)
+
+
+class TestDimeQuarterExample:
+    """Appendix E (Figure 1): stratified negation and the perfect grounder."""
+
+    def test_possible_outcome_counts(self, dime_quarter_engines):
+        simple_space = dime_quarter_engines["simple"].output_space()
+        perfect_space = dime_quarter_engines["perfect"].output_space()
+        # Simple grounder: the quarter flip is always activated -> 2*2*2 outcomes.
+        assert len(simple_space) == 8
+        # Perfect grounder: the quarter is only flipped when no dime shows tail.
+        assert len(perfect_space) == 5
+
+    def test_marginals_agree_between_grounders(self, dime_quarter_engines):
+        simple_space = dime_quarter_engines["simple"].output_space()
+        perfect_space = dime_quarter_engines["perfect"].output_space()
+        for query in (fact("somedimetail"), fact("quartertail", 3, 1), fact("dimetail", 1, 1)):
+            assert simple_space.marginal(query) == pytest.approx(perfect_space.marginal(query))
+
+    def test_expected_probabilities(self, dime_quarter_engines):
+        space = dime_quarter_engines["perfect"].output_space()
+        assert space.marginal(fact("somedimetail")) == pytest.approx(0.75)
+        assert space.marginal(fact("quartertail", 3, 1)) == pytest.approx(0.125)
+        assert space.finite_probability == pytest.approx(1.0)
+
+    def test_every_outcome_has_exactly_one_stable_model(self, dime_quarter_engines):
+        """Lemma E.1: perfect-grounder outcomes have heads(Σ★) as the unique stable model."""
+        for outcome in dime_quarter_engines["perfect"].possible_outcomes():
+            assert len(outcome.stable_models) == 1
+            only_model = next(iter(outcome.stable_models))
+            assert only_model == outcome.head_atoms()
+
+    def test_figure_1_dependency_graph(self):
+        program = dime_quarter_program()
+        graph = program.dependency_graph()
+        names = {(s.name, t.name) for (s, t) in graph.positive_edges}
+        assert ("dime", "dimetail") in names
+        assert ("dimetail", "somedimetail") in names
+        assert ("quarter", "quartertail") in names
+        negative = {(s.name, t.name) for (s, t) in graph.negative_edges}
+        assert negative == {("somedimetail", "quartertail")}
+        assert not graph.has_negative_cycle()

@@ -1,0 +1,194 @@
+"""Integration tests that turn the paper's theorems and lemmas into executable checks.
+
+* Theorem 3.9 — the output is a probability space (mass accounting).
+* Theorem 3.12 / 5.3 — "as good as" ordering between grounders.
+* Lemma 4.3 / 4.4 — chase-node consistency and order independence.
+* Lemma 4.5 / Theorem 4.6 — bijection between finite chase paths and outcomes.
+* Lemma C.5 / C.6 / Theorem C.4 — positive programs: equivalence with BCKOV.
+* Lemma E.1 — perfect-grounder outcomes have a unique stable model = heads.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import BCKOVEngine
+from repro.gdatalog.atr import is_consistent
+from repro.gdatalog.chase import ChaseConfig, ChaseEngine, TriggerStrategy
+from repro.gdatalog.engine import GDatalogEngine
+from repro.gdatalog.grounders import PerfectGrounder, SimpleGrounder
+from repro.gdatalog.probability_space import OutputSpace
+from repro.gdatalog.translate import translate_program
+from repro.workloads import (
+    dime_quarter_database,
+    dime_quarter_program,
+    paper_example_database,
+    random_database,
+    random_positive_program,
+    random_stratified_program,
+    resilience_program,
+)
+
+
+class TestTheorem39ProbabilitySpace:
+    """The output of a program on a database is a probability space."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_stratified_mass_accounting(self, seed):
+        program = random_stratified_program(seed=seed, rule_count=3)
+        database = random_database(seed=seed, domain_size=2)
+        engine = GDatalogEngine(program, database, grounder="simple")
+        space = engine.output_space()
+        assert space.total_probability() == pytest.approx(1.0, abs=1e-6)
+        assert all(o.probability > 0.0 for o in space)
+        events = space.events()
+        assert sum(e.probability for e in events) == pytest.approx(space.finite_probability)
+
+    def test_events_are_disjoint(self, resilience_engine):
+        space = resilience_engine.output_space()
+        seen = set()
+        for event in space.events():
+            for outcome in event.outcomes:
+                assert outcome.atr_rules not in seen
+                seen.add(outcome.atr_rules)
+
+
+class TestLemmas43And44Chase:
+    def test_chase_nodes_are_functionally_consistent(self):
+        translated = translate_program(resilience_program(0.1))
+        grounder = SimpleGrounder(translated, paper_example_database())
+        engine = ChaseEngine(grounder)
+        node = engine.root()
+        frontier = [node]
+        visited = 0
+        while frontier and visited < 50:
+            current = frontier.pop()
+            visited += 1
+            assert is_consistent(current.atr_rules)  # Lemma 4.3(1)
+            triggers = current.triggers(grounder)
+            if triggers:
+                frontier.extend(engine.expand(current, engine.select_trigger(triggers)))
+
+    @pytest.mark.parametrize("grounder_name", ["simple", "perfect"])
+    def test_order_independence(self, grounder_name):
+        """Lemma 4.4: different trigger orders produce the same finite outcomes."""
+        program = dime_quarter_program()
+        database = dime_quarter_database(dimes=2, quarters=2)
+        translated = translate_program(program)
+        grounder_cls = SimpleGrounder if grounder_name == "simple" else PerfectGrounder
+        grounder = grounder_cls(translated, database)
+        results = []
+        for strategy in (TriggerStrategy.FIRST, TriggerStrategy.LAST, TriggerStrategy.RANDOM):
+            result = ChaseEngine(grounder, ChaseConfig(trigger_strategy=strategy, seed=13)).run()
+            results.append({(o.atr_rules, round(o.probability, 12)) for o in result.outcomes})
+        assert results[0] == results[1] == results[2]
+
+    def test_chase_paths_in_bijection_with_outcomes(self):
+        """Lemma 4.5: distinct finite paths yield distinct possible outcomes."""
+        translated = translate_program(resilience_program(0.1))
+        grounder = SimpleGrounder(translated, paper_example_database())
+        result = ChaseEngine(grounder).run()
+        atr_sets = [o.atr_rules for o in result.outcomes]
+        assert len(atr_sets) == len(set(atr_sets))
+
+
+class TestTheorem46FixpointSemantics:
+    def test_chase_space_equals_output_space(self, resilience_engine):
+        """The chase-based space mimics Π_G(D): same event masses."""
+        # Rebuild the space from a fresh chase with a different trigger order
+        # and compare the induced distributions over sets of stable models.
+        translated = translate_program(resilience_program(0.1))
+        grounder = SimpleGrounder(translated, paper_example_database())
+        other = ChaseEngine(grounder, ChaseConfig(trigger_strategy=TriggerStrategy.LAST)).run()
+        other_space = OutputSpace(other.outcomes, other.error_probability)
+        reference = resilience_engine.output_space().distribution_over_model_sets()
+        alternative = other_space.distribution_over_model_sets()
+        assert set(reference) == set(alternative)
+        for key in reference:
+            assert reference[key] == pytest.approx(alternative[key])
+
+
+class TestTheoremC4PositivePrograms:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_equivalence_with_bckov(self, seed):
+        program = random_positive_program(seed=seed, rule_count=4)
+        database = random_database(seed=seed, domain_size=3)
+        engine = GDatalogEngine(program, database, grounder="simple")
+        ours: dict[frozenset, float] = {}
+        for outcome in engine.possible_outcomes():
+            models = outcome.stable_models_modulo(hide_active=True, hide_result=False)
+            # Lemma C.5(1): positive outcomes have exactly one stable model.
+            assert len(models) == 1
+            key = next(iter(models))
+            ours[key] = ours.get(key, 0.0) + outcome.probability
+        bckov = BCKOVEngine(program, database).run()
+        theirs = bckov.distribution_over_instances()
+        # Lemma C.6 + Theorem C.4: same support, same probabilities.
+        assert set(ours) == set(theirs)
+        for key in ours:
+            assert ours[key] == pytest.approx(theirs[key])
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_outcome_counts_match(self, seed):
+        """Lemma C.5(2): distinct outcomes have distinct models, so counts agree."""
+        program = random_positive_program(seed=seed, rule_count=4)
+        database = random_database(seed=seed, domain_size=3)
+        engine = GDatalogEngine(program, database, grounder="simple")
+        bckov = BCKOVEngine(program, database).run()
+        assert len(engine.possible_outcomes()) == len(bckov.outcomes)
+
+
+class TestTheorems312And53AsGoodAs:
+    def test_simple_vs_perfect_on_positive_program(self):
+        """Theorem 3.12: for positive programs the two grounders induce the same semantics."""
+        program = random_positive_program(seed=2, rule_count=4)
+        database = random_database(seed=2)
+        simple_space = GDatalogEngine(program, database, grounder="simple").output_space()
+        perfect_space = GDatalogEngine(program, database, grounder="perfect").output_space()
+        assert simple_space.as_good_as(perfect_space)
+        assert perfect_space.as_good_as(simple_space)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_perfect_as_good_as_simple_on_stratified_programs(self, seed):
+        """Theorem 5.3: Π_GPerfect(D) is as good as Π_GSimple(D)."""
+        program = random_stratified_program(seed=seed, rule_count=3)
+        database = random_database(seed=seed, domain_size=2)
+        simple_space = GDatalogEngine(program, database, grounder="simple").output_space()
+        perfect_space = GDatalogEngine(program, database, grounder="perfect").output_space()
+        assert perfect_space.as_good_as(simple_space)
+
+    def test_perfect_strictly_better_with_superfluous_infinite_support(self):
+        """A stratified program where the simple grounder wastes mass on an
+        infinite-support Δ-term that the perfect grounder never activates."""
+        source = """
+        dimetail(X, flip<0.5>[X]) :- dime(X).
+        somedimetail :- dimetail(X, 1).
+        bonus(X, poisson<1.0>[X]) :- quarter(X), not somedimetail.
+        """
+        database = dime_quarter_database(dimes=1, quarters=1)
+        config = ChaseConfig(mass_tolerance=1e-3, max_support=16)
+        simple_space = GDatalogEngine.from_source(
+            source, "", grounder="simple", chase_config=config
+        )
+        # rebuild with the actual database objects
+        from repro.logic.parser import parse_gdatalog_program
+
+        program = parse_gdatalog_program(source)
+        simple_space = GDatalogEngine(program, database, grounder="simple", chase_config=config).output_space()
+        perfect_space = GDatalogEngine(program, database, grounder="perfect", chase_config=config).output_space()
+        assert perfect_space.as_good_as(simple_space)
+        # The perfect grounder avoids the truncated Poisson branch on the
+        # "dime shows tail" path, so it loses strictly less mass.
+        assert perfect_space.error_probability < simple_space.error_probability
+        assert perfect_space.finite_probability > simple_space.finite_probability
+
+
+class TestLemmaE1PerfectOutcomes:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_unique_stable_model_equals_heads(self, seed):
+        program = random_stratified_program(seed=seed, rule_count=3)
+        database = random_database(seed=seed, domain_size=2)
+        engine = GDatalogEngine(program, database, grounder="perfect")
+        for outcome in engine.possible_outcomes():
+            assert len(outcome.stable_models) == 1
+            assert next(iter(outcome.stable_models)) == outcome.head_atoms()

@@ -1,0 +1,191 @@
+"""Unit tests for databases, the tokenizer/parser and pretty printing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ParseError, ValidationError
+from repro.gdatalog.delta_terms import DeltaTerm
+from repro.logic.atoms import atom, fact
+from repro.logic.database import Database
+from repro.logic.parser import (
+    parse_atom,
+    parse_database,
+    parse_datalog_program,
+    parse_gdatalog_program,
+    tokenize,
+)
+from repro.logic.pretty import format_atom_set, format_interpretation, format_model_set, format_rules
+from repro.logic.rules import rule
+from repro.logic.terms import Constant, Variable
+
+
+class TestDatabase:
+    def test_from_relations(self):
+        db = Database.from_relations({"edge": [(1, 2), (2, 3)], "node": [(1,), (2,), (3,)]})
+        assert len(db) == 5
+        assert fact("edge", 1, 2) in db
+
+    def test_rejects_non_ground(self):
+        with pytest.raises(ValidationError):
+            Database([atom("p", "X")])
+
+    def test_union_and_with_facts(self):
+        db = Database([fact("p", 1)])
+        merged = db | Database([fact("q", 2)])
+        assert len(merged) == 2
+        extended = db.with_facts([fact("p", 2)])
+        assert len(extended) == 2
+
+    def test_relation_and_tuples(self):
+        db = Database.from_relations({"edge": [(1, 2), (2, 1)]})
+        assert db.tuples("edge") == [(1, 2), (2, 1)]
+        assert len(db.relation("edge")) == 2
+        assert db.tuples("missing") == []
+
+    def test_domain(self):
+        db = Database.from_relations({"edge": [(1, 2)]})
+        assert db.domain() == frozenset({Constant(1), Constant(2)})
+
+    def test_equality_and_hash(self):
+        assert Database([fact("p", 1)]) == Database([fact("p", 1)])
+        assert len({Database([fact("p", 1)]), Database([fact("p", 1)])}) == 1
+
+    def test_iteration_is_sorted(self):
+        db = Database([fact("b", 1), fact("a", 1)])
+        assert [str(a) for a in db] == ["a(1)", "b(1)"]
+
+
+class TestTokenizer:
+    def test_basic_tokens(self):
+        kinds = [t.kind for t in tokenize("p(X, 1) :- q(X).")]
+        assert kinds == [
+            "IDENT", "LPAREN", "IDENT", "COMMA", "NUMBER", "RPAREN",
+            "ARROW", "IDENT", "LPAREN", "IDENT", "RPAREN", "DOT",
+        ]
+
+    def test_comments_and_whitespace_skipped(self):
+        tokens = tokenize("% a comment\np(1).  % trailing\n")
+        assert [t.kind for t in tokens] == ["IDENT", "LPAREN", "NUMBER", "RPAREN", "DOT"]
+
+    def test_line_tracking(self):
+        tokens = tokenize("p(1).\nq(2).")
+        assert tokens[0].line == 1
+        assert tokens[-1].line == 2
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            tokenize("p(1) & q(2).")
+
+
+class TestParseAtomAndDatabase:
+    def test_parse_atom(self):
+        parsed = parse_atom("edge(1, X)")
+        assert parsed == atom("edge", 1, "X")
+
+    def test_parse_atom_strings_and_floats(self):
+        parsed = parse_atom('obs("hello", 0.25)')
+        assert parsed.args == (Constant("hello"), Constant(0.25))
+
+    def test_parse_atom_trailing_input(self):
+        with pytest.raises(ParseError):
+            parse_atom("edge(1, 2) extra")
+
+    def test_parse_database(self):
+        db = parse_database("router(1). router(2). connected(1, 2).")
+        assert len(db) == 3
+
+    def test_parse_database_rejects_rules(self):
+        with pytest.raises(ParseError):
+            parse_database("p(X) :- q(X).")
+
+    def test_parse_database_rejects_variables(self):
+        with pytest.raises(ParseError):
+            parse_database("p(X).")
+
+
+class TestParseDatalog:
+    def test_rules_constraints_facts(self):
+        program = parse_datalog_program(
+            """
+            reach(X) :- start(X).
+            reach(Y) :- reach(X), edge(X, Y).
+            unreached(X) :- node(X), not reach(X).
+            :- unreached(X), critical(X).
+            seed(1).
+            """
+        )
+        assert len(program) == 5
+        assert len(program.constraints()) == 1
+        assert not program.is_positive
+
+    def test_negative_number_constant(self):
+        program = parse_datalog_program("p(-1).")
+        assert program.rules[0].head == atom("p", -1)
+
+    def test_uppercase_predicate_rejected(self):
+        with pytest.raises(ParseError):
+            parse_datalog_program("Predicate(1).")
+
+    def test_delta_term_rejected_in_plain_datalog(self):
+        with pytest.raises(ParseError):
+            parse_datalog_program("p(flip<0.5>) :- q(1).")
+
+    def test_missing_dot(self):
+        with pytest.raises(ParseError):
+            parse_datalog_program("p(1)")
+
+
+class TestParseGDatalog:
+    def test_delta_term_in_head(self):
+        program = parse_gdatalog_program("value(X, flip<0.3>[X]) :- item(X).")
+        delta_terms = program.rules[0].delta_terms()
+        assert len(delta_terms) == 1
+        _, delta = delta_terms[0]
+        assert isinstance(delta, DeltaTerm)
+        assert delta.distribution == "flip"
+        assert delta.parameters == (Constant(0.3),)
+        assert delta.event_signature == (Variable("X"),)
+
+    def test_delta_term_without_event_signature(self):
+        program = parse_gdatalog_program("coin(flip<0.5>).")
+        _, delta = program.rules[0].delta_terms()[0]
+        assert delta.event_signature == ()
+
+    def test_unknown_distribution_rejected(self):
+        with pytest.raises(ParseError):
+            parse_gdatalog_program("coin(mystery<0.5>).")
+
+    def test_delta_term_in_body_rejected(self):
+        with pytest.raises(ParseError):
+            parse_gdatalog_program("p(X) :- q(flip<0.5>).")
+
+    def test_constraint_parsing(self):
+        program = parse_gdatalog_program(":- broken(X), critical(X).")
+        assert program.rules[0].is_constraint
+
+    def test_variadic_categorical(self):
+        program = parse_gdatalog_program("choice(X, categorical<0.2, 0.3, 0.5>[X]) :- item(X).")
+        _, delta = program.rules[0].delta_terms()[0]
+        assert delta.parameter_dimension == 3
+
+
+class TestPretty:
+    def test_format_atom_set(self):
+        rendered = format_atom_set([atom("b", 1), atom("a", 1)])
+        assert rendered == "{a(1), b(1)}"
+        assert format_atom_set([]) == "{}"
+
+    def test_format_interpretation_hides_auxiliary(self):
+        atoms = [atom("p", 1), atom("active_flip_1_0", 0.5), atom("result_flip_1_0", 0.5, 1)]
+        rendered = format_interpretation(atoms)
+        assert "active_flip" not in rendered and "p(1)" in rendered
+
+    def test_format_rules_sorted(self):
+        rendered = format_rules([rule(atom("b", 1), [atom("a", 1)]), rule(atom("a", 1), [])])
+        assert rendered.splitlines()[0].startswith("a(1)")
+
+    def test_format_model_set(self):
+        rendered = format_model_set([frozenset({atom("p", 1)}), frozenset()])
+        assert "{p(1)}" in rendered
+        assert format_model_set([]) == "(no stable models)"

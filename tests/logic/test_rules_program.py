@@ -1,0 +1,183 @@
+"""Unit tests for Datalog¬ rules, programs, dependency graphs and stratification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import StratificationError, ValidationError
+from repro.logic.atoms import Predicate, atom
+from repro.logic.literals import neg
+from repro.logic.program import DatalogProgram
+from repro.logic.rules import FALSE_ATOM, Rule, constraint, fact_rule, rule
+
+
+class TestRuleConstruction:
+    def test_simple_rule(self):
+        r = rule(atom("p", "X"), [atom("q", "X")])
+        assert r.head == atom("p", "X")
+        assert r.positive_body == (atom("q", "X"),)
+        assert not r.negative_body
+
+    def test_literal_body_items(self):
+        r = rule(atom("p", "X"), [atom("q", "X"), neg(atom("r", "X"))])
+        assert r.negative_body == (atom("r", "X"),)
+
+    def test_unsafe_head_rejected(self):
+        with pytest.raises(ValidationError):
+            rule(atom("p", "X"), [atom("q", "Y")])
+
+    def test_unsafe_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            rule(atom("p", "X"), [atom("q", "X")], negative=[atom("r", "Z")])
+
+    def test_fact_rule(self):
+        r = fact_rule(atom("p", 1))
+        assert r.is_fact
+        assert r.is_positive
+        with pytest.raises(ValidationError):
+            fact_rule(atom("p", "X"))
+
+    def test_constraint(self):
+        c = constraint([atom("p", "X"), atom("q", "X")])
+        assert c.is_constraint
+        assert c.head == FALSE_ATOM
+
+    def test_groundness(self):
+        assert rule(atom("p", 1), [atom("q", 1)]).is_ground
+        assert not rule(atom("p", "X"), [atom("q", "X")]).is_ground
+
+    def test_substitute(self):
+        r = rule(atom("p", "X"), [atom("q", "X")], negative=[atom("s", "X")])
+        grounded = r.substitute({atom("p", "X").args[0]: atom("p", 1).args[0]})
+        assert grounded.head == atom("p", 1)
+        assert grounded.negative_body == (atom("s", 1),)
+
+    def test_str_variants(self):
+        assert str(fact_rule(atom("p", 1))) == "p(1)."
+        assert str(rule(atom("p", "X"), [atom("q", "X")])) == "p(X) :- q(X)."
+        assert str(constraint([atom("q", 1)])) == ":- q(1)."
+
+    def test_body_literals(self):
+        r = rule(atom("p", "X"), [atom("q", "X")], negative=[atom("s", "X")])
+        literals = r.body_literals()
+        assert len(literals) == 2
+        assert literals[0].positive and literals[1].negative
+
+    def test_predicates(self):
+        r = rule(atom("p", "X"), [atom("q", "X")], negative=[atom("s", "X")])
+        names = {p.name for p in r.predicates()}
+        assert names == {"p", "q", "s"}
+
+
+class TestProgramViews:
+    def setup_method(self):
+        self.program = DatalogProgram(
+            [
+                rule(atom("reach", "X"), [atom("start", "X")]),
+                rule(atom("reach", "Y"), [atom("reach", "X"), atom("edge", "X", "Y")]),
+                rule(atom("unreached", "X"), [atom("node", "X")], negative=[atom("reach", "X")]),
+            ]
+        )
+
+    def test_schema_partition(self):
+        idb = {p.name for p in self.program.intensional_predicates()}
+        edb = {p.name for p in self.program.extensional_predicates()}
+        assert idb == {"reach", "unreached"}
+        assert edb == {"start", "edge", "node"}
+
+    def test_is_positive(self):
+        assert not self.program.is_positive
+        assert DatalogProgram([rule(atom("p", "X"), [atom("q", "X")])]).is_positive
+
+    def test_restricted_to_heads(self):
+        restricted = self.program.restricted_to_heads([Predicate("reach", 1)])
+        assert len(restricted) == 2
+
+    def test_with_rules(self):
+        bigger = self.program.with_rules([rule(atom("extra", "X"), [atom("node", "X")])])
+        assert len(bigger) == len(self.program) + 1
+
+    def test_constraints_view(self):
+        program = DatalogProgram([constraint([atom("p", "X")]), rule(atom("p", "X"), [atom("q", "X")])])
+        assert len(program.constraints()) == 1
+        assert len(program.proper_rules()) == 1
+
+
+class TestDependencyGraph:
+    def test_edges(self):
+        program = DatalogProgram(
+            [
+                rule(atom("p", "X"), [atom("q", "X")], negative=[atom("s", "X")]),
+                rule(atom("s", "X"), [atom("q", "X")]),
+            ]
+        )
+        graph = program.dependency_graph()
+        assert (Predicate("q", 1), Predicate("p", 1)) in graph.positive_edges
+        assert (Predicate("s", 1), Predicate("p", 1)) in graph.negative_edges
+
+    def test_depends_on(self):
+        program = DatalogProgram(
+            [
+                rule(atom("b", "X"), [atom("a", "X")]),
+                rule(atom("c", "X"), [atom("b", "X")]),
+            ]
+        )
+        graph = program.dependency_graph()
+        assert graph.depends_on(Predicate("c", 1), Predicate("a", 1))
+        assert not graph.depends_on(Predicate("a", 1), Predicate("c", 1))
+
+    def test_stratified_program(self):
+        program = DatalogProgram(
+            [
+                rule(atom("p", "X"), [atom("q", "X")]),
+                rule(atom("r", "X"), [atom("q", "X")], negative=[atom("p", "X")]),
+            ]
+        )
+        assert program.is_stratified
+        strata = program.stratification()
+        index_of = {next(iter(c)).name: i for i, c in enumerate(strata) if len(c) == 1}
+        assert index_of["p"] < index_of["r"]
+
+    def test_unstratified_program(self):
+        program = DatalogProgram(
+            [
+                rule(atom("a", "X"), [atom("n", "X")], negative=[atom("b", "X")]),
+                rule(atom("b", "X"), [atom("n", "X")], negative=[atom("a", "X")]),
+            ]
+        )
+        assert not program.is_stratified
+        with pytest.raises(StratificationError):
+            program.stratification()
+
+    def test_positive_cycle_is_fine(self):
+        program = DatalogProgram(
+            [
+                rule(atom("a", "X"), [atom("b", "X")]),
+                rule(atom("b", "X"), [atom("a", "X")]),
+            ]
+        )
+        assert program.is_stratified
+        components = program.stratification()
+        assert any(len(c) == 2 for c in components)
+
+    def test_topological_order_of_sccs(self):
+        program = DatalogProgram(
+            [
+                rule(atom("mid", "X"), [atom("base", "X")]),
+                rule(atom("top", "X"), [atom("mid", "X")]),
+            ]
+        )
+        strata = program.stratification()
+        names = [sorted(p.name for p in component) for component in strata]
+        assert names.index(["base"]) < names.index(["mid"]) < names.index(["top"])
+
+    def test_strata_subprograms(self):
+        program = DatalogProgram(
+            [
+                rule(atom("mid", "X"), [atom("base", "X")]),
+                rule(atom("top", "X"), [atom("mid", "X")], negative=[atom("base", "X")]),
+            ]
+        )
+        strata_programs = program.strata()
+        sizes = [len(p) for p in strata_programs]
+        assert sum(sizes) == 2

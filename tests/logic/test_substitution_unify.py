@@ -1,0 +1,170 @@
+"""Unit tests for substitutions, matching, unification and the fact index."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.logic.atoms import atom
+from repro.logic.substitution import EMPTY_SUBSTITUTION, Substitution
+from repro.logic.terms import Constant, Variable
+from repro.logic.unify import FactIndex, has_homomorphism, match_atom, match_conjunction, unify_atoms
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+
+
+class TestSubstitution:
+    def test_of_and_lookup(self):
+        sub = Substitution.of({X: Constant(1)})
+        assert sub[X] == Constant(1)
+        assert X in sub
+        assert Y not in sub
+        assert sub.get(Y) is None
+
+    def test_empty(self):
+        assert len(EMPTY_SUBSTITUTION) == 0
+        assert EMPTY_SUBSTITUTION.apply_term(X) == X
+
+    def test_conflicting_bindings_rejected(self):
+        with pytest.raises(ValidationError):
+            Substitution.of([(X, Constant(1)), (X, Constant(2))])
+
+    def test_invalid_key_rejected(self):
+        with pytest.raises(ValidationError):
+            Substitution.of({Constant(1): Constant(2)})  # type: ignore[dict-item]
+
+    def test_apply_atom(self):
+        sub = Substitution.of({X: Constant(1), Y: Constant(2)})
+        assert sub.apply_atom(atom("edge", "X", "Y")) == atom("edge", 1, 2)
+
+    def test_bind_extends(self):
+        sub = Substitution.of({X: Constant(1)})
+        extended = sub.bind(Y, Constant(2))
+        assert extended is not None
+        assert extended[Y] == Constant(2)
+        assert sub.get(Y) is None  # immutability
+
+    def test_bind_conflict_returns_none(self):
+        sub = Substitution.of({X: Constant(1)})
+        assert sub.bind(X, Constant(2)) is None
+        assert sub.bind(X, Constant(1)) == sub
+
+    def test_merge(self):
+        left = Substitution.of({X: Constant(1)})
+        right = Substitution.of({Y: Constant(2)})
+        merged = left.merge(right)
+        assert merged is not None and merged.domain == {X, Y}
+        conflicting = Substitution.of({X: Constant(3)})
+        assert left.merge(conflicting) is None
+
+    def test_compose_order(self):
+        first = Substitution.of({X: Y})
+        second = Substitution.of({Y: Constant(1)})
+        composed = first.compose(second)
+        assert composed.apply_term(X) == Constant(1)
+
+    def test_restrict(self):
+        sub = Substitution.of({X: Constant(1), Y: Constant(2)})
+        assert sub.restrict([X]).domain == {X}
+
+    def test_is_ground(self):
+        assert Substitution.of({X: Constant(1)}).is_ground
+        assert not Substitution.of({X: Y}).is_ground
+
+    def test_equality_is_order_independent(self):
+        assert Substitution.of({X: Constant(1), Y: Constant(2)}) == Substitution.of(
+            {Y: Constant(2), X: Constant(1)}
+        )
+
+
+class TestMatchAtom:
+    def test_basic_match(self):
+        result = match_atom(atom("edge", "X", 2), atom("edge", 1, 2))
+        assert result is not None
+        assert result[X] == Constant(1)
+
+    def test_constant_mismatch(self):
+        assert match_atom(atom("edge", 1, 1), atom("edge", 1, 2)) is None
+
+    def test_predicate_mismatch(self):
+        assert match_atom(atom("edge", "X"), atom("node", 1)) is None
+
+    def test_repeated_variable_must_agree(self):
+        assert match_atom(atom("edge", "X", "X"), atom("edge", 1, 2)) is None
+        assert match_atom(atom("edge", "X", "X"), atom("edge", 1, 1)) is not None
+
+    def test_respects_existing_binding(self):
+        binding = Substitution.of({X: Constant(9)})
+        assert match_atom(atom("node", "X"), atom("node", 1), binding) is None
+
+
+class TestFactIndex:
+    def test_add_and_lookup(self):
+        index = FactIndex([atom("edge", 1, 2)])
+        assert atom("edge", 1, 2) in index
+        assert len(index) == 1
+        assert index.facts_for(atom("edge", 1, 2).predicate) == {atom("edge", 1, 2)}
+
+    def test_add_duplicate(self):
+        index = FactIndex()
+        assert index.add(atom("p", 1)) is True
+        assert index.add(atom("p", 1)) is False
+
+    def test_add_all_counts_new(self):
+        index = FactIndex([atom("p", 1)])
+        assert index.add_all([atom("p", 1), atom("p", 2)]) == 1
+
+
+class TestMatchConjunction:
+    def setup_method(self):
+        self.facts = FactIndex(
+            [atom("edge", 1, 2), atom("edge", 2, 3), atom("edge", 1, 3), atom("node", 1), atom("node", 2)]
+        )
+
+    def test_single_pattern(self):
+        matches = list(match_conjunction([atom("node", "X")], self.facts))
+        values = {m[X] for m in matches}
+        assert values == {Constant(1), Constant(2)}
+
+    def test_join(self):
+        patterns = [atom("edge", "X", "Y"), atom("edge", "Y", "Z")]
+        matches = list(match_conjunction(patterns, self.facts))
+        triples = {(m[X], m[Y], m[Z]) for m in matches}
+        assert (Constant(1), Constant(2), Constant(3)) in triples
+        assert all(m[Y] == Constant(2) or m[Y] == Constant(3) for m in matches)
+
+    def test_empty_pattern_yields_identity(self):
+        matches = list(match_conjunction([], self.facts))
+        assert matches == [EMPTY_SUBSTITUTION]
+
+    def test_no_match(self):
+        assert list(match_conjunction([atom("edge", 3, "X")], self.facts)) == []
+
+    def test_has_homomorphism(self):
+        assert has_homomorphism([atom("edge", "X", "Y"), atom("node", "X")], self.facts)
+        assert not has_homomorphism([atom("edge", "X", "X")], self.facts)
+
+    def test_deterministic_enumeration(self):
+        patterns = [atom("edge", "X", "Y")]
+        first = [str(m) for m in match_conjunction(patterns, self.facts)]
+        second = [str(m) for m in match_conjunction(patterns, self.facts)]
+        assert first == second
+
+
+class TestUnifyAtoms:
+    def test_symmetric_unification(self):
+        result = unify_atoms(atom("p", "X", 2), atom("p", 1, "Y"))
+        assert result is not None
+        assert result[X] == Constant(1)
+        assert result[Y] == Constant(2)
+
+    def test_variable_to_variable(self):
+        result = unify_atoms(atom("p", "X"), atom("p", "Y"))
+        assert result is not None
+        assert result.apply_term(X) == result.apply_term(Y) or result.apply_term(Y) in (X, Y)
+
+    def test_clash(self):
+        assert unify_atoms(atom("p", 1), atom("p", 2)) is None
+
+    def test_predicate_mismatch(self):
+        assert unify_atoms(atom("p", 1), atom("q", 1)) is None

@@ -1,0 +1,151 @@
+"""Unit tests for terms, atoms and literals."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.logic.atoms import Atom, Predicate, atom, fact
+from repro.logic.literals import Literal, neg, pos
+from repro.logic.terms import Constant, Variable, is_ground_term, make_term
+
+
+class TestConstant:
+    def test_equality_and_hash(self):
+        assert Constant(1) == Constant(1)
+        assert Constant(1) != Constant(2)
+        assert hash(Constant("a")) == hash(Constant("a"))
+
+    def test_numeric_translation(self):
+        assert Constant(3).as_number() == 3.0
+        assert Constant(0.5).as_number() == 0.5
+        assert Constant(True).as_number() == 1.0
+        assert Constant("2.5").as_number() == 2.5
+
+    def test_non_numeric_string_raises(self):
+        with pytest.raises(ValidationError):
+            Constant("router").as_number()
+
+    def test_is_numeric_flag(self):
+        assert Constant(1).is_numeric
+        assert not Constant("x").is_numeric
+
+    def test_invalid_payload_rejected(self):
+        with pytest.raises(ValidationError):
+            Constant([1, 2])  # type: ignore[arg-type]
+
+    def test_string_rendering(self):
+        assert str(Constant(3)) == "3"
+        assert str(Constant("abc")) == "abc"
+        assert str(Constant("Hello world")) == '"Hello world"'
+
+
+class TestVariable:
+    def test_equality(self):
+        assert Variable("X") == Variable("X")
+        assert Variable("X") != Variable("Y")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValidationError):
+            Variable("")
+
+    def test_str(self):
+        assert str(Variable("Node")) == "Node"
+
+
+class TestMakeTerm:
+    def test_uppercase_becomes_variable(self):
+        assert make_term("X") == Variable("X")
+        assert make_term("_anon") == Variable("_anon")
+
+    def test_lowercase_and_numbers_become_constants(self):
+        assert make_term("alice") == Constant("alice")
+        assert make_term(7) == Constant(7)
+        assert make_term(0.25) == Constant(0.25)
+
+    def test_existing_terms_pass_through(self):
+        v = Variable("X")
+        assert make_term(v) is v
+
+    def test_is_ground_term(self):
+        assert is_ground_term(Constant(1))
+        assert not is_ground_term(Variable("X"))
+
+    def test_unsupported_value(self):
+        with pytest.raises(ValidationError):
+            make_term(object())
+
+
+class TestAtom:
+    def test_arity_checked(self):
+        with pytest.raises(ValidationError):
+            Atom(Predicate("edge", 2), (Constant(1),))
+
+    def test_builder_infers_arity(self):
+        built = atom("edge", 1, "X")
+        assert built.predicate == Predicate("edge", 2)
+        assert built.args == (Constant(1), Variable("X"))
+
+    def test_ground_detection(self):
+        assert atom("edge", 1, 2).is_ground
+        assert not atom("edge", 1, "X").is_ground
+
+    def test_variables_and_constants(self):
+        a = atom("r", "X", 3, "Y")
+        assert a.variables() == {Variable("X"), Variable("Y")}
+        assert a.constants() == {Constant(3)}
+
+    def test_substitute(self):
+        a = atom("edge", "X", "Y")
+        result = a.substitute({Variable("X"): Constant(1)})
+        assert result == atom("edge", 1, "Y")
+
+    def test_substitute_noop_returns_self(self):
+        a = atom("edge", 1, 2)
+        assert a.substitute({Variable("Z"): Constant(5)}) is a
+
+    def test_predicate_call_builds_atom(self):
+        predicate = Predicate("node", 1)
+        assert predicate(3) == atom("node", 3)
+
+    def test_fact_requires_ground(self):
+        with pytest.raises(ValidationError):
+            fact("edge", 1, "X")
+
+    def test_str_nullary(self):
+        assert str(atom("fail")) == "fail"
+
+    def test_str_with_args(self):
+        assert str(atom("edge", 1, "X")) == "edge(1, X)"
+
+    def test_hashable_in_sets(self):
+        assert len({atom("p", 1), atom("p", 1), atom("p", 2)}) == 2
+
+    def test_delta_like_argument_rejected(self):
+        with pytest.raises(ValidationError):
+            Atom(Predicate("p", 1), ("not-a-term",))  # type: ignore[arg-type]
+
+
+class TestLiteral:
+    def test_positive_and_negative(self):
+        a = atom("p", "X")
+        assert pos(a).positive
+        assert neg(a).negative
+        assert neg(a).atom == a
+
+    def test_negate(self):
+        literal = pos(atom("p", 1))
+        assert literal.negate() == neg(atom("p", 1))
+        assert literal.negate().negate() == literal
+
+    def test_substitute(self):
+        literal = neg(atom("p", "X"))
+        assert literal.substitute({Variable("X"): Constant(2)}) == neg(atom("p", 2))
+
+    def test_str(self):
+        assert str(pos(atom("p", 1))) == "p(1)"
+        assert str(neg(atom("p", 1))) == "not p(1)"
+
+    def test_groundness(self):
+        assert pos(atom("p", 1)).is_ground
+        assert not neg(atom("p", "X")).is_ground

@@ -1,0 +1,138 @@
+"""Unit tests for the PPDL layer: observations, constraint sets, conditioning and queries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InferenceError
+from repro.logic.atoms import atom
+from repro.ppdl import (
+    AtomQuery,
+    ConditionalQuery,
+    ConstraintSet,
+    EventQuery,
+    HasStableModelQuery,
+    Observation,
+    condition,
+)
+
+
+@pytest.fixture()
+def resilience_space(resilience_engine):
+    return resilience_engine.output_space()
+
+
+class TestObservation:
+    def test_of_accepts_strings(self):
+        observation = Observation.of("infected(2, 1)")
+        assert observation.atom == atom("infected", 2, 1)
+        assert not observation.negated
+
+    def test_holds_in_outcomes(self, resilience_space):
+        dominated = Observation.of("infected(2, 1)", mode="brave")
+        hits = [o for o in resilience_space if dominated.holds_in(o)]
+        assert hits
+        for outcome in hits:
+            assert any(atom("infected", 2, 1) in m for m in outcome.stable_models)
+
+    def test_negated_observation_on_inconsistent_outcome(self, coin_engine):
+        space = coin_engine.output_space()
+        no_model_outcome = next(o for o in space if not o.has_stable_model)
+        assert Observation.of("coin(1)", negated=True).holds_in(no_model_outcome)
+        assert not Observation.of("coin(1)").holds_in(no_model_outcome)
+
+    def test_str(self):
+        assert "not" in str(Observation.of("p(1)", negated=True))
+
+
+class TestConstraintSet:
+    def test_observing_builder(self, resilience_space):
+        constraints = ConstraintSet.observing("infected(2, 1)")
+        assert len(constraints) == 1
+        mass = resilience_space.probability(constraints.satisfied_by)
+        assert mass == pytest.approx(resilience_space.marginal(atom("infected", 2, 1), "cautious"))
+
+    def test_requiring_stable_model(self, resilience_space):
+        constraints = ConstraintSet().requiring_stable_model()
+        assert resilience_space.probability(constraints.satisfied_by) == pytest.approx(0.19)
+
+    def test_and_predicate(self, resilience_space):
+        constraints = ConstraintSet().and_predicate(lambda o: len(o.atr_rules) == 2)
+        mass = resilience_space.probability(constraints.satisfied_by)
+        assert 0.0 < mass < 1.0
+
+    def test_composition(self, resilience_space):
+        constraints = (
+            ConstraintSet.observing("infected(2, 1)")
+            .and_observation(Observation.of("infected(3, 1)"))
+            .requiring_stable_model()
+        )
+        assert len(constraints) == 3
+        assert 0.0 < resilience_space.probability(constraints.satisfied_by) < 0.19
+
+    def test_str(self):
+        rendered = str(ConstraintSet.observing("p(1)").requiring_stable_model())
+        assert "p(1)" in rendered and "stable model" in rendered
+        assert str(ConstraintSet()) == "<no constraints>"
+
+
+class TestConditioning:
+    def test_posterior_is_normalized(self, resilience_space):
+        result = condition(resilience_space, ConstraintSet().requiring_stable_model())
+        assert result.evidence_probability == pytest.approx(0.19)
+        assert result.posterior.finite_probability == pytest.approx(1.0)
+        assert result.posterior_outcomes < result.prior_outcomes
+        assert "0.19" in str(result)
+
+    def test_zero_probability_evidence_raises(self, resilience_space):
+        impossible = ConstraintSet.observing("infected(99, 1)")
+        with pytest.raises(InferenceError):
+            condition(resilience_space, impossible)
+
+    def test_posterior_marginal_increases(self, resilience_space):
+        """Conditioning on domination makes infection of router 2 more likely."""
+        prior_marginal = resilience_space.marginal(atom("infected", 2, 1))
+        result = condition(resilience_space, ConstraintSet().requiring_stable_model())
+        posterior_marginal = result.posterior.marginal(atom("infected", 2, 1))
+        assert posterior_marginal > prior_marginal
+
+
+class TestQueries:
+    def test_has_stable_model_query(self, resilience_space):
+        assert HasStableModelQuery().evaluate(resilience_space) == pytest.approx(0.19)
+
+    def test_atom_query_modes(self, coin_engine):
+        space = coin_engine.output_space()
+        brave = AtomQuery.of("aux1", mode="brave").evaluate(space)
+        cautious = AtomQuery.of("aux1", mode="cautious").evaluate(space)
+        # aux1 holds in one of the two stable models of the "tails" outcome.
+        assert brave == pytest.approx(0.5)
+        assert cautious == pytest.approx(0.0)
+
+    def test_event_query(self, resilience_space):
+        query = EventQuery(lambda o: not o.has_stable_model, name="not dominated")
+        assert query.evaluate(resilience_space) == pytest.approx(0.81)
+        assert "not dominated" in str(query)
+
+    def test_conditional_query_exact(self, resilience_space):
+        query = ConditionalQuery(
+            AtomQuery.of("infected(2, 1)"), ConstraintSet().requiring_stable_model()
+        )
+        value = query.evaluate(resilience_space)
+        prior = AtomQuery.of("infected(2, 1)").evaluate(resilience_space)
+        assert value > prior
+
+    def test_query_estimation(self, resilience_engine, resilience_space):
+        sampler = resilience_engine.sampler(seed=5)
+        estimate = HasStableModelQuery().estimate(sampler, n=600)
+        assert abs(estimate.value - 0.19) < 0.06
+
+    def test_conditional_query_estimation(self, resilience_engine, resilience_space):
+        sampler = resilience_engine.sampler(seed=6)
+        query = ConditionalQuery(
+            AtomQuery.of("infected(2, 1)"), ConstraintSet().requiring_stable_model()
+        )
+        exact = query.evaluate(resilience_space)
+        estimate = query.estimate(sampler, n=1500)
+        assert estimate.samples > 0
+        assert abs(estimate.value - exact) < 0.12

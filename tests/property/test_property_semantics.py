@@ -1,0 +1,79 @@
+"""Property-based tests of the probabilistic semantics on random GDatalog¬ programs."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import BCKOVEngine
+from repro.gdatalog.engine import GDatalogEngine
+from repro.workloads import random_database, random_positive_program, random_stratified_program
+
+seeds = st.integers(min_value=0, max_value=40)
+
+
+@settings(max_examples=12, deadline=None)
+@given(seeds)
+def test_positive_program_mass_is_one_and_models_unique(seed):
+    program = random_positive_program(seed=seed, rule_count=3)
+    database = random_database(seed=seed, domain_size=2)
+    engine = GDatalogEngine(program, database, grounder="simple")
+    space = engine.output_space()
+    assert space.finite_probability == pytest.approx(1.0)
+    for outcome in space:
+        assert len(outcome.stable_models) == 1
+
+
+@settings(max_examples=10, deadline=None)
+@given(seeds)
+def test_positive_program_matches_bckov(seed):
+    program = random_positive_program(seed=seed, rule_count=3)
+    database = random_database(seed=seed, domain_size=2)
+    engine = GDatalogEngine(program, database, grounder="simple")
+    ours: dict[frozenset, float] = {}
+    for outcome in engine.possible_outcomes():
+        key = next(iter(outcome.stable_models_modulo(hide_active=True, hide_result=False)))
+        ours[key] = ours.get(key, 0.0) + outcome.probability
+    theirs = BCKOVEngine(program, database).run().distribution_over_instances()
+    assert set(ours) == set(theirs)
+    for key, value in ours.items():
+        assert value == pytest.approx(theirs[key])
+
+
+@settings(max_examples=10, deadline=None)
+@given(seeds)
+def test_stratified_program_total_mass_and_as_good_as(seed):
+    program = random_stratified_program(seed=seed, rule_count=3)
+    database = random_database(seed=seed, domain_size=2)
+    simple_space = GDatalogEngine(program, database, grounder="simple").output_space()
+    perfect_space = GDatalogEngine(program, database, grounder="perfect").output_space()
+    assert simple_space.total_probability() == pytest.approx(1.0, abs=1e-6)
+    assert perfect_space.total_probability() == pytest.approx(1.0, abs=1e-6)
+    # Theorem 5.3 on random instances.
+    assert perfect_space.as_good_as(simple_space)
+
+
+@settings(max_examples=8, deadline=None)
+@given(seeds)
+def test_stratified_outcomes_have_unique_stable_model_under_perfect(seed):
+    program = random_stratified_program(seed=seed, rule_count=3)
+    database = random_database(seed=seed, domain_size=2)
+    engine = GDatalogEngine(program, database, grounder="perfect")
+    for outcome in engine.possible_outcomes():
+        assert len(outcome.stable_models) == 1
+        assert next(iter(outcome.stable_models)) == outcome.head_atoms()
+
+
+@settings(max_examples=6, deadline=None)
+@given(seeds, st.integers(min_value=0, max_value=1000))
+def test_sampler_never_produces_impossible_outcomes(seed, sampler_seed):
+    program = random_stratified_program(seed=seed, rule_count=3)
+    database = random_database(seed=seed, domain_size=2)
+    engine = GDatalogEngine(program, database, grounder="simple")
+    exact_atr_sets = {outcome.atr_rules for outcome in engine.possible_outcomes()}
+    sampler = engine.sampler(seed=sampler_seed)
+    for _ in range(5):
+        sampled = sampler.sample_outcome()
+        assert sampled is not None
+        assert sampled.atr_rules in exact_atr_sets

@@ -1,0 +1,100 @@
+"""Property-based tests for the stable-model engine on random ground programs."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.atoms import Atom, Predicate
+from repro.logic.rules import Rule
+from repro.stable.grounding import GroundProgram
+from repro.stable.reduct import gelfond_lifschitz_reduct, is_stable_model
+from repro.stable.fixpoint import least_model
+from repro.stable.solver import StableModelSolver
+from repro.stable.wellfounded import well_founded_model
+
+# A tiny ground Herbrand base: nullary atoms a..f.
+ATOMS = [Atom(Predicate(name, 0), ()) for name in "abcdef"]
+
+
+@st.composite
+def ground_rules(draw) -> Rule:
+    head = draw(st.sampled_from(ATOMS))
+    body_size = draw(st.integers(0, 2))
+    negative_size = draw(st.integers(0, 2))
+    positive = tuple(draw(st.sampled_from(ATOMS)) for _ in range(body_size))
+    negative = tuple(draw(st.sampled_from(ATOMS)) for _ in range(negative_size))
+    return Rule(head, positive, negative)
+
+
+@st.composite
+def ground_programs(draw) -> GroundProgram:
+    rules = draw(st.lists(ground_rules(), min_size=1, max_size=8))
+    # Ensure at least one fact so programs are not vacuously empty too often.
+    rules.append(Rule(draw(st.sampled_from(ATOMS)), (), ()))
+    return GroundProgram(tuple(dict.fromkeys(rules)))
+
+
+@settings(max_examples=120, deadline=None)
+@given(ground_programs())
+def test_enumerated_models_pass_the_reduct_check(program):
+    solver = StableModelSolver()
+    for model in solver.enumerate(program):
+        assert is_stable_model(program.rules, model)
+
+
+@settings(max_examples=120, deadline=None)
+@given(ground_programs())
+def test_enumerated_models_are_distinct_and_incomparable_only_if_different(program):
+    solver = StableModelSolver()
+    models = solver.all_stable_models(program)
+    assert len(models) == len(set(models))
+    # Stable models are minimal models of their reduct: no stable model is a
+    # strict subset of another stable model (anti-chain property).
+    for left in models:
+        for right in models:
+            if left != right:
+                assert not left < right
+
+
+@settings(max_examples=120, deadline=None)
+@given(ground_programs())
+def test_well_founded_approximates_every_stable_model(program):
+    wf = well_founded_model(program.rules)
+    solver = StableModelSolver()
+    for model in solver.enumerate(program):
+        assert wf.true <= set(model)
+        assert not (wf.false & set(model))
+
+
+@settings(max_examples=120, deadline=None)
+@given(ground_programs())
+def test_positive_reduct_least_model_is_monotone_in_assumptions(program):
+    """Γ is antitone: a larger interpretation removes more rules from the reduct."""
+    non_constraints = [r for r in program.rules if not r.is_constraint]
+    smaller = least_model(gelfond_lifschitz_reduct(non_constraints, set()))
+    larger_assumption = set(ATOMS)
+    larger = least_model(gelfond_lifschitz_reduct(non_constraints, larger_assumption))
+    assert larger <= smaller
+
+
+@settings(max_examples=80, deadline=None)
+@given(ground_programs())
+def test_solver_agrees_with_and_without_well_founded_pruning(program):
+    from repro.stable.solver import SolverConfig
+
+    pruned = set(StableModelSolver().enumerate(program))
+    unpruned = set(StableModelSolver(SolverConfig(use_well_founded=False)).enumerate(program))
+    assert pruned == unpruned
+
+
+@settings(max_examples=80, deadline=None)
+@given(ground_programs())
+def test_positive_fragment_has_exactly_one_stable_model(program):
+    positive_rules = tuple(
+        Rule(r.head, r.positive_body, ()) for r in program.rules if not r.is_constraint
+    )
+    positive_program = GroundProgram(positive_rules)
+    models = StableModelSolver().all_stable_models(positive_program)
+    assert len(models) == 1
+    assert models[0] == least_model(positive_rules)

@@ -1,0 +1,118 @@
+"""Unit tests for the consequence operator, least models and the GL reduct."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.logic.atoms import atom
+from repro.logic.rules import Rule, constraint, fact_rule, rule
+from repro.stable.fixpoint import immediate_consequences, least_model, satisfies_rule, violated_constraints
+from repro.stable.reduct import gelfond_lifschitz_reduct, is_stable_model
+
+
+def ground_rules():
+    return [
+        fact_rule(atom("edge", 1, 2)),
+        fact_rule(atom("edge", 2, 3)),
+        rule(atom("reach", 2), [atom("edge", 1, 2)]),
+        rule(atom("reach", 3), [atom("reach", 2), atom("edge", 2, 3)]),
+    ]
+
+
+class TestLeastModel:
+    def test_least_model_transitive(self):
+        model = least_model(ground_rules())
+        assert atom("reach", 3) in model
+        assert atom("reach", 2) in model
+        assert len(model) == 4
+
+    def test_facts_only(self):
+        assert least_model([fact_rule(atom("p", 1))]) == frozenset({atom("p", 1)})
+
+    def test_empty_program(self):
+        assert least_model([]) == frozenset()
+
+    def test_negation_rejected(self):
+        bad = rule(atom("p", 1), [atom("q", 1)], negative=[atom("s", 1)])
+        with pytest.raises(ValueError):
+            least_model([bad, fact_rule(atom("q", 1))])
+
+    def test_constraints_ignored_for_derivation(self):
+        model = least_model([fact_rule(atom("p", 1)), constraint([atom("p", 1)])])
+        assert model == frozenset({atom("p", 1)})
+
+    def test_unreachable_rule_not_fired(self):
+        model = least_model([rule(atom("p", 1), [atom("missing", 1)])])
+        assert model == frozenset()
+
+    def test_immediate_consequences(self):
+        derived = immediate_consequences(ground_rules(), {atom("edge", 1, 2)})
+        assert atom("reach", 2) in derived
+        assert atom("reach", 3) not in derived
+
+
+class TestSatisfactionAndConstraints:
+    def test_satisfies_rule_positive(self):
+        r = rule(atom("p", 1), [atom("q", 1)])
+        assert satisfies_rule(r, {atom("q", 1), atom("p", 1)})
+        assert not satisfies_rule(r, {atom("q", 1)})
+        assert satisfies_rule(r, set())  # body false
+
+    def test_satisfies_rule_negative_body(self):
+        r = rule(atom("p", 1), [atom("q", 1)], negative=[atom("s", 1)])
+        assert satisfies_rule(r, {atom("q", 1), atom("s", 1)})  # body blocked
+        assert not satisfies_rule(r, {atom("q", 1)})
+
+    def test_violated_constraints(self):
+        rules = [constraint([atom("a", 1), atom("b", 1)])]
+        assert violated_constraints(rules, {atom("a", 1), atom("b", 1)})
+        assert not violated_constraints(rules, {atom("a", 1)})
+
+    def test_constraint_with_negation(self):
+        rules = [constraint([atom("a", 1)], negative=[atom("b", 1)])]
+        assert violated_constraints(rules, {atom("a", 1)})
+        assert not violated_constraints(rules, {atom("a", 1), atom("b", 1)})
+
+
+class TestReduct:
+    def test_reduct_removes_blocked_rules(self):
+        rules = [
+            rule(atom("p", 1), [atom("q", 1)], negative=[atom("r", 1)]),
+            fact_rule(atom("q", 1)),
+        ]
+        reduct = gelfond_lifschitz_reduct(rules, {atom("r", 1)})
+        heads = {r.head for r in reduct}
+        assert atom("p", 1) not in heads
+
+    def test_reduct_strips_negative_literals(self):
+        rules = [rule(atom("p", 1), [atom("q", 1)], negative=[atom("r", 1)])]
+        reduct = gelfond_lifschitz_reduct(rules, set())
+        assert len(reduct) == 1
+        assert reduct[0].negative_body == ()
+
+    def test_is_stable_model_positive_program(self):
+        rules = ground_rules()
+        model = least_model(rules)
+        assert is_stable_model(rules, model)
+        assert not is_stable_model(rules, model | {atom("reach", 99)})
+
+    def test_is_stable_model_with_negation(self):
+        # p :- not q.   q :- not p.   Two stable models: {p}, {q}.
+        rules = [
+            Rule(atom("p"), (), (atom("q"),)),
+            Rule(atom("q"), (), (atom("p"),)),
+        ]
+        assert is_stable_model(rules, {atom("p")})
+        assert is_stable_model(rules, {atom("q")})
+        assert not is_stable_model(rules, {atom("p"), atom("q")})
+        assert not is_stable_model(rules, set())
+
+    def test_is_stable_model_rejects_constraint_violation(self):
+        rules = [fact_rule(atom("a", 1)), constraint([atom("a", 1)])]
+        assert not is_stable_model(rules, {atom("a", 1)})
+
+    def test_odd_loop_has_no_stable_model(self):
+        # a :- not a.  -> no stable model
+        rules = [Rule(atom("a"), (), (atom("a"),))]
+        assert not is_stable_model(rules, set())
+        assert not is_stable_model(rules, {atom("a")})

@@ -1,0 +1,156 @@
+"""Unit tests for program grounding, interpretations and the well-founded semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.logic.atoms import atom, fact
+from repro.logic.database import Database
+from repro.logic.parser import parse_datalog_program
+from repro.logic.rules import Rule, constraint, fact_rule, rule
+from repro.stable.grounding import GroundProgram, ground_program, ground_rules_against
+from repro.stable.interpretation import Interpretation, PartialInterpretation
+from repro.stable.wellfounded import gamma_operator, well_founded_model
+from repro.logic.unify import FactIndex
+
+
+REACH_PROGRAM = parse_datalog_program(
+    """
+    reach(X) :- start(X).
+    reach(Y) :- reach(X), edge(X, Y).
+    unreached(X) :- node(X), not reach(X).
+    """
+)
+
+REACH_DATABASE = Database.from_relations(
+    {"start": [(1,)], "edge": [(1, 2), (2, 3)], "node": [(1,), (2,), (3,), (4,)]}
+)
+
+
+class TestGroundProgram:
+    def test_requires_ground_rules(self):
+        with pytest.raises(ValueError):
+            GroundProgram((rule(atom("p", "X"), [atom("q", "X")]),))
+
+    def test_views(self):
+        ground = GroundProgram(
+            (
+                fact_rule(atom("q", 1)),
+                rule(atom("p", 1), [atom("q", 1)], negative=[atom("s", 1)]),
+                constraint([atom("p", 1)]),
+            )
+        )
+        assert len(ground.facts) == 1
+        assert len(ground.constraints) == 1
+        assert len(ground.proper_rules) == 2
+        assert atom("s", 1) in ground.negative_body_atoms()
+        assert atom("p", 1) in ground.herbrand_base()
+        assert not ground.is_positive()
+
+    def test_with_rules(self):
+        ground = GroundProgram((fact_rule(atom("q", 1)),))
+        assert len(ground.with_rules([fact_rule(atom("q", 2))])) == 2
+
+
+class TestGroundRulesAgainst:
+    def test_instances_from_index(self):
+        facts = FactIndex([fact("edge", 1, 2), fact("reach", 1)])
+        r = rule(atom("reach", "Y"), [atom("reach", "X"), atom("edge", "X", "Y")])
+        instances = list(ground_rules_against(r, facts))
+        assert len(instances) == 1
+        assert instances[0].head == atom("reach", 2)
+
+
+class TestGroundProgramConstruction:
+    def test_reachability_grounding(self):
+        ground = ground_program(REACH_PROGRAM, REACH_DATABASE)
+        heads = {r.head for r in ground.proper_rules}
+        assert atom("reach", 1) in heads
+        assert atom("reach", 3) in heads
+        # node 4 has no incoming edges: no reach(4) instance should exist
+        assert atom("reach", 4) not in heads
+        assert atom("unreached", 4) in heads
+
+    def test_grounding_includes_facts(self):
+        ground = ground_program(REACH_PROGRAM, REACH_DATABASE)
+        fact_heads = {r.head for r in ground.facts}
+        assert fact("start", 1) in fact_heads
+
+    def test_grounding_of_constraints(self):
+        program = parse_datalog_program("p(X) :- q(X). :- p(X), bad(X).")
+        db = Database.from_relations({"q": [(1,)], "bad": [(1,), (2,)]})
+        ground = ground_program(program, db)
+        constraint_bodies = [r.positive_body for r in ground.constraints]
+        assert (atom("p", 1), atom("bad", 1)) in constraint_bodies
+        # bad(2) cannot join with a derivable p(2): no such constraint instance
+        assert all(atom("p", 2) not in body for body in constraint_bodies)
+
+    def test_grounding_accepts_plain_iterables(self):
+        ground = ground_program(REACH_PROGRAM, [fact("start", 1), fact("node", 1)])
+        assert len(ground.facts) == 2
+
+
+class TestInterpretation:
+    def test_set_like_behaviour(self):
+        interpretation = Interpretation([atom("p", 1), atom("q", 1)])
+        assert atom("p", 1) in interpretation
+        assert len(interpretation) == 2
+        assert interpretation == {atom("p", 1), atom("q", 1)}
+        assert (interpretation | [atom("r", 1)]).atoms >= interpretation.atoms
+        assert (interpretation & [atom("p", 1)]) == Interpretation([atom("p", 1)])
+
+    def test_predicate_filters(self):
+        interpretation = Interpretation([atom("p", 1), atom("active_flip_1_0", 0.5)])
+        assert len(interpretation.restrict_predicates(["p"])) == 1
+        assert len(interpretation.without_predicates(["active_flip_1_0"])) == 1
+
+    def test_partial_interpretation(self):
+        partial = PartialInterpretation({atom("p", 1)}, {atom("q", 1)})
+        assert partial.is_consistent()
+        assert partial.decides(atom("p", 1))
+        assert partial.unknown([atom("p", 1), atom("q", 1), atom("r", 1)]) == {atom("r", 1)}
+        copy = partial.copy()
+        copy.true.add(atom("z", 1))
+        assert atom("z", 1) not in partial.true
+
+
+class TestWellFounded:
+    def test_total_on_stratified_program(self):
+        ground = ground_program(REACH_PROGRAM, REACH_DATABASE)
+        wf = well_founded_model(ground.rules)
+        assert atom("reach", 3) in wf.true
+        assert atom("unreached", 4) in wf.true
+        assert atom("reach", 4) in wf.false
+        assert not wf.unknown(ground.herbrand_base())
+
+    def test_unknown_on_even_loop(self):
+        rules = [
+            Rule(atom("p"), (), (atom("q"),)),
+            Rule(atom("q"), (), (atom("p"),)),
+        ]
+        wf = well_founded_model(rules)
+        assert atom("p") not in wf.true and atom("p") not in wf.false
+        assert wf.unknown([atom("p"), atom("q")]) == {atom("p"), atom("q")}
+
+    def test_odd_loop_is_unknown(self):
+        rules = [Rule(atom("a"), (), (atom("a"),))]
+        wf = well_founded_model(rules)
+        assert atom("a") in wf.unknown([atom("a")])
+
+    def test_gamma_operator(self):
+        rules = [
+            Rule(atom("p"), (), (atom("q"),)),
+            fact_rule(atom("r")),
+        ]
+        assert atom("p") in gamma_operator(rules, frozenset())
+        assert atom("p") not in gamma_operator(rules, frozenset({atom("q")}))
+        assert atom("r") in gamma_operator(rules, frozenset({atom("q")}))
+
+    def test_wf_true_atoms_hold_in_every_stable_model(self):
+        from repro.stable.solver import StableModelSolver
+
+        ground = ground_program(REACH_PROGRAM, REACH_DATABASE)
+        wf = well_founded_model(ground.rules)
+        for model in StableModelSolver().enumerate(ground):
+            assert wf.true <= set(model)
+            assert not (wf.false & set(model))

@@ -1,0 +1,150 @@
+"""Unit tests for the stable-model solver and the stratified evaluator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SolverLimitError, StratificationError
+from repro.logic.atoms import atom, fact
+from repro.logic.database import Database
+from repro.logic.parser import parse_datalog_program
+from repro.logic.rules import Rule, constraint, fact_rule, rule
+from repro.stable.grounding import GroundProgram, ground_program
+from repro.stable.reduct import is_stable_model
+from repro.stable.solver import SolverConfig, StableModelSolver, has_stable_model, stable_models
+from repro.stable.stratified import perfect_model, perfect_model_ground
+
+
+def even_loop_program() -> GroundProgram:
+    """p :- not q.   q :- not p.   (two stable models)"""
+    return GroundProgram((Rule(atom("p"), (), (atom("q"),)), Rule(atom("q"), (), (atom("p"),))))
+
+
+class TestSolverBasics:
+    def setup_method(self):
+        self.solver = StableModelSolver()
+
+    def test_positive_program_single_model(self):
+        ground = GroundProgram((fact_rule(atom("a")), rule(atom("b"), [atom("a")])))
+        models = self.solver.all_stable_models(ground)
+        assert models == [frozenset({atom("a"), atom("b")})]
+
+    def test_even_negative_loop(self):
+        models = self.solver.all_stable_models(even_loop_program())
+        assert set(models) == {frozenset({atom("p")}), frozenset({atom("q")})}
+
+    def test_odd_negative_loop_no_model(self):
+        ground = GroundProgram((Rule(atom("a"), (), (atom("a"),)),))
+        assert self.solver.all_stable_models(ground) == []
+        assert not self.solver.has_stable_model(ground)
+
+    def test_constraint_filters_models(self):
+        ground = even_loop_program().with_rules([constraint([atom("p")])])
+        models = self.solver.all_stable_models(GroundProgram(tuple(ground)))
+        assert models == [frozenset({atom("q")})]
+
+    def test_constraint_eliminating_all_models(self):
+        ground = GroundProgram((fact_rule(atom("a")), constraint([atom("a")])))
+        assert not self.solver.has_stable_model(ground)
+
+    def test_count_and_brave_cautious(self):
+        ground = even_loop_program()
+        assert self.solver.count(ground) == 2
+        assert self.solver.brave_consequences(ground) == frozenset({atom("p"), atom("q")})
+        assert self.solver.cautious_consequences(ground) == frozenset()
+
+    def test_cautious_none_when_inconsistent(self):
+        ground = GroundProgram((Rule(atom("a"), (), (atom("a"),)),))
+        assert self.solver.cautious_consequences(ground) is None
+
+    def test_is_stable_direct_check(self):
+        ground = even_loop_program()
+        assert self.solver.is_stable(ground, {atom("p")})
+        assert not self.solver.is_stable(ground, {atom("p"), atom("q")})
+
+    def test_every_enumerated_model_passes_reduct_check(self):
+        source = """
+        a :- not b.
+        b :- not a.
+        c :- a.
+        d :- b, not c.
+        """
+        ground = ground_program(parse_datalog_program(source), Database())
+        for model in StableModelSolver().enumerate(ground):
+            assert is_stable_model(ground.rules, model)
+
+    def test_solver_limit(self):
+        rules = []
+        for i in range(12):
+            rules.append(Rule(atom("p", i), (), (atom("q", i),)))
+            rules.append(Rule(atom("q", i), (), (atom("p", i),)))
+        config = SolverConfig(max_guesses=8)
+        with pytest.raises(SolverLimitError):
+            list(StableModelSolver(config).enumerate(GroundProgram(tuple(rules))))
+
+    def test_solver_without_well_founded_pruning_agrees(self):
+        source = """
+        a :- not b.
+        b :- not a.
+        c :- a.
+        """
+        ground = ground_program(parse_datalog_program(source), Database())
+        default = set(StableModelSolver().enumerate(ground))
+        unpruned = set(StableModelSolver(SolverConfig(use_well_founded=False)).enumerate(ground))
+        assert default == unpruned
+
+
+class TestModuleLevelHelpers:
+    def test_stable_models_of_reachability(self):
+        program = parse_datalog_program(
+            """
+            reach(X) :- start(X).
+            reach(Y) :- reach(X), edge(X, Y).
+            unreached(X) :- node(X), not reach(X).
+            """
+        )
+        db = Database.from_relations({"start": [(1,)], "edge": [(1, 2)], "node": [(1,), (2,), (3,)]})
+        models = stable_models(program, db)
+        assert len(models) == 1
+        model = models[0]
+        assert fact("reach", 2) in model
+        assert fact("unreached", 3) in model
+
+    def test_has_stable_model_helper(self):
+        program = parse_datalog_program("a :- not a.")
+        assert not has_stable_model(program, Database())
+        program2 = parse_datalog_program("a :- not b. b :- not a.")
+        assert has_stable_model(program2, Database())
+
+
+class TestStratifiedEvaluator:
+    def setup_method(self):
+        self.program = parse_datalog_program(
+            """
+            reach(X) :- start(X).
+            reach(Y) :- reach(X), edge(X, Y).
+            unreached(X) :- node(X), not reach(X).
+            """
+        )
+        self.db = Database.from_relations(
+            {"start": [(1,)], "edge": [(1, 2), (2, 3)], "node": [(1,), (2,), (3,), (4,)]}
+        )
+
+    def test_perfect_model_matches_solver(self):
+        expected = stable_models(self.program, self.db)[0]
+        assert perfect_model(self.program, self.db) == expected
+
+    def test_perfect_model_ground_matches(self):
+        ground = ground_program(self.program, self.db)
+        expected = StableModelSolver().all_stable_models(ground)[0]
+        assert perfect_model_ground(ground) == expected
+
+    def test_perfect_model_ground_rejects_unstratified(self):
+        ground = GroundProgram((Rule(atom("a"), (), (atom("a"),)),))
+        with pytest.raises(StratificationError):
+            perfect_model_ground(ground)
+
+    def test_perfect_model_with_violated_constraint_raises(self):
+        program = parse_datalog_program("p(X) :- q(X). :- p(1).")
+        with pytest.raises(ValueError):
+            perfect_model(program, Database([fact("q", 1)]))

@@ -1,0 +1,138 @@
+"""Unit tests for the ``gdatalog`` command-line interface."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser, main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESILIENCE_PROGRAM = REPO_ROOT / "examples" / "programs" / "resilience.dl"
+RESILIENCE_FACTS = REPO_ROOT / "examples" / "programs" / "resilience.facts"
+DIME_QUARTER_PROGRAM = REPO_ROOT / "examples" / "programs" / "dime_quarter.dl"
+DIME_QUARTER_FACTS = REPO_ROOT / "examples" / "programs" / "dime_quarter.facts"
+COIN_PROGRAM = REPO_ROOT / "examples" / "programs" / "coin.dl"
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "program.dl"])
+        assert args.command == "run"
+        assert args.grounder == "simple"
+        assert args.database is None
+
+    def test_query_collects_atoms(self):
+        args = build_parser().parse_args(
+            ["query", "p.dl", "--atom", "a(1)", "--atom", "b(2)", "--mode", "cautious"]
+        )
+        assert args.atom == ["a(1)", "b(2)"]
+        assert args.mode == "cautious"
+
+    def test_invalid_grounder_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "p.dl", "--grounder", "clever"])
+
+
+class TestCommands:
+    def test_run_prints_space_summary(self, capsys):
+        exit_code = main(["run", str(RESILIENCE_PROGRAM), "-d", str(RESILIENCE_FACTS)])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "P(has stable model):        0.190000" in captured.out
+
+    def test_run_show_outcomes(self, capsys):
+        exit_code = main(["run", str(COIN_PROGRAM), "--show-outcomes"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "PossibleOutcome" in captured.out
+
+    def test_query_marginals(self, capsys):
+        exit_code = main(
+            [
+                "query",
+                str(RESILIENCE_PROGRAM),
+                "-d",
+                str(RESILIENCE_FACTS),
+                "--atom",
+                "infected(2, 1)",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "has stable model" in captured.out
+        assert "infected(2, 1)" in captured.out
+
+    def test_sample_estimates(self, capsys):
+        exit_code = main(
+            [
+                "sample",
+                str(RESILIENCE_PROGRAM),
+                "-d",
+                str(RESILIENCE_FACTS),
+                "-n",
+                "200",
+                "--seed",
+                "1",
+                "--atom",
+                "infected(2, 1)",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "Monte-Carlo (200 samples)" in captured.out
+
+    def test_ground_lists_translation(self, capsys):
+        exit_code = main(["ground", str(DIME_QUARTER_PROGRAM), "-d", str(DIME_QUARTER_FACTS)])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "active_flip_1_1" in captured.out
+        assert "G(∅)" in captured.out
+
+    def test_graph_ascii_and_dot(self, capsys):
+        assert main(["graph", str(DIME_QUARTER_PROGRAM)]) == 0
+        ascii_output = capsys.readouterr().out
+        assert "somedimetail -> quartertail [neg]" in ascii_output
+        assert "stratification:" in ascii_output
+
+        assert main(["graph", str(DIME_QUARTER_PROGRAM), "--dot"]) == 0
+        dot_output = capsys.readouterr().out
+        assert dot_output.startswith("digraph")
+
+    def test_graph_reports_unstratified_program(self, tmp_path, capsys):
+        program = tmp_path / "unstratified.dl"
+        program.write_text("a(X) :- e(X), not b(X).\nb(X) :- e(X), not a(X).\n")
+        assert main(["graph", str(program)]) == 0
+        assert "NOT stratified" in capsys.readouterr().out
+
+    def test_missing_file_is_reported(self, capsys):
+        exit_code = main(["run", "does-not-exist.dl"])
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert "error:" in captured.err
+
+    def test_parse_error_is_reported(self, tmp_path, capsys):
+        broken = tmp_path / "broken.dl"
+        broken.write_text("p(X) :- q(X)")  # missing final dot
+        exit_code = main(["run", str(broken)])
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert "error:" in captured.err
+
+    def test_module_invocation(self):
+        import subprocess
+        import sys
+
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "graph", str(DIME_QUARTER_PROGRAM)],
+            capture_output=True,
+            text=True,
+            cwd=str(REPO_ROOT),
+        )
+        assert result.returncode == 0
+        assert "dependency graph" in result.stdout

@@ -1,0 +1,126 @@
+"""Tests for the exception hierarchy, the package surface and assorted edge cases."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import exceptions
+from repro.distributions.base import ParameterizedDistribution
+from repro.distributions.discrete import FlipDistribution
+from repro.exceptions import (
+    ChaseLimitError,
+    DistributionError,
+    GroundingError,
+    InferenceError,
+    ParseError,
+    ReproError,
+    SolverError,
+    SolverLimitError,
+    StratificationError,
+    ValidationError,
+)
+
+
+class TestExceptionHierarchy:
+    @pytest.mark.parametrize(
+        "exception_type",
+        [
+            ParseError,
+            ValidationError,
+            StratificationError,
+            GroundingError,
+            SolverError,
+            SolverLimitError,
+            ChaseLimitError,
+            InferenceError,
+            DistributionError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exception_type):
+        assert issubclass(exception_type, ReproError)
+
+    def test_solver_limit_is_a_solver_error(self):
+        assert issubclass(SolverLimitError, SolverError)
+
+    def test_parse_error_carries_position(self):
+        error = ParseError("boom", line=3, column=7)
+        assert error.line == 3 and error.column == 7
+        assert "line 3" in str(error) and "column 7" in str(error)
+
+    def test_parse_error_without_position(self):
+        assert str(ParseError("boom")) == "boom"
+
+    def test_catching_the_base_class(self):
+        with pytest.raises(ReproError):
+            raise DistributionError("bad parameters")
+
+
+class TestPackageSurface:
+    def test_version_is_exposed(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_public_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_engine_importable_from_top_level(self):
+        assert repro.GDatalogEngine is not None
+        assert repro.SimpleGrounder is not None
+        assert repro.PerfectGrounder is not None
+
+
+class TestDistributionBaseHelpers:
+    def test_truncated_support_finite(self):
+        flip = FlipDistribution()
+        outcomes, mass = flip.truncated_support([0.3])
+        assert outcomes == [0, 1]
+        assert mass == pytest.approx(1.0)
+
+    def test_truncated_support_respects_max_outcomes(self):
+        from repro.distributions.discrete import GeometricDistribution
+
+        geometric = GeometricDistribution()
+        outcomes, mass = geometric.truncated_support([0.5], mass_tolerance=0.0, max_outcomes=3)
+        assert len(outcomes) == 3
+        assert mass == pytest.approx(0.875)
+
+    def test_default_sampling_via_inverse_cdf(self):
+        import numpy as np
+
+        class TwoPoint(ParameterizedDistribution):
+            name = "two_point"
+            parameter_dimension = 0
+
+            def pmf(self, params, outcome):
+                return {10: 0.25, 20: 0.75}.get(outcome, 0.0)
+
+            def support(self, params):
+                return [10, 20]
+
+            def has_finite_support(self, params):
+                return True
+
+        distribution = TwoPoint()
+        rng = np.random.default_rng(0)
+        samples = [distribution.sample([], rng) for _ in range(2000)]
+        assert set(samples) == {10, 20}
+        assert abs(samples.count(20) / len(samples) - 0.75) < 0.04
+
+    def test_empty_support_sampling_raises(self):
+        import numpy as np
+
+        class Broken(ParameterizedDistribution):
+            name = "broken"
+
+            def pmf(self, params, outcome):
+                return 0.0
+
+            def support(self, params):
+                return []
+
+            def has_finite_support(self, params):
+                return True
+
+        with pytest.raises(DistributionError):
+            Broken().sample([], np.random.default_rng(0))

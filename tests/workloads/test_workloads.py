@@ -1,0 +1,140 @@
+"""Unit tests for the workload generators (networks, coins, random programs)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.gdatalog.engine import GDatalogEngine
+from repro.logic.atoms import fact
+from repro.workloads import (
+    biased_die_program,
+    coin_program,
+    dime_quarter_database,
+    dime_quarter_program,
+    monotone_infection_program,
+    network_database,
+    paper_example_database,
+    random_database,
+    random_network,
+    random_positive_program,
+    random_stratified_program,
+    resilience_program,
+    topology_graph,
+)
+
+
+class TestNetworkWorkloads:
+    def test_paper_example_database(self):
+        db = paper_example_database()
+        assert len(db.relation("router")) == 3
+        assert len(db.relation("connected")) == 6
+        assert fact("infected", 1, 1) in db
+
+    def test_resilience_program_parameterized(self):
+        program = resilience_program(0.25)
+        rendered = str(program)
+        assert "flip<0.25>" in rendered
+        with pytest.raises(ValidationError):
+            resilience_program(1.5)
+
+    def test_monotone_program_has_no_negation(self):
+        program = monotone_infection_program(0.1)
+        assert program.is_positive
+
+    @pytest.mark.parametrize("kind", ["clique", "star", "chain", "cycle", "grid", "er", "ba"])
+    def test_topologies(self, kind):
+        graph = topology_graph(kind, 6, seed=1)
+        assert graph.number_of_nodes() >= 1
+        db = network_database(graph, infected_seeds=[sorted(graph.nodes())[0]])
+        assert len(db.relation("router")) == graph.number_of_nodes()
+        assert len(db.relation("connected")) == 2 * graph.number_of_edges()
+
+    def test_unknown_topology(self):
+        with pytest.raises(ValidationError):
+            topology_graph("torus", 4)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValidationError):
+            topology_graph("clique", 0)
+
+    def test_seed_must_be_a_node(self):
+        graph = topology_graph("chain", 3)
+        with pytest.raises(ValidationError):
+            network_database(graph, infected_seeds=[99])
+
+    def test_random_network_fallback_seed(self):
+        db = random_network(5, kind="er", seed=3, seeds=(99,))
+        assert len(db.relation("infected")) == 1
+
+    def test_er_networks_are_reproducible(self):
+        assert random_network(6, kind="er", seed=4) == random_network(6, kind="er", seed=4)
+
+    def test_small_network_end_to_end(self):
+        engine = GDatalogEngine(resilience_program(0.2), random_network(3, kind="chain"))
+        p = engine.probability_has_stable_model()
+        assert 0.0 <= p <= 1.0
+
+
+class TestCoinWorkloads:
+    def test_coin_program_structure(self):
+        program = coin_program()
+        assert len(program) == 4
+        assert program.has_constraints
+
+    def test_coin_bias(self):
+        program = coin_program(bias=0.2)
+        assert "flip<0.2>" in str(program)
+
+    def test_dime_quarter_database(self):
+        db = dime_quarter_database(dimes=3, quarters=2)
+        assert len(db.relation("dime")) == 3
+        assert len(db.relation("quarter")) == 2
+        # Global identifiers: dime ids and quarter ids do not overlap.
+        dime_ids = {t[0] for t in db.tuples("dime")}
+        quarter_ids = {t[0] for t in db.tuples("quarter")}
+        assert not dime_ids & quarter_ids
+
+    def test_dime_quarter_program_biases(self):
+        program = dime_quarter_program(dime_bias=0.3, quarter_bias=0.7)
+        rendered = str(program)
+        assert "flip<0.3>" in rendered and "flip<0.7>" in rendered
+        assert program.is_stratified
+
+    def test_biased_die_program(self):
+        program = biased_die_program((0.5, 0.1, 0.1, 0.1, 0.1, 0.1))
+        engine = GDatalogEngine(program, dime_quarter_database(dimes=0, quarters=0).with_facts([fact("player", 1)]))
+        space = engine.output_space()
+        assert len(space) == 6
+        assert space.finite_probability == pytest.approx(1.0)
+        assert space.marginal(fact("roll", 1, 1)) == pytest.approx(0.5)
+
+
+class TestRandomPrograms:
+    def test_reproducibility(self):
+        assert str(random_positive_program(seed=5)) == str(random_positive_program(seed=5))
+        assert str(random_stratified_program(seed=5)) == str(random_stratified_program(seed=5))
+        assert random_database(seed=5) == random_database(seed=5)
+
+    def test_positive_programs_are_positive(self):
+        for seed in range(5):
+            program = random_positive_program(seed=seed)
+            assert program.is_positive
+
+    def test_stratified_programs_are_stratified(self):
+        for seed in range(8):
+            program = random_stratified_program(seed=seed)
+            assert program.is_stratified
+
+    def test_random_programs_run_end_to_end(self):
+        for seed in range(3):
+            program = random_stratified_program(seed=seed, rule_count=3)
+            database = random_database(seed=seed, domain_size=2)
+            engine = GDatalogEngine(program, database, grounder="perfect")
+            space = engine.output_space()
+            assert 0.0 <= space.finite_probability <= 1.0 + 1e-9
+
+    def test_database_domain_size(self):
+        db = random_database(seed=2, domain_size=2)
+        values = {c.value for c in db.domain()}
+        assert values <= {1, 2}
