@@ -1,0 +1,107 @@
+"""E9 — incremental chase vs. from-scratch grounding on the scaling workloads.
+
+Every chase node's AtR set extends its parent's by one ground AtR rule, so
+the grounding of a child is the parent grounding plus whatever the new
+Result atom makes derivable.  The incremental engine threads a
+``GroundingState`` through the chase tree and extends it semi-naively
+(``ChaseConfig(incremental=True)``, the default); the baseline re-runs the
+full grounding fixpoint at every node (``incremental=False``), which was the
+seed behaviour.
+
+The bench sweeps the E7 chain topologies and asserts
+
+* per-outcome equality of the two modes (same AtR sets, same probabilities —
+  not just equal totals), and
+* a ≥3× wall-clock speedup of the incremental chase at the largest size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import TextTable, Timer
+from repro.gdatalog.chase import ChaseConfig, ChaseEngine
+from repro.gdatalog.grounders import SimpleGrounder
+from repro.gdatalog.translate import translate_program
+from repro.workloads import network_database, resilience_program, topology_graph
+
+SIZES = (4, 5, 6)
+#: Minimum incremental-over-from-scratch speedup required at the largest size.
+TARGET_SPEEDUP = 3.0
+
+
+def _engine(n: int, incremental: bool) -> ChaseEngine:
+    database = network_database(topology_graph("chain", n), infected_seeds=[0])
+    grounder = SimpleGrounder(translate_program(resilience_program(0.3)), database)
+    return ChaseEngine(grounder, ChaseConfig(incremental=incremental))
+
+
+def _outcome_distribution(result) -> dict[tuple, float]:
+    """Map each outcome's structural choice key to its probability."""
+    return {outcome.choice_key: outcome.probability for outcome in result.outcomes}
+
+
+def assert_identical_distributions(incremental_result, scratch_result) -> None:
+    """Per-outcome equality: same AtR sets, same probabilities, same groundings."""
+    incremental = _outcome_distribution(incremental_result)
+    scratch = _outcome_distribution(scratch_result)
+    assert set(incremental) == set(scratch)
+    for key, probability in incremental.items():
+        assert probability == pytest.approx(scratch[key], rel=1e-12)
+    for a, b in zip(incremental_result.outcomes, scratch_result.outcomes):
+        assert a.atr_rules == b.atr_rules
+        assert a.grounding == b.grounding
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_e9_incremental_chase(benchmark, n):
+    result = benchmark(lambda: _engine(n, incremental=True).run())
+    assert result.finite_probability == pytest.approx(1.0)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_e9_from_scratch_chase(benchmark, n):
+    result = benchmark(lambda: _engine(n, incremental=False).run())
+    assert result.finite_probability == pytest.approx(1.0)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_e9_modes_agree_per_outcome(n):
+    assert_identical_distributions(
+        _engine(n, incremental=True).run(), _engine(n, incremental=False).run()
+    )
+
+
+def test_e9_report(benchmark):
+    def sweep():
+        rows = []
+        for n in SIZES:
+            with Timer() as scratch_timer:
+                scratch_result = _engine(n, incremental=False).run()
+            with Timer() as incremental_timer:
+                incremental_result = _engine(n, incremental=True).run()
+            assert_identical_distributions(incremental_result, scratch_result)
+            rows.append(
+                (
+                    n,
+                    len(incremental_result),
+                    scratch_timer.elapsed,
+                    incremental_timer.elapsed,
+                    scratch_timer.elapsed / max(incremental_timer.elapsed, 1e-9),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = TextTable(
+        ["routers", "outcomes", "from-scratch s", "incremental s", "speedup"],
+        title="E9 — incremental vs from-scratch chase (chain networks, p=0.3)",
+    )
+    for n, outcomes, scratch_seconds, incremental_seconds, speedup in rows:
+        table.add_row(n, outcomes, f"{scratch_seconds:.3f}", f"{incremental_seconds:.3f}", f"{speedup:.1f}x")
+    print()
+    print(table.render())
+    largest = rows[-1]
+    assert largest[-1] >= TARGET_SPEEDUP, (
+        f"incremental chase speedup {largest[-1]:.1f}x below the {TARGET_SPEEDUP}x target"
+    )

@@ -27,7 +27,7 @@ from repro.analysis import TextTable
 from repro.exceptions import ReproError
 from repro.gdatalog.chase import ChaseConfig
 from repro.gdatalog.dependency import format_dependency_graph, format_stratification, to_dot
-from repro.gdatalog.engine import GDatalogEngine
+from repro.gdatalog.engine import GDatalogEngine, cache_profile_lines
 from repro.gdatalog.grounders import heads_of
 from repro.logic.parser import parse_gdatalog_program
 
@@ -45,6 +45,7 @@ def _make_engine(args: argparse.Namespace) -> GDatalogEngine:
         max_depth=args.max_depth,
         max_outcomes=args.max_outcomes,
         mass_tolerance=args.mass_tolerance,
+        incremental=not args.no_incremental,
     )
     return GDatalogEngine.from_source(
         _read_text(args.program),
@@ -64,6 +65,16 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--max-outcomes", type=int, default=200_000, help="maximum finite outcomes")
     parser.add_argument(
         "--mass-tolerance", type=float, default=1e-9, help="truncation tolerance for infinite supports"
+    )
+    parser.add_argument(
+        "--no-incremental",
+        action="store_true",
+        help="recompute every chase node's grounding from scratch (reference mode)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="append a profile summary (chase tree size, cache hit rates, grounding time)",
     )
 
 
@@ -113,6 +124,8 @@ def _command_run(args: argparse.Namespace) -> str:
         lines.append("")
         for outcome in engine.possible_outcomes():
             lines.append(str(outcome))
+    if args.profile:
+        lines += ["", engine.profile_summary()]
     return "\n".join(lines)
 
 
@@ -122,7 +135,10 @@ def _command_query(args: argparse.Namespace) -> str:
     table.add_row("has stable model", engine.probability_has_stable_model())
     for atom_text in args.atom:
         table.add_row(atom_text, engine.marginal(atom_text, mode=args.mode))
-    return table.render()
+    rendered = table.render()
+    if args.profile:
+        rendered += "\n\n" + engine.profile_summary()
+    return rendered
 
 
 def _command_sample(args: argparse.Namespace) -> str:
@@ -133,7 +149,12 @@ def _command_sample(args: argparse.Namespace) -> str:
     for atom_text in args.atom:
         atom_estimate = engine.estimate_marginal(atom_text, n=args.samples, seed=args.seed)
         table.add_row(atom_text, atom_estimate.value, atom_estimate.standard_error)
-    return table.render()
+    rendered = table.render()
+    if args.profile:
+        # Sampling never runs the exhaustive chase; report the caches that
+        # the sampled outcome evaluations actually exercised.
+        rendered += "\n\n" + "\n".join(cache_profile_lines())
+    return rendered
 
 
 def _command_ground(args: argparse.Namespace) -> str:

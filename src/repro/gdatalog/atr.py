@@ -27,6 +27,7 @@ from repro.distributions.base import Outcome
 from repro.distributions.registry import DistributionRegistry
 from repro.exceptions import GroundingError, ValidationError
 from repro.logic.atoms import Atom, Predicate
+from repro.logic.intern import intern_atom, intern_rule
 from repro.logic.rules import Rule
 from repro.logic.terms import Constant
 
@@ -126,7 +127,13 @@ class GroundAtRRule:
 
     @staticmethod
     def of(spec: AtRSpec, active_atom: Atom, outcome: Outcome) -> "GroundAtRRule":
-        return GroundAtRRule(spec, active_atom, spec.result_atom(active_atom, outcome))
+        # Interned: the same trigger/outcome pair is instantiated once per
+        # process even though every sibling subtree of the chase recreates it.
+        return GroundAtRRule(
+            spec,
+            intern_atom(active_atom),
+            intern_atom(spec.result_atom(active_atom, outcome)),
+        )
 
     # -- inspection ------------------------------------------------------------
 
@@ -150,8 +157,12 @@ class GroundAtRRule:
         return distribution.pmf(self.parameters(), _constant_to_outcome(self.outcome))
 
     def as_rule(self) -> Rule:
-        """The ground AtR rule viewed as a plain ground Datalog rule."""
-        return Rule(self.result_atom, (self.active_atom,), ())
+        """The ground AtR rule viewed as a plain ground Datalog rule (interned)."""
+        return intern_rule(Rule(self.result_atom, (self.active_atom,), ()))
+
+    def sort_key(self) -> tuple:
+        """Cheap structural ordering key (the Result atom determines the rule)."""
+        return self.result_atom.sort_key()
 
     def __str__(self) -> str:
         return f"{self.result_atom} :- {self.active_atom}."
@@ -217,4 +228,4 @@ def pending_active_atoms(
         for atom_ in head_atoms
         if atom_.predicate in active_predicates and atom_ not in defined
     }
-    return sorted(pending, key=str)
+    return sorted(pending, key=Atom.sort_key)

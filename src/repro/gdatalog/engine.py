@@ -31,7 +31,7 @@ from repro.logic.atoms import Atom
 from repro.logic.database import Database
 from repro.logic.parser import parse_atom, parse_database, parse_gdatalog_program
 
-__all__ = ["GDatalogEngine"]
+__all__ = ["GDatalogEngine", "cache_profile_lines"]
 
 
 class GDatalogEngine:
@@ -156,3 +156,50 @@ class GDatalogEngine:
             f"grounder:        {type(self.grounder).__name__}",
         ]
         return "\n".join(header) + "\n" + space.summary()
+
+    def profile_summary(self) -> str:
+        """A multi-line profile of the cached chase run.
+
+        Reports the chase tree size, how grounding work was split between
+        incremental state extensions and from-scratch fixpoints, grounding
+        wall-clock time, the shared stable-model solver's memo-cache hit
+        rate and the intern-table sizes.  Triggers the chase if it has not
+        run yet.
+        """
+        result = self.chase_result
+        stats = result.stats
+        lines = ["-- chase profile --"]
+        if stats is not None:
+            lines += [
+                f"mode:                     {'incremental' if self.chase_config.incremental else 'from-scratch'}",
+                f"nodes visited:            {stats.nodes_visited}",
+                f"nodes expanded:           {stats.nodes_expanded}",
+                f"leaves:                   {stats.leaves}",
+                f"grounding time:           {stats.grounding_seconds:.3f}s",
+                f"incremental extensions:   {stats.incremental_extensions}",
+                f"from-scratch groundings:  {stats.full_groundings}",
+            ]
+        lines += cache_profile_lines()
+        return "\n".join(lines)
+
+
+def cache_profile_lines() -> list[str]:
+    """The process-wide cache sections of the profile report.
+
+    Shared by :meth:`GDatalogEngine.profile_summary` and the CLI's
+    ``sample --profile`` path (which never runs the exhaustive chase).
+    """
+    from repro.logic.intern import intern_stats
+    from repro.stable.solver import solver_cache_stats
+
+    solver = solver_cache_stats()
+    solver_total = solver["hits"] + solver["misses"]
+    hit_rate = solver["hits"] / solver_total if solver_total else 0.0
+    interned = intern_stats()
+    return [
+        "-- solver memo cache --",
+        f"entries:                  {solver['entries']}",
+        f"hits/misses:              {solver['hits']}/{solver['misses']} ({hit_rate:.1%} hit rate)",
+        "-- intern tables --",
+        f"atoms/rules interned:     {interned['atoms']}/{interned['rules']}",
+    ]

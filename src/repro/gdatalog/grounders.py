@@ -22,11 +22,33 @@ Two grounders are provided:
 Both grounders treat the database ``D`` through the fact rules ``→ α`` of
 ``Π[D]`` and instantiate integrity constraints by positive-body matching
 after the head set has converged.
+
+Incremental grounding
+---------------------
+
+The chase explores a tree of AtR sets in which every child extends its
+parent by exactly one ground AtR rule.  Re-running the grounding fixpoint
+from scratch at every node is wasteful: by monotonicity, the child grounding
+is the parent grounding plus whatever the new Result atom makes derivable.
+:class:`GroundingState` packages a grounding together with the bookkeeping
+needed to *extend* it (head index, fired/unfired AtR rules, per-stratum
+checkpoints), and the grounders expose
+
+* :meth:`Grounder.initial_state` — the state of ``G(∅)``,
+* :meth:`Grounder.extend_state` — extend a state by new AtR rules
+  (semi-naive delta propagation for the simple grounder, stratum-resume for
+  the perfect grounder),
+* :meth:`Grounder.state_for` — a state from scratch (reference path).
+
+The classic :meth:`Grounder.ground` method is kept as the independent,
+naively-iterated reference implementation; property tests assert that the
+incremental states produce identical groundings.
 """
 
 from __future__ import annotations
 
 import abc
+from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from repro.exceptions import GroundingError, StratificationError
@@ -34,15 +56,108 @@ from repro.gdatalog.atr import GroundAtRRule, is_consistent, pending_active_atom
 from repro.gdatalog.translate import TranslatedProgram
 from repro.logic.atoms import Atom, Predicate
 from repro.logic.database import Database
+from repro.logic.intern import intern_atom, intern_rule
 from repro.logic.rules import Rule, fact_rule
-from repro.logic.unify import FactIndex, match_conjunction
+from repro.logic.unify import FactIndex, match_conjunction, match_conjunction_seminaive
 
-__all__ = ["Grounder", "SimpleGrounder", "PerfectGrounder", "heads_of", "make_grounder"]
+__all__ = [
+    "Grounder",
+    "GrounderStats",
+    "GroundingState",
+    "SimpleGrounder",
+    "PerfectGrounder",
+    "heads_of",
+    "make_grounder",
+]
 
 
 def heads_of(rules: Iterable[Rule]) -> frozenset[Atom]:
     """``heads(Σ)``: the head atoms of the non-constraint rules of *rules*."""
     return frozenset(r.head for r in rules if not r.is_constraint)
+
+
+@dataclass
+class GrounderStats:
+    """Counters describing how a grounder's work was split (``--profile``)."""
+
+    full_groundings: int = 0
+    incremental_extensions: int = 0
+    rules_derived: int = 0
+
+    def reset(self) -> None:
+        self.full_groundings = 0
+        self.incremental_extensions = 0
+        self.rules_derived = 0
+
+
+class GroundingState:
+    """The reusable result of grounding one AtR set ``Σ``.
+
+    Bundles the ground program ``G(Σ)`` (proper rules and constraint
+    instances kept apart) with the derived-head index and the fired /
+    unfired AtR rules, so a grounder can extend it with new AtR rules
+    without recomputing the fixpoint.  For the perfect grounder it
+    additionally records the stratum at which grounding stopped
+    (``resume_index``) and the rules derived *before* that stratum
+    (``checkpoint_rules``), allowing an extension to resume mid-pipeline.
+
+    States are value-like: :meth:`copy` produces an independent state
+    sharing the (interned, immutable) atoms and rules.
+    """
+
+    __slots__ = (
+        "atr_rules",
+        "rules",
+        "constraints",
+        "heads",
+        "fired_atr",
+        "unfired_atr",
+        "resume_index",
+        "checkpoint_rules",
+        "_grounding",
+    )
+
+    def __init__(
+        self,
+        atr_rules: frozenset[GroundAtRRule],
+        rules: set[Rule],
+        constraints: set[Rule],
+        heads: FactIndex,
+        fired_atr: set[GroundAtRRule],
+        unfired_atr: set[GroundAtRRule],
+        resume_index: int = 0,
+        checkpoint_rules: frozenset[Rule] = frozenset(),
+    ):
+        self.atr_rules = atr_rules
+        self.rules = rules
+        self.constraints = constraints
+        self.heads = heads
+        self.fired_atr = fired_atr
+        self.unfired_atr = unfired_atr
+        self.resume_index = resume_index
+        self.checkpoint_rules = checkpoint_rules
+        self._grounding: frozenset[Rule] | None = None
+
+    def copy(self) -> "GroundingState":
+        return GroundingState(
+            self.atr_rules,
+            set(self.rules),
+            set(self.constraints),
+            self.heads.copy(),
+            set(self.fired_atr),
+            set(self.unfired_atr),
+            self.resume_index,
+            self.checkpoint_rules,
+        )
+
+    def grounding(self) -> frozenset[Rule]:
+        """``G(Σ)`` as a frozenset (cached after the first call)."""
+        if self._grounding is None:
+            self._grounding = frozenset(self.rules) | frozenset(self.constraints)
+        return self._grounding
+
+    def __len__(self) -> int:
+        return len(self.rules) + len(self.constraints)
 
 
 class Grounder(abc.ABC):
@@ -51,8 +166,11 @@ class Grounder(abc.ABC):
     def __init__(self, translated: TranslatedProgram, database: Database):
         self.translated = translated
         self.database = database
-        self._fact_rules: tuple[Rule, ...] = tuple(fact_rule(a) for a in sorted(database.facts, key=str))
+        self._fact_rules: tuple[Rule, ...] = tuple(
+            intern_rule(fact_rule(a)) for a in sorted(database.facts, key=Atom.sort_key)
+        )
         self._active_predicates: set[Predicate] = set(translated.active_predicates)
+        self.stats = GrounderStats()
 
     # -- interface ------------------------------------------------------------
 
@@ -67,6 +185,50 @@ class Grounder(abc.ABC):
         can start from the seed instead of from scratch.
         """
 
+    # -- incremental-state API ---------------------------------------------------
+
+    def initial_state(self) -> GroundingState:
+        """The grounding state of the empty AtR set, ``G(∅)``."""
+        return self.state_for(frozenset())
+
+    def state_for(self, atr_rules: frozenset[GroundAtRRule]) -> GroundingState:
+        """A grounding state computed from scratch (reference path).
+
+        The default implementation wraps :meth:`ground`; subclasses override
+        it with a representation that is cheaper to extend.
+        """
+        self.stats.full_groundings += 1
+        return self._state_from_grounding(atr_rules, self.ground(atr_rules))
+
+    def extend_state(
+        self, state: GroundingState, new_atr_rules: Iterable[GroundAtRRule]
+    ) -> GroundingState:
+        """The state of ``Σ ∪ new_atr_rules`` built on top of the state of ``Σ``.
+
+        The base implementation recomputes via :meth:`ground` (seeded with
+        the parent grounding); :class:`SimpleGrounder` and
+        :class:`PerfectGrounder` override it with genuinely incremental
+        algorithms.  Extensions must keep the AtR set functionally
+        consistent.
+        """
+        atr_rules = frozenset(state.atr_rules | set(new_atr_rules))
+        self._check_consistent(atr_rules)
+        self.stats.full_groundings += 1
+        return self._state_from_grounding(atr_rules, self.ground(atr_rules, seed=state.grounding()))
+
+    def _state_from_grounding(
+        self, atr_rules: frozenset[GroundAtRRule], grounding: frozenset[Rule]
+    ) -> GroundingState:
+        rules = {r for r in grounding if not r.is_constraint}
+        constraints = {r for r in grounding if r.is_constraint}
+        heads = FactIndex(r.head for r in rules)
+        fired = {r for r in atr_rules if r.active_atom in heads}
+        for rule_ in fired:
+            heads.add(rule_.result_atom)
+        return GroundingState(
+            atr_rules, rules, constraints, heads, fired, set(atr_rules) - fired
+        )
+
     # -- shared helpers ---------------------------------------------------------
 
     @property
@@ -78,6 +240,22 @@ class Grounder(abc.ABC):
     ) -> list[Atom]:
         """Active atoms in ``heads(G(Σ))`` that ``Σ`` does not cover (the chase triggers)."""
         return pending_active_atoms(atr_rules, heads_of(grounding), self._active_predicates)
+
+    def pending_triggers_from_state(self, state: GroundingState) -> list[Atom]:
+        """The chase triggers of a state, read off the head index.
+
+        Avoids rebuilding ``heads(G(Σ))`` per call: only the buckets of the
+        Active predicates are scanned.
+        """
+        defined = {r.active_atom for r in state.atr_rules}
+        pending = [
+            atom_
+            for predicate in self._active_predicates
+            for atom_ in state.heads.facts_for(predicate)
+            if atom_ not in defined
+        ]
+        pending.sort(key=Atom.sort_key)
+        return pending
 
     def is_terminal(self, atr_rules: frozenset[GroundAtRRule], grounding: frozenset[Rule] | None = None) -> bool:
         """Whether ``Σ ∈ terminals(G)``, i.e. ``AtR_Σ ↩→ G(Σ)``."""
@@ -131,7 +309,7 @@ class Grounder(abc.ABC):
                         changed = True
             for rule_ in proper:
                 for substitution in match_conjunction(rule_.positive_body, heads):
-                    grounded = rule_.substitute(substitution.as_dict())
+                    grounded = intern_rule(rule_.substitute(substitution.as_dict()))
                     if not grounded.is_ground or grounded in derived_rules:
                         continue
                     if respect_negation and any(b in heads for b in grounded.negative_body):
@@ -141,7 +319,7 @@ class Grounder(abc.ABC):
 
         for rule_ in constraints:
             for substitution in match_conjunction(rule_.positive_body, heads):
-                grounded = rule_.substitute(substitution.as_dict())
+                grounded = intern_rule(rule_.substitute(substitution.as_dict()))
                 if grounded.is_ground:
                     derived_rules.add(grounded)
 
@@ -150,6 +328,17 @@ class Grounder(abc.ABC):
 
 class SimpleGrounder(Grounder):
     """The simple grounder ``GSimple_{Π[D]}`` of Definition 3.4."""
+
+    def __init__(self, translated: TranslatedProgram, database: Database):
+        super().__init__(translated, database)
+        rules = translated.existential_free_rules
+        self._proper_rules: tuple[Rule, ...] = tuple(
+            r for r in rules if not r.is_constraint and r.positive_body
+        )
+        self._seed_rules: tuple[Rule, ...] = tuple(
+            intern_rule(r) for r in rules if not r.is_constraint and not r.positive_body
+        )
+        self._constraint_rules: tuple[Rule, ...] = tuple(r for r in rules if r.is_constraint)
 
     def ground(
         self, atr_rules: frozenset[GroundAtRRule], seed: frozenset[Rule] | None = None
@@ -166,6 +355,96 @@ class SimpleGrounder(Grounder):
         )
         atr_plain = {r.as_rule() for r in atr_rules}
         return frozenset(derived - atr_plain)
+
+    # -- incremental path -------------------------------------------------------
+
+    def state_for(self, atr_rules: frozenset[GroundAtRRule]) -> GroundingState:
+        """Seed the state with ``G(∅)``'s inputs and propagate everything as delta."""
+        self._check_consistent(atr_rules)
+        self.stats.full_groundings += 1
+        heads = FactIndex()
+        rules: set[Rule] = set()
+        delta = FactIndex()
+        for rule_ in self._fact_rules + self._seed_rules:
+            if rule_ not in rules:
+                rules.add(rule_)
+                if heads.add(rule_.head):
+                    delta.add(rule_.head)
+        state = GroundingState(
+            frozenset(atr_rules), rules, set(), heads, set(), set(atr_rules)
+        )
+        self._propagate(state, delta)
+        return state
+
+    def extend_state(
+        self, state: GroundingState, new_atr_rules: Iterable[GroundAtRRule]
+    ) -> GroundingState:
+        """Semi-naive extension: only matches involving newly derived heads are tried."""
+        additions = set(new_atr_rules) - state.atr_rules
+        child = state.copy()
+        child.atr_rules = frozenset(child.atr_rules | additions)
+        self._check_consistent(child.atr_rules)
+        self.stats.incremental_extensions += 1
+
+        delta = FactIndex()
+        for atr_rule in additions:
+            if atr_rule.active_atom in child.heads:
+                child.fired_atr.add(atr_rule)
+                if child.heads.add(atr_rule.result_atom):
+                    delta.add(atr_rule.result_atom)
+            else:
+                child.unfired_atr.add(atr_rule)
+        self._propagate(child, delta)
+        return child
+
+    def _propagate(self, state: GroundingState, delta: FactIndex) -> None:
+        """Drive the semi-naive fixpoint: rounds of delta-driven matching.
+
+        *delta* holds the heads derived in the previous round; each round
+        matches every non-ground rule with the requirement that at least one
+        body atom falls into the delta, fires AtR rules whose Active atom has
+        become derivable, and collects the freshly derived heads as the next
+        delta.  Constraints are instantiated at the end against the converged
+        head set, again restricted to matches using a new head.
+        """
+        heads = state.heads
+        rules = state.rules
+        total_delta = FactIndex(delta)
+
+        while len(delta):
+            next_delta = FactIndex()
+            for rule_ in self._proper_rules:
+                for substitution in match_conjunction_seminaive(rule_.positive_body, heads, delta):
+                    grounded = intern_rule(rule_.substitute(substitution.as_dict()))
+                    if not grounded.is_ground or grounded in rules:
+                        continue
+                    rules.add(grounded)
+                    self.stats.rules_derived += 1
+                    if heads.add(grounded.head):
+                        next_delta.add(grounded.head)
+                        total_delta.add(grounded.head)
+            for atr_rule in tuple(state.unfired_atr):
+                if atr_rule.active_atom in heads:
+                    state.unfired_atr.discard(atr_rule)
+                    state.fired_atr.add(atr_rule)
+                    if heads.add(atr_rule.result_atom):
+                        next_delta.add(atr_rule.result_atom)
+                        total_delta.add(atr_rule.result_atom)
+            delta = next_delta
+
+        if len(total_delta):
+            for rule_ in self._constraint_rules:
+                if rule_.positive_body:
+                    matches = match_conjunction_seminaive(rule_.positive_body, heads, total_delta)
+                else:
+                    matches = ()
+                for substitution in matches:
+                    grounded = intern_rule(rule_.substitute(substitution.as_dict()))
+                    if grounded.is_ground:
+                        state.constraints.add(grounded)
+        for rule_ in self._constraint_rules:
+            if not rule_.positive_body and rule_.is_ground:
+                state.constraints.add(intern_rule(rule_))
 
 
 class PerfectGrounder(Grounder):
@@ -184,18 +463,84 @@ class PerfectGrounder(Grounder):
             # Database predicates never mentioned by the program form a
             # lowest pseudo-stratum of their own.
             self._strata = [orphan_predicates] + self._strata
+        self._constraint_sources: tuple[Rule, ...] = tuple(
+            rule_
+            for translation in self.translated.translations
+            if translation.source.is_constraint
+            for rule_ in translation.rules
+        )
 
     def ground(
         self, atr_rules: frozenset[GroundAtRRule], seed: frozenset[Rule] | None = None
     ) -> frozenset[Rule]:
         self._check_consistent(atr_rules)
-        current: set[Rule] = set()
+        current, _, _ = self._run_strata(atr_rules, start_index=0, base_rules=set())
+        return frozenset(current | self._instantiate_constraints(current))
 
-        for component in self._strata:
+    # -- incremental path -------------------------------------------------------
+
+    def state_for(self, atr_rules: frozenset[GroundAtRRule]) -> GroundingState:
+        self._check_consistent(atr_rules)
+        self.stats.full_groundings += 1
+        current, resume_index, checkpoint = self._run_strata(
+            atr_rules, start_index=0, base_rules=set()
+        )
+        return self._assemble_state(atr_rules, current, resume_index, checkpoint)
+
+    def extend_state(
+        self, state: GroundingState, new_atr_rules: Iterable[GroundAtRRule]
+    ) -> GroundingState:
+        """Resume the stratum pipeline at the checkpoint instead of from stratum 0.
+
+        Strata processed strictly before the checkpoint cannot change when the
+        AtR set grows: the new AtR rules cover Active atoms first derived in
+        the checkpointed stratum, so their Result atoms only feed rules from
+        that stratum onward.
+        """
+        atr_rules = frozenset(state.atr_rules | set(new_atr_rules))
+        self._check_consistent(atr_rules)
+        if state.resume_index >= len(self._strata):
+            # Every stratum was already grounded and its Active atoms covered;
+            # extra AtR rules cannot fire, so the grounding is unchanged.
+            child = state.copy()
+            child.atr_rules = atr_rules
+            child.unfired_atr |= set(new_atr_rules) - state.atr_rules
+            return child
+        self.stats.incremental_extensions += 1
+        current, resume_index, checkpoint = self._run_strata(
+            atr_rules,
+            start_index=state.resume_index,
+            base_rules=set(state.checkpoint_rules),
+        )
+        return self._assemble_state(atr_rules, current, resume_index, checkpoint)
+
+    # -- internals ----------------------------------------------------------------
+
+    def _run_strata(
+        self,
+        atr_rules: frozenset[GroundAtRRule],
+        start_index: int,
+        base_rules: set[Rule],
+    ) -> tuple[set[Rule], int, frozenset[Rule]]:
+        """Process the strata pipeline from *start_index*.
+
+        Returns ``(rules, resume_index, checkpoint)`` where *resume_index* is
+        the first stratum a later extension has to reprocess (the stratum
+        that derived the still-uncovered Active atoms, or ``len(strata)``
+        when everything is covered) and *checkpoint* holds the rules derived
+        before that stratum.
+        """
+        current: set[Rule] = set(base_rules)
+        checkpoint: frozenset[Rule] = frozenset(base_rules)
+        resume_index = len(self._strata)
+        for index in range(start_index, len(self._strata)):
+            component = self._strata[index]
             # Compatibility check of Definition 5.1: stop extending as soon as
             # the AtR set fails to cover an Active atom already derived.
             if pending_active_atoms(atr_rules, heads_of(current), self._active_predicates):
+                resume_index = index - 1
                 break
+            checkpoint = frozenset(current)
             stratum_rules = list(self.translated.rules_for_head_predicates(component))
             stratum_facts = [r for r in self._fact_rules if r.head.predicate in component]
             derived = self._saturate(
@@ -206,24 +551,48 @@ class PerfectGrounder(Grounder):
             )
             atr_plain = {r.as_rule() for r in atr_rules}
             current = set(derived - atr_plain)
+        else:
+            if pending_active_atoms(atr_rules, heads_of(current), self._active_predicates):
+                resume_index = len(self._strata) - 1
+        return current, resume_index, checkpoint
 
-        # Integrity constraints are instantiated against the final head set
-        # (they belong to no stratum; they never derive atoms).
-        constraint_sources = [
-            rule_
-            for translation in self.translated.translations
-            if translation.source.is_constraint
-            for rule_ in translation.rules
-        ]
-        if constraint_sources:
+    def _instantiate_constraints(self, current: set[Rule]) -> set[Rule]:
+        """Integrity constraints instantiated against the final head set.
+
+        They belong to no stratum and never derive atoms.
+        """
+        instances: set[Rule] = set()
+        if self._constraint_sources:
             heads = FactIndex(heads_of(current))
-            for rule_ in constraint_sources:
+            for rule_ in self._constraint_sources:
                 for substitution in match_conjunction(rule_.positive_body, heads):
-                    grounded = rule_.substitute(substitution.as_dict())
+                    grounded = intern_rule(rule_.substitute(substitution.as_dict()))
                     if grounded.is_ground:
-                        current.add(grounded)
+                        instances.add(grounded)
+        return instances
 
-        return frozenset(current)
+    def _assemble_state(
+        self,
+        atr_rules: frozenset[GroundAtRRule],
+        current: set[Rule],
+        resume_index: int,
+        checkpoint: frozenset[Rule],
+    ) -> GroundingState:
+        constraints = self._instantiate_constraints(current)
+        heads = FactIndex(r.head for r in current if not r.is_constraint)
+        fired = {r for r in atr_rules if r.active_atom in heads}
+        for rule_ in fired:
+            heads.add(rule_.result_atom)
+        return GroundingState(
+            atr_rules,
+            current,
+            constraints,
+            heads,
+            fired,
+            set(atr_rules) - fired,
+            resume_index=resume_index,
+            checkpoint_rules=checkpoint,
+        )
 
 
 def make_grounder(

@@ -22,7 +22,7 @@ from repro.gdatalog.translate import TranslatedProgram
 from repro.logic.atoms import Atom
 from repro.logic.rules import Rule
 from repro.stable.grounding import GroundProgram
-from repro.stable.solver import SolverConfig, StableModelSolver
+from repro.stable.solver import SolverConfig, StableModelSolver, shared_solver
 
 __all__ = ["PossibleOutcome", "outcome_probability"]
 
@@ -47,13 +47,35 @@ class PossibleOutcome:
     # -- program views --------------------------------------------------------
 
     @cached_property
+    def choice_key(self) -> tuple:
+        """A cheap structural identity key for the probabilistic choices ``Σ``.
+
+        The chase uses it to order outcomes canonically (the AtR set
+        determines the outcome), replacing per-comparison stringification.
+        """
+        return tuple(sorted(r.sort_key() for r in self.atr_rules))
+
+    @cached_property
     def full_rules(self) -> tuple[Rule, ...]:
         """The ground program ``Σ ∪ G(Σ)`` with AtR TGDs read as plain rules."""
-        atr_plain = tuple(sorted((r.as_rule() for r in self.atr_rules), key=str))
-        return tuple(sorted(self.grounding, key=str)) + atr_plain
+        atr_plain = tuple(sorted((r.as_rule() for r in self.atr_rules), key=Rule.sort_key))
+        return tuple(sorted(self.grounding, key=Rule.sort_key)) + atr_plain
 
     def ground_program(self) -> GroundProgram:
         return GroundProgram(self.full_rules)
+
+    def with_probability(self, probability: float) -> "PossibleOutcome":
+        """A copy with rescaled probability that keeps the lazily computed views.
+
+        Conditioning re-weights outcomes without changing their ground
+        program, so the clone inherits any already-solved stable models and
+        cached keys instead of recomputing them.
+        """
+        clone = PossibleOutcome(self.atr_rules, self.grounding, probability, self.translated)
+        for attribute in ("choice_key", "full_rules", "stable_models"):
+            if attribute in self.__dict__:
+                clone.__dict__[attribute] = self.__dict__[attribute]
+        return clone
 
     def result_atoms(self) -> frozenset[Atom]:
         """The Result atoms fixed by the probabilistic choices."""
@@ -67,9 +89,13 @@ class PossibleOutcome:
 
     @cached_property
     def stable_models(self) -> frozenset[frozenset[Atom]]:
-        """``sms(Σ ∪ G(Σ))``: the (possibly empty) set of stable models of the outcome."""
-        solver = StableModelSolver(SolverConfig())
-        return frozenset(solver.enumerate(self.ground_program()))
+        """``sms(Σ ∪ G(Σ))``: the (possibly empty) set of stable models of the outcome.
+
+        Solved through the process-wide memoized solver: outcomes with the
+        same canonicalized ground program (e.g. the same configuration
+        re-sampled by the Monte-Carlo sampler) are solved once.
+        """
+        return frozenset(shared_solver().enumerate(self.ground_program()))
 
     @property
     def has_stable_model(self) -> bool:

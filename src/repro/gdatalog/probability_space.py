@@ -149,10 +149,7 @@ class OutputSpace:
         mass = sum(o.probability for o in selected)
         if mass <= 0.0:
             raise InferenceError("cannot condition on an event of probability zero")
-        rescaled = [
-            PossibleOutcome(o.atr_rules, o.grounding, o.probability / mass, o.translated)
-            for o in selected
-        ]
+        rescaled = [o.with_probability(o.probability / mass) for o in selected]
         return OutputSpace(rescaled, error_probability=0.0, visible_only=self._visible_only)
 
     # -- comparison of semantics (Definition 3.11) -------------------------------------

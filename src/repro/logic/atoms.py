@@ -67,6 +67,14 @@ class Atom:
         """The set of variables mentioned by the atom."""
         return {a for a in self.args if isinstance(a, Variable)}
 
+    def sort_key(self) -> tuple:
+        """A cheap structural ordering key (predicate name, arity, term keys).
+
+        Much faster than ``str(atom)`` for canonicalizing ground programs and
+        outcome sets; consistent with equality for ground atoms.
+        """
+        return (self.predicate.name, self.predicate.arity, tuple(a.sort_key() for a in self.args))
+
     def constants(self) -> set[Constant]:
         """The set of constants mentioned by the atom."""
         return {a for a in self.args if isinstance(a, Constant)}
@@ -98,7 +106,13 @@ class Atom:
         return iter(self.args)
 
     def __hash__(self) -> int:
-        return hash((self.predicate, self.args))
+        # Atoms are hashed constantly (head indexes, groundings, models);
+        # memoize the hash on first use (safe: atoms are immutable).
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash((self.predicate, self.args))
+            object.__setattr__(self, "_hash", cached)
+        return cached
 
 
 def atom(name: str, *args: object) -> Atom:

@@ -1,0 +1,85 @@
+"""Interning of ground atoms and ground rules.
+
+The chase produces a tree of configurations whose groundings overlap
+heavily: a child node's ground program is the parent's plus the handful of
+instances fired by one new AtR rule.  Structurally equal atoms and rules are
+therefore recreated over and over — once per node — which wastes memory and,
+more importantly, slows down every set operation on groundings (``set`` and
+``dict`` lookups short-circuit on identity before falling back to ``__eq__``).
+
+This module maintains process-wide intern tables mapping each ground atom /
+rule to one canonical instance.  Interning is purely an optimisation: callers
+receive an object that is ``==`` to their input, so semantics are unchanged.
+
+The tables are bounded; when a table exceeds :data:`MAX_INTERN_TABLE_SIZE`
+entries it is cleared wholesale (the simplest eviction policy that cannot
+leak unboundedly across many engines in one process).
+"""
+
+from __future__ import annotations
+
+from repro.logic.atoms import Atom
+from repro.logic.rules import Rule
+
+__all__ = [
+    "intern_atom",
+    "intern_rule",
+    "intern_stats",
+    "clear_intern_tables",
+    "MAX_INTERN_TABLE_SIZE",
+]
+
+#: Upper bound on the number of entries per intern table.
+MAX_INTERN_TABLE_SIZE = 1_000_000
+
+_atoms: dict[Atom, Atom] = {}
+_rules: dict[Rule, Rule] = {}
+_hits = 0
+_misses = 0
+
+
+def intern_atom(atom_: Atom) -> Atom:
+    """Return the canonical instance of a ground atom (``==`` to the input)."""
+    global _hits, _misses
+    canonical = _atoms.get(atom_)
+    if canonical is not None:
+        _hits += 1
+        return canonical
+    if len(_atoms) >= MAX_INTERN_TABLE_SIZE:
+        _atoms.clear()
+    _misses += 1
+    _atoms[atom_] = atom_
+    return atom_
+
+
+def intern_rule(rule_: Rule) -> Rule:
+    """Return the canonical instance of a ground rule (``==`` to the input)."""
+    global _hits, _misses
+    canonical = _rules.get(rule_)
+    if canonical is not None:
+        _hits += 1
+        return canonical
+    if len(_rules) >= MAX_INTERN_TABLE_SIZE:
+        _rules.clear()
+    _misses += 1
+    _rules[rule_] = rule_
+    return rule_
+
+
+def intern_stats() -> dict[str, int]:
+    """Current table sizes and hit/miss counters (for ``--profile`` reports)."""
+    return {
+        "atoms": len(_atoms),
+        "rules": len(_rules),
+        "hits": _hits,
+        "misses": _misses,
+    }
+
+
+def clear_intern_tables() -> None:
+    """Drop all interned objects and reset the counters (used by tests)."""
+    global _hits, _misses
+    _atoms.clear()
+    _rules.clear()
+    _hits = 0
+    _misses = 0

@@ -112,6 +112,18 @@ class Rule:
     def body_predicates(self) -> set[Predicate]:
         return {a.predicate for a in self.positive_body} | {a.predicate for a in self.negative_body}
 
+    def sort_key(self) -> tuple:
+        """A cheap structural ordering key over head and body atom keys.
+
+        Replaces ``str(rule)``-based sorting on the hot canonicalization
+        paths (chase outcome ordering, solver memo keys).
+        """
+        return (
+            self.head.sort_key(),
+            tuple(a.sort_key() for a in self.positive_body),
+            tuple(a.sort_key() for a in self.negative_body),
+        )
+
     # -- construction -------------------------------------------------------
 
     def substitute(self, mapping: Mapping[Variable, Term]) -> "Rule":
@@ -136,7 +148,13 @@ class Rule:
         return f"Rule({self!s})"
 
     def __hash__(self) -> int:
-        return hash((self.head, self.positive_body, self.negative_body))
+        # Ground rules live in large sets (groundings, reducts); memoize the
+        # hash on first use (safe: rules are immutable).
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash((self.head, self.positive_body, self.negative_body))
+            object.__setattr__(self, "_hash", cached)
+        return cached
 
 
 # -- convenience constructors ------------------------------------------------

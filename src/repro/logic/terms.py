@@ -58,6 +58,21 @@ class Constant:
         except ValueError as exc:
             raise ValidationError(f"constant {self.value!r} is not translatable to a number") from exc
 
+    def sort_key(self) -> tuple[int, int | float | str]:
+        """A cheap, total ordering key (numbers before strings).
+
+        Used to canonicalize ground programs without the cost of ``str``-ing
+        every term; consistent with equality in both directions: equal
+        constants share a key (``1 == 1.0 == True``) and distinct constants
+        get distinct keys (the payload is kept as-is — coercing ints to
+        float would collide integers beyond 2**53).
+        """
+        if isinstance(self.value, bool):
+            return (0, int(self.value))
+        if isinstance(self.value, (int, float)):
+            return (0, self.value)
+        return (1, self.value)
+
     def __str__(self) -> str:
         if isinstance(self.value, str):
             if self.value.isidentifier() and self.value[0].islower():
@@ -87,6 +102,10 @@ class Variable:
     def __post_init__(self) -> None:
         if not self.name or not isinstance(self.name, str):
             raise ValidationError("variable name must be a non-empty string")
+
+    def sort_key(self) -> tuple[int, str]:
+        """Ordering key; variables sort after every constant (tag 2)."""
+        return (2, self.name)
 
     def __str__(self) -> str:
         return self.name

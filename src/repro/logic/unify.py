@@ -26,6 +26,7 @@ from repro.logic.terms import Constant, Term, Variable
 __all__ = [
     "match_atom",
     "match_conjunction",
+    "match_conjunction_seminaive",
     "unify_atoms",
     "FactIndex",
 ]
@@ -94,6 +95,14 @@ class FactIndex:
     def as_set(self) -> frozenset[Atom]:
         return frozenset(self._all)
 
+    def copy(self) -> "FactIndex":
+        """An independent copy (bucket sets are copied, atoms are shared)."""
+        duplicate = FactIndex()
+        duplicate._all = set(self._all)
+        for predicate, bucket in self._by_predicate.items():
+            duplicate._by_predicate[predicate] = set(bucket)
+        return duplicate
+
 
 def match_conjunction(
     patterns: Sequence[Atom],
@@ -132,6 +141,64 @@ def match_conjunction(
                 yield from _search(i + 1, extended)
 
     yield from _search(0, start)
+
+
+def match_conjunction_seminaive(
+    patterns: Sequence[Atom],
+    facts: FactIndex,
+    delta: FactIndex,
+    binding: Substitution | None = None,
+) -> Iterator[Substitution]:
+    """Enumerate the homomorphisms from *patterns* into *facts* that use *delta*.
+
+    This is the semi-naive differential of :func:`match_conjunction`: with
+    ``delta ⊆ facts`` the iterator yields exactly the substitutions ``h`` with
+    ``h(patterns) ⊆ facts`` and ``h(patterns) ∩ delta ≠ ∅`` — the matches that
+    did *not* exist before the delta atoms were derived.  Incremental
+    grounders call this once per fixpoint round with the freshly derived
+    heads as *delta*, so work per round is proportional to the new matches
+    instead of to the whole head set.
+
+    Each qualifying substitution is produced exactly once: for pivot position
+    ``i`` the ``i``-th atom is matched against *delta* only, earlier atoms
+    against ``facts − delta``, later atoms against all of *facts*.
+    """
+    start = binding if binding is not None else Substitution()
+    if not patterns or not len(delta):
+        return
+
+    # A fixed join order shared by all pivots keeps the pivot decomposition
+    # duplicate-free; order by selectivity against the full index with the
+    # original position as a deterministic tie-break.
+    ordered = sorted(
+        range(len(patterns)), key=lambda i: (len(facts.facts_for(patterns[i].predicate)), i)
+    )
+    atoms_in_order = [patterns[i] for i in ordered]
+
+    def _candidates(position: int, pivot: int, pattern: Atom) -> tuple[Atom, ...]:
+        # Materialized so callers may add facts to the indexes mid-iteration
+        # (the grounder's fixpoint round does exactly that).
+        bucket = facts.facts_for(pattern.predicate)
+        if position == pivot:
+            return tuple(delta.facts_for(pattern.predicate))
+        if position < pivot:
+            return tuple(f for f in bucket if f not in delta)
+        return tuple(bucket)
+
+    def _search(position: int, pivot: int, current: Substitution) -> Iterator[Substitution]:
+        if position == len(atoms_in_order):
+            yield current
+            return
+        pattern = current.apply_atom(atoms_in_order[position])
+        for candidate in _candidates(position, pivot, pattern):
+            extended = match_atom(pattern, candidate, current)
+            if extended is not None:
+                yield from _search(position + 1, pivot, extended)
+
+    for pivot in range(len(atoms_in_order)):
+        if not delta.facts_for(atoms_in_order[pivot].predicate):
+            continue
+        yield from _search(0, pivot, start)
 
 
 def has_homomorphism(patterns: Sequence[Atom], facts: FactIndex | Iterable[Atom]) -> bool:

@@ -14,6 +14,7 @@ proper rules and constraints) plus the Herbrand base they span.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Iterable, Iterator, Sequence
 
 from repro.logic.atoms import Atom
@@ -41,6 +42,16 @@ class GroundProgram:
 
     def __len__(self) -> int:
         return len(self.rules)
+
+    @cached_property
+    def canonical_key(self) -> tuple:
+        """A canonical structural key: equal iff the rule *sets* are equal.
+
+        Built from the cheap per-rule :meth:`~repro.logic.rules.Rule.sort_key`
+        (no stringification); used by the stable-model solver to memoize
+        enumeration results across structurally equal ground programs.
+        """
+        return tuple(sorted({r.sort_key() for r in self.rules}))
 
     @property
     def facts(self) -> tuple[Rule, ...]:

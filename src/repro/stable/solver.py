@@ -23,6 +23,7 @@ accidentally huge instances.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from itertools import combinations
 from typing import Iterable, Iterator
@@ -37,7 +38,14 @@ from repro.stable.grounding import GroundProgram, ground_program
 from repro.stable.reduct import is_stable_model
 from repro.stable.wellfounded import well_founded_model
 
-__all__ = ["SolverConfig", "StableModelSolver", "stable_models", "has_stable_model"]
+__all__ = [
+    "SolverConfig",
+    "StableModelSolver",
+    "stable_models",
+    "has_stable_model",
+    "shared_solver",
+    "solver_cache_stats",
+]
 
 
 @dataclass(frozen=True)
@@ -52,10 +60,24 @@ class SolverConfig:
     use_well_founded:
         Whether to run the well-founded pruning phase (disable only in tests
         that exercise the raw branching procedure).
+    memoize:
+        Whether :meth:`StableModelSolver.enumerate` caches its results keyed
+        on the canonicalized ground program
+        (:meth:`~repro.stable.grounding.GroundProgram.canonical_key`).
+        Structurally equal programs — e.g. the same chase configuration
+        re-sampled by the Monte-Carlo sampler, or outcomes re-queried under
+        several marginals — are then solved exactly once per process.
+        With memoization the enumeration is materialized eagerly on a cache
+        miss (no early exit for ``has_stable_model``); disable for programs
+        with huge model counts where laziness matters more than reuse.
+    cache_size:
+        Maximum number of memoized programs (LRU eviction).
     """
 
     max_guesses: int = 1 << 20
     use_well_founded: bool = True
+    memoize: bool = True
+    cache_size: int = 8192
 
 
 class StableModelSolver:
@@ -63,12 +85,42 @@ class StableModelSolver:
 
     def __init__(self, config: SolverConfig | None = None):
         self.config = config or SolverConfig()
+        self._cache: OrderedDict[tuple, tuple[frozenset[Atom], ...]] = OrderedDict()
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     # -- public API ---------------------------------------------------------
 
     def enumerate(self, program: GroundProgram | Iterable[Rule]) -> Iterator[frozenset[Atom]]:
         """Yield every stable model of the ground program, each exactly once."""
         ground = program if isinstance(program, GroundProgram) else GroundProgram(tuple(program))
+        if not self.config.memoize:
+            yield from self._enumerate_uncached(ground)
+            return
+        key = ground.canonical_key
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.cache_hits += 1
+            self._cache.move_to_end(key)
+            yield from cached
+            return
+        self.cache_misses += 1
+        models = tuple(self._enumerate_uncached(ground))
+        self._cache[key] = models
+        if len(self._cache) > self.config.cache_size:
+            self._cache.popitem(last=False)
+        yield from models
+
+    def cache_stats(self) -> dict[str, int]:
+        """Memo-cache counters for profiling reports."""
+        return {"entries": len(self._cache), "hits": self.cache_hits, "misses": self.cache_misses}
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    def _enumerate_uncached(self, ground: GroundProgram) -> Iterator[frozenset[Atom]]:
         rules = list(ground.rules)
         negative_atoms = set(ground.negative_body_atoms())
 
@@ -105,8 +157,20 @@ class StableModelSolver:
         return sorted(self.enumerate(program), key=lambda m: sorted(str(a) for a in m))
 
     def has_stable_model(self, program: GroundProgram | Iterable[Rule]) -> bool:
-        """Whether at least one stable model exists."""
-        return next(self.enumerate(program), None) is not None
+        """Whether at least one stable model exists.
+
+        Answers from the memo cache when the program was already enumerated;
+        otherwise enumerates *lazily* and stops at the first model (a partial
+        enumeration is not cacheable, so existence checks never pay the
+        eager-materialization cost of a memoized :meth:`enumerate`).
+        """
+        ground = program if isinstance(program, GroundProgram) else GroundProgram(tuple(program))
+        if self.config.memoize:
+            cached = self._cache.get(ground.canonical_key)
+            if cached is not None:
+                self.cache_hits += 1
+                return bool(cached)
+        return next(self._enumerate_uncached(ground), None) is not None
 
     def count(self, program: GroundProgram | Iterable[Rule]) -> int:
         """The number of stable models."""
@@ -150,6 +214,29 @@ class StableModelSolver:
 
 
 # -- module-level conveniences ------------------------------------------------
+
+#: Process-wide memoizing solver shared by all possible-outcome evaluations.
+_shared_solver: StableModelSolver | None = None
+
+
+def shared_solver() -> StableModelSolver:
+    """The process-wide memoizing solver (created on first use).
+
+    Keyed on canonicalized ground programs, its cache persists across
+    engines, samplers and output spaces, so repeated evaluations of
+    structurally equal outcome programs are free after the first.
+    """
+    global _shared_solver
+    if _shared_solver is None:
+        _shared_solver = StableModelSolver(SolverConfig())
+    return _shared_solver
+
+
+def solver_cache_stats() -> dict[str, int]:
+    """Cache counters of the shared solver (zeros before first use)."""
+    if _shared_solver is None:
+        return {"entries": 0, "hits": 0, "misses": 0}
+    return _shared_solver.cache_stats()
 
 
 def stable_models(
