@@ -5,7 +5,11 @@ Installed as the ``gdatalog`` console script (and callable with
 
 * ``run``      — exact inference: print the output probability space.
 * ``query``    — exact marginal / has-stable-model queries.
-* ``sample``   — Monte-Carlo estimation.
+* ``sample``   — Monte-Carlo estimation (fixed budget or ``--adaptive``).
+* ``batch``    — many exact queries in one outcome pass, optionally with
+  ``--workers N`` parallel chase exploration.
+* ``serve``    — JSON-lines inference service on stdin/stdout backed by the
+  LRU-cached :class:`~repro.runtime.service.InferenceService`.
 * ``ground``   — show the translation Σ_Π and the grounding of the empty AtR set.
 * ``graph``    — dependency graph / stratification of a program (Figure-1 style).
 
@@ -14,11 +18,15 @@ Examples::
     gdatalog run examples/programs/resilience.dl --database network.facts
     gdatalog query program.dl -d db.facts --atom "infected(2, 1)" --mode cautious
     gdatalog sample program.dl -d db.facts -n 5000 --seed 7
+    gdatalog sample program.dl -d db.facts --adaptive --half-width 0.02
+    gdatalog batch program.dl -d db.facts --atom "a(1)" --atom "b(2)" --workers 4
+    echo '{"program_path": "p.dl", "queries": ["a(1)"]}' | gdatalog serve
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import Sequence
@@ -34,24 +42,39 @@ from repro.logic.parser import parse_gdatalog_program
 __all__ = ["build_parser", "main"]
 
 
-def _read_text(path: str | None) -> str:
+class CLIError(ReproError):
+    """A user-facing CLI failure: printed as one readable line, exit code 1."""
+
+
+def _read_text(path: str | None, role: str = "input") -> str:
+    """Read a program/database file, mapping I/O failures to readable errors."""
     if path is None:
         return ""
-    return Path(path).read_text(encoding="utf-8")
+    try:
+        return Path(path).read_text(encoding="utf-8")
+    except FileNotFoundError:
+        raise CLIError(f"{role} file not found: {path}") from None
+    except IsADirectoryError:
+        raise CLIError(f"{role} path is a directory, not a file: {path}") from None
+    except OSError as error:
+        raise CLIError(f"cannot read {role} file {path}: {error.strerror or error}") from None
 
 
-def _make_engine(args: argparse.Namespace) -> GDatalogEngine:
-    chase_config = ChaseConfig(
+def _chase_config(args: argparse.Namespace) -> ChaseConfig:
+    return ChaseConfig(
         max_depth=args.max_depth,
         max_outcomes=args.max_outcomes,
         mass_tolerance=args.mass_tolerance,
         incremental=not args.no_incremental,
     )
+
+
+def _make_engine(args: argparse.Namespace) -> GDatalogEngine:
     return GDatalogEngine.from_source(
-        _read_text(args.program),
-        _read_text(args.database),
+        _read_text(args.program, role="program"),
+        _read_text(args.database, role="database"),
         grounder=args.grounder,
-        chase_config=chase_config,
+        chase_config=_chase_config(args),
     )
 
 
@@ -98,9 +121,59 @@ def build_parser() -> argparse.ArgumentParser:
 
     sample_parser = subparsers.add_parser("sample", help="Monte-Carlo estimation")
     _add_common_arguments(sample_parser)
-    sample_parser.add_argument("-n", "--samples", type=int, default=1000, help="number of samples")
+    sample_parser.add_argument(
+        "-n",
+        "--samples",
+        type=int,
+        default=1000,
+        help="number of samples (with --adaptive: the maximum sample budget)",
+    )
     sample_parser.add_argument("--seed", type=int, default=None, help="random seed")
     sample_parser.add_argument("--atom", action="append", default=[], help="atom to estimate (repeatable)")
+    sample_parser.add_argument(
+        "--adaptive",
+        action="store_true",
+        help="sample in chunks until the Wilson confidence interval is narrow enough",
+    )
+    sample_parser.add_argument(
+        "--half-width",
+        type=float,
+        default=0.05,
+        help="target Wilson half-width for --adaptive (default 0.05, "
+        "reachable within the default -n 1000 budget at any probability)",
+    )
+    sample_parser.add_argument(
+        "--stratify",
+        action="store_true",
+        help="with --adaptive: stratify over the first trigger's branches",
+    )
+
+    batch_parser = subparsers.add_parser(
+        "batch", help="many exact queries in a single pass over the outcomes"
+    )
+    _add_common_arguments(batch_parser)
+    batch_parser.add_argument("--atom", action="append", default=[], help="atom to query (repeatable)")
+    batch_parser.add_argument(
+        "--mode", choices=("brave", "cautious"), default="brave", help="marginal mode"
+    )
+    batch_parser.add_argument(
+        "--workers", type=int, default=None, help="explore the chase tree with N worker processes"
+    )
+    batch_parser.add_argument("--json", action="store_true", help="emit JSON instead of a table")
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="JSON-lines inference service on stdin/stdout"
+    )
+    serve_parser.add_argument(
+        "-g", "--grounder", choices=("simple", "perfect"), default="simple", help="grounder to use"
+    )
+    serve_parser.add_argument("--cache-size", type=int, default=32, help="engine LRU cache capacity")
+    serve_parser.add_argument(
+        "--workers", type=int, default=None, help="worker processes for exact requests"
+    )
+    serve_parser.add_argument(
+        "--max-requests", type=int, default=None, help="stop after N requests (mainly for tests)"
+    )
 
     ground_parser = subparsers.add_parser("ground", help="show the translation and initial grounding")
     _add_common_arguments(ground_parser)
@@ -143,18 +216,145 @@ def _command_query(args: argparse.Namespace) -> str:
 
 def _command_sample(args: argparse.Namespace) -> str:
     engine = _make_engine(args)
-    table = TextTable(["query", "estimate", "std error"], title=f"Monte-Carlo ({args.samples} samples)")
-    estimate = engine.estimate_has_stable_model(n=args.samples, seed=args.seed)
-    table.add_row("has stable model", estimate.value, estimate.standard_error)
-    for atom_text in args.atom:
-        atom_estimate = engine.estimate_marginal(atom_text, n=args.samples, seed=args.seed)
-        table.add_row(atom_text, atom_estimate.value, atom_estimate.standard_error)
-    rendered = table.render()
+    if args.adaptive:
+        rendered = _render_adaptive_estimates(engine, args)
+    else:
+        table = TextTable(
+            ["query", "estimate", "std error"], title=f"Monte-Carlo ({args.samples} samples)"
+        )
+        estimate = engine.estimate_has_stable_model(n=args.samples, seed=args.seed)
+        table.add_row("has stable model", estimate.value, estimate.standard_error)
+        for atom_text in args.atom:
+            atom_estimate = engine.estimate_marginal(atom_text, n=args.samples, seed=args.seed)
+            table.add_row(atom_text, atom_estimate.value, atom_estimate.standard_error)
+        rendered = table.render()
     if args.profile:
         # Sampling never runs the exhaustive chase; report the caches that
         # the sampled outcome evaluations actually exercised.
         rendered += "\n\n" + "\n".join(cache_profile_lines())
     return rendered
+
+
+def _render_adaptive_estimates(engine: GDatalogEngine, args: argparse.Namespace) -> str:
+    from repro.ppdl.queries import AtomQuery, HasStableModelQuery
+
+    table = TextTable(
+        ["query", "estimate", "half-width", "samples", "converged"],
+        title=f"adaptive Monte-Carlo (target half-width {args.half_width})",
+    )
+    queries = [("has stable model", HasStableModelQuery())]
+    queries += [(atom_text, AtomQuery.of(atom_text)) for atom_text in args.atom]
+    for label, query in queries:
+        result = engine.adaptive_estimate(
+            query,
+            target_half_width=args.half_width,
+            stratify=args.stratify,
+            seed=args.seed,
+            max_samples=args.samples,
+        )
+        table.add_row(label, result.value, result.half_width, result.samples, result.converged)
+    return table.render()
+
+
+def _command_batch(args: argparse.Namespace) -> str:
+    from repro.ppdl.queries import AtomQuery, HasStableModelQuery
+
+    engine = _make_engine(args)
+    queries = [HasStableModelQuery()] + [AtomQuery.of(text, args.mode) for text in args.atom]
+    labels = ["has stable model"] + list(args.atom)
+    probabilities = engine.evaluate_queries(queries, workers=args.workers)
+    if args.json:
+        return json.dumps(dict(zip(labels, probabilities)), indent=2)
+    table = TextTable(
+        ["query", "probability"],
+        title=f"batched exact queries ({args.mode} mode, one outcome pass)",
+    )
+    for label, probability in zip(labels, probabilities):
+        table.add_row(label, probability)
+    rendered = table.render()
+    if args.profile:
+        if args.workers is not None and args.workers > 1:
+            # profile_summary() would trigger the engine's *sequential*
+            # cached chase — redundant work that would also misdescribe the
+            # parallel run; report the process-wide caches instead.
+            rendered += "\n\n" + "\n".join(cache_profile_lines())
+        else:
+            rendered += "\n\n" + engine.profile_summary()
+    return rendered
+
+
+def _serve_one(service, request: dict) -> dict:
+    """Answer one ``serve`` request dict (see the README protocol section)."""
+    program = request.get("program")
+    if program is None and "program_path" in request:
+        program = _read_text(request["program_path"], role="program")
+    if program is None:
+        raise CLIError("serve request needs a 'program' or 'program_path' field")
+    database = request.get("database")
+    if database is None:
+        database = _read_text(request.get("database_path"), role="database")
+    queries = request.get("queries", [{"type": "has_stable_model"}])
+    if request.get("adaptive"):
+        results = [
+            service.estimate(
+                program,
+                database,
+                query,
+                target_half_width=request.get("half_width", 0.01),
+                stratify=bool(request.get("stratify", False)),
+                seed=request.get("seed"),
+            ).value
+            for query in queries
+        ]
+    else:
+        results = service.evaluate(program, database, queries)
+    return {"ok": True, "results": results}
+
+
+def _command_serve(args: argparse.Namespace) -> str:
+    """Run the JSON-lines service loop; one request per stdin line.
+
+    Responses mirror the request's ``id`` and either carry ``results``
+    (aligned with the ``queries`` list) or ``ok: false`` with a readable
+    ``error``.  Malformed requests never kill the loop.
+    """
+    from repro.exceptions import ReproError as _ReproError
+    from repro.runtime.service import InferenceService
+
+    service = InferenceService(
+        cache_size=args.cache_size, grounder=args.grounder, workers=args.workers
+    )
+    served = 0
+    for line in sys.stdin:
+        line = line.strip()
+        if not line:
+            continue
+        request_id = None
+        try:
+            request = json.loads(line)
+            if not isinstance(request, dict):
+                raise CLIError("serve requests must be JSON objects")
+            request_id = request.get("id")
+            response = _serve_one(service, request)
+        except json.JSONDecodeError as error:
+            response = {"ok": False, "error": f"invalid JSON request: {error}"}
+        except (_ReproError, ValueError, TypeError, KeyError) as error:
+            # Malformed field types (e.g. a string half_width, a non-list
+            # queries) must answer with an error line, not kill the loop.
+            response = {"ok": False, "error": f"{type(error).__name__}: {error}"}
+        response["id"] = request_id
+        response["cache"] = {"hits": service.stats.hits, "misses": service.stats.misses}
+        print(json.dumps(response), flush=True)
+        served += 1
+        if args.max_requests is not None and served >= args.max_requests:
+            break
+    # Keep stdout pure JSON-lines for protocol clients; the human summary
+    # goes to stderr.
+    print(
+        f"served {served} request(s); cache hit rate {service.stats.hit_rate:.1%}",
+        file=sys.stderr,
+    )
+    return ""
 
 
 def _command_ground(args: argparse.Namespace) -> str:
@@ -177,7 +377,7 @@ def _command_ground(args: argparse.Namespace) -> str:
 
 
 def _command_graph(args: argparse.Namespace) -> str:
-    program = parse_gdatalog_program(_read_text(args.program))
+    program = parse_gdatalog_program(_read_text(args.program, role="program"))
     if args.dot:
         return to_dot(program)
     lines = ["dependency graph dg(Π):", format_dependency_graph(program), ""]
@@ -193,6 +393,8 @@ _COMMANDS = {
     "run": _command_run,
     "query": _command_query,
     "sample": _command_sample,
+    "batch": _command_batch,
+    "serve": _command_serve,
     "ground": _command_ground,
     "graph": _command_graph,
 }
@@ -207,7 +409,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     except (ReproError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
-    print(output)
+    if output:
+        print(output)
     return 0
 
 

@@ -243,8 +243,14 @@ class ChaseEngine:
             return triggers[self._rng.randrange(len(triggers))]
         return triggers[0]
 
-    def run(self) -> ChaseResult:
-        """Exhaustively enumerate the finite possible outcomes (depth-first)."""
+    def run(self, root: ChaseNode | None = None) -> ChaseResult:
+        """Exhaustively enumerate the finite possible outcomes (depth-first).
+
+        *root* defaults to the empty configuration; passing an interior
+        chase node restricts the enumeration to its subtree (the parallel
+        explorer in :mod:`repro.runtime.pool` farms disjoint subtrees to
+        workers this way and merges the partial results).
+        """
         outcomes: list[PossibleOutcome] = []
         error_mass = 0.0
         truncated = 0
@@ -252,7 +258,7 @@ class ChaseEngine:
         self.stats = ChaseStats()
         self.grounder.stats.reset()
 
-        stack: list[ChaseNode] = [self.root()]
+        stack: list[ChaseNode] = [self.root() if root is None else root]
         while stack:
             node = stack.pop()
             self.stats.nodes_visited += 1
@@ -306,14 +312,17 @@ class ChaseEngine:
 
     # -- single-path sampling (used by the Monte-Carlo sampler) -------------------
 
-    def sample_path(self, rng) -> tuple[PossibleOutcome | None, int]:
+    def sample_path(self, rng, start: ChaseNode | None = None) -> tuple[PossibleOutcome | None, int]:
         """Follow a single random chase path; ``None`` signals the error event.
 
         Returns ``(outcome, depth)``.  Each trigger is resolved by sampling
         the corresponding distribution, so the path ends at a possible
-        outcome with exactly its semantic probability.
+        outcome with exactly its semantic probability.  *start* lets the
+        stratified adaptive sampler begin below a fixed first choice; the
+        returned outcome's probability is then conditional on the prefix
+        (the start node's probability factor is inherited as-is).
         """
-        node = self.root()
+        node = self.root() if start is None else start
         while True:
             triggers = node.triggers(self.grounder)
             if not triggers:

@@ -128,6 +128,37 @@ class GDatalogEngine:
         """Probability of an arbitrary outcome-level event."""
         return self.output_space().probability(predicate)
 
+    # -- runtime integration (parallel / batched / adaptive) -----------------------
+
+    def parallel_output_space(self, workers: int | None = None, **explorer_options) -> OutputSpace:
+        """``Π_G(D)`` computed by the multi-worker explorer (identical space).
+
+        Extra keyword arguments are forwarded to
+        :class:`~repro.runtime.pool.ParallelChaseExplorer`.  Imported lazily
+        so the core engine stays importable without the runtime package.
+        """
+        from repro.runtime.pool import ParallelChaseExplorer
+
+        explorer = ParallelChaseExplorer(
+            self.grounder, self.chase_config, workers=workers, **explorer_options
+        )
+        return explorer.output_space()
+
+    def evaluate_queries(self, queries, workers: int | None = None) -> list[float]:
+        """Answer many queries in one outcome scan (optionally chased in parallel).
+
+        *queries* may be :class:`~repro.ppdl.queries.Query` objects, atom
+        strings or wire-format specs (see
+        :func:`~repro.ppdl.queries.query_from_spec`).
+        """
+        from repro.ppdl.queries import query_from_spec
+        from repro.runtime.batch import QueryBatch
+
+        batch = QueryBatch([query_from_spec(q) for q in queries])
+        if workers is not None and workers > 1:
+            return batch.evaluate(self.parallel_output_space(workers=workers))
+        return batch.evaluate(self.output_space())
+
     # -- approximate inference ------------------------------------------------------------
 
     def sampler(self, seed: int | None = None) -> MonteCarloSampler:
@@ -144,6 +175,33 @@ class GDatalogEngine:
         """Monte-Carlo estimate of an atom marginal."""
         resolved = parse_atom(atom) if isinstance(atom, str) else atom
         return self.sampler(seed=seed).estimate_marginal(resolved, mode=mode, n=n)
+
+    def adaptive_estimate(
+        self,
+        query,
+        target_half_width: float = 0.01,
+        stratify: bool = False,
+        seed: int | None = None,
+        **driver_options,
+    ):
+        """Adaptive Monte-Carlo estimate stopped at a target Wilson half-width.
+
+        *query* accepts the same forms as :meth:`evaluate_queries`; extra
+        keyword arguments reach
+        :class:`~repro.runtime.adaptive.AdaptiveSampler`.
+        """
+        from repro.ppdl.queries import query_from_spec
+        from repro.runtime.adaptive import AdaptiveSampler
+
+        driver = AdaptiveSampler(
+            self.grounder,
+            self.chase_config,
+            target_half_width=target_half_width,
+            stratify=stratify,
+            seed=seed,
+            **driver_options,
+        )
+        return driver.estimate(query_from_spec(query))
 
     # -- reporting -------------------------------------------------------------------------
 

@@ -55,6 +55,26 @@ class OutputSpace:
         self._error_probability = float(error_probability)
         self._visible_only = visible_only
 
+    @classmethod
+    def merge(cls, spaces: Iterable["OutputSpace"]) -> "OutputSpace":
+        """The union of disjoint partial spaces.
+
+        Outcomes are concatenated and re-sorted into the canonical
+        ``choice_key`` order the sequential chase produces, and the error
+        masses add up.  Callers are responsible for the partial spaces
+        covering *disjoint* sets of outcomes (e.g. separate chase subtrees,
+        or shards of a partitioned workload).
+        """
+        outcomes: list[PossibleOutcome] = []
+        error_probability = 0.0
+        visible_only = True
+        for space in spaces:
+            outcomes.extend(space._outcomes)
+            error_probability += space._error_probability
+            visible_only = visible_only and space._visible_only
+        outcomes.sort(key=lambda o: o.choice_key)
+        return cls(outcomes, error_probability=error_probability, visible_only=visible_only)
+
     # -- basic accounting ------------------------------------------------------
 
     @property

@@ -30,9 +30,44 @@ class Estimate:
     standard_error: float
     samples: int
 
-    def confidence_interval(self, z: float = 1.96) -> tuple[float, float]:
-        """A normal-approximation confidence interval (95% by default)."""
-        return (self.value - z * self.standard_error, self.value + z * self.standard_error)
+    def confidence_interval(self, z: float = 1.96, method: str = "normal") -> tuple[float, float]:
+        """A confidence interval (95% by default).
+
+        ``method="normal"`` is the classic Wald interval
+        ``p̂ ± z·SE``; it degenerates to a zero-width interval when the
+        empirical proportion is exactly 0 or 1 (every Bernoulli sample
+        agreed), which badly understates the uncertainty of small runs.
+        ``method="wilson"`` returns the Wilson-score interval, which stays
+        strictly inside ``(0, 1)`` and keeps a positive width at the
+        boundaries — the adaptive driver in :mod:`repro.runtime.adaptive`
+        stops on its half-width for exactly this reason.
+        """
+        if method == "normal":
+            return (self.value - z * self.standard_error, self.value + z * self.standard_error)
+        if method == "wilson":
+            return self.wilson_interval(z)
+        raise ValueError(f"confidence interval method must be 'normal' or 'wilson', got {method!r}")
+
+    def wilson_interval(self, z: float = 1.96) -> tuple[float, float]:
+        """The Wilson-score interval for a Bernoulli proportion.
+
+        Non-degenerate at ``p̂ ∈ {0, 1}``: with *n* samples and zero
+        successes the upper bound is ``z²/(n+z²)`` rather than 0.
+        """
+        n = self.samples
+        if n <= 0:
+            return (0.0, 1.0)
+        p = min(max(self.value, 0.0), 1.0)
+        z2 = z * z
+        denominator = 1.0 + z2 / n
+        center = (p + z2 / (2.0 * n)) / denominator
+        spread = (z / denominator) * float(np.sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)))
+        return (max(center - spread, 0.0), min(center + spread, 1.0))
+
+    def half_width(self, z: float = 1.96, method: str = "wilson") -> float:
+        """Half the width of the confidence interval (Wilson by default)."""
+        low, high = self.confidence_interval(z, method=method)
+        return (high - low) / 2.0
 
     def __str__(self) -> str:
         return f"{self.value:.6f} ± {self.standard_error:.6f} (n={self.samples})"

@@ -19,7 +19,14 @@ from repro.logic.parser import parse_atom
 from repro.ppdl.conditioning import condition
 from repro.ppdl.constraints import ConstraintSet
 
-__all__ = ["Query", "AtomQuery", "HasStableModelQuery", "EventQuery", "ConditionalQuery"]
+__all__ = [
+    "Query",
+    "AtomQuery",
+    "HasStableModelQuery",
+    "EventQuery",
+    "ConditionalQuery",
+    "query_from_spec",
+]
 
 
 class Query(abc.ABC):
@@ -119,3 +126,33 @@ class ConditionalQuery:
 
     def __str__(self) -> str:
         return f"{self.query} | {self.evidence}"
+
+
+def query_from_spec(spec) -> Query:
+    """Build a :class:`Query` from a wire-format specification.
+
+    Accepts either a plain atom string (shorthand for a brave
+    :class:`AtomQuery`) or a mapping such as the JSON-lines requests the
+    ``gdatalog serve`` protocol carries::
+
+        {"type": "atom", "atom": "heads(c)", "mode": "cautious"}
+        {"type": "has_stable_model"}
+    """
+    if isinstance(spec, str):
+        return AtomQuery.of(spec)
+    if isinstance(spec, Query):
+        return spec
+    try:
+        kind = spec["type"]
+    except (TypeError, KeyError) as exc:
+        raise ValueError(f"query spec must be an atom string or a mapping with a 'type': {spec!r}") from exc
+    if kind == "atom":
+        if "atom" not in spec:
+            raise ValueError(f"atom query spec is missing the 'atom' field: {spec!r}")
+        mode = spec.get("mode", "brave")
+        if mode not in ("brave", "cautious"):
+            raise ValueError(f"atom query mode must be 'brave' or 'cautious', got {mode!r}")
+        return AtomQuery.of(spec["atom"], mode)
+    if kind == "has_stable_model":
+        return HasStableModelQuery()
+    raise ValueError(f"unknown query type {kind!r}; expected 'atom' or 'has_stable_model'")

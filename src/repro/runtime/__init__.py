@@ -1,0 +1,32 @@
+"""The parallel inference runtime: worker pools, batching, adaptive sampling.
+
+This package is the serving layer on top of the core chase engine:
+
+* :mod:`repro.runtime.pool` — :class:`ParallelChaseExplorer` splits the
+  chase tree at a branching frontier and exhausts disjoint subtrees in
+  forked worker processes, merging bit-identical partial output spaces.
+* :mod:`repro.runtime.batch` — :class:`QueryBatch` answers many queries in
+  a single pass over the outcomes.
+* :mod:`repro.runtime.adaptive` — :class:`AdaptiveSampler` draws Monte-Carlo
+  chunks until a target Wilson-score half-width is met, optionally
+  stratified over the first trigger's branches.
+* :mod:`repro.runtime.service` — :class:`InferenceService` caches engines
+  and spaces under canonical request hashes (LRU) and fronts the batched /
+  adaptive paths; the ``gdatalog batch`` and ``gdatalog serve`` CLI
+  subcommands are thin wrappers around it.
+"""
+
+from repro.runtime.adaptive import AdaptiveEstimate, AdaptiveSampler
+from repro.runtime.batch import QueryBatch
+from repro.runtime.pool import ParallelChaseExplorer, default_worker_count
+from repro.runtime.service import InferenceService, ServiceStats
+
+__all__ = [
+    "AdaptiveEstimate",
+    "AdaptiveSampler",
+    "QueryBatch",
+    "ParallelChaseExplorer",
+    "default_worker_count",
+    "InferenceService",
+    "ServiceStats",
+]

@@ -1,0 +1,123 @@
+"""Batched query evaluation: many queries, one pass over the outcomes.
+
+``Query.evaluate`` scans the whole output space once *per query*; a serving
+workload that asks for dozens of marginals therefore pays ``|queries|``
+passes, each of which re-walks every outcome's stable models.
+:class:`QueryBatch` answers an arbitrary mix of
+:class:`~repro.ppdl.queries.AtomQuery` / ``HasStableModelQuery`` / generic
+:class:`~repro.ppdl.queries.Query` objects in a **single pass**: per
+outcome it materializes the brave set (union of the stable models) and the
+cautious set (their intersection) once, after which every atom query is a
+set-membership test instead of a loop over the models.
+
+The batched results are bit-identical to per-query ``evaluate`` — the same
+probabilities are added in the same outcome order — which the property
+tests assert on random workloads.
+
+Usage::
+
+    batch = QueryBatch([AtomQuery.of("infected(2, 1)"), HasStableModelQuery()])
+    exact = batch.evaluate(engine.output_space())      # [0.271, 0.19]
+    approx = batch.estimate(engine.sampler(seed=7), n=4000)
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.gdatalog.outcomes import PossibleOutcome
+from repro.gdatalog.probability_space import OutputSpace
+from repro.gdatalog.sampler import Estimate, MonteCarloSampler
+from repro.logic.atoms import Atom
+from repro.ppdl.queries import AtomQuery, HasStableModelQuery, Query
+
+__all__ = ["QueryBatch"]
+
+
+class QueryBatch:
+    """A fixed sequence of queries evaluated together over one outcome scan."""
+
+    def __init__(self, queries: Sequence[Query]):
+        self._queries: tuple[Query, ...] = tuple(queries)
+        for query in self._queries:
+            if not isinstance(query, Query):
+                raise TypeError(
+                    f"QueryBatch accepts Query objects only, got {type(query).__name__}; "
+                    "evaluate ConditionalQuery separately (it renormalizes the space)"
+                )
+
+    @property
+    def queries(self) -> tuple[Query, ...]:
+        return self._queries
+
+    def __len__(self) -> int:
+        return len(self._queries)
+
+    # -- one-outcome kernel ------------------------------------------------------
+
+    def _satisfaction(self, outcome: PossibleOutcome) -> list[bool]:
+        """Which queries the outcome satisfies, computing model views once."""
+        models = outcome.stable_models
+        brave: frozenset[Atom] | None = None
+        cautious: frozenset[Atom] | None = None
+        if models:
+            iterator = iter(models)
+            first = next(iterator)
+            brave_set, cautious_set = set(first), set(first)
+            for model in iterator:
+                brave_set |= model
+                cautious_set &= model
+            brave, cautious = frozenset(brave_set), frozenset(cautious_set)
+        flags: list[bool] = []
+        for query in self._queries:
+            if isinstance(query, AtomQuery):
+                if not models:
+                    flags.append(False)
+                elif query.mode == "brave":
+                    flags.append(query.atom in brave)
+                else:
+                    flags.append(query.atom in cautious)
+            elif isinstance(query, HasStableModelQuery):
+                flags.append(bool(models))
+            else:
+                flags.append(query.outcome_predicate(outcome))
+        return flags
+
+    # -- exact -------------------------------------------------------------------
+
+    def evaluate(self, space: OutputSpace) -> list[float]:
+        """Exact probabilities, aligned with the constructor's query order."""
+        totals = [0.0] * len(self._queries)
+        for outcome in space:
+            flags = self._satisfaction(outcome)
+            probability = outcome.probability
+            for position, satisfied in enumerate(flags):
+                if satisfied:
+                    totals[position] += probability
+        return totals
+
+    # -- approximate --------------------------------------------------------------
+
+    def estimate(self, sampler: MonteCarloSampler, n: int = 1000) -> list[Estimate]:
+        """Monte-Carlo estimates sharing one set of *n* sampled outcomes.
+
+        All queries are evaluated against the same sample, so a batch costs
+        one sampling run instead of ``|queries|``.  Error-event samples
+        satisfy no query, mirroring the exact semantics.
+        """
+        successes = [0] * len(self._queries)
+        for _ in range(n):
+            outcome = sampler.sample_outcome()
+            if outcome is None:
+                continue
+            for position, satisfied in enumerate(self._satisfaction(outcome)):
+                if satisfied:
+                    successes[position] += 1
+        estimates: list[Estimate] = []
+        for count in successes:
+            p_hat = count / n if n else 0.0
+            standard_error = float(np.sqrt(max(p_hat * (1.0 - p_hat), 1e-300) / n)) if n else 0.0
+            estimates.append(Estimate(p_hat, standard_error, n))
+        return estimates

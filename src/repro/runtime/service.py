@@ -1,0 +1,193 @@
+"""An inference service facade with engine/space caching.
+
+Serving workloads re-ask the same (program, database) pairs over and over;
+rebuilding an engine — parse, translate, ground, chase, solve — per request
+throws away all of that work.  :class:`InferenceService` keeps an LRU cache
+of :class:`~repro.gdatalog.engine.GDatalogEngine` instances keyed on a
+**canonical hash** of the request:
+
+* the program is parsed and its rules re-serialized in sorted order, so two
+  textual variants of the same rule set (reordered rules, whitespace,
+  comments) share one cache entry;
+* the database facts are sorted the same way;
+* the grounder name and chase configuration complete the key.
+
+Exact answers go through the parallel explorer
+(:class:`~repro.runtime.pool.ParallelChaseExplorer`) when the service is
+configured with workers, and batched queries share one outcome scan via
+:class:`~repro.runtime.batch.QueryBatch`.  The ``gdatalog serve`` CLI
+subcommand wraps this class in a JSON-lines request loop.
+
+Usage::
+
+    service = InferenceService(cache_size=64, workers=4)
+    probabilities = service.evaluate(PROGRAM, DATABASE, ["infected(2, 1)"])
+    service.stats.hits, service.stats.misses
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.gdatalog.chase import ChaseConfig
+from repro.gdatalog.engine import GDatalogEngine
+from repro.gdatalog.probability_space import OutputSpace
+from repro.logic.parser import parse_database, parse_gdatalog_program
+from repro.ppdl.queries import Query, query_from_spec
+from repro.runtime.adaptive import AdaptiveEstimate, AdaptiveSampler
+from repro.runtime.batch import QueryBatch
+from repro.runtime.pool import ParallelChaseExplorer
+
+__all__ = ["ServiceStats", "InferenceService"]
+
+
+@dataclass
+class ServiceStats:
+    """Cache counters of one service instance."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass
+class _CacheEntry:
+    engine: GDatalogEngine
+    space: OutputSpace | None = field(default=None)
+
+
+class InferenceService:
+    """Engine/space cache plus batched exact and adaptive approximate queries."""
+
+    def __init__(
+        self,
+        cache_size: int = 32,
+        grounder: str = "simple",
+        chase_config: ChaseConfig | None = None,
+        workers: int | None = None,
+    ):
+        if cache_size < 1:
+            raise ValueError(f"cache_size must be at least 1, got {cache_size}")
+        self.cache_size = int(cache_size)
+        self.grounder = grounder
+        self.chase_config = chase_config or ChaseConfig()
+        self.workers = workers
+        self.stats = ServiceStats()
+        self._entries: OrderedDict[str, _CacheEntry] = OrderedDict()
+        # First-level map from raw request text to the canonical key, so
+        # repeated identical requests skip the parse+sort canonicalization
+        # entirely on the hot path.  Bounded: cleared wholesale on overflow.
+        self._raw_keys: dict[tuple[str, str], str] = {}
+        self._raw_keys_limit = max(self.cache_size * 8, 64)
+
+    # -- canonical keys -----------------------------------------------------------
+
+    def cache_key(self, program_source: str, database_source: str = "") -> str:
+        """A canonical hash of (program, database, grounder, chase config).
+
+        Parsing-then-sorting makes the key insensitive to rule order,
+        whitespace and comments, so syntactic duplicates share one engine.
+        """
+        program = parse_gdatalog_program(program_source)
+        rule_lines = sorted(str(rule) for rule in program)
+        database = parse_database(database_source) if database_source.strip() else None
+        fact_lines = sorted(str(fact) for fact in database.facts) if database else []
+        digest = hashlib.sha256()
+        digest.update("\n".join(rule_lines).encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update("\n".join(fact_lines).encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(self.grounder.encode("utf-8"))
+        digest.update(repr(self.chase_config).encode("utf-8"))
+        return digest.hexdigest()
+
+    # -- cache management ----------------------------------------------------------
+
+    def engine(self, program_source: str, database_source: str = "") -> GDatalogEngine:
+        """The cached engine for a request (built and inserted on miss)."""
+        return self._entry(program_source, database_source).engine
+
+    def space(self, program_source: str, database_source: str = "") -> OutputSpace:
+        """The cached exact output space (chased on first use, parallel if configured)."""
+        entry = self._entry(program_source, database_source)
+        if entry.space is None:
+            if self.workers is not None and self.workers > 1:
+                explorer = ParallelChaseExplorer(
+                    entry.engine.grounder, self.chase_config, workers=self.workers
+                )
+                entry.space = explorer.output_space()
+            else:
+                entry.space = entry.engine.output_space()
+        return entry.space
+
+    def _entry(self, program_source: str, database_source: str) -> _CacheEntry:
+        raw = (program_source, database_source)
+        key = self._raw_keys.get(raw)
+        if key is None:
+            key = self.cache_key(program_source, database_source)
+            if len(self._raw_keys) >= self._raw_keys_limit:
+                self._raw_keys.clear()
+            self._raw_keys[raw] = key
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.stats.hits += 1
+            self._entries.move_to_end(key)
+            return entry
+        self.stats.misses += 1
+        engine = GDatalogEngine.from_source(
+            program_source,
+            database_source,
+            grounder=self.grounder,
+            chase_config=self.chase_config,
+        )
+        entry = _CacheEntry(engine=engine)
+        self._entries[key] = entry
+        if len(self._entries) > self.cache_size:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        return entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop every cached engine/space (counters are kept)."""
+        self._entries.clear()
+        self._raw_keys.clear()
+
+    # -- queries ---------------------------------------------------------------------
+
+    def evaluate(self, program_source: str, database_source: str, queries) -> list[float]:
+        """Exact batched evaluation; *queries* are specs (see ``query_from_spec``)."""
+        batch = QueryBatch([query_from_spec(spec) for spec in queries])
+        return batch.evaluate(self.space(program_source, database_source))
+
+    def estimate(
+        self,
+        program_source: str,
+        database_source: str,
+        query,
+        target_half_width: float = 0.01,
+        stratify: bool = False,
+        seed: int | None = None,
+        max_samples: int = 200_000,
+    ) -> AdaptiveEstimate:
+        """Adaptive Monte-Carlo estimation to a target Wilson half-width."""
+        resolved: Query = query_from_spec(query)
+        engine = self.engine(program_source, database_source)
+        driver = AdaptiveSampler(
+            engine.grounder,
+            self.chase_config,
+            target_half_width=target_half_width,
+            stratify=stratify,
+            seed=seed,
+            max_samples=max_samples,
+        )
+        return driver.estimate(resolved)

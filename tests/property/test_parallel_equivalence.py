@@ -1,0 +1,171 @@
+"""Property tests for the parallel inference runtime.
+
+Two invariants back the runtime subsystem:
+
+* **Parallel/sequential equivalence** — the merged output space of
+  :class:`~repro.runtime.pool.ParallelChaseExplorer` assigns exactly the
+  same probability to every outcome (and the same groundings and error
+  mass) as the sequential :class:`~repro.gdatalog.chase.ChaseEngine`, on
+  random stratified/positive workloads and for both grounders.
+* **Batch/per-query equivalence** — :class:`~repro.runtime.batch.QueryBatch`
+  returns bit-identical results to calling ``Query.evaluate`` once per
+  query.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gdatalog.chase import ChaseConfig, ChaseEngine
+from repro.gdatalog.grounders import PerfectGrounder, SimpleGrounder
+from repro.gdatalog.probability_space import OutputSpace
+from repro.gdatalog.translate import translate_program
+from repro.logic.atoms import Atom, Predicate, fact
+from repro.ppdl.queries import AtomQuery, HasStableModelQuery
+from repro.runtime.batch import QueryBatch
+from repro.runtime.pool import ParallelChaseExplorer
+from repro.workloads import (
+    network_database,
+    random_database,
+    random_stratified_program,
+    resilience_program,
+    topology_graph,
+)
+
+seeds = st.integers(min_value=0, max_value=30)
+
+
+def _grounders(seed):
+    program = translate_program(random_stratified_program(seed=seed, rule_count=3))
+    database = random_database(seed=seed, domain_size=2)
+    return SimpleGrounder(program, database), PerfectGrounder(program, database)
+
+
+def assert_spaces_identical(sequential, parallel) -> None:
+    """Outcome-level identity: same AtR sets, bit-identical probabilities."""
+    assert len(sequential.outcomes) == len(parallel.outcomes)
+    for mine, theirs in zip(sequential.outcomes, parallel.outcomes):
+        assert mine.choice_key == theirs.choice_key
+        assert mine.probability == theirs.probability  # bit-identical, no tolerance
+        assert mine.atr_rules == theirs.atr_rules
+        assert mine.grounding == theirs.grounding
+    assert sequential.error_probability == pytest.approx(parallel.error_probability, abs=1e-12)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seeds)
+def test_parallel_explorer_matches_sequential_on_random_programs(seed):
+    for grounder in _grounders(seed):
+        sequential = ChaseEngine(grounder, ChaseConfig()).run()
+        parallel = ParallelChaseExplorer(grounder, ChaseConfig(), workers=2).run()
+        assert_spaces_identical(sequential, parallel)
+
+
+@pytest.mark.parametrize("workers", [2, 4])
+@pytest.mark.parametrize("n", [4, 5])
+def test_parallel_explorer_matches_sequential_on_resilience(workers, n):
+    database = network_database(topology_graph("chain", n), infected_seeds=[0])
+    grounder = SimpleGrounder(translate_program(resilience_program(0.3)), database)
+    sequential = ChaseEngine(grounder, ChaseConfig()).run()
+    parallel = ParallelChaseExplorer(grounder, ChaseConfig(), workers=workers).run()
+    assert_spaces_identical(sequential, parallel)
+    # The merged space answers queries identically, with presolved models.
+    space_sequential = OutputSpace(sequential.outcomes, sequential.error_probability)
+    space_parallel = OutputSpace(parallel.outcomes, parallel.error_probability)
+    assert space_parallel.probability_has_stable_model() == (
+        space_sequential.probability_has_stable_model()
+    )
+
+
+def test_parallel_explorer_random_strategy_same_outcomes_up_to_float_association():
+    """RANDOM trigger order: same outcome sets (Lemma 4.4), probabilities only
+    equal up to floating-point associativity (documented caveat in pool.py)."""
+    from repro.gdatalog.chase import TriggerStrategy
+
+    config = ChaseConfig(trigger_strategy=TriggerStrategy.RANDOM, seed=3)
+    database = network_database(topology_graph("chain", 5), infected_seeds=[0])
+    grounder = SimpleGrounder(translate_program(resilience_program(0.3)), database)
+    sequential = ChaseEngine(grounder, config).run()
+    parallel = ParallelChaseExplorer(grounder, config, workers=2).run()
+    assert [o.choice_key for o in sequential.outcomes] == [o.choice_key for o in parallel.outcomes]
+    for mine, theirs in zip(sequential.outcomes, parallel.outcomes):
+        assert mine.probability == pytest.approx(theirs.probability, rel=1e-12)
+
+
+def test_parallel_explorer_serial_backend_is_sequential_engine():
+    database = network_database(topology_graph("chain", 4), infected_seeds=[0])
+    grounder = SimpleGrounder(translate_program(resilience_program(0.3)), database)
+    explorer = ParallelChaseExplorer(grounder, ChaseConfig(), workers=4, backend="serial")
+    sequential = ChaseEngine(grounder, ChaseConfig()).run()
+    assert_spaces_identical(sequential, explorer.run())
+
+
+def test_parallel_explorer_presolves_stable_models():
+    database = network_database(topology_graph("chain", 5), infected_seeds=[0])
+    grounder = SimpleGrounder(translate_program(resilience_program(0.3)), database)
+    result = ParallelChaseExplorer(grounder, ChaseConfig(), workers=2).run()
+    presolved = sum(1 for outcome in result.outcomes if "stable_models" in outcome.__dict__)
+    # Everything explored by a worker arrives with its models already solved;
+    # only the few leaves banked while splitting the frontier may be cold.
+    assert presolved >= len(result.outcomes) - 8
+
+
+@settings(max_examples=10, deadline=None)
+@given(seeds)
+def test_batched_queries_equal_per_query_evaluate(seed):
+    grounder, _ = _grounders(seed)
+    result = ChaseEngine(grounder, ChaseConfig()).run()
+    space = OutputSpace(result.outcomes, result.error_probability)
+    atoms = sorted(
+        {atom for outcome in result.outcomes for atom in outcome.head_atoms()},
+        key=Atom.sort_key,
+    )[:6]
+    queries = [HasStableModelQuery()]
+    queries += [AtomQuery(atom, "brave") for atom in atoms]
+    queries += [AtomQuery(atom, "cautious") for atom in atoms]
+    queries.append(AtomQuery(fact("never_derived_predicate", 1), "brave"))
+    batched = QueryBatch(queries).evaluate(space)
+    individual = [query.evaluate(space) for query in queries]
+    assert batched == individual  # bit-identical, not approx
+
+
+def test_batch_estimate_shares_one_sample_set(coin_engine):
+    queries = [
+        HasStableModelQuery(),
+        AtomQuery.of("coin(1)"),
+        AtomQuery.of("aux1"),
+        AtomQuery.of("aux1", "cautious"),
+    ]
+    estimates = QueryBatch(queries).estimate(coin_engine.sampler(seed=11), n=400)
+    assert [estimate.samples for estimate in estimates] == [400] * 4
+    # Only the tails outcome has stable models, and they all contain coin(1):
+    # within one shared sample the two frequencies agree exactly.
+    assert estimates[0].value == estimates[1].value
+    assert estimates[0].value == pytest.approx(0.5, abs=0.1)
+    # aux1 holds in one of the two models (brave) but not both (cautious).
+    assert estimates[2].value == estimates[1].value
+    assert estimates[3].value == 0.0
+
+
+def test_query_batch_rejects_non_query_objects():
+    with pytest.raises(TypeError):
+        QueryBatch([lambda outcome: True])
+
+
+def test_output_space_merge_of_disjoint_shards_restores_the_space():
+    database = network_database(topology_graph("chain", 4), infected_seeds=[0])
+    grounder = SimpleGrounder(translate_program(resilience_program(0.3)), database)
+    result = ChaseEngine(grounder, ChaseConfig()).run()
+    whole = OutputSpace(result.outcomes, error_probability=0.25)
+    # Interleaved shards: merge must restore the canonical choice_key order.
+    shards = [
+        OutputSpace(result.outcomes[0::2], error_probability=0.1),
+        OutputSpace(result.outcomes[1::2], error_probability=0.15),
+    ]
+    merged = OutputSpace.merge(shards)
+    assert [o.choice_key for o in merged] == [o.choice_key for o in whole]
+    assert [o.probability for o in merged] == [o.probability for o in whole]
+    assert merged.error_probability == pytest.approx(0.25)
+    assert merged.probability_has_stable_model() == whole.probability_has_stable_model()

@@ -114,7 +114,21 @@ class TestCommands:
         exit_code = main(["run", "does-not-exist.dl"])
         captured = capsys.readouterr()
         assert exit_code == 1
-        assert "error:" in captured.err
+        assert captured.err == "error: program file not found: does-not-exist.dl\n"
+        assert "Traceback" not in captured.err
+
+    def test_missing_database_file_is_reported(self, capsys):
+        exit_code = main(["run", str(COIN_PROGRAM), "-d", "no-such.facts"])
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert captured.err == "error: database file not found: no-such.facts\n"
+
+    def test_directory_instead_of_file_is_reported(self, tmp_path, capsys):
+        exit_code = main(["run", str(tmp_path)])
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert "is a directory" in captured.err
+        assert "Traceback" not in captured.err
 
     def test_parse_error_is_reported(self, tmp_path, capsys):
         broken = tmp_path / "broken.dl"
@@ -123,6 +137,141 @@ class TestCommands:
         captured = capsys.readouterr()
         assert exit_code == 1
         assert "error:" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_batch_single_pass_queries(self, capsys):
+        exit_code = main(
+            [
+                "batch",
+                str(RESILIENCE_PROGRAM),
+                "-d",
+                str(RESILIENCE_FACTS),
+                "--atom",
+                "infected(2, 1)",
+                "--atom",
+                "infected(3, 1)",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "has stable model" in captured.out
+        assert "infected(2, 1)" in captured.out
+
+    def test_batch_json_output_matches_query_command(self, capsys):
+        import json
+
+        exit_code = main(
+            ["batch", str(RESILIENCE_PROGRAM), "-d", str(RESILIENCE_FACTS), "--json"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        payload = json.loads(captured.out)
+        assert payload["has stable model"] == pytest.approx(0.19)
+
+    def test_batch_with_workers(self, capsys):
+        exit_code = main(
+            [
+                "batch",
+                str(RESILIENCE_PROGRAM),
+                "-d",
+                str(RESILIENCE_FACTS),
+                "--workers",
+                "2",
+                "--json",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        import json
+
+        assert json.loads(captured.out)["has stable model"] == pytest.approx(0.19)
+
+    def test_sample_adaptive(self, capsys):
+        exit_code = main(
+            [
+                "sample",
+                str(COIN_PROGRAM),
+                "--adaptive",
+                "--half-width",
+                "0.05",
+                "--seed",
+                "3",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "adaptive Monte-Carlo" in captured.out
+        assert "has stable model" in captured.out
+
+    def test_serve_json_lines(self, capsys, monkeypatch):
+        import io
+        import json
+
+        requests = [
+            json.dumps(
+                {
+                    "id": 1,
+                    "program_path": str(RESILIENCE_PROGRAM),
+                    "database_path": str(RESILIENCE_FACTS),
+                    "queries": [{"type": "has_stable_model"}, "infected(2, 1)"],
+                }
+            ),
+            json.dumps({"id": 2, "program_path": str(RESILIENCE_PROGRAM), "database_path": str(RESILIENCE_FACTS)}),
+            "this is not json",
+            json.dumps({"id": 4}),
+        ]
+        monkeypatch.setattr("sys.stdin", io.StringIO("\n".join(requests) + "\n"))
+        exit_code = main(["serve"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        lines = [json.loads(line) for line in captured.out.strip().splitlines() if line.startswith("{")]
+        assert len(lines) == 4
+        first, second, bad_json, missing_program = lines
+        assert first["ok"] and first["id"] == 1
+        assert first["results"][0] == pytest.approx(0.19)
+        # Request 2 reuses the cached engine for the same program/database.
+        assert second["ok"] and second["cache"]["hits"] >= 1
+        assert not bad_json["ok"] and "invalid JSON" in bad_json["error"]
+        assert not missing_program["ok"] and "program" in missing_program["error"]
+
+    def test_serve_survives_malformed_field_types(self, capsys, monkeypatch):
+        import io
+        import json
+
+        requests = [
+            json.dumps(
+                {
+                    "id": 1,
+                    "program_path": str(COIN_PROGRAM),
+                    "adaptive": True,
+                    "half_width": "0.1",  # wrong type: string instead of number
+                }
+            ),
+            json.dumps({"id": 2, "program_path": str(COIN_PROGRAM), "queries": 42}),
+            json.dumps({"id": 3, "program_path": str(COIN_PROGRAM), "queries": ["coin(1)"]}),
+        ]
+        monkeypatch.setattr("sys.stdin", io.StringIO("\n".join(requests) + "\n"))
+        exit_code = main(["serve"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        lines = [json.loads(line) for line in captured.out.strip().splitlines() if line.startswith("{")]
+        assert len(lines) == 3  # the bad requests answered with errors, loop survived
+        assert not lines[0]["ok"] and not lines[1]["ok"]
+        assert lines[2]["ok"] and lines[2]["results"] == [pytest.approx(0.5)]
+
+    def test_serve_max_requests(self, capsys, monkeypatch):
+        import io
+        import json
+
+        request = json.dumps({"program_path": str(COIN_PROGRAM), "queries": ["coin(1)"]})
+        monkeypatch.setattr("sys.stdin", io.StringIO((request + "\n") * 5))
+        exit_code = main(["serve", "--max-requests", "2"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert captured.out.count('"ok": true') == 2
+        # stdout stays pure JSON-lines for protocol clients; summary on stderr.
+        assert all(line.startswith("{") for line in captured.out.strip().splitlines())
+        assert "served 2 request(s)" in captured.err
 
     def test_module_invocation(self):
         import subprocess
