@@ -19,8 +19,10 @@ Examples::
     gdatalog query program.dl -d db.facts --atom "infected(2, 1)" --mode cautious
     gdatalog sample program.dl -d db.facts -n 5000 --seed 7
     gdatalog sample program.dl -d db.facts --adaptive --half-width 0.02
+    gdatalog sample program.dl -d db.facts -n 20000 --seed 7 --workers 4
     gdatalog batch program.dl -d db.facts --atom "a(1)" --atom "b(2)" --workers 4
-    echo '{"program_path": "p.dl", "queries": ["a(1)"]}' | gdatalog serve
+    gdatalog query program.dl -d db.facts --factorize --atom "a(1)"
+    echo '{"program_path": "p.dl", "queries": ["a(1)"]}' | gdatalog serve --factorize
 """
 
 from __future__ import annotations
@@ -66,6 +68,7 @@ def _chase_config(args: argparse.Namespace) -> ChaseConfig:
         max_outcomes=args.max_outcomes,
         mass_tolerance=args.mass_tolerance,
         incremental=not args.no_incremental,
+        factorize=getattr(args, "factorize", False),
     )
 
 
@@ -93,6 +96,12 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
         "--no-incremental",
         action="store_true",
         help="recompute every chase node's grounding from scratch (reference mode)",
+    )
+    parser.add_argument(
+        "--factorize",
+        action="store_true",
+        help="decompose exact inference into independent ground components "
+        "(falls back to the sequential chase when the program is connected)",
     )
     parser.add_argument(
         "--profile",
@@ -147,6 +156,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="with --adaptive: stratify over the first trigger's branches",
     )
+    sample_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="draw samples on N worker processes with independent "
+        "SeedSequence-spawned RNG streams (seeded runs stay deterministic)",
+    )
 
     batch_parser = subparsers.add_parser(
         "batch", help="many exact queries in a single pass over the outcomes"
@@ -170,6 +186,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--cache-size", type=int, default=32, help="engine LRU cache capacity")
     serve_parser.add_argument(
         "--workers", type=int, default=None, help="worker processes for exact requests"
+    )
+    serve_parser.add_argument(
+        "--factorize",
+        action="store_true",
+        help="factorize exact requests into independent components "
+        "(components are cached and reused across requests)",
     )
     serve_parser.add_argument(
         "--max-requests", type=int, default=None, help="stop after N requests (mainly for tests)"
@@ -218,6 +240,8 @@ def _command_sample(args: argparse.Namespace) -> str:
     engine = _make_engine(args)
     if args.adaptive:
         rendered = _render_adaptive_estimates(engine, args)
+    elif args.workers is not None and args.workers > 1:
+        rendered = _render_parallel_estimates(engine, args)
     else:
         table = TextTable(
             ["query", "estimate", "std error"], title=f"Monte-Carlo ({args.samples} samples)"
@@ -233,6 +257,26 @@ def _command_sample(args: argparse.Namespace) -> str:
         # the sampled outcome evaluations actually exercised.
         rendered += "\n\n" + "\n".join(cache_profile_lines())
     return rendered
+
+
+def _render_parallel_estimates(engine: GDatalogEngine, args: argparse.Namespace) -> str:
+    """Fixed-budget estimation across worker processes (independent RNG streams)."""
+    from repro.ppdl.queries import AtomQuery, HasStableModelQuery
+    from repro.runtime.pool import ParallelSampler
+
+    sampler = ParallelSampler(
+        engine.grounder, engine.chase_config, workers=args.workers, seed=args.seed
+    )
+    table = TextTable(
+        ["query", "estimate", "std error"],
+        title=f"Monte-Carlo ({args.samples} samples, {args.workers} workers)",
+    )
+    queries = [("has stable model", HasStableModelQuery())]
+    queries += [(atom_text, AtomQuery.of(atom_text)) for atom_text in args.atom]
+    for label, query in queries:
+        estimate = sampler.estimate_query(query, n=args.samples)
+        table.add_row(label, estimate.value, estimate.standard_error)
+    return table.render()
 
 
 def _render_adaptive_estimates(engine: GDatalogEngine, args: argparse.Namespace) -> str:
@@ -322,7 +366,10 @@ def _command_serve(args: argparse.Namespace) -> str:
     from repro.runtime.service import InferenceService
 
     service = InferenceService(
-        cache_size=args.cache_size, grounder=args.grounder, workers=args.workers
+        cache_size=args.cache_size,
+        grounder=args.grounder,
+        workers=args.workers,
+        factorize=args.factorize,
     )
     served = 0
     for line in sys.stdin:

@@ -91,6 +91,12 @@ class ChaseConfig:
         :meth:`~repro.gdatalog.grounders.Grounder.ground` — identical
         results, dramatically slower on larger chase trees; kept as the
         reference baseline.
+    factorize:
+        Whether exact inference may decompose the ground program into
+        independent components and chase each on its own sub-database
+        (see :mod:`repro.gdatalog.factorize`).  Read by the engine layer,
+        not by :class:`ChaseEngine` itself; programs whose ground
+        dependency graph is connected fall back to the sequential chase.
     """
 
     max_depth: int = 200
@@ -101,6 +107,7 @@ class ChaseConfig:
     trigger_strategy: TriggerStrategy = TriggerStrategy.FIRST
     seed: int = 0
     incremental: bool = True
+    factorize: bool = False
 
 
 @dataclass(frozen=True)

@@ -21,9 +21,10 @@ from typing import Callable, Iterable
 
 from repro.exceptions import ValidationError
 from repro.gdatalog.chase import ChaseConfig, ChaseEngine, ChaseResult
+from repro.gdatalog.factorize import factorized_space
 from repro.gdatalog.grounders import Grounder, make_grounder
 from repro.gdatalog.outcomes import PossibleOutcome
-from repro.gdatalog.probability_space import OutputSpace
+from repro.gdatalog.probability_space import AbstractSpace, OutputSpace
 from repro.gdatalog.sampler import Estimate, MonteCarloSampler
 from repro.gdatalog.syntax import GDatalogProgram, desugar_constraints
 from repro.gdatalog.translate import TranslatedProgram, translate_program
@@ -106,14 +107,43 @@ class GDatalogEngine:
         """The exhaustive chase (cached; rerun by constructing a new engine)."""
         return ChaseEngine(self.grounder, self.chase_config).run()
 
-    def output_space(self) -> OutputSpace:
-        """The output probability space ``Π_G(D)`` restricted to finite outcomes."""
+    def output_space(self, workers: int | None = None) -> AbstractSpace:
+        """The output probability space ``Π_G(D)`` restricted to finite outcomes.
+
+        With :attr:`ChaseConfig.factorize` set, the ground program is
+        decomposed into independent components and the result is a lazy
+        :class:`~repro.gdatalog.factorize.ProductSpace`; connected (or
+        otherwise ineligible) programs fall back to the flat
+        :class:`OutputSpace` transparently.  *workers* routes the chase —
+        per component when factorized, per subtree otherwise — through the
+        parallel runtime.
+        """
+        if self.chase_config.factorize:
+            space = self._factorized_space(workers=workers)
+            if space is not None:
+                return space
+        if workers is not None and workers > 1:
+            return self.parallel_output_space(workers=workers)
         result = self.chase_result
         return OutputSpace(result.outcomes, error_probability=result.error_probability)
 
+    def _factorized_space(self, workers: int | None = None):
+        """The cached factorized space, or ``None`` when the program is connected."""
+        if "factorized" not in self.__dict__:
+            self.__dict__["factorized"] = factorized_space(
+                self.grounder, self.chase_config, workers=workers
+            )
+        return self.__dict__["factorized"]
+
     def possible_outcomes(self) -> list[PossibleOutcome]:
-        """``Ω^fin``: the finite possible outcomes."""
-        return list(self.chase_result.outcomes)
+        """``Ω^fin``: the finite possible outcomes, materialized.
+
+        Built from :meth:`output_space`, so a factorized engine enumerates
+        the joint outcomes of its components instead of re-running the flat
+        exponential chase.  (Materializing is still ``∏ |Ω_i|`` work —
+        that is what listing every outcome costs.)
+        """
+        return list(self.output_space())
 
     def probability_has_stable_model(self) -> float:
         """P("Π[D] has some stable model")."""
@@ -155,9 +185,7 @@ class GDatalogEngine:
         from repro.runtime.batch import QueryBatch
 
         batch = QueryBatch([query_from_spec(q) for q in queries])
-        if workers is not None and workers > 1:
-            return batch.evaluate(self.parallel_output_space(workers=workers))
-        return batch.evaluate(self.output_space())
+        return batch.evaluate(self.output_space(workers=workers))
 
     # -- approximate inference ------------------------------------------------------------
 
@@ -222,8 +250,21 @@ class GDatalogEngine:
         incremental state extensions and from-scratch fixpoints, grounding
         wall-clock time, the shared stable-model solver's memo-cache hit
         rate and the intern-table sizes.  Triggers the chase if it has not
-        run yet.
+        run yet.  A factorized engine reports its component split instead of
+        running the flat chase (which would be exponential in the number of
+        components — exactly what factorization avoids).
         """
+        if self.chase_config.factorize:
+            space = self._factorized_space()
+            if space is not None:
+                lines = [
+                    "-- chase profile (factorized) --",
+                    f"independent components:   {len(space.components)}",
+                    f"component outcomes:       {' + '.join(str(len(c)) for c in space.components)}",
+                    f"joint outcomes (lazy):    {len(space)}",
+                ]
+                lines += cache_profile_lines()
+                return "\n".join(lines)
         result = self.chase_result
         stats = result.stats
         lines = ["-- chase profile --"]

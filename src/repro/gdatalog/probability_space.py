@@ -5,30 +5,52 @@ by the error event ``Ω∞`` and the maximal sets of finite outcomes inducing
 the same set of stable models; the measure of a finite outcome is
 ``Pr(Σ) = ∏ δ⟨p̄⟩(o)``.
 
-:class:`OutputSpace` materializes the finite part of this space (as produced
-by the chase) and exposes the queries the examples, the PPDL layer and the
-benchmarks need: event probabilities, marginals, the distribution over sets
-of stable models and the "as good as" comparison of Definition 3.11.
+Two representations implement the common :class:`AbstractSpace` interface:
+
+* :class:`OutputSpace` materializes the finite part of the space (as
+  produced by the chase) as an explicit outcome list;
+* :class:`~repro.gdatalog.factorize.ProductSpace` represents the space of a
+  program that decomposes into independent components as a *product* of
+  per-component :class:`OutputSpace` objects, enumerating joint outcomes
+  lazily.
+
+All probability masses are accumulated with :func:`math.fsum` (exactly
+rounded summation), so renormalization near zero-mass evidence does not
+drift, and conditioning treats masses within :data:`ZERO_MASS_EPSILON` of
+zero as genuine zero-probability events instead of renormalizing by a
+denormal and emitting probabilities greater than one.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Iterable, Iterator, Mapping
+import abc
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator
 
 from repro.exceptions import InferenceError
 from repro.gdatalog.outcomes import PossibleOutcome
 from repro.logic.atoms import Atom
 
-__all__ = ["Event", "OutputSpace"]
+__all__ = ["Event", "AbstractSpace", "OutputSpace", "ZERO_MASS_EPSILON"]
 
 #: A set of stable models (each a frozenset of atoms), used as event identity.
 ModelSet = frozenset[frozenset[Atom]]
 
+#: Masses at most this close to zero are treated as zero-probability events:
+#: conditioning on them raises :class:`InferenceError` instead of dividing by
+#: a denormal (which loses all relative precision and can emit outcome
+#: probabilities above one).
+ZERO_MASS_EPSILON = 1e-12
+
 
 @dataclass(frozen=True)
 class Event:
-    """A basic event: all finite outcomes inducing the same set of stable models."""
+    """A basic event: all finite outcomes inducing the same set of stable models.
+
+    Product spaces combine events of their components without materializing
+    the joint outcomes; such events carry an empty ``outcomes`` tuple.
+    """
 
     model_set: ModelSet
     outcomes: tuple[PossibleOutcome, ...]
@@ -42,8 +64,114 @@ class Event:
         return len(self.outcomes)
 
 
-class OutputSpace:
-    """The (finite part of the) probability space ``Π_G(D)``."""
+class AbstractSpace(abc.ABC):
+    """The query interface shared by every representation of ``Π_G(D)``.
+
+    Concrete spaces provide iteration over finite outcomes, the error mass,
+    event grouping, and the three probability primitives (``probability``,
+    ``marginal``, ``conditional``); the derived queries below are expressed
+    in terms of those.  ``merge`` combines disjoint partial spaces of the
+    same representation.
+    """
+
+    # -- representation hooks -----------------------------------------------------
+
+    @property
+    @abc.abstractmethod
+    def error_probability(self) -> float:
+        """The mass of the error event ``Ω∞`` (infinite / truncated outcomes)."""
+
+    @property
+    @abc.abstractmethod
+    def finite_probability(self) -> float:
+        """``P(Ω^fin)``: total mass of the finite outcomes."""
+
+    @abc.abstractmethod
+    def __iter__(self) -> Iterator[PossibleOutcome]:
+        """Iterate over the finite possible outcomes (lazily where possible)."""
+
+    @abc.abstractmethod
+    def __len__(self) -> int:
+        """The number of finite possible outcomes."""
+
+    @abc.abstractmethod
+    def events(self) -> list[Event]:
+        """The basic events: maximal outcome sets with equal stable-model sets."""
+
+    @abc.abstractmethod
+    def probability(self, predicate: Callable[[PossibleOutcome], bool]) -> float:
+        """Probability of the set of finite outcomes satisfying *predicate*."""
+
+    @abc.abstractmethod
+    def marginal(self, atom: Atom, mode: str = "brave") -> float:
+        """Probability that *atom* holds in some (brave) / every (cautious) stable model."""
+
+    @abc.abstractmethod
+    def conditional(
+        self,
+        predicate: Callable[[PossibleOutcome], bool],
+        epsilon: float = ZERO_MASS_EPSILON,
+    ) -> "AbstractSpace":
+        """The sub-space obtained by conditioning on an event of positive probability.
+
+        Event masses at most *epsilon* raise :class:`InferenceError`; callers
+        conditioning on legitimately tiny but exactly-representable evidence
+        (e.g. a conjunction of many dyadic choices) may pass a smaller
+        *epsilon*, down to ``0.0`` for the strict positive-mass check.
+        """
+
+    @classmethod
+    @abc.abstractmethod
+    def merge(cls, spaces: Iterable["AbstractSpace"]) -> "AbstractSpace":
+        """The union of disjoint partial spaces of this representation."""
+
+    # -- derived queries -----------------------------------------------------------
+
+    def total_probability(self) -> float:
+        """Finite mass plus error mass (should be ≈ 1 up to truncation error)."""
+        return self.finite_probability + self.error_probability
+
+    def probability_has_stable_model(self) -> float:
+        """Probability of the event "the program has some stable model"."""
+        return self.probability(lambda o: o.has_stable_model)
+
+    def probability_no_stable_model(self) -> float:
+        """Probability of the event "the program has no stable model"."""
+        return self.probability(lambda o: not o.has_stable_model)
+
+    def distribution_over_model_sets(self) -> dict[ModelSet, float]:
+        """``I ↦ P({Σ finite : sms(Σ) = I})``."""
+        return {event.model_set: event.probability for event in self.events()}
+
+    def as_good_as(self, other: "AbstractSpace", tolerance: float = 1e-9) -> bool:
+        """Whether this space is *as good as* *other* (Definition 3.11).
+
+        For every set of stable models ``I``, the mass this space assigns to
+        ``{Σ finite : sms(Σ) = I}`` must be at least the mass *other* assigns.
+        """
+        mine = self.distribution_over_model_sets()
+        theirs = other.distribution_over_model_sets()
+        for model_set in set(mine) | set(theirs):
+            if mine.get(model_set, 0.0) + tolerance < theirs.get(model_set, 0.0):
+                return False
+        return True
+
+    def summary(self) -> str:
+        """A human-readable multi-line summary of the space."""
+        lines = [
+            f"possible outcomes (finite): {len(self)}",
+            f"finite probability mass:    {self.finite_probability:.6f}",
+            f"error-event mass:           {self.error_probability:.6f}",
+            f"P(has stable model):        {self.probability_has_stable_model():.6f}",
+        ]
+        for i, event in enumerate(self.events()):
+            label = f"{len(event.model_set)} stable model(s)" if event.model_set else "no stable model"
+            lines.append(f"  event {i}: p={event.probability:.6f}  [{label}]")
+        return "\n".join(lines)
+
+
+class OutputSpace(AbstractSpace):
+    """The (finite part of the) probability space ``Π_G(D)``, fully materialized."""
 
     def __init__(
         self,
@@ -66,14 +194,14 @@ class OutputSpace:
         or shards of a partitioned workload).
         """
         outcomes: list[PossibleOutcome] = []
-        error_probability = 0.0
+        error_masses: list[float] = []
         visible_only = True
         for space in spaces:
             outcomes.extend(space._outcomes)
-            error_probability += space._error_probability
+            error_masses.append(space._error_probability)
             visible_only = visible_only and space._visible_only
         outcomes.sort(key=lambda o: o.choice_key)
-        return cls(outcomes, error_probability=error_probability, visible_only=visible_only)
+        return cls(outcomes, error_probability=math.fsum(error_masses), visible_only=visible_only)
 
     # -- basic accounting ------------------------------------------------------
 
@@ -90,11 +218,7 @@ class OutputSpace:
     @property
     def finite_probability(self) -> float:
         """``P(Ω^fin)``: total mass of the finite outcomes."""
-        return sum(o.probability for o in self._outcomes)
-
-    def total_probability(self) -> float:
-        """Finite mass plus error mass (should be ≈ 1 up to truncation error)."""
-        return self.finite_probability + self._error_probability
+        return math.fsum(o.probability for o in self._outcomes)
 
     def __len__(self) -> int:
         return len(self._outcomes)
@@ -115,29 +239,17 @@ class OutputSpace:
         for outcome in self._outcomes:
             grouped.setdefault(self._model_set_of(outcome), []).append(outcome)
         events = [
-            Event(model_set, tuple(members), sum(o.probability for o in members))
+            Event(model_set, tuple(members), math.fsum(o.probability for o in members))
             for model_set, members in grouped.items()
         ]
         events.sort(key=lambda e: (-e.probability, len(e.model_set)))
         return events
 
-    def distribution_over_model_sets(self) -> dict[ModelSet, float]:
-        """``I ↦ P({Σ finite : sms(Σ) = I})``."""
-        return {event.model_set: event.probability for event in self.events()}
-
     # -- probability queries --------------------------------------------------------
 
     def probability(self, predicate: Callable[[PossibleOutcome], bool]) -> float:
         """Probability of the set of finite outcomes satisfying *predicate*."""
-        return sum(o.probability for o in self._outcomes if predicate(o))
-
-    def probability_has_stable_model(self) -> float:
-        """Probability of the event "the program has some stable model"."""
-        return self.probability(lambda o: o.has_stable_model)
-
-    def probability_no_stable_model(self) -> float:
-        """Probability of the event "the program has no stable model"."""
-        return self.probability(lambda o: not o.has_stable_model)
+        return math.fsum(o.probability for o in self._outcomes if predicate(o))
 
     def marginal(self, atom: Atom, mode: str = "brave") -> float:
         """Probability that *atom* holds in some (brave) / every (cautious) stable model.
@@ -158,34 +270,31 @@ class OutputSpace:
 
         return self.probability(satisfied)
 
-    def conditional(self, predicate: Callable[[PossibleOutcome], bool]) -> "OutputSpace":
+    def conditional(
+        self,
+        predicate: Callable[[PossibleOutcome], bool],
+        epsilon: float = ZERO_MASS_EPSILON,
+    ) -> "OutputSpace":
         """The sub-space obtained by conditioning on an event of positive probability.
 
         Probabilities of the retained outcomes are renormalized by the event
         mass (the error event is discarded — conditioning is only defined on
-        finite outcomes, as in the PPDL constraint semantics).
+        finite outcomes, as in the PPDL constraint semantics).  Event masses
+        at most *epsilon* (default :data:`ZERO_MASS_EPSILON`) are treated as
+        zero-probability events: renormalizing by a float artifact loses all
+        relative precision and can emit probabilities above one, so they
+        raise :class:`InferenceError`.  Pass a smaller *epsilon* when the
+        evidence is legitimately tiny but exactly representable.
         """
         selected = [o for o in self._outcomes if predicate(o)]
-        mass = sum(o.probability for o in selected)
-        if mass <= 0.0:
-            raise InferenceError("cannot condition on an event of probability zero")
+        mass = math.fsum(o.probability for o in selected)
+        if mass <= epsilon:
+            raise InferenceError(
+                "cannot condition on an event of probability zero "
+                f"(mass {mass:.3e} is within {max(epsilon, 0.0):.0e} of zero)"
+            )
         rescaled = [o.with_probability(o.probability / mass) for o in selected]
         return OutputSpace(rescaled, error_probability=0.0, visible_only=self._visible_only)
-
-    # -- comparison of semantics (Definition 3.11) -------------------------------------
-
-    def as_good_as(self, other: "OutputSpace", tolerance: float = 1e-9) -> bool:
-        """Whether this space is *as good as* *other*.
-
-        For every set of stable models ``I``, the mass this space assigns to
-        ``{Σ finite : sms(Σ) = I}`` must be at least the mass *other* assigns.
-        """
-        mine = self.distribution_over_model_sets()
-        theirs = other.distribution_over_model_sets()
-        for model_set in set(mine) | set(theirs):
-            if mine.get(model_set, 0.0) + tolerance < theirs.get(model_set, 0.0):
-                return False
-        return True
 
     # -- reporting -----------------------------------------------------------------------
 

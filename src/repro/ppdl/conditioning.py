@@ -5,46 +5,145 @@ Given the prior space ``Π_G(D)`` and a :class:`~repro.ppdl.constraints.Constrai
 finite outcomes satisfying ``C``, renormalized by ``P(C)`` — exactly the
 PPDL reading of constraints as conditioning (Bárány et al., carried over to
 the stable-negation setting in the paper's conclusions).
+
+Two accounting rules keep the numbers honest:
+
+* ``evidence_probability`` is measured relative to the prior's **finite**
+  outcomes.  Conditioning is only defined on finite outcomes; whatever mass
+  the prior assigned to the error event ``Ω∞`` cannot be redistributed and
+  is reported as :attr:`ConditioningResult.discarded_error_probability`
+  instead of being silently dropped.
+* Evidence masses within ``ZERO_MASS_EPSILON`` of zero are treated as
+  zero-probability events and raise :class:`InferenceError` — renormalizing
+  by a float artifact would emit probabilities above one.
+
+On a factorized :class:`~repro.gdatalog.factorize.ProductSpace`, a
+constraint set made of positive observations conditions **per component**:
+each observed component is conditioned on its own observations, every other
+component on possessing a stable model (which positive observations on the
+joint space imply), and the posterior stays a lazy product.  Negated
+observations and opaque predicates can couple components, so they fall back
+to materializing the joint outcomes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.exceptions import InferenceError
-from repro.gdatalog.probability_space import OutputSpace
-from repro.ppdl.constraints import ConstraintSet
+from repro.gdatalog.factorize import ProductSpace
+from repro.gdatalog.outcomes import PossibleOutcome
+from repro.gdatalog.probability_space import AbstractSpace, ZERO_MASS_EPSILON
+from repro.ppdl.constraints import ConstraintSet, Observation
 
 __all__ = ["ConditioningResult", "condition"]
 
 
 @dataclass(frozen=True)
 class ConditioningResult:
-    """The posterior space together with the evidence probability."""
+    """The posterior space together with the evidence accounting.
 
-    posterior: OutputSpace
+    ``evidence_probability`` is the constraint event's mass among the
+    prior's *finite* outcomes; ``discarded_error_probability`` is the
+    prior's error-event mass, which conditioning necessarily discards (the
+    posterior's outcomes renormalize over the finite evidence only).
+    """
+
+    posterior: AbstractSpace
     evidence_probability: float
     prior_outcomes: int
     posterior_outcomes: int
+    discarded_error_probability: float = 0.0
 
     def __str__(self) -> str:
-        return (
+        rendered = (
             f"P(evidence)={self.evidence_probability:.6f}, "
             f"{self.posterior_outcomes}/{self.prior_outcomes} outcomes retained"
         )
+        if self.discarded_error_probability > 0.0:
+            rendered += f", error mass {self.discarded_error_probability:.6f} discarded"
+        return rendered
 
 
-def condition(space: OutputSpace, constraints: ConstraintSet) -> ConditioningResult:
-    """Condition *space* on *constraints* (which must have positive probability)."""
+def condition(
+    space: AbstractSpace,
+    constraints: ConstraintSet,
+    epsilon: float = ZERO_MASS_EPSILON,
+) -> ConditioningResult:
+    """Condition *space* on *constraints* (which must have positive probability).
+
+    Evidence masses at most *epsilon* raise :class:`InferenceError`; pass a
+    smaller *epsilon* (down to ``0.0``) to condition on legitimately tiny
+    but exactly-representable evidence.
+    """
+    if isinstance(space, ProductSpace):
+        result = _condition_product(space, constraints, epsilon)
+        if result is not None:
+            return result
     evidence = space.probability(constraints.satisfied_by)
-    if evidence <= 0.0:
+    if evidence <= epsilon:
         raise InferenceError(
-            "the constraint component has probability zero under the prior; conditioning is undefined"
+            "the constraint component has probability zero under the prior "
+            f"(evidence mass {evidence:.3e}); conditioning is undefined"
         )
-    posterior = space.conditional(constraints.satisfied_by)
+    posterior = space.conditional(constraints.satisfied_by, epsilon=epsilon)
     return ConditioningResult(
         posterior=posterior,
         evidence_probability=evidence,
         prior_outcomes=len(space),
         posterior_outcomes=len(posterior),
+        discarded_error_probability=space.error_probability,
+    )
+
+
+def _condition_product(
+    space: ProductSpace, constraints: ConstraintSet, epsilon: float
+) -> ConditioningResult | None:
+    """Per-component conditioning for positive-observation constraint sets.
+
+    Returns ``None`` when the constraints may couple components (negated
+    observations, opaque predicates) or are vacuous (no observation and no
+    stable-model requirement — the generic path then conditions on the whole
+    finite space, no-model outcomes included).
+    """
+    if constraints.predicates:
+        return None
+    if any(observation.negated for observation in constraints.observations):
+        return None
+    if not constraints.observations and not constraints.requires_stable_model:
+        return None
+    by_component: dict[int, list[Observation]] = {}
+    for observation in constraints.observations:
+        index = space.component_of(observation.atom)
+        if index is None:
+            # The observed atom is derivable in no component: the evidence
+            # event is empty, exactly like a zero finite mass.
+            raise InferenceError(
+                f"the constraint component has probability zero under the prior "
+                f"(no component can derive {observation.atom}); conditioning is undefined"
+            )
+        by_component.setdefault(index, []).append(observation)
+
+    def component_event(
+        observations: list[Observation],
+    ) -> Callable[[PossibleOutcome], bool]:
+        def event(outcome: PossibleOutcome) -> bool:
+            # Positive observations on the joint space require every
+            # component to have a stable model; holds_in already enforces it
+            # for the observed component.
+            if not outcome.has_stable_model:
+                return False
+            return all(observation.holds_in(outcome) for observation in observations)
+
+        return event
+
+    predicates = {index: component_event(obs) for index, obs in by_component.items()}
+    posterior, evidence = space.condition_components(predicates, epsilon=epsilon)
+    return ConditioningResult(
+        posterior=posterior,
+        evidence_probability=evidence,
+        prior_outcomes=len(space),
+        posterior_outcomes=len(posterior),
+        discarded_error_probability=space.error_probability,
     )

@@ -103,6 +103,15 @@ class ConstraintSet:
     def observations(self) -> tuple[Observation, ...]:
         return self._observations
 
+    @property
+    def predicates(self) -> tuple[Callable[[PossibleOutcome], bool], ...]:
+        """The opaque outcome predicates (empty for purely observational sets)."""
+        return self._predicates
+
+    @property
+    def requires_stable_model(self) -> bool:
+        return self._require_stable_model
+
     def satisfied_by(self, outcome: PossibleOutcome) -> bool:
         """Whether every observation and predicate holds for *outcome*."""
         if self._require_stable_model and not outcome.has_stable_model:

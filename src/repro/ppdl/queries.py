@@ -12,7 +12,7 @@ import abc
 from dataclasses import dataclass
 
 from repro.gdatalog.outcomes import PossibleOutcome
-from repro.gdatalog.probability_space import OutputSpace
+from repro.gdatalog.probability_space import AbstractSpace
 from repro.gdatalog.sampler import Estimate, MonteCarloSampler
 from repro.logic.atoms import Atom
 from repro.logic.parser import parse_atom
@@ -36,8 +36,15 @@ class Query(abc.ABC):
     def outcome_predicate(self, outcome: PossibleOutcome) -> bool:
         """Whether a single possible outcome satisfies the query."""
 
-    def evaluate(self, space: OutputSpace) -> float:
-        """Exact probability of the query under *space*."""
+    def evaluate(self, space: AbstractSpace) -> float:
+        """Exact probability of the query under *space*.
+
+        The base implementation scans every finite outcome; subclasses with
+        a structural reading (atom marginals, stable-model existence)
+        override it to route through the space's dedicated hooks, which a
+        factorized :class:`~repro.gdatalog.factorize.ProductSpace` answers
+        by touching only the relevant components.
+        """
         return space.probability(self.outcome_predicate)
 
     def estimate(self, sampler: MonteCarloSampler, n: int = 1000) -> Estimate:
@@ -56,6 +63,10 @@ class AtomQuery(Query):
     def of(atom: Atom | str, mode: str = "brave") -> "AtomQuery":
         return AtomQuery(parse_atom(atom) if isinstance(atom, str) else atom, mode)
 
+    def evaluate(self, space: AbstractSpace) -> float:
+        """Routed through :meth:`AbstractSpace.marginal` (component-local on products)."""
+        return space.marginal(self.atom, mode=self.mode)
+
     def outcome_predicate(self, outcome: PossibleOutcome) -> bool:
         models = outcome.stable_models
         if not models:
@@ -71,6 +82,10 @@ class AtomQuery(Query):
 @dataclass(frozen=True)
 class HasStableModelQuery(Query):
     """Probability that the program has at least one stable model."""
+
+    def evaluate(self, space: AbstractSpace) -> float:
+        """Routed through the space hook (a product of scalars on factorized spaces)."""
+        return space.probability_has_stable_model()
 
     def outcome_predicate(self, outcome: PossibleOutcome) -> bool:
         return outcome.has_stable_model
@@ -100,7 +115,7 @@ class ConditionalQuery:
     query: Query
     evidence: ConstraintSet
 
-    def evaluate(self, space: OutputSpace) -> float:
+    def evaluate(self, space: AbstractSpace) -> float:
         """Exact conditional probability (raises if the evidence has mass zero)."""
         result = condition(space, self.evidence)
         return self.query.evaluate(result.posterior)

@@ -23,12 +23,14 @@ Usage::
 
 from __future__ import annotations
 
+import math
 from typing import Sequence
 
 import numpy as np
 
+from repro.gdatalog.factorize import ProductSpace
 from repro.gdatalog.outcomes import PossibleOutcome
-from repro.gdatalog.probability_space import OutputSpace
+from repro.gdatalog.probability_space import AbstractSpace
 from repro.gdatalog.sampler import Estimate, MonteCarloSampler
 from repro.logic.atoms import Atom
 from repro.ppdl.queries import AtomQuery, HasStableModelQuery, Query
@@ -87,16 +89,48 @@ class QueryBatch:
 
     # -- exact -------------------------------------------------------------------
 
-    def evaluate(self, space: OutputSpace) -> list[float]:
-        """Exact probabilities, aligned with the constructor's query order."""
-        totals = [0.0] * len(self._queries)
+    def evaluate(self, space: AbstractSpace) -> list[float]:
+        """Exact probabilities, aligned with the constructor's query order.
+
+        Masses are accumulated with :func:`math.fsum` (exactly rounded), so
+        the batched results match per-query ``evaluate`` bit for bit.  On a
+        factorized :class:`~repro.gdatalog.factorize.ProductSpace`, atom and
+        stable-model queries route to the relevant components and only the
+        remaining generic queries share one lazy pass over the joint
+        outcomes.
+        """
+        if isinstance(space, ProductSpace):
+            return self._evaluate_product(space)
+        contributions: list[list[float]] = [[] for _ in self._queries]
         for outcome in space:
             flags = self._satisfaction(outcome)
             probability = outcome.probability
             for position, satisfied in enumerate(flags):
                 if satisfied:
-                    totals[position] += probability
-        return totals
+                    contributions[position].append(probability)
+        return [math.fsum(parts) for parts in contributions]
+
+    def _evaluate_product(self, space: ProductSpace) -> list[float]:
+        """Component-routed evaluation: generic queries share one joint pass."""
+        results: list[float | None] = [None] * len(self._queries)
+        generic_positions: list[int] = []
+        for position, query in enumerate(self._queries):
+            if isinstance(query, AtomQuery):
+                results[position] = space.marginal(query.atom, mode=query.mode)
+            elif isinstance(query, HasStableModelQuery):
+                results[position] = space.probability_has_stable_model()
+            else:
+                generic_positions.append(position)
+        if generic_positions:
+            generic = [self._queries[position] for position in generic_positions]
+            contributions: list[list[float]] = [[] for _ in generic]
+            for outcome in space:
+                for slot, query in enumerate(generic):
+                    if query.outcome_predicate(outcome):
+                        contributions[slot].append(outcome.probability)
+            for slot, position in enumerate(generic_positions):
+                results[position] = math.fsum(contributions[slot])
+        return results  # type: ignore[return-value]
 
     # -- approximate --------------------------------------------------------------
 

@@ -37,6 +37,14 @@ Usage::
 On platforms without ``fork`` (or with ``workers=1``, or when the tree
 never branches) the explorer transparently degrades to the sequential
 engine, so callers never need a fallback path of their own.
+
+The same pool machinery backs two further units of parallelism:
+
+* :func:`explore_components` — whole independent components of a factorized
+  program (see :mod:`repro.gdatalog.factorize`) as the split unit; and
+* :class:`ParallelSampler` — Monte-Carlo sample chunks, each drawn on an
+  independent ``SeedSequence.spawn`` stream so forked workers never replay
+  the parent generator's state.
 """
 
 from __future__ import annotations
@@ -44,20 +52,48 @@ from __future__ import annotations
 import multiprocessing
 import os
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+from typing import Callable, Sequence
+
+import numpy as np
 
 from repro.exceptions import ChaseLimitError
 from repro.gdatalog.chase import ChaseConfig, ChaseEngine, ChaseNode, ChaseResult, ChaseStats
 from repro.gdatalog.grounders import Grounder
 from repro.gdatalog.outcomes import PossibleOutcome
 from repro.gdatalog.probability_space import OutputSpace
+from repro.gdatalog.sampler import Estimate, MonteCarloSampler
 
-__all__ = ["ParallelChaseExplorer", "default_worker_count"]
+__all__ = [
+    "ParallelChaseExplorer",
+    "ParallelSampler",
+    "default_worker_count",
+    "explore_components",
+    "spawn_seed_sequences",
+]
 
 
 def default_worker_count() -> int:
     """The worker count used when none is requested (bounded CPU count)."""
     return max(1, min(os.cpu_count() or 1, 8))
+
+
+def spawn_seed_sequences(seed: int | None, count: int) -> list[np.random.SeedSequence]:
+    """Independent per-worker RNG roots derived via ``SeedSequence.spawn``.
+
+    Fork-based workers inherit the parent process's memory — including any
+    ``np.random.Generator`` state — so sampling with an inherited generator
+    would replay the *same* stream in every worker and silently correlate
+    parallel Monte-Carlo estimates.  Spawned children are statistically
+    independent and deterministic in *seed*, so multi-worker runs are
+    reproducible without sharing a stream.
+    """
+    return list(np.random.SeedSequence(seed).spawn(count))
+
+
+def _worker_trigger_seed(sequence: np.random.SeedSequence) -> int:
+    """A plain integer seed (for ``random.Random`` trigger selection) from a spawned root."""
+    return int(sequence.generate_state(1, dtype=np.uint64)[0])
 
 
 @dataclass
@@ -106,10 +142,15 @@ def _payload_from_result(result: ChaseResult, presolve: bool = False) -> tuple:
 
 
 def _explore_subtree(index: int):
-    """Worker task: exhaust one frontier subtree and return a picklable payload."""
+    """Worker task: exhaust one frontier subtree and return a picklable payload.
+
+    Each subtree engine gets its own spawned trigger seed: under
+    ``TriggerStrategy.RANDOM`` the workers would otherwise all replay the
+    parent's stream (fork copies it), selecting correlated trigger orders.
+    """
     assert _WORKER_STATE is not None, "worker state must be installed before forking"
     grounder = _WORKER_STATE["grounder"]
-    config = _WORKER_STATE["config"]
+    config = replace(_WORKER_STATE["config"], seed=_WORKER_STATE["trigger_seeds"][index])
     node = _WORKER_STATE["frontier"][index]
     result = ChaseEngine(grounder, config).run(root=node)
     return _payload_from_result(result, presolve=_WORKER_STATE["presolve"])
@@ -268,6 +309,10 @@ class ParallelChaseExplorer:
             "config": self.config,
             "frontier": nodes,
             "presolve": self.presolve,
+            "trigger_seeds": [
+                _worker_trigger_seed(s)
+                for s in spawn_seed_sequences(self.config.seed, len(nodes))
+            ],
         }
         try:
             context = multiprocessing.get_context("fork")
@@ -331,3 +376,229 @@ class ParallelChaseExplorer:
             max_depth_reached=max_depth_reached,
             stats=stats,
         )
+
+
+# ---------------------------------------------------------------------------
+# Component-level parallelism (factorized inference)
+# ---------------------------------------------------------------------------
+
+#: Worker-side state for component exploration, inherited through ``fork``.
+_COMPONENT_STATE: dict | None = None
+
+
+def _result_from_payload(payload: tuple, grounder: Grounder) -> ChaseResult:
+    """Rebuild a :class:`ChaseResult` from the picklable worker wire tuple."""
+    outcome_rows, error, truncated, max_depth, stat_values = payload
+    outcomes: list[PossibleOutcome] = []
+    for atr_rules, grounding, probability, models in outcome_rows:
+        outcome = PossibleOutcome(
+            atr_rules=atr_rules,
+            grounding=grounding,
+            probability=probability,
+            translated=grounder.translated,
+        )
+        if models is not None:
+            outcome.__dict__["stable_models"] = models
+        outcomes.append(outcome)
+    expanded, visited, leaves, seconds, extensions, full = stat_values
+    stats = ChaseStats(
+        nodes_expanded=expanded,
+        nodes_visited=visited,
+        leaves=leaves,
+        grounding_seconds=seconds,
+        incremental_extensions=extensions,
+        full_groundings=full,
+    )
+    return ChaseResult(
+        outcomes=outcomes,
+        error_probability=error,
+        truncated_paths=truncated,
+        max_depth_reached=max_depth,
+        stats=stats,
+    )
+
+
+def _explore_component(index: int):
+    """Worker task: exhaust one independent component's chase tree."""
+    assert _COMPONENT_STATE is not None, "component state must be installed before forking"
+    grounder = _COMPONENT_STATE["grounders"][index]
+    config = _COMPONENT_STATE["configs"][index]
+    result = ChaseEngine(grounder, config).run()
+    return _payload_from_result(result, presolve=_COMPONENT_STATE["presolve"])
+
+
+def explore_components(
+    grounders: Sequence[Grounder],
+    config: ChaseConfig | None = None,
+    workers: int | None = None,
+    presolve: bool = True,
+    backend: str = "auto",
+) -> list[ChaseResult]:
+    """Chase many independent component grounders across a worker pool.
+
+    Components (see :mod:`repro.gdatalog.factorize`) share no ground atoms,
+    so they are the natural parallel-split unit for factorized inference:
+    each worker exhausts whole components — chase, grounding and (with
+    *presolve*) stable models — and the parent only reassembles small
+    payloads.  Every component engine receives its own
+    ``SeedSequence``-spawned trigger seed, so ``TriggerStrategy.RANDOM``
+    runs are decorrelated across workers yet deterministic in
+    ``config.seed``; results are identical between the forked and the
+    serial fallback path.
+    """
+    config = config or ChaseConfig()
+    workers = default_worker_count() if workers is None else max(1, int(workers))
+    configs = [
+        replace(config, seed=_worker_trigger_seed(s))
+        for s in spawn_seed_sequences(config.seed, len(grounders))
+    ]
+    serial = (
+        backend == "serial"
+        or workers <= 1
+        or len(grounders) <= 1
+        or (backend == "auto" and "fork" not in multiprocessing.get_all_start_methods())
+    )
+    if not serial:
+        global _COMPONENT_STATE
+        _COMPONENT_STATE = {
+            "grounders": list(grounders),
+            "configs": configs,
+            "presolve": presolve,
+        }
+        try:
+            context = multiprocessing.get_context("fork")
+            with context.Pool(processes=min(workers, len(grounders))) as pool:
+                payloads = pool.map(_explore_component, range(len(grounders)), chunksize=1)
+            return [
+                _result_from_payload(payload, grounder)
+                for payload, grounder in zip(payloads, grounders)
+            ]
+        except (OSError, ValueError):
+            pass  # constrained sandboxes: fall through to the serial path
+        finally:
+            _COMPONENT_STATE = None
+    return [
+        ChaseEngine(grounder, worker_config).run()
+        for grounder, worker_config in zip(grounders, configs)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Parallel Monte-Carlo sampling
+# ---------------------------------------------------------------------------
+
+#: Worker-side state for parallel sampling, inherited through ``fork``.
+_SAMPLER_STATE: dict | None = None
+
+
+def _sample_chunk(index: int) -> int:
+    """Worker task: draw one chunk of samples on an independent RNG stream."""
+    assert _SAMPLER_STATE is not None, "sampler state must be installed before forking"
+    engine = ChaseEngine(_SAMPLER_STATE["grounder"], _SAMPLER_STATE["config"])
+    rng = np.random.default_rng(_SAMPLER_STATE["sequences"][index])
+    predicate = _SAMPLER_STATE["predicate"]
+    successes = 0
+    for _ in range(_SAMPLER_STATE["budgets"][index]):
+        outcome, _depth = engine.sample_path(rng)
+        if outcome is not None and predicate(outcome):
+            successes += 1
+    return successes
+
+
+class ParallelSampler:
+    """Monte-Carlo estimation split across workers with independent RNG streams.
+
+    Forked workers inherit the parent's memory, so handing them the parent's
+    ``np.random.default_rng`` state would make every worker draw the *same*
+    sample paths — the merged estimate would quietly have the variance of a
+    single worker's share.  Each worker therefore samples from its own
+    ``SeedSequence.spawn`` child (:func:`spawn_seed_sequences`), which keeps
+    multi-worker runs deterministic in *seed* and statistically independent
+    across workers.  With ``workers=1`` the sampler delegates to
+    :class:`~repro.gdatalog.sampler.MonteCarloSampler` with the seed
+    untouched, so seeded single-worker estimates stay byte-for-byte
+    reproducible against the sequential sampler.
+
+    The serial fallback (no ``fork``, constrained sandboxes) draws the same
+    per-worker streams inline, so results never depend on whether the pool
+    could actually fork.
+    """
+
+    def __init__(
+        self,
+        grounder: Grounder,
+        config: ChaseConfig | None = None,
+        workers: int | None = None,
+        seed: int | None = None,
+        backend: str = "auto",
+    ):
+        if backend not in ("auto", "fork", "serial"):
+            raise ValueError(f"backend must be 'auto', 'fork' or 'serial', got {backend!r}")
+        self.grounder = grounder
+        self.config = config or ChaseConfig()
+        self.workers = default_worker_count() if workers is None else max(1, int(workers))
+        self.seed = seed
+        self.backend = backend
+
+    def estimate(self, predicate: Callable[[PossibleOutcome], bool], n: int = 1000) -> Estimate:
+        """Estimate the probability of the event defined by *predicate* from *n* samples."""
+        if self.workers <= 1:
+            return MonteCarloSampler(self.grounder, self.config, seed=self.seed).estimate(
+                predicate, n=n
+            )
+        budgets = self._budgets(n)
+        sequences = spawn_seed_sequences(self.seed, len(budgets))
+        successes = self._map_chunks(predicate, budgets, sequences)
+        p_hat = successes / n if n else 0.0
+        standard_error = (
+            float(np.sqrt(max(p_hat * (1.0 - p_hat), 1e-300) / n)) if n else 0.0
+        )
+        return Estimate(p_hat, standard_error, n)
+
+    def estimate_query(self, query, n: int = 1000) -> Estimate:
+        """Estimate a :class:`~repro.ppdl.queries.Query` (its outcome predicate)."""
+        return self.estimate(query.outcome_predicate, n=n)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _budgets(self, n: int) -> list[int]:
+        """Split *n* samples over the workers (remainder to the first chunks)."""
+        chunks = min(self.workers, max(n, 1))
+        base, remainder = divmod(n, chunks)
+        return [base + (1 if index < remainder else 0) for index in range(chunks)]
+
+    def _map_chunks(
+        self,
+        predicate: Callable[[PossibleOutcome], bool],
+        budgets: list[int],
+        sequences: list[np.random.SeedSequence],
+    ) -> int:
+        serial = self.backend == "serial" or (
+            self.backend == "auto" and "fork" not in multiprocessing.get_all_start_methods()
+        )
+        if not serial:
+            global _SAMPLER_STATE
+            _SAMPLER_STATE = {
+                "grounder": self.grounder,
+                "config": self.config,
+                "predicate": predicate,
+                "budgets": budgets,
+                "sequences": sequences,
+            }
+            try:
+                context = multiprocessing.get_context("fork")
+                with context.Pool(processes=len(budgets)) as pool:
+                    return sum(pool.map(_sample_chunk, range(len(budgets)), chunksize=1))
+            except (OSError, ValueError):
+                pass  # constrained sandboxes: fall through to the serial path
+            finally:
+                _SAMPLER_STATE = None
+        engine = ChaseEngine(self.grounder, self.config)
+        successes = 0
+        for budget, sequence in zip(budgets, sequences):
+            rng = np.random.default_rng(sequence)
+            for _ in range(budget):
+                outcome, _depth = engine.sample_path(rng)
+                if outcome is not None and predicate(outcome):
+                    successes += 1
+        return successes

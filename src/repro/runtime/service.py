@@ -15,8 +15,14 @@ of :class:`~repro.gdatalog.engine.GDatalogEngine` instances keyed on a
 Exact answers go through the parallel explorer
 (:class:`~repro.runtime.pool.ParallelChaseExplorer`) when the service is
 configured with workers, and batched queries share one outcome scan via
-:class:`~repro.runtime.batch.QueryBatch`.  The ``gdatalog serve`` CLI
-subcommand wraps this class in a JSON-lines request loop.
+:class:`~repro.runtime.batch.QueryBatch`.  With ``factorize=True`` the
+service additionally caches at the *component* level: the chased space of
+each independent block (see :mod:`repro.gdatalog.factorize`) is
+content-addressed by (program, component facts, grounder, config), so
+requests that share blocks — e.g. overlapping sensor groups, or the same
+sub-network queried under different evidence — never re-chase them.  The
+``gdatalog serve`` CLI subcommand wraps this class in a JSON-lines request
+loop.
 
 Usage::
 
@@ -29,11 +35,17 @@ from __future__ import annotations
 
 import hashlib
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.gdatalog.chase import ChaseConfig
 from repro.gdatalog.engine import GDatalogEngine
-from repro.gdatalog.probability_space import OutputSpace
+from repro.gdatalog.factorize import (
+    ComponentSpace,
+    ProductSpace,
+    decompose,
+    explore_component_spaces,
+)
+from repro.gdatalog.probability_space import AbstractSpace, OutputSpace
 from repro.logic.parser import parse_database, parse_gdatalog_program
 from repro.ppdl.queries import Query, query_from_spec
 from repro.runtime.adaptive import AdaptiveEstimate, AdaptiveSampler
@@ -45,11 +57,19 @@ __all__ = ["ServiceStats", "InferenceService"]
 
 @dataclass
 class ServiceStats:
-    """Cache counters of one service instance."""
+    """Cache counters of one service instance.
+
+    ``component_hits`` / ``component_misses`` track the factorized-inference
+    component cache: components are content-addressed by (program, component
+    facts, grounder, chase config), so two requests sharing an independent
+    block reuse its chased space even when the rest of the database differs.
+    """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    component_hits: int = 0
+    component_misses: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -60,7 +80,7 @@ class ServiceStats:
 @dataclass
 class _CacheEntry:
     engine: GDatalogEngine
-    space: OutputSpace | None = field(default=None)
+    space: AbstractSpace | None = field(default=None)
 
 
 class InferenceService:
@@ -72,12 +92,15 @@ class InferenceService:
         grounder: str = "simple",
         chase_config: ChaseConfig | None = None,
         workers: int | None = None,
+        factorize: bool = False,
     ):
         if cache_size < 1:
             raise ValueError(f"cache_size must be at least 1, got {cache_size}")
         self.cache_size = int(cache_size)
         self.grounder = grounder
         self.chase_config = chase_config or ChaseConfig()
+        if factorize and not self.chase_config.factorize:
+            self.chase_config = replace(self.chase_config, factorize=True)
         self.workers = workers
         self.stats = ServiceStats()
         self._entries: OrderedDict[str, _CacheEntry] = OrderedDict()
@@ -86,6 +109,11 @@ class InferenceService:
         # entirely on the hot path.  Bounded: cleared wholesale on overflow.
         self._raw_keys: dict[tuple[str, str], str] = {}
         self._raw_keys_limit = max(self.cache_size * 8, 64)
+        # Factorized inference caches *components*, not whole spaces: the
+        # chased space of one independent block is reusable by any request
+        # whose decomposition contains an identical block.
+        self._component_spaces: OrderedDict[str, ComponentSpace] = OrderedDict()
+        self._component_limit = max(self.cache_size * 8, 64)
 
     # -- canonical keys -----------------------------------------------------------
 
@@ -114,18 +142,76 @@ class InferenceService:
         """The cached engine for a request (built and inserted on miss)."""
         return self._entry(program_source, database_source).engine
 
-    def space(self, program_source: str, database_source: str = "") -> OutputSpace:
-        """The cached exact output space (chased on first use, parallel if configured)."""
+    def space(self, program_source: str, database_source: str = "") -> AbstractSpace:
+        """The cached exact output space (chased on first use, parallel if configured).
+
+        When the service factorizes, the space is assembled from the
+        component cache: only components not yet chased (under the same
+        program, grounder and chase configuration) pay for a chase.
+        """
         entry = self._entry(program_source, database_source)
         if entry.space is None:
-            if self.workers is not None and self.workers > 1:
-                explorer = ParallelChaseExplorer(
-                    entry.engine.grounder, self.chase_config, workers=self.workers
-                )
-                entry.space = explorer.output_space()
-            else:
-                entry.space = entry.engine.output_space()
+            if self.chase_config.factorize:
+                entry.space = self._factorized_space(entry.engine)
+            if entry.space is None:
+                # Flat path (also the factorization fallback — built directly
+                # so the engine does not re-run the decomposition analysis).
+                if self.workers is not None and self.workers > 1:
+                    explorer = ParallelChaseExplorer(
+                        entry.engine.grounder, self.chase_config, workers=self.workers
+                    )
+                    entry.space = explorer.output_space()
+                else:
+                    result = entry.engine.chase_result
+                    entry.space = OutputSpace(
+                        result.outcomes, error_probability=result.error_probability
+                    )
         return entry.space
+
+    def _factorized_space(self, engine: GDatalogEngine) -> ProductSpace | None:
+        """Assemble the product space from cached components (``None`` → fall back)."""
+        decomposition = decompose(engine.translated, engine.database, self.chase_config)
+        if decomposition is None:
+            return None
+        program_digest = hashlib.sha256(
+            "\n".join(sorted(str(rule) for rule in engine.program)).encode("utf-8")
+        ).hexdigest()
+        parts: list[ComponentSpace | None] = []
+        missing: list[tuple[int, str]] = []
+        for component in decomposition.components:
+            key = self._component_key(program_digest, component)
+            cached = self._component_spaces.get(key)
+            if cached is not None:
+                self.stats.component_hits += 1
+                self._component_spaces.move_to_end(key)
+                parts.append(cached)
+            else:
+                self.stats.component_misses += 1
+                missing.append((len(parts), key))
+                parts.append(None)
+        if missing:
+            chased = explore_component_spaces(
+                engine.grounder,
+                [decomposition.components[index] for index, _ in missing],
+                self.chase_config,
+                workers=self.workers,
+            )
+            for (index, key), part in zip(missing, chased):
+                parts[index] = part
+                self._component_spaces[key] = part
+                if len(self._component_spaces) > self._component_limit:
+                    self._component_spaces.popitem(last=False)
+        return ProductSpace(parts, engine.translated)
+
+    def _component_key(self, program_digest: str, component) -> str:
+        digest = hashlib.sha256()
+        digest.update(program_digest.encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update("\n".join(str(fact) for fact in component.facts).encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(self.grounder.encode("utf-8"))
+        digest.update(repr(self.chase_config).encode("utf-8"))
+        return digest.hexdigest()
 
     def _entry(self, program_source: str, database_source: str) -> _CacheEntry:
         raw = (program_source, database_source)
@@ -158,9 +244,10 @@ class InferenceService:
         return len(self._entries)
 
     def clear(self) -> None:
-        """Drop every cached engine/space (counters are kept)."""
+        """Drop every cached engine/space/component (counters are kept)."""
         self._entries.clear()
         self._raw_keys.clear()
+        self._component_spaces.clear()
 
     # -- queries ---------------------------------------------------------------------
 

@@ -3,10 +3,13 @@
 from repro.workloads.coins import (
     COIN_PROGRAM_SOURCE,
     DIME_QUARTER_PROGRAM_SOURCE,
+    INDEPENDENT_COINS_PROGRAM_SOURCE,
     biased_die_program,
     coin_program,
     dime_quarter_database,
     dime_quarter_program,
+    independent_coins_database,
+    independent_coins_program,
 )
 from repro.workloads.networks import (
     RESILIENCE_PROGRAM_TEMPLATE,
@@ -27,10 +30,13 @@ from repro.workloads.random_programs import (
 __all__ = [
     "COIN_PROGRAM_SOURCE",
     "DIME_QUARTER_PROGRAM_SOURCE",
+    "INDEPENDENT_COINS_PROGRAM_SOURCE",
     "biased_die_program",
     "coin_program",
     "dime_quarter_database",
     "dime_quarter_program",
+    "independent_coins_database",
+    "independent_coins_program",
     "RESILIENCE_PROGRAM_TEMPLATE",
     "monotone_infection_program",
     "network_database",

@@ -18,10 +18,13 @@ from repro.logic.parser import parse_gdatalog_program
 __all__ = [
     "COIN_PROGRAM_SOURCE",
     "DIME_QUARTER_PROGRAM_SOURCE",
+    "INDEPENDENT_COINS_PROGRAM_SOURCE",
     "coin_program",
     "dime_quarter_program",
     "dime_quarter_database",
     "biased_die_program",
+    "independent_coins_program",
+    "independent_coins_database",
 ]
 
 #: ``Π_coin`` from Section 3 (⊥ written as a native constraint).
@@ -42,6 +45,16 @@ quartertail(X, flip<0.5>[X]) :- quarter(X), not somedimetail.
 #: A biased-die roll per player (appendix B's parameterized-distribution example).
 BIASED_DIE_PROGRAM_SOURCE = """
 roll(X, die<{p1}, {p2}, {p3}, {p4}, {p5}, {p6}>[X]) :- player(X).
+"""
+
+#: One independent flip per ``coin_id`` fact: the canonical multi-component
+#: workload for factorized inference (no rule couples two coins, so the
+#: ground dependency graph has one component per coin).
+INDEPENDENT_COINS_PROGRAM_SOURCE = """
+coin(X, flip<0.5>[X]) :- coin_id(X).
+heads(X) :- coin(X, 1).
+tails(X) :- coin(X, 0).
+lucky(X) :- coin_id(X), not tails(X).
 """
 
 
@@ -71,3 +84,20 @@ def biased_die_program(weights: tuple[float, float, float, float, float, float])
         p1=weights[0], p2=weights[1], p3=weights[2], p4=weights[3], p5=weights[4], p6=weights[5]
     )
     return parse_gdatalog_program(source)
+
+
+def independent_coins_program(bias: float = 0.5) -> GDatalogProgram:
+    """One independent (possibly biased) flip per ``coin_id`` fact.
+
+    With *n* coins the flat output space has ``2^n`` outcomes while the
+    factorized product space has *n* two-outcome components; the ``lucky``
+    rule adds a stratified negation per component so stable-model reasoning
+    is exercised, not just counting.
+    """
+    source = INDEPENDENT_COINS_PROGRAM_SOURCE.replace("0.5", str(bias), 1)
+    return parse_gdatalog_program(source)
+
+
+def independent_coins_database(coins: int) -> Database:
+    """``coin_id(1..n)``: one fact — and one independent component — per coin."""
+    return Database(fact("coin_id", i) for i in range(1, coins + 1))

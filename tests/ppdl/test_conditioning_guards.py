@@ -1,0 +1,110 @@
+"""Regression tests for the conditioning fixes: fsum masses, epsilon guards,
+and the reported (previously silently discarded) error-event mass."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exceptions import InferenceError
+from repro.gdatalog.chase import ChaseConfig
+from repro.gdatalog.engine import GDatalogEngine
+from repro.gdatalog.probability_space import OutputSpace, ZERO_MASS_EPSILON
+from repro.ppdl.conditioning import condition
+from repro.ppdl.constraints import ConstraintSet
+from repro.workloads import independent_coins_database, independent_coins_program
+
+
+@pytest.fixture(scope="module")
+def coins_space():
+    engine = GDatalogEngine(
+        independent_coins_program(), independent_coins_database(3), chase_config=ChaseConfig()
+    )
+    return engine.output_space()
+
+
+def _rescaled(space: OutputSpace, scale: float, error: float = 0.0) -> OutputSpace:
+    """A copy of *space* with every outcome mass multiplied by *scale*."""
+    outcomes = [o.with_probability(o.probability * scale) for o in space]
+    return OutputSpace(outcomes, error_probability=error)
+
+
+class TestEpsilonGuards:
+    def test_conditional_raises_on_zero_mass(self, coins_space):
+        with pytest.raises(InferenceError, match="probability zero"):
+            coins_space.conditional(lambda o: False)
+
+    def test_conditional_raises_on_denormal_mass(self, coins_space):
+        # Every outcome is scaled to ~1e-17; any event mass sits far below
+        # the epsilon and must be rejected, not renormalized.
+        tiny = _rescaled(coins_space, 8e-17)
+        assert tiny.finite_probability < ZERO_MASS_EPSILON
+        with pytest.raises(InferenceError, match="probability zero"):
+            tiny.conditional(lambda o: o.has_stable_model)
+
+    def test_condition_raises_on_denormal_evidence(self, coins_space):
+        tiny = _rescaled(coins_space, 8e-17)
+        with pytest.raises(InferenceError, match="conditioning is undefined"):
+            condition(tiny, ConstraintSet.observing("heads(1)"))
+
+    def test_epsilon_override_allows_tiny_exact_evidence(self, coins_space):
+        # The guard is a policy default, not a hard wall: callers with
+        # legitimately tiny, exactly-representable evidence can lower it.
+        tiny = _rescaled(coins_space, 8e-17)
+        with pytest.raises(InferenceError):
+            tiny.conditional(lambda o: o.has_stable_model)
+        posterior = tiny.conditional(lambda o: o.has_stable_model, epsilon=0.0)
+        assert posterior.finite_probability == pytest.approx(1.0)
+        result = condition(
+            tiny, ConstraintSet.observing("heads(1)"), epsilon=0.0
+        )
+        assert result.evidence_probability == pytest.approx(4e-17)
+
+    def test_legitimate_small_evidence_still_conditions(self, coins_space):
+        # 1/8 evidence is far above the epsilon; posterior must renormalize
+        # to exactly one, never above.
+        evidence = ConstraintSet.observing("heads(1)", "heads(2)", "heads(3)")
+        result = condition(coins_space, evidence)
+        assert result.evidence_probability == pytest.approx(0.125)
+        posterior_mass = math.fsum(o.probability for o in result.posterior)
+        assert posterior_mass == pytest.approx(1.0)
+        assert all(0.0 <= o.probability <= 1.0 for o in result.posterior)
+
+
+class TestDiscardedErrorMass:
+    def test_error_mass_is_reported_not_dropped(self, coins_space):
+        prior = _rescaled(coins_space, 0.75, error=0.25)
+        result = condition(prior, ConstraintSet.observing("heads(1)"))
+        assert result.discarded_error_probability == pytest.approx(0.25)
+        # Evidence is relative to the finite mass (0.75), not to 1.
+        assert result.evidence_probability == pytest.approx(0.375)
+        assert "error mass" in str(result)
+
+    def test_zero_error_mass_reports_zero(self, coins_space):
+        result = condition(coins_space, ConstraintSet.observing("heads(1)"))
+        assert result.discarded_error_probability == 0.0
+        assert "error mass" not in str(result)
+
+    def test_posterior_discards_the_error_event(self, coins_space):
+        prior = _rescaled(coins_space, 0.5, error=0.5)
+        result = condition(prior, ConstraintSet.observing("heads(1)"))
+        assert result.posterior.error_probability == 0.0
+        assert result.posterior.finite_probability == pytest.approx(1.0)
+
+
+class TestFsumAccumulation:
+    def test_finite_probability_uses_exact_summation(self):
+        # 10 outcomes of 0.1 in float drift under naive sum; fsum does not
+        # (0.1 is not dyadic, but fsum rounds the exact sum once).
+        engine = GDatalogEngine(
+            independent_coins_program(0.1),
+            independent_coins_database(1),
+            chase_config=ChaseConfig(),
+        )
+        space = engine.output_space()
+        masses = [o.probability for o in space] * 5
+        padded = OutputSpace(
+            [o.with_probability(p) for o, p in zip(list(space) * 5, masses)]
+        )
+        assert padded.finite_probability == math.fsum(masses)
