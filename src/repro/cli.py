@@ -22,7 +22,9 @@ Examples::
     gdatalog sample program.dl -d db.facts -n 20000 --seed 7 --workers 4
     gdatalog batch program.dl -d db.facts --atom "a(1)" --atom "b(2)" --workers 4
     gdatalog query program.dl -d db.facts --factorize --atom "a(1)"
-    echo '{"program_path": "p.dl", "queries": ["a(1)"]}' | gdatalog serve --factorize
+    gdatalog query program.dl -d db.facts --slice --atom "a(1)"
+    gdatalog batch program.dl -d db.facts --slice --atom "a(1)" --atom "b(2)"
+    echo '{"program_path": "p.dl", "queries": ["a(1)"]}' | gdatalog serve --factorize --slice
 """
 
 from __future__ import annotations
@@ -110,6 +112,17 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_slice_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--slice",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="chase only the query-relevant slice of the program "
+        "(bit-identical answers; falls back to the full program when "
+        "nothing can be cut)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level ``argparse`` parser (exposed for testing and documentation)."""
     parser = argparse.ArgumentParser(
@@ -127,6 +140,7 @@ def build_parser() -> argparse.ArgumentParser:
     query_parser.add_argument(
         "--mode", choices=("brave", "cautious"), default="brave", help="marginal mode"
     )
+    _add_slice_argument(query_parser)
 
     sample_parser = subparsers.add_parser("sample", help="Monte-Carlo estimation")
     _add_common_arguments(sample_parser)
@@ -176,6 +190,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=None, help="explore the chase tree with N worker processes"
     )
     batch_parser.add_argument("--json", action="store_true", help="emit JSON instead of a table")
+    _add_slice_argument(batch_parser)
 
     serve_parser = subparsers.add_parser(
         "serve", help="JSON-lines inference service on stdin/stdout"
@@ -196,6 +211,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument(
         "--max-requests", type=int, default=None, help="stop after N requests (mainly for tests)"
     )
+    _add_slice_argument(serve_parser)
 
     ground_parser = subparsers.add_parser("ground", help="show the translation and initial grounding")
     _add_common_arguments(ground_parser)
@@ -226,13 +242,21 @@ def _command_run(args: argparse.Namespace) -> str:
 
 def _command_query(args: argparse.Namespace) -> str:
     engine = _make_engine(args)
+    target = engine
+    if args.slice:
+        from repro.ppdl.queries import AtomQuery, HasStableModelQuery
+
+        queries = [HasStableModelQuery()] + [AtomQuery.of(t, args.mode) for t in args.atom]
+        target = engine.sliced(queries)
     table = TextTable(["query", "probability"], title=f"exact queries ({args.mode} mode)")
-    table.add_row("has stable model", engine.probability_has_stable_model())
+    table.add_row("has stable model", target.probability_has_stable_model())
     for atom_text in args.atom:
-        table.add_row(atom_text, engine.marginal(atom_text, mode=args.mode))
+        table.add_row(atom_text, target.marginal(atom_text, mode=args.mode))
     rendered = table.render()
+    if args.slice and target.query_slice is not None:
+        rendered += "\n" + target.query_slice.summary()
     if args.profile:
-        rendered += "\n\n" + engine.profile_summary()
+        rendered += "\n\n" + target.profile_summary()
     return rendered
 
 
@@ -306,7 +330,7 @@ def _command_batch(args: argparse.Namespace) -> str:
     engine = _make_engine(args)
     queries = [HasStableModelQuery()] + [AtomQuery.of(text, args.mode) for text in args.atom]
     labels = ["has stable model"] + list(args.atom)
-    probabilities = engine.evaluate_queries(queries, workers=args.workers)
+    probabilities = engine.evaluate_queries(queries, workers=args.workers, slice=args.slice)
     if args.json:
         return json.dumps(dict(zip(labels, probabilities)), indent=2)
     table = TextTable(
@@ -351,7 +375,7 @@ def _serve_one(service, request: dict) -> dict:
             for query in queries
         ]
     else:
-        results = service.evaluate(program, database, queries)
+        results = service.evaluate(program, database, queries, slice=request.get("slice"))
     return {"ok": True, "results": results}
 
 
@@ -370,6 +394,7 @@ def _command_serve(args: argparse.Namespace) -> str:
         grounder=args.grounder,
         workers=args.workers,
         factorize=args.factorize,
+        slice=args.slice,
     )
     served = 0
     for line in sys.stdin:

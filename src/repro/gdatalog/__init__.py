@@ -20,6 +20,13 @@ from repro.gdatalog.engine import GDatalogEngine
 from repro.gdatalog.grounders import Grounder, PerfectGrounder, SimpleGrounder, heads_of, make_grounder
 from repro.gdatalog.outcomes import PossibleOutcome, outcome_probability
 from repro.gdatalog.probability_space import Event, OutputSpace
+from repro.gdatalog.relevance import (
+    QuerySlice,
+    atoms_for_queries,
+    compute_slice,
+    permanent_seeds,
+    relevant_predicates,
+)
 from repro.gdatalog.sampler import Estimate, MonteCarloSampler, SampleStats
 from repro.gdatalog.syntax import GDatalogProgram, GDatalogRule, HeadAtom, desugar_constraints
 from repro.gdatalog.translate import RuleTranslation, TranslatedProgram, translate_program, translate_rule
@@ -59,6 +66,11 @@ __all__ = [
     "outcome_probability",
     "Event",
     "OutputSpace",
+    "QuerySlice",
+    "atoms_for_queries",
+    "compute_slice",
+    "permanent_seeds",
+    "relevant_predicates",
     "Estimate",
     "MonteCarloSampler",
     "SampleStats",

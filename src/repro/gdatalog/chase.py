@@ -97,6 +97,14 @@ class ChaseConfig:
         (see :mod:`repro.gdatalog.factorize`).  Read by the engine layer,
         not by :class:`ChaseEngine` itself; programs whose ground
         dependency graph is connected fall back to the sequential chase.
+    slice_for_query:
+        Query atoms (or atom strings) the engine may slice the program for
+        before grounding: only the backward-reachable part of the rule
+        graph — plus every constraint, negative cycle and inexact choice —
+        is chased (see :mod:`repro.gdatalog.relevance`).  ``()`` slices to
+        the model-killing core (the exact slice for stable-model-existence
+        queries); ``None`` (the default) disables slicing.  Read by the
+        engine layer, not by :class:`ChaseEngine` itself.
     """
 
     max_depth: int = 200
@@ -108,6 +116,7 @@ class ChaseConfig:
     seed: int = 0
     incremental: bool = True
     factorize: bool = False
+    slice_for_query: tuple[Atom | str, ...] | None = None
 
 
 @dataclass(frozen=True)

@@ -15,16 +15,17 @@ Typical usage::
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from functools import cached_property
 from typing import Callable, Iterable
 
-from repro.exceptions import ValidationError
+from repro.exceptions import GroundingError, ValidationError
 from repro.gdatalog.chase import ChaseConfig, ChaseEngine, ChaseResult
 from repro.gdatalog.factorize import factorized_space
-from repro.gdatalog.grounders import Grounder, make_grounder
+from repro.gdatalog.grounders import Grounder, grounder_name, make_grounder
 from repro.gdatalog.outcomes import PossibleOutcome
 from repro.gdatalog.probability_space import AbstractSpace, OutputSpace
+from repro.gdatalog.relevance import QuerySlice, atoms_for_queries, compute_slice
 from repro.gdatalog.sampler import Estimate, MonteCarloSampler
 from repro.gdatalog.syntax import GDatalogProgram, desugar_constraints
 from repro.gdatalog.translate import TranslatedProgram, translate_program
@@ -58,8 +59,24 @@ class GDatalogEngine:
             # the default.
             self._validate_database()
         self.chase_config = chase_config or ChaseConfig()
+        #: The query-relevant slice applied to this engine (``None`` when
+        #: slicing was not requested; ``is_full`` when it cut nothing).
+        self.query_slice: QuerySlice | None = None
+        if self.chase_config.slice_for_query is not None:
+            self.query_slice = compute_slice(
+                self.program, self.database, self.chase_config.slice_for_query
+            )
+            if not self.query_slice.is_full:
+                self.program = self.query_slice.program
+                self.database = self.query_slice.database
         self.translated: TranslatedProgram = translate_program(self.program)
         self.grounder: Grounder = make_grounder(grounder, self.translated, self.database)
+        try:
+            self._grounder_name: str | None = grounder_name(grounder)
+        except GroundingError:
+            # A custom grounder family cannot be rebuilt over a sliced
+            # program; sliced() then falls back to the full engine.
+            self._grounder_name = None
 
     # -- constructors ------------------------------------------------------------
 
@@ -135,6 +152,45 @@ class GDatalogEngine:
             )
         return self.__dict__["factorized"]
 
+    # -- query-relevant slicing -----------------------------------------------------
+
+    def sliced(self, queries: Iterable) -> "GDatalogEngine":
+        """An engine restricted to the query-relevant slice of the batch.
+
+        *queries* accepts the same forms as :meth:`evaluate_queries`; the
+        slice is the union over the batch (one sliced chase answers every
+        query in it).  Returns ``self`` — reusing any already-cached chase —
+        when the batch contains a generic query, when nothing can be cut,
+        or when the grounder is a custom family that cannot be rebuilt, so
+        callers never need a fallback path of their own.  Sliced engines
+        are memoized on the relevant predicate set: repeated queries into
+        the same slice reuse one engine (and its cached chase).
+        """
+        from repro.ppdl.queries import query_from_spec
+
+        if self._grounder_name is None:
+            return self
+        resolved = [query_from_spec(q) for q in queries]
+        seeds = atoms_for_queries(resolved)
+        if seeds is None:
+            return self
+        slice_ = compute_slice(self.program, self.database, seeds)
+        if slice_.is_full:
+            return self
+        cache: dict = self.__dict__.setdefault("_sliced_engines", {})
+        cached = cache.get(slice_.predicates)
+        if cached is not None:
+            return cached
+        engine = GDatalogEngine(
+            slice_.program,
+            slice_.database,
+            grounder=self._grounder_name,
+            chase_config=replace(self.chase_config, slice_for_query=None),
+        )
+        engine.query_slice = slice_
+        cache[slice_.predicates] = engine
+        return engine
+
     def possible_outcomes(self) -> list[PossibleOutcome]:
         """``Ω^fin``: the finite possible outcomes, materialized.
 
@@ -145,13 +201,32 @@ class GDatalogEngine:
         """
         return list(self.output_space())
 
-    def probability_has_stable_model(self) -> float:
-        """P("Π[D] has some stable model")."""
+    def probability_has_stable_model(self, slice: bool = False) -> float:
+        """P("Π[D] has some stable model").
+
+        With *slice* only the model-killing core (constraints, negative
+        cycles, inexact choices and their cones) is chased; everything else
+        is a factor of exactly 1.
+        """
+        if slice:
+            from repro.ppdl.queries import HasStableModelQuery
+
+            return self.sliced([HasStableModelQuery()]).output_space().probability_has_stable_model()
         return self.output_space().probability_has_stable_model()
 
-    def marginal(self, atom: Atom | str, mode: str = "brave") -> float:
-        """Brave/cautious marginal probability of an atom (string or object)."""
+    def marginal(self, atom: Atom | str, mode: str = "brave", slice: bool = False) -> float:
+        """Brave/cautious marginal probability of an atom (string or object).
+
+        With *slice* only the query-relevant part of the program is chased
+        (bit-identical answer; see :mod:`repro.gdatalog.relevance`).
+        """
         resolved = parse_atom(atom) if isinstance(atom, str) else atom
+        if slice:
+            from repro.ppdl.queries import AtomQuery
+
+            return self.sliced([AtomQuery(resolved, mode)]).output_space().marginal(
+                resolved, mode=mode
+            )
         return self.output_space().marginal(resolved, mode=mode)
 
     def probability(self, predicate: Callable[[PossibleOutcome], bool]) -> float:
@@ -174,18 +249,24 @@ class GDatalogEngine:
         )
         return explorer.output_space()
 
-    def evaluate_queries(self, queries, workers: int | None = None) -> list[float]:
+    def evaluate_queries(
+        self, queries, workers: int | None = None, slice: bool = False
+    ) -> list[float]:
         """Answer many queries in one outcome scan (optionally chased in parallel).
 
         *queries* may be :class:`~repro.ppdl.queries.Query` objects, atom
         strings or wire-format specs (see
-        :func:`~repro.ppdl.queries.query_from_spec`).
+        :func:`~repro.ppdl.queries.query_from_spec`).  With *slice* the
+        chase is restricted to the union of the batch's query-relevant
+        slices (transparent fallback when nothing can be cut).
         """
         from repro.ppdl.queries import query_from_spec
         from repro.runtime.batch import QueryBatch
 
-        batch = QueryBatch([query_from_spec(q) for q in queries])
-        return batch.evaluate(self.output_space(workers=workers))
+        resolved = [query_from_spec(q) for q in queries]
+        target = self.sliced(resolved) if slice else self
+        batch = QueryBatch(resolved)
+        return batch.evaluate(target.output_space(workers=workers))
 
     # -- approximate inference ------------------------------------------------------------
 
@@ -193,15 +274,40 @@ class GDatalogEngine:
         """A Monte-Carlo sampler sharing this engine's grounder and chase configuration."""
         return MonteCarloSampler(self.grounder, self.chase_config, seed=seed)
 
-    def estimate_has_stable_model(self, n: int = 1000, seed: int | None = None) -> Estimate:
-        """Monte-Carlo estimate of P("Π[D] has some stable model")."""
+    def estimate_has_stable_model(
+        self, n: int = 1000, seed: int | None = None, slice: bool = False
+    ) -> Estimate:
+        """Monte-Carlo estimate of P("Π[D] has some stable model").
+
+        With *slice* the sampler walks only the model-killing core, so each
+        path resolves only the triggers that can influence the answer.
+        """
+        if slice:
+            from repro.ppdl.queries import HasStableModelQuery
+
+            return self.sliced([HasStableModelQuery()]).estimate_has_stable_model(n=n, seed=seed)
         return self.sampler(seed=seed).estimate_has_stable_model(n=n)
 
     def estimate_marginal(
-        self, atom: Atom | str, mode: str = "brave", n: int = 1000, seed: int | None = None
+        self,
+        atom: Atom | str,
+        mode: str = "brave",
+        n: int = 1000,
+        seed: int | None = None,
+        slice: bool = False,
     ) -> Estimate:
-        """Monte-Carlo estimate of an atom marginal."""
+        """Monte-Carlo estimate of an atom marginal.
+
+        With *slice* sample paths resolve only the query-relevant triggers
+        (irrelevant choices are a factor of 1 and are never drawn).
+        """
         resolved = parse_atom(atom) if isinstance(atom, str) else atom
+        if slice:
+            from repro.ppdl.queries import AtomQuery
+
+            return self.sliced([AtomQuery(resolved, mode)]).estimate_marginal(
+                resolved, mode=mode, n=n, seed=seed
+            )
         return self.sampler(seed=seed).estimate_marginal(resolved, mode=mode, n=n)
 
     def adaptive_estimate(
@@ -210,26 +316,30 @@ class GDatalogEngine:
         target_half_width: float = 0.01,
         stratify: bool = False,
         seed: int | None = None,
+        slice: bool = False,
         **driver_options,
     ):
         """Adaptive Monte-Carlo estimate stopped at a target Wilson half-width.
 
         *query* accepts the same forms as :meth:`evaluate_queries`; extra
         keyword arguments reach
-        :class:`~repro.runtime.adaptive.AdaptiveSampler`.
+        :class:`~repro.runtime.adaptive.AdaptiveSampler`.  With *slice* the
+        driver samples the query-relevant slice only.
         """
         from repro.ppdl.queries import query_from_spec
         from repro.runtime.adaptive import AdaptiveSampler
 
+        resolved = query_from_spec(query)
+        engine = self.sliced([resolved]) if slice else self
         driver = AdaptiveSampler(
-            self.grounder,
-            self.chase_config,
+            engine.grounder,
+            engine.chase_config,
             target_half_width=target_half_width,
             stratify=stratify,
             seed=seed,
             **driver_options,
         )
-        return driver.estimate(query_from_spec(query))
+        return driver.estimate(resolved)
 
     # -- reporting -------------------------------------------------------------------------
 

@@ -66,6 +66,7 @@ __all__ = [
     "GroundingState",
     "SimpleGrounder",
     "PerfectGrounder",
+    "grounder_name",
     "heads_of",
     "make_grounder",
 ]
@@ -593,6 +594,27 @@ class PerfectGrounder(Grounder):
             resume_index=resume_index,
             checkpoint_rules=checkpoint,
         )
+
+
+def grounder_name(grounder: "str | Grounder") -> str:
+    """The ``make_grounder`` name of a grounder family (``"simple"`` / ``"perfect"``).
+
+    Lets callers rebuild a grounder of the same family over a different
+    (e.g. query-sliced) program and database.  Custom :class:`Grounder`
+    subclasses outside the two built-in families raise
+    :class:`GroundingError` — silently rebuilding them as a different
+    family would change which grounding implementation answers.
+    """
+    if isinstance(grounder, str):
+        return grounder.lower()
+    if isinstance(grounder, PerfectGrounder):
+        return "perfect"
+    if isinstance(grounder, SimpleGrounder):
+        return "simple"
+    raise GroundingError(
+        f"cannot determine the grounder family of {type(grounder).__name__}; "
+        "expected a SimpleGrounder or PerfectGrounder (sub)class"
+    )
 
 
 def make_grounder(

@@ -1,0 +1,263 @@
+"""Query-relevant slicing of GDatalog¬[Δ] programs (magic-sets-style pruning).
+
+Every query — marginal, stable-model existence, batched or served — is
+answered from the chase of the *whole* program, even when the query mentions
+one predicate in one corner of the rule graph.  Classic Datalog relevance
+reasoning (magic sets / demand transformation) applies to the chase
+semantics as well: a probabilistic choice whose outcomes cannot reach the
+query atom through the predicate dependency graph contributes a factor of 1
+to every query mass and never needs to be chased.  This module computes the
+**backward-reachable slice** of a program for a query atom (or a batch of
+atoms) and the restriction of the database to the slice, so the engine can
+chase exponentially fewer triggers.
+
+Soundness.  Dropping a set of rules ``T`` (the predicates not backward
+reachable from the query) is exact when, for every chase outcome, ``T`` has
+a *unique* stable extension of total probability 1.  The slice therefore
+always keeps, in addition to the backward cone of the query atoms:
+
+* **constraints and their cones** — a violated constraint kills every stable
+  model of an outcome, which changes *any* query mass, so constraint bodies
+  are permanent relevance seeds;
+* **negative-cycle predicates and their cones** — an SCC of ``dg(Π)`` with
+  an internal negative edge can kill (odd loop) or multiply (even loop)
+  stable models, so stratified negation is followed conservatively: only
+  rules whose dropped part is stratified relative to the slice are cut;
+* **inexact probabilistic choices and their cones** — a dropped generative
+  rule is only a factor of exactly 1 when its branch masses are dyadic
+  (each pmf a power of two) and sum to exactly 1.0 in float arithmetic;
+  anything else (infinite supports, non-dyadic weights, variable
+  parameters) stays in the slice so sliced answers are **bit-identical**
+  to unsliced ones, not merely close.
+
+One caveat bounds the bit-identity claim: it holds whenever the **full**
+chase is truncation-free under the configured limits (the default
+``max_depth``/``max_outcomes`` are generous).  Slicing removes triggers,
+so a sliced chase never truncates more than the full one — but a full
+chase deep enough to hit the depth or outcome limits carries truncation
+mass in the error event that the (shallower) sliced chase does not, in
+which case the sliced answers are *more* exact than the full ones rather
+than equal to them.
+
+The slice is computed at the *source* level (before the ``Σ_Π``
+translation), so the Active/Result machinery of dropped rules is never even
+created.  When nothing can be cut the callers fall back to the full engine
+transparently; when the query predicate is unreachable the slice is empty
+and the chase degenerates to the single empty outcome (marginal 0,
+P(has stable model) 1 — exactly the full program's answers, because an
+empty slice certifies that no constraint and no negative cycle exists).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.exceptions import ValidationError
+from repro.gdatalog.syntax import GDatalogProgram, GDatalogRule
+from repro.logic.atoms import Atom, Predicate
+from repro.logic.database import Database
+from repro.logic.parser import parse_atom
+from repro.logic.terms import Variable
+
+__all__ = [
+    "QuerySlice",
+    "relevant_predicates",
+    "permanent_seeds",
+    "compute_slice",
+    "atoms_for_queries",
+]
+
+
+@dataclass(frozen=True)
+class QuerySlice:
+    """The query-relevant restriction of a program and its database.
+
+    ``predicates`` is the relevant predicate set (the backward closure of
+    the query atoms and the permanent seeds); ``program`` keeps exactly the
+    rules whose head predicate is relevant plus every constraint, and
+    ``database`` keeps the facts over relevant predicates.
+    """
+
+    source: GDatalogProgram
+    program: GDatalogProgram
+    database: Database
+    predicates: frozenset[Predicate]
+    query_atoms: tuple[Atom, ...]
+    dropped_rules: int
+    dropped_facts: int
+
+    @property
+    def is_full(self) -> bool:
+        """Whether slicing cut nothing (callers keep the original engine)."""
+        return self.dropped_rules == 0 and self.dropped_facts == 0
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether nothing at all is relevant (the unreachable-query fast path)."""
+        return len(self.program) == 0 and len(self.database) == 0
+
+    def summary(self) -> str:
+        return (
+            f"slice: {len(self.program)}/{len(self.source)} rules, "
+            f"{len(self.database)}/{len(self.database) + self.dropped_facts} facts, "
+            f"{len(self.predicates)} relevant predicate(s)"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Backward reachability over dg(Π)
+# ---------------------------------------------------------------------------
+
+
+def relevant_predicates(
+    program: GDatalogProgram, seeds: Iterable[Predicate]
+) -> frozenset[Predicate]:
+    """The backward closure of *seeds* over the predicate dependency graph.
+
+    A predicate is relevant when it is a seed or occurs in the body —
+    positive **or** negative, since negation influences derivability just as
+    positively as membership does — of a rule whose head predicate is
+    already relevant.  Constraint rules contribute no edges here; their
+    bodies enter through :func:`permanent_seeds` instead.
+    """
+    by_head: dict[Predicate, list[GDatalogRule]] = {}
+    for rule_ in program.rules:
+        if not rule_.is_constraint:
+            by_head.setdefault(rule_.head.predicate, []).append(rule_)
+
+    closure: set[Predicate] = set(seeds)
+    frontier = list(closure)
+    while frontier:
+        predicate = frontier.pop()
+        for rule_ in by_head.get(predicate, ()):
+            for atom_ in rule_.positive_body + rule_.negative_body:
+                if atom_.predicate not in closure:
+                    closure.add(atom_.predicate)
+                    frontier.append(atom_.predicate)
+    return frozenset(closure)
+
+
+def permanent_seeds(program: GDatalogProgram) -> frozenset[Predicate]:
+    """Predicates every slice must contain regardless of the query.
+
+    Three sources (see the module docstring for why each is load-bearing):
+    constraint bodies, members of dependency-graph SCCs with an internal
+    negative edge, and the heads of generative rules whose dropped chase
+    branches would not contribute a factor of exactly 1.
+    """
+    seeds: set[Predicate] = set()
+    for rule_ in program.rules:
+        if rule_.is_constraint:
+            seeds.update(a.predicate for a in rule_.positive_body + rule_.negative_body)
+        elif rule_.is_generative and not _drops_exactly(rule_, program):
+            seeds.add(rule_.head.predicate)
+
+    graph = program.dependency_graph()
+    components = graph.strongly_connected_components()
+    component_of: dict[Predicate, int] = {}
+    for index, component in enumerate(components):
+        for predicate in component:
+            component_of[predicate] = index
+    for source, target in graph.negative_edges:
+        if component_of.get(source) == component_of.get(target):
+            seeds.update(components[component_of[source]])
+    return frozenset(seeds)
+
+
+def _drops_exactly(rule_: GDatalogRule, program: GDatalogProgram) -> bool:
+    """Whether dropping this generative rule contributes a factor of exactly 1.
+
+    Every chase outcome of the full program splits its probability into the
+    sliced factors times the dropped factors; the split is bit-exact iff
+    each dropped pmf is a power of two (scaling by it never rounds) and the
+    branch masses sum to exactly 1.0 (no truncation, no float shortfall).
+    Variable distribution parameters cannot be checked statically and are
+    kept conservatively.
+    """
+    registry = program.registry
+    for _position, delta in rule_.delta_terms():
+        if any(isinstance(term, Variable) for term in delta.parameters):
+            return False
+        try:
+            params = delta.parameter_values()
+        except ValidationError:
+            return False
+        distribution = registry.get(delta.distribution.lower())
+        if not distribution.has_finite_support(params):
+            return False
+        masses = [
+            pmf
+            for outcome in distribution.support(params)
+            if (pmf := distribution.pmf(params, outcome)) > 0.0
+        ]
+        if math.fsum(masses) != 1.0:
+            return False
+        if any(math.frexp(mass)[0] != 0.5 for mass in masses):
+            return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Slice construction
+# ---------------------------------------------------------------------------
+
+
+def compute_slice(
+    program: GDatalogProgram,
+    database: Database,
+    query_atoms: Sequence[Atom | str],
+) -> QuerySlice:
+    """The query-relevant slice of ``(Π, D)`` for a batch of query atoms.
+
+    An empty *query_atoms* is valid and yields the "model-killing core"
+    (constraints, negative cycles, inexact choices and their cones) — the
+    exact slice for :class:`~repro.ppdl.queries.HasStableModelQuery`.
+    """
+    atoms = tuple(parse_atom(a) if isinstance(a, str) else a for a in query_atoms)
+    seeds = {a.predicate for a in atoms} | set(permanent_seeds(program))
+    relevant = relevant_predicates(program, seeds)
+
+    kept_rules = tuple(
+        r for r in program.rules if r.is_constraint or r.head.predicate in relevant
+    )
+    kept_facts = tuple(f for f in database.facts if f.predicate in relevant)
+    dropped_rules = len(program) - len(kept_rules)
+    dropped_facts = len(database) - len(kept_facts)
+    if dropped_rules == 0 and dropped_facts == 0:
+        sliced_program, sliced_database = program, database
+    else:
+        sliced_program = GDatalogProgram(kept_rules, program.registry)
+        sliced_database = Database(kept_facts)
+    return QuerySlice(
+        source=program,
+        program=sliced_program,
+        database=sliced_database,
+        predicates=relevant,
+        query_atoms=atoms,
+        dropped_rules=dropped_rules,
+        dropped_facts=dropped_facts,
+    )
+
+
+def atoms_for_queries(queries: Iterable) -> tuple[Atom, ...] | None:
+    """The relevance seeds of a query batch, or ``None`` when it cannot be sliced.
+
+    :class:`~repro.ppdl.queries.AtomQuery` contributes its atom;
+    :class:`~repro.ppdl.queries.HasStableModelQuery` contributes nothing
+    (the permanent seeds already cover everything that can kill a model).
+    Any other query shape (generic event predicates, conditionals) inspects
+    whole outcomes, so the batch must fall back to the full program.
+    """
+    from repro.ppdl.queries import AtomQuery, HasStableModelQuery
+
+    atoms: list[Atom] = []
+    for query in queries:
+        if isinstance(query, AtomQuery):
+            atoms.append(query.atom)
+        elif isinstance(query, HasStableModelQuery):
+            continue
+        else:
+            return None
+    return tuple(atoms)

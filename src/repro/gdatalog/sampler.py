@@ -33,16 +33,20 @@ class Estimate:
     def confidence_interval(self, z: float = 1.96, method: str = "normal") -> tuple[float, float]:
         """A confidence interval (95% by default).
 
-        ``method="normal"`` is the classic Wald interval
-        ``p̂ ± z·SE``; it degenerates to a zero-width interval when the
-        empirical proportion is exactly 0 or 1 (every Bernoulli sample
-        agreed), which badly understates the uncertainty of small runs.
-        ``method="wilson"`` returns the Wilson-score interval, which stays
-        strictly inside ``(0, 1)`` and keeps a positive width at the
-        boundaries — the adaptive driver in :mod:`repro.runtime.adaptive`
-        stops on its half-width for exactly this reason.
+        ``method="normal"`` is the classic Wald interval ``p̂ ± z·SE``.
+        At an empirical proportion of exactly 0 or 1 (every Bernoulli
+        sample agreed) the Wald interval collapses to a zero-width point,
+        which badly understates the uncertainty of small runs — in that
+        degenerate case the Wilson-score interval is returned instead
+        (matching :meth:`half_width`'s default).  ``method="wilson"``
+        always returns the Wilson-score interval, which stays strictly
+        inside ``(0, 1)`` and keeps a positive width at the boundaries —
+        the adaptive driver in :mod:`repro.runtime.adaptive` stops on its
+        half-width for exactly this reason.
         """
         if method == "normal":
+            if self.value <= 0.0 or self.value >= 1.0:
+                return self.wilson_interval(z)
             return (self.value - z * self.standard_error, self.value + z * self.standard_error)
         if method == "wilson":
             return self.wilson_interval(z)

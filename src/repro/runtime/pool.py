@@ -51,6 +51,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import warnings
 from collections import deque
 from dataclasses import dataclass, replace
 from typing import Callable, Sequence
@@ -541,8 +542,25 @@ class ParallelSampler:
         self.backend = backend
 
     def estimate(self, predicate: Callable[[PossibleOutcome], bool], n: int = 1000) -> Estimate:
-        """Estimate the probability of the event defined by *predicate* from *n* samples."""
+        """Estimate the probability of the event defined by *predicate* from *n* samples.
+
+        On platforms without the ``fork`` start method a multi-worker
+        request degrades gracefully to the seeded single-worker path (with
+        a :class:`RuntimeWarning`) instead of raising; the explicit
+        ``backend="serial"`` path is unaffected — it deliberately draws the
+        per-worker streams inline for determinism parity with forked runs.
+        """
         if self.workers <= 1:
+            return MonteCarloSampler(self.grounder, self.config, seed=self.seed).estimate(
+                predicate, n=n
+            )
+        if self.backend == "auto" and "fork" not in multiprocessing.get_all_start_methods():
+            warnings.warn(
+                f"fork start method unavailable on this platform; sampling the "
+                f"{self.workers}-worker request on a single worker instead",
+                RuntimeWarning,
+                stacklevel=2,
+            )
             return MonteCarloSampler(self.grounder, self.config, seed=self.seed).estimate(
                 predicate, n=n
             )

@@ -20,9 +20,13 @@ service additionally caches at the *component* level: the chased space of
 each independent block (see :mod:`repro.gdatalog.factorize`) is
 content-addressed by (program, component facts, grounder, config), so
 requests that share blocks — e.g. overlapping sensor groups, or the same
-sub-network queried under different evidence — never re-chase them.  The
-``gdatalog serve`` CLI subcommand wraps this class in a JSON-lines request
-loop.
+sub-network queried under different evidence — never re-chase them.  With
+``slice=True`` (or a per-request override) exact batches chase only the
+query-relevant slice of the program (:mod:`repro.gdatalog.relevance`),
+cached under slice-aware keys so different queries cutting the program to
+the same slice share one chased space.  All cache access runs under a
+lock, so a threaded wrapper around the service is safe.  The ``gdatalog
+serve`` CLI subcommand wraps this class in a JSON-lines request loop.
 
 Usage::
 
@@ -34,6 +38,7 @@ Usage::
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 
@@ -46,6 +51,7 @@ from repro.gdatalog.factorize import (
     explore_component_spaces,
 )
 from repro.gdatalog.probability_space import AbstractSpace, OutputSpace
+from repro.gdatalog.relevance import atoms_for_queries, compute_slice
 from repro.logic.parser import parse_database, parse_gdatalog_program
 from repro.ppdl.queries import Query, query_from_spec
 from repro.runtime.adaptive import AdaptiveEstimate, AdaptiveSampler
@@ -70,6 +76,11 @@ class ServiceStats:
     evictions: int = 0
     component_hits: int = 0
     component_misses: int = 0
+    #: Cache traffic of query-sliced spaces: two requests whose queries cut
+    #: the program down to the same relevant predicate set share one sliced
+    #: engine/space even when the query atoms differ.
+    slice_hits: int = 0
+    slice_misses: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -81,6 +92,11 @@ class ServiceStats:
 class _CacheEntry:
     engine: GDatalogEngine
     space: AbstractSpace | None = field(default=None)
+    #: Per-entry chase guard: the (possibly long) chase of one entry runs
+    #: outside the service's global lock so cache hits on other entries
+    #: never block behind it, while two threads racing on the *same* entry
+    #: still chase it only once.
+    lock: threading.Lock = field(default_factory=threading.Lock)
 
 
 class InferenceService:
@@ -93,6 +109,7 @@ class InferenceService:
         chase_config: ChaseConfig | None = None,
         workers: int | None = None,
         factorize: bool = False,
+        slice: bool = False,
     ):
         if cache_size < 1:
             raise ValueError(f"cache_size must be at least 1, got {cache_size}")
@@ -102,7 +119,14 @@ class InferenceService:
         if factorize and not self.chase_config.factorize:
             self.chase_config = replace(self.chase_config, factorize=True)
         self.workers = workers
+        #: Default for query-relevant slicing of exact requests (each
+        #: request may override it; see :meth:`evaluate`).
+        self.slice = bool(slice)
         self.stats = ServiceStats()
+        # The LRU caches are plain OrderedDicts; every get/put/evict below
+        # runs under this lock so threaded callers (e.g. a threaded wrapper
+        # around ``serve``) cannot corrupt eviction order or double-insert.
+        self._lock = threading.RLock()
         self._entries: OrderedDict[str, _CacheEntry] = OrderedDict()
         # First-level map from raw request text to the canonical key, so
         # repeated identical requests skip the parse+sort canonicalization
@@ -140,7 +164,8 @@ class InferenceService:
 
     def engine(self, program_source: str, database_source: str = "") -> GDatalogEngine:
         """The cached engine for a request (built and inserted on miss)."""
-        return self._entry(program_source, database_source).engine
+        with self._lock:
+            return self._lookup(program_source, database_source)[1].engine
 
     def space(self, program_source: str, database_source: str = "") -> AbstractSpace:
         """The cached exact output space (chased on first use, parallel if configured).
@@ -149,27 +174,85 @@ class InferenceService:
         component cache: only components not yet chased (under the same
         program, grounder and chase configuration) pay for a chase.
         """
-        entry = self._entry(program_source, database_source)
-        if entry.space is None:
-            if self.chase_config.factorize:
-                entry.space = self._factorized_space(entry.engine)
+        with self._lock:
+            _, entry = self._lookup(program_source, database_source)
+        return self._space_for(entry)
+
+    def _space_for(self, entry: _CacheEntry) -> AbstractSpace:
+        """Chase (or reuse) one cache entry's exact space.
+
+        Runs under the *entry's* lock, not the global one: an exponential
+        chase must not serialize unrelated cache-hit requests.  The global
+        lock is only re-taken inside :meth:`_factorized_space` for the
+        component-cache bookkeeping.
+        """
+        with entry.lock:
             if entry.space is None:
-                # Flat path (also the factorization fallback — built directly
-                # so the engine does not re-run the decomposition analysis).
-                if self.workers is not None and self.workers > 1:
-                    explorer = ParallelChaseExplorer(
-                        entry.engine.grounder, self.chase_config, workers=self.workers
-                    )
-                    entry.space = explorer.output_space()
-                else:
-                    result = entry.engine.chase_result
-                    entry.space = OutputSpace(
-                        result.outcomes, error_probability=result.error_probability
-                    )
-        return entry.space
+                if self.chase_config.factorize:
+                    entry.space = self._factorized_space(entry.engine)
+                if entry.space is None:
+                    # Flat path (also the factorization fallback — built
+                    # directly so the engine does not re-run the
+                    # decomposition analysis).
+                    if self.workers is not None and self.workers > 1:
+                        explorer = ParallelChaseExplorer(
+                            entry.engine.grounder, self.chase_config, workers=self.workers
+                        )
+                        entry.space = explorer.output_space()
+                    else:
+                        result = entry.engine.chase_result
+                        entry.space = OutputSpace(
+                            result.outcomes, error_probability=result.error_probability
+                        )
+            return entry.space
+
+    def _sliced_entry(self, program_source: str, database_source: str, queries) -> _CacheEntry:
+        """The cache entry of the batch's query-relevant slice (global lock held).
+
+        The sliced entry is keyed on the base request key plus the slice's
+        **relevant predicate set** — not the query atoms — so different
+        queries that cut the program down to the same slice share one
+        chased space.  Falls back to the full entry when the batch cannot
+        be sliced or slicing cuts nothing.  Only the bookkeeping happens
+        here; the chase itself runs later under the entry's own lock.
+        """
+        base_key, base_entry = self._lookup(program_source, database_source)
+        seeds = atoms_for_queries(queries)
+        if seeds is None:
+            return base_entry
+        slice_ = compute_slice(base_entry.engine.program, base_entry.engine.database, seeds)
+        if slice_.is_full:
+            return base_entry
+        digest = hashlib.sha256()
+        digest.update(base_key.encode("utf-8"))
+        digest.update(b"\x00slice\x00")
+        digest.update("\n".join(sorted(str(p) for p in slice_.predicates)).encode("utf-8"))
+        sliced_key = digest.hexdigest()
+        entry = self._entries.get(sliced_key)
+        if entry is not None:
+            self.stats.slice_hits += 1
+            self._entries.move_to_end(sliced_key)
+        else:
+            self.stats.slice_misses += 1
+            engine = GDatalogEngine(
+                slice_.program,
+                slice_.database,
+                grounder=self.grounder,
+                chase_config=self.chase_config,
+            )
+            engine.query_slice = slice_
+            entry = _CacheEntry(engine=engine)
+            self._insert(sliced_key, entry)
+        return entry
 
     def _factorized_space(self, engine: GDatalogEngine) -> ProductSpace | None:
-        """Assemble the product space from cached components (``None`` → fall back)."""
+        """Assemble the product space from cached components (``None`` → fall back).
+
+        Component-cache get/put runs under the global lock; the component
+        chases themselves do not (two threads may rarely chase the same
+        component concurrently — duplicated work, but both write identical
+        content-addressed entries).
+        """
         decomposition = decompose(engine.translated, engine.database, self.chase_config)
         if decomposition is None:
             return None
@@ -178,17 +261,18 @@ class InferenceService:
         ).hexdigest()
         parts: list[ComponentSpace | None] = []
         missing: list[tuple[int, str]] = []
-        for component in decomposition.components:
-            key = self._component_key(program_digest, component)
-            cached = self._component_spaces.get(key)
-            if cached is not None:
-                self.stats.component_hits += 1
-                self._component_spaces.move_to_end(key)
-                parts.append(cached)
-            else:
-                self.stats.component_misses += 1
-                missing.append((len(parts), key))
-                parts.append(None)
+        with self._lock:
+            for component in decomposition.components:
+                key = self._component_key(program_digest, component)
+                cached = self._component_spaces.get(key)
+                if cached is not None:
+                    self.stats.component_hits += 1
+                    self._component_spaces.move_to_end(key)
+                    parts.append(cached)
+                else:
+                    self.stats.component_misses += 1
+                    missing.append((len(parts), key))
+                    parts.append(None)
         if missing:
             chased = explore_component_spaces(
                 engine.grounder,
@@ -196,11 +280,12 @@ class InferenceService:
                 self.chase_config,
                 workers=self.workers,
             )
-            for (index, key), part in zip(missing, chased):
-                parts[index] = part
-                self._component_spaces[key] = part
-                if len(self._component_spaces) > self._component_limit:
-                    self._component_spaces.popitem(last=False)
+            with self._lock:
+                for (index, key), part in zip(missing, chased):
+                    parts[index] = part
+                    self._component_spaces[key] = part
+                    if len(self._component_spaces) > self._component_limit:
+                        self._component_spaces.popitem(last=False)
         return ProductSpace(parts, engine.translated)
 
     def _component_key(self, program_digest: str, component) -> str:
@@ -213,7 +298,8 @@ class InferenceService:
         digest.update(repr(self.chase_config).encode("utf-8"))
         return digest.hexdigest()
 
-    def _entry(self, program_source: str, database_source: str) -> _CacheEntry:
+    def _lookup(self, program_source: str, database_source: str) -> tuple[str, _CacheEntry]:
+        """``(key, entry)`` for a raw request, inserting on miss.  Caller holds the lock."""
         raw = (program_source, database_source)
         key = self._raw_keys.get(raw)
         if key is None:
@@ -225,7 +311,7 @@ class InferenceService:
         if entry is not None:
             self.stats.hits += 1
             self._entries.move_to_end(key)
-            return entry
+            return key, entry
         self.stats.misses += 1
         engine = GDatalogEngine.from_source(
             program_source,
@@ -234,27 +320,52 @@ class InferenceService:
             chase_config=self.chase_config,
         )
         entry = _CacheEntry(engine=engine)
+        self._insert(key, entry)
+        return key, entry
+
+    def _insert(self, key: str, entry: _CacheEntry) -> None:
+        """Insert one entry and evict the LRU overflow.  Caller holds the lock."""
         self._entries[key] = entry
         if len(self._entries) > self.cache_size:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
-        return entry
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def clear(self) -> None:
         """Drop every cached engine/space/component (counters are kept)."""
-        self._entries.clear()
-        self._raw_keys.clear()
-        self._component_spaces.clear()
+        with self._lock:
+            self._entries.clear()
+            self._raw_keys.clear()
+            self._component_spaces.clear()
 
     # -- queries ---------------------------------------------------------------------
 
-    def evaluate(self, program_source: str, database_source: str, queries) -> list[float]:
-        """Exact batched evaluation; *queries* are specs (see ``query_from_spec``)."""
-        batch = QueryBatch([query_from_spec(spec) for spec in queries])
-        return batch.evaluate(self.space(program_source, database_source))
+    def evaluate(
+        self,
+        program_source: str,
+        database_source: str,
+        queries,
+        slice: bool | None = None,
+    ) -> list[float]:
+        """Exact batched evaluation; *queries* are specs (see ``query_from_spec``).
+
+        *slice* overrides the service-level default: with slicing on, the
+        chase is restricted to the batch's query-relevant slice and the
+        sliced space is cached under a slice-aware key (see
+        :meth:`_sliced_space`).
+        """
+        use_slice = self.slice if slice is None else bool(slice)
+        resolved = [query_from_spec(spec) for spec in queries]
+        batch = QueryBatch(resolved)
+        with self._lock:
+            if use_slice:
+                entry = self._sliced_entry(program_source, database_source, resolved)
+            else:
+                _, entry = self._lookup(program_source, database_source)
+        return batch.evaluate(self._space_for(entry))
 
     def estimate(
         self,

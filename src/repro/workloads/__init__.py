@@ -1,4 +1,4 @@
-"""Workload generators: network resilience, coin/dime-quarter scenarios, random programs."""
+"""Workload generators: network resilience, coins, random programs, wide multi-column programs."""
 
 from repro.workloads.coins import (
     COIN_PROGRAM_SOURCE,
@@ -26,6 +26,11 @@ from repro.workloads.random_programs import (
     random_positive_program,
     random_stratified_program,
 )
+from repro.workloads.wide_program import (
+    wide_database,
+    wide_program,
+    wide_query_atoms,
+)
 
 __all__ = [
     "COIN_PROGRAM_SOURCE",
@@ -48,4 +53,7 @@ __all__ = [
     "random_database",
     "random_positive_program",
     "random_stratified_program",
+    "wide_database",
+    "wide_program",
+    "wide_query_atoms",
 ]

@@ -105,12 +105,18 @@ def random_stratified_program(
     rule_count: int = 4,
     flip_probability: float = 0.5,
     schema: WorkloadSchema | None = None,
+    constraint_probability: float = 0.0,
 ) -> GDatalogProgram:
     """A random GDatalog¬ˢ[Δ] program with stratified negation.
 
     The generator derives predicates layer by layer and only negates
     predicates from strictly earlier layers, which guarantees
-    stratification by construction.
+    stratification by construction.  With a positive
+    *constraint_probability*, each layer beyond the first may additionally
+    emit an integrity constraint over two adjacent layers — exercising the
+    constraint handling of conditioning and of query-relevant slicing.
+    (The default of ``0.0`` draws no extra randomness, so seeded programs
+    are unchanged for existing callers.)
     """
     rng = random.Random(seed)
     active_schema = schema or WorkloadSchema()
@@ -141,5 +147,15 @@ def random_stratified_program(
         else:
             head = HeadAtom(head_predicate, (x,))
             rules.append(GDatalogRule(head, tuple(body), tuple(negative)))
+        if (
+            constraint_probability > 0.0
+            and layers
+            and rng.random() < constraint_probability
+        ):
+            rules.append(
+                GDatalogRule.constraint(
+                    (Atom(head_predicate, (x,)), Atom(layers[-1], (x,))), ()
+                )
+            )
         layers.append(head_predicate)
     return GDatalogProgram(rules)

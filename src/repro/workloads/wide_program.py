@@ -1,0 +1,66 @@
+"""A wide multi-predicate workload: many independent probabilistic columns.
+
+The canonical stress case for query-relevant slicing
+(:mod:`repro.gdatalog.relevance`): the program consists of *columns* —
+disjoint predicate families ``src{c} → coin{c} → hit{c}_1 → ... →
+hit{c}_depth`` plus a negation rule ``miss{c}`` — that never mention each
+other, so a query about one column is answered exactly by chasing that
+column alone.  The unsliced chase enumerates ``2^(columns × rows)``
+outcomes; the sliced chase only ``2^rows``.
+
+Each column's Δ-term carries the column index in its event signature
+(``flip<0.5>[c, X]``), because Δ-terms agreeing on distribution,
+parameters *and* event signature share one sample — without the tag the
+columns would share their coins and nothing would be independent.  The
+flip weights are dyadic on purpose: dropped columns then contribute a
+factor of exactly 1.0 and sliced answers are bit-identical to unsliced
+ones.
+
+``constrained=True`` additionally attaches one (unsatisfiable) integrity
+constraint to column 1, exercising the slicer's permanent constraint
+seeds: every slice then keeps column 1's cone alongside the queried
+column.
+"""
+
+from __future__ import annotations
+
+from repro.gdatalog.syntax import GDatalogProgram
+from repro.logic.atoms import fact
+from repro.logic.database import Database
+from repro.logic.parser import parse_gdatalog_program
+
+__all__ = ["wide_program", "wide_database", "wide_query_atoms"]
+
+
+def wide_program(columns: int, depth: int = 2, constrained: bool = False) -> GDatalogProgram:
+    """*columns* independent predicate families, each a chain of *depth* hops."""
+    if columns < 1:
+        raise ValueError(f"wide_program needs at least one column, got {columns}")
+    if depth < 1:
+        raise ValueError(f"wide_program needs at least depth 1, got {depth}")
+    lines: list[str] = []
+    for c in range(1, columns + 1):
+        lines.append(f"coin{c}(X, flip<0.5>[{c}, X]) :- src{c}(X).")
+        lines.append(f"hit{c}_1(X) :- coin{c}(X, 1).")
+        for k in range(2, depth + 1):
+            lines.append(f"hit{c}_{k}(X) :- hit{c}_{k - 1}(X).")
+        lines.append(f"miss{c}(X) :- src{c}(X), not hit{c}_1(X).")
+    if constrained:
+        # Never fires (an atom cannot be both hit and missed), but its body
+        # makes column 1 a permanent relevance seed.
+        lines.append(f"\n:- hit1_{depth}(X), miss1(X).")
+    return parse_gdatalog_program("\n".join(lines))
+
+
+def wide_database(columns: int, rows: int = 1) -> Database:
+    """*rows* source facts per column: ``src{c}(1..rows)``."""
+    return Database(
+        fact(f"src{c}", j)
+        for c in range(1, columns + 1)
+        for j in range(1, rows + 1)
+    )
+
+
+def wide_query_atoms(column: int, depth: int = 2, rows: int = 1) -> list[str]:
+    """The deepest hit atoms of one column (the natural query batch)."""
+    return [f"hit{column}_{depth}({j})" for j in range(1, rows + 1)]

@@ -46,15 +46,23 @@ class TestWilsonInterval:
         low, high = estimate.confidence_interval(method="wilson")
         assert (low, high) != (0.0, 0.0)
         assert low == 0.0 and 0.0 < high < 0.1
-        # The normal interval collapses to a point here — the degeneracy
-        # the satellite fix addresses.
-        assert estimate.confidence_interval(method="normal") == (0.0, 0.0)
+        # The Wald interval would collapse to a point here; the normal
+        # method now falls back to Wilson in the degenerate case.
+        assert estimate.confidence_interval(method="normal") == estimate.wilson_interval()
 
     def test_degenerate_at_one_has_positive_width(self):
         estimate = Estimate(1.0, 0.0, 100)
         low, high = estimate.wilson_interval()
         assert 0.9 < low < 1.0
         assert high == pytest.approx(1.0)
+        assert estimate.confidence_interval(method="normal") == (low, high)
+
+    def test_normal_interval_unchanged_away_from_the_endpoints(self):
+        estimate = Estimate(0.25, 0.01, 400)
+        assert estimate.confidence_interval(method="normal") == (
+            0.25 - 1.96 * 0.01,
+            0.25 + 1.96 * 0.01,
+        )
 
     def test_wilson_contains_estimate_and_stays_in_unit_interval(self):
         for p_hat, n in ((0.5, 10), (0.01, 50), (0.99, 50), (0.3, 1000)):

@@ -113,3 +113,45 @@ class TestParallelSampler:
         estimate = sampler.estimate_query(AtomQuery.of("heads(1)"), n=4000)
         assert estimate.samples == 4000
         assert estimate.value == pytest.approx(0.5, abs=4 * estimate.standard_error)
+
+
+class TestForklessDegradation:
+    """``sample --workers N`` on platforms without ``fork`` (satellite fix).
+
+    A multi-worker request must degrade to the seeded single-worker path
+    with a warning — never raise — when the ``fork`` start method is
+    unavailable (e.g. Windows, macOS spawn-only configurations).
+    """
+
+    def test_degrades_to_single_worker_with_a_warning(self, coins_grounder, monkeypatch):
+        import repro.runtime.pool as pool_module
+
+        monkeypatch.setattr(
+            pool_module.multiprocessing, "get_all_start_methods", lambda: ["spawn"]
+        )
+        sampler = ParallelSampler(coins_grounder, ChaseConfig(), workers=4, seed=11)
+        with pytest.warns(RuntimeWarning, match="fork start method unavailable"):
+            estimate = sampler.estimate_query(AtomQuery.of("heads(1)"), n=300)
+        # Byte-identical to the sequential sampler with the seed untouched.
+        reference = MonteCarloSampler(coins_grounder, ChaseConfig(), seed=11).estimate(
+            AtomQuery.of("heads(1)").outcome_predicate, n=300
+        )
+        assert estimate == reference
+
+    def test_explicit_serial_backend_keeps_stream_parity(self, coins_grounder, monkeypatch):
+        # backend="serial" deliberately draws the per-worker streams inline
+        # (determinism parity with forked runs) and must not warn.
+        import warnings
+
+        import repro.runtime.pool as pool_module
+
+        monkeypatch.setattr(
+            pool_module.multiprocessing, "get_all_start_methods", lambda: ["spawn"]
+        )
+        sampler = ParallelSampler(
+            coins_grounder, ChaseConfig(), workers=3, seed=9, backend="serial"
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            estimate = sampler.estimate_query(AtomQuery.of("heads(2)"), n=150)
+        assert estimate.samples == 150

@@ -1,0 +1,140 @@
+"""Concurrency and slicing behaviour of :class:`~repro.runtime.service.InferenceService`.
+
+The service's LRU caches are plain ``OrderedDict`` objects; before the lock
+was added, concurrent use (e.g. a threaded wrapper around ``serve``) could
+corrupt eviction order or double-insert entries.  These tests hammer one
+service instance from many threads and assert the caches stay consistent,
+and pin the slice-aware cache-key contract: different queries that cut the
+program to the same slice share one sliced space.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.runtime.service import InferenceService
+
+COLUMN_TEMPLATE = """
+coin{c}(X, flip<0.5>[{c}, X]) :- src{c}(X).
+hit{c}(X) :- coin{c}(X, 1).
+"""
+
+
+def _program(columns: int) -> str:
+    return "\n".join(COLUMN_TEMPLATE.format(c=c) for c in range(1, columns + 1))
+
+
+def _database(columns: int) -> str:
+    return " ".join(f"src{c}(1)." for c in range(1, columns + 1))
+
+
+class TestThreadSafety:
+    def test_concurrent_evaluate_keeps_the_caches_consistent(self):
+        service = InferenceService(cache_size=3)
+        requests = [(_program(c), _database(c)) for c in range(1, 7)]
+        errors: list[BaseException] = []
+        results: dict[int, list[float]] = {}
+
+        def worker(index: int) -> None:
+            try:
+                for round_ in range(8):
+                    program, database = requests[(index + round_) % len(requests)]
+                    answer = service.evaluate(program, database, ["hit1(1)"])
+                    assert answer == [0.5]
+                results[index] = answer
+            except BaseException as error:  # noqa: BLE001 - surfaced below
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert not errors
+        assert len(results) == 8
+        # The LRU invariant survived: never more entries than the capacity,
+        # and every request was accounted as a hit or a miss.
+        assert len(service) <= service.cache_size
+        assert service.stats.hits + service.stats.misses == 8 * 8
+
+    def test_concurrent_sliced_requests(self):
+        service = InferenceService(cache_size=8, slice=True)
+        program, database = _program(4), _database(4)
+        errors: list[BaseException] = []
+
+        def worker(column: int) -> None:
+            try:
+                for _ in range(5):
+                    answer = service.evaluate(program, database, [f"hit{column}(1)"])
+                    assert answer == [0.5]
+            except BaseException as error:  # noqa: BLE001
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker, args=(1 + i % 4,)) for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert service.stats.slice_hits + service.stats.slice_misses == 8 * 5
+        # Four distinct slices: one miss each, the rest shared.
+        assert service.stats.slice_misses == 4
+
+
+class TestSlicedService:
+    def test_sliced_results_match_unsliced(self):
+        program, database = _program(5), _database(5)
+        plain = InferenceService()
+        sliced = InferenceService(slice=True)
+        queries = ["hit2(1)", "hit4(1)", {"type": "has_stable_model"}]
+        assert sliced.evaluate(program, database, queries) == (
+            plain.evaluate(program, database, queries)
+        )
+
+    def test_queries_with_the_same_slice_share_one_space(self):
+        program, database = _program(3), _database(3)
+        service = InferenceService(slice=True)
+        service.evaluate(program, database, ["hit2(1)"])
+        assert (service.stats.slice_misses, service.stats.slice_hits) == (1, 0)
+        # A different atom over the same relevant predicate set: cache hit.
+        service.evaluate(program, database, ["hit2(99)"])
+        assert (service.stats.slice_misses, service.stats.slice_hits) == (1, 1)
+        # A different column: different slice, new miss.
+        service.evaluate(program, database, ["hit3(1)"])
+        assert (service.stats.slice_misses, service.stats.slice_hits) == (2, 1)
+
+    def test_per_request_override(self):
+        program, database = _program(3), _database(3)
+        service = InferenceService(slice=False)
+        assert service.evaluate(program, database, ["hit1(1)"], slice=True) == [0.5]
+        assert service.stats.slice_misses == 1
+        assert service.evaluate(program, database, ["hit1(1)"], slice=False) == [0.5]
+        assert service.stats.slice_misses == 1
+
+    def test_generic_query_falls_back_to_the_full_space(self):
+        program, database = _program(2), _database(2)
+        service = InferenceService(slice=True)
+        answer = service.evaluate(
+            program, database, ["hit1(1)", {"type": "has_stable_model"}]
+        )
+        assert answer == [0.5, 1.0]
+
+    def test_sliced_service_composes_with_factorization(self):
+        program, database = _program(4), _database(4)
+        factorized = InferenceService(slice=True, factorize=True)
+        plain = InferenceService()
+        queries = ["hit3(1)", {"type": "has_stable_model"}]
+        assert factorized.evaluate(program, database, queries) == (
+            plain.evaluate(program, database, queries)
+        )
+
+    def test_slice_cache_respects_capacity(self):
+        program, database = _program(6), _database(6)
+        service = InferenceService(cache_size=2, slice=True)
+        for column in range(1, 7):
+            service.evaluate(program, database, [f"hit{column}(1)"])
+        assert len(service) <= 2
+        assert service.stats.evictions > 0

@@ -285,3 +285,83 @@ class TestCommands:
         )
         assert result.returncode == 0
         assert "dependency graph" in result.stdout
+
+
+class TestSliceFlag:
+    """The ``--slice/--no-slice`` flags on ``query``, ``batch`` and ``serve``."""
+
+    WIDE_PROGRAM = (
+        "coin1(X, flip<0.5>[1, X]) :- src1(X).\n"
+        "hit1(X) :- coin1(X, 1).\n"
+        "coin2(X, flip<0.5>[2, X]) :- src2(X).\n"
+        "hit2(X) :- coin2(X, 1).\n"
+    )
+    WIDE_FACTS = "src1(1). src2(1)."
+
+    @pytest.fixture()
+    def wide_paths(self, tmp_path):
+        program = tmp_path / "wide.dl"
+        program.write_text(self.WIDE_PROGRAM, encoding="utf-8")
+        facts = tmp_path / "wide.facts"
+        facts.write_text(self.WIDE_FACTS, encoding="utf-8")
+        return str(program), str(facts)
+
+    def test_parser_accepts_both_spellings(self):
+        assert build_parser().parse_args(["query", "p.dl", "--slice"]).slice is True
+        assert build_parser().parse_args(["query", "p.dl", "--no-slice"]).slice is False
+        assert build_parser().parse_args(["batch", "p.dl"]).slice is False
+        assert build_parser().parse_args(["serve", "--slice"]).slice is True
+
+    def test_query_slice_matches_full(self, capsys, wide_paths):
+        program, facts = wide_paths
+
+        def run(*extra):
+            assert main(["query", program, "-d", facts, "--atom", "hit1(1)", *extra]) == 0
+            return capsys.readouterr().out
+
+        sliced = run("--slice")
+        full = run("--no-slice")
+        assert "0.5" in sliced
+        assert "slice: 2/4 rules" in sliced
+        # Identical probability table (the slice summary line aside).
+        assert [l for l in sliced.splitlines() if "hit1" in l] == [
+            l for l in full.splitlines() if "hit1" in l
+        ]
+
+    def test_batch_slice_json_matches_full(self, capsys, wide_paths):
+        import json
+
+        program, facts = wide_paths
+
+        def run(*extra):
+            code = main(
+                ["batch", program, "-d", facts, "--atom", "hit2(1)", "--json", *extra]
+            )
+            assert code == 0
+            return json.loads(capsys.readouterr().out)
+
+        assert run("--slice") == run()
+
+    def test_serve_slice_flag_and_override(self, capsys, monkeypatch, wide_paths):
+        import io
+        import json
+
+        program, facts = wide_paths
+        requests = [
+            json.dumps({"id": 1, "program_path": program, "database_path": facts, "queries": ["hit1(1)"]}),
+            json.dumps(
+                {
+                    "id": 2,
+                    "program_path": program,
+                    "database_path": facts,
+                    "queries": ["hit1(1)"],
+                    "slice": False,
+                }
+            ),
+        ]
+        monkeypatch.setattr("sys.stdin", io.StringIO("\n".join(requests) + "\n"))
+        assert main(["serve", "--slice"]) == 0
+        captured = capsys.readouterr()
+        lines = [json.loads(line) for line in captured.out.strip().splitlines()]
+        assert [line["ok"] for line in lines] == [True, True]
+        assert lines[0]["results"] == lines[1]["results"] == [pytest.approx(0.5)]
