@@ -1,0 +1,122 @@
+"""E13 — indexed join engine vs. the naive nested-loop matcher.
+
+The workload (:mod:`repro.workloads.selective`) is bound-argument-heavy:
+wide ``edge``/``colored`` relations joined by rules that select on constants
+(a hub node, a middle waypoint, a rare color).  The naive reference matcher
+(:func:`repro.logic.unify.match_conjunction`) scans — and stringify-sorts —
+each predicate's full extent at every search node; the indexed engine
+(:mod:`repro.logic.join`) probes per-argument hash buckets.  The bench
+asserts
+
+* **bit-identical groundings**: the production ``ground_program`` (routed
+  through the join engine) returns exactly the same ordered rule tuple as a
+  reference grounder driven by the naive matcher;
+* **identical substitution sets** between the naive and the indexed matcher
+  on every rule body of the workload;
+* a **≥ 5× grounding speedup** over the naive matcher at the largest size
+  (measured on identical from-scratch fixpoints);
+* the join engine actually probes: the run reports index probes and a
+  nonzero plan-cache reuse rate.
+
+The stable-model / seeded-sampler identity gates live in the e9–e12
+benches, which CI runs against the same engine.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import TextTable, Timer
+from repro.logic.join import (
+    ArgIndex,
+    iter_join,
+    join_stats,
+    match_conjunction_indexed,
+)
+from repro.logic.unify import match_conjunction
+from repro.stable.grounding import ground_program, naive_ground_program
+from repro.workloads import selective_join_database, selective_join_program
+
+SIZES = (200, 400)
+#: Required indexed-over-naive grounding speedup at the largest size.
+TARGET_SPEEDUP = 5.0
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_e13_groundings_bit_identical(n):
+    program = selective_join_program()
+    database = selective_join_database(n)
+    indexed = ground_program(program, database).rules
+    naive = naive_ground_program(program, database).rules
+    assert indexed == naive  # same rules, same canonical order — no tolerance
+
+
+def test_e13_substitution_sets_identical_per_rule_body():
+    program = selective_join_program()
+    database = selective_join_database(SIZES[0])
+    grounding = ground_program(program, database)
+    derived = ArgIndex(r.head for r in grounding.proper_rules)
+    for rule in program.rules:
+        naive = set(match_conjunction(rule.positive_body, derived))
+        indexed = set(match_conjunction_indexed(rule.positive_body, derived))
+        assert naive == indexed
+
+
+def test_e13_join_engine_probes_instead_of_scanning():
+    program = selective_join_program()
+    database = selective_join_database(SIZES[0])
+    stats = join_stats()
+    probes_before, reused_before = stats.index_probes, stats.plans_reused
+    ground_program(program, database)
+    assert stats.index_probes > probes_before  # bound arguments hit buckets
+    assert stats.plans_reused > reused_before  # fixpoint rounds reuse plans
+
+
+def test_e13_iter_join_matches_on_database_only_bodies():
+    database = selective_join_database(SIZES[0])
+    index = ArgIndex(database.facts)
+    program = selective_join_program()
+    for rule in program.rules:
+        body = rule.positive_body
+        naive = {frozenset(s.as_dict().items()) for s in match_conjunction(body, index)}
+        fast = {frozenset(m.items()) for m in iter_join(body, index)}
+        assert naive == fast
+
+
+def test_e13_report(benchmark):
+    program = selective_join_program()
+
+    def sweep():
+        rows = []
+        for n in SIZES:
+            database = selective_join_database(n)
+            with Timer() as indexed_timer:
+                indexed = ground_program(program, database).rules
+            with Timer() as naive_timer:
+                naive = naive_ground_program(program, database).rules
+            assert indexed == naive
+            rows.append(
+                (
+                    n,
+                    len(indexed),
+                    naive_timer.elapsed,
+                    indexed_timer.elapsed,
+                    naive_timer.elapsed / max(indexed_timer.elapsed, 1e-9),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = TextTable(
+        ["nodes", "ground rules", "naive s", "indexed s", "speedup"],
+        title="E13 — indexed join engine vs. naive matcher (selective-constant workload)",
+    )
+    for n, size, naive_seconds, indexed_seconds, speedup in rows:
+        table.add_row(n, size, f"{naive_seconds:.3f}", f"{indexed_seconds:.3f}", f"{speedup:.1f}x")
+    print()
+    print(table.render())
+    largest = rows[-1]
+    assert largest[-1] >= TARGET_SPEEDUP, (
+        f"indexed join speedup {largest[-1]:.1f}x below the {TARGET_SPEEDUP}x floor "
+        f"at {SIZES[-1]} nodes"
+    )

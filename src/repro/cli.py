@@ -108,7 +108,8 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--profile",
         action="store_true",
-        help="append a profile summary (chase tree size, cache hit rates, grounding time)",
+        help="append a profile summary (chase tree size, cache hit rates, grounding time, "
+        "join-engine index probes vs. scans and plan-cache traffic)",
     )
 
 

@@ -150,10 +150,19 @@ class ChaseStats:
     grounding_seconds: float = 0.0
     incremental_extensions: int = 0
     full_groundings: int = 0
+    join_index_probes: int = 0
+    join_full_scans: int = 0
+    join_plans_compiled: int = 0
+    join_plans_reused: int = 0
 
     def merge_grounder(self, grounder: Grounder) -> None:
+        grounder.stats.sync_join_counters()
         self.incremental_extensions = grounder.stats.incremental_extensions
         self.full_groundings = grounder.stats.full_groundings
+        self.join_index_probes = grounder.stats.index_probes
+        self.join_full_scans = grounder.stats.full_scans
+        self.join_plans_compiled = grounder.stats.plans_compiled
+        self.join_plans_reused = grounder.stats.plans_reused
 
 
 @dataclass

@@ -387,6 +387,8 @@ class GDatalogEngine:
                 f"grounding time:           {stats.grounding_seconds:.3f}s",
                 f"incremental extensions:   {stats.incremental_extensions}",
                 f"from-scratch groundings:  {stats.full_groundings}",
+                f"join probes/scans:        {stats.join_index_probes}/{stats.join_full_scans}",
+                f"join plans comp./reused:  {stats.join_plans_compiled}/{stats.join_plans_reused}",
             ]
         lines += cache_profile_lines()
         return "\n".join(lines)
@@ -399,16 +401,22 @@ def cache_profile_lines() -> list[str]:
     ``sample --profile`` path (which never runs the exhaustive chase).
     """
     from repro.logic.intern import intern_stats
+    from repro.logic.join import join_stats
     from repro.stable.solver import solver_cache_stats
 
     solver = solver_cache_stats()
     solver_total = solver["hits"] + solver["misses"]
     hit_rate = solver["hits"] / solver_total if solver_total else 0.0
     interned = intern_stats()
+    joins = join_stats()
     return [
         "-- solver memo cache --",
         f"entries:                  {solver['entries']}",
         f"hits/misses:              {solver['hits']}/{solver['misses']} ({hit_rate:.1%} hit rate)",
         "-- intern tables --",
         f"atoms/rules interned:     {interned['atoms']}/{interned['rules']}",
+        "-- join engine (process-wide) --",
+        f"index probes/full scans:  {joins.index_probes}/{joins.full_scans}",
+        f"plans compiled/reused:    {joins.plans_compiled}/{joins.plans_reused}",
+        f"arg indexes built:        {joins.indexes_built}",
     ]

@@ -43,6 +43,13 @@ checkpoints), and the grounders expose
 The classic :meth:`Grounder.ground` method is kept as the independent,
 naively-iterated reference implementation; property tests assert that the
 incremental states produce identical groundings.
+
+All rule matching — saturation, semi-naive propagation and constraint
+instantiation — runs through the indexed join engine
+(:mod:`repro.logic.join`): head sets are :class:`~repro.logic.join.ArgIndex`
+instances whose per-argument hash buckets are probed by compiled per-rule
+plans, replacing the naive matcher's full-extent scans.  Groundings are
+bit-identical to the naive matcher's (``tests/property/test_join_equivalence``).
 """
 
 from __future__ import annotations
@@ -57,8 +64,9 @@ from repro.gdatalog.translate import TranslatedProgram
 from repro.logic.atoms import Atom, Predicate
 from repro.logic.database import Database
 from repro.logic.intern import intern_atom, intern_rule
+from repro.logic.join import ArgIndex, iter_join, iter_join_seminaive, join_stats
 from repro.logic.rules import Rule, fact_rule
-from repro.logic.unify import FactIndex, match_conjunction, match_conjunction_seminaive
+from repro.logic.unify import FactIndex
 
 __all__ = [
     "Grounder",
@@ -79,16 +87,46 @@ def heads_of(rules: Iterable[Rule]) -> frozenset[Atom]:
 
 @dataclass
 class GrounderStats:
-    """Counters describing how a grounder's work was split (``--profile``)."""
+    """Counters describing how a grounder's work was split (``--profile``).
+
+    The join counters (``index_probes`` / ``full_scans`` — candidate sets
+    answered from argument-position buckets vs. whole-extent enumerations —
+    and ``plans_compiled`` / ``plans_reused``) are deltas of the process-wide
+    :data:`repro.logic.join.JOIN_STATS` since the last :meth:`reset`,
+    populated by :meth:`sync_join_counters`.  Like the intern-table and
+    solver-cache counters, they are process-global: with several engines
+    chasing concurrently (threaded ``serve``) a grounder's window includes
+    the other engines' traffic, so treat per-run join numbers as indicative
+    in multi-engine processes.
+    """
 
     full_groundings: int = 0
     incremental_extensions: int = 0
     rules_derived: int = 0
+    index_probes: int = 0
+    full_scans: int = 0
+    plans_compiled: int = 0
+    plans_reused: int = 0
+    _join_baseline: tuple[int, int, int, int] = field(default=(0, 0, 0, 0), repr=False)
 
     def reset(self) -> None:
         self.full_groundings = 0
         self.incremental_extensions = 0
         self.rules_derived = 0
+        self.index_probes = 0
+        self.full_scans = 0
+        self.plans_compiled = 0
+        self.plans_reused = 0
+        self._join_baseline = join_stats().snapshot()
+
+    def sync_join_counters(self) -> None:
+        """Refresh the join counters from the process-wide totals."""
+        probes, scans, compiled, reused = join_stats().snapshot()
+        base = self._join_baseline
+        self.index_probes = probes - base[0]
+        self.full_scans = scans - base[1]
+        self.plans_compiled = compiled - base[2]
+        self.plans_reused = reused - base[3]
 
 
 class GroundingState:
@@ -222,7 +260,7 @@ class Grounder(abc.ABC):
     ) -> GroundingState:
         rules = {r for r in grounding if not r.is_constraint}
         constraints = {r for r in grounding if r.is_constraint}
-        heads = FactIndex(r.head for r in rules)
+        heads = ArgIndex(r.head for r in rules)
         fired = {r for r in atr_rules if r.active_atom in heads}
         for rule_ in fired:
             heads.add(rule_.result_atom)
@@ -282,7 +320,7 @@ class Grounder(abc.ABC):
         that fired (callers subtract them as required by ``\\ Σ``).
         """
         derived_rules: set[Rule] = set()
-        heads = FactIndex()
+        heads = ArgIndex()
 
         def add_rule(rule_: Rule) -> bool:
             if rule_ in derived_rules:
@@ -309,8 +347,8 @@ class Grounder(abc.ABC):
                     if add_rule(rule_):
                         changed = True
             for rule_ in proper:
-                for substitution in match_conjunction(rule_.positive_body, heads):
-                    grounded = intern_rule(rule_.substitute(substitution.as_dict()))
+                for mapping in iter_join(rule_.positive_body, heads):
+                    grounded = intern_rule(rule_.substitute(mapping))
                     if not grounded.is_ground or grounded in derived_rules:
                         continue
                     if respect_negation and any(b in heads for b in grounded.negative_body):
@@ -319,8 +357,8 @@ class Grounder(abc.ABC):
                         changed = True
 
         for rule_ in constraints:
-            for substitution in match_conjunction(rule_.positive_body, heads):
-                grounded = intern_rule(rule_.substitute(substitution.as_dict()))
+            for mapping in iter_join(rule_.positive_body, heads):
+                grounded = intern_rule(rule_.substitute(mapping))
                 if grounded.is_ground:
                     derived_rules.add(grounded)
 
@@ -363,7 +401,7 @@ class SimpleGrounder(Grounder):
         """Seed the state with ``G(∅)``'s inputs and propagate everything as delta."""
         self._check_consistent(atr_rules)
         self.stats.full_groundings += 1
-        heads = FactIndex()
+        heads = ArgIndex()
         rules: set[Rule] = set()
         delta = FactIndex()
         for rule_ in self._fact_rules + self._seed_rules:
@@ -415,8 +453,8 @@ class SimpleGrounder(Grounder):
         while len(delta):
             next_delta = FactIndex()
             for rule_ in self._proper_rules:
-                for substitution in match_conjunction_seminaive(rule_.positive_body, heads, delta):
-                    grounded = intern_rule(rule_.substitute(substitution.as_dict()))
+                for mapping in iter_join_seminaive(rule_.positive_body, heads, delta):
+                    grounded = intern_rule(rule_.substitute(mapping))
                     if not grounded.is_ground or grounded in rules:
                         continue
                     rules.add(grounded)
@@ -436,11 +474,11 @@ class SimpleGrounder(Grounder):
         if len(total_delta):
             for rule_ in self._constraint_rules:
                 if rule_.positive_body:
-                    matches = match_conjunction_seminaive(rule_.positive_body, heads, total_delta)
+                    matches = iter_join_seminaive(rule_.positive_body, heads, total_delta)
                 else:
                     matches = ()
-                for substitution in matches:
-                    grounded = intern_rule(rule_.substitute(substitution.as_dict()))
+                for mapping in matches:
+                    grounded = intern_rule(rule_.substitute(mapping))
                     if grounded.is_ground:
                         state.constraints.add(grounded)
         for rule_ in self._constraint_rules:
@@ -564,10 +602,10 @@ class PerfectGrounder(Grounder):
         """
         instances: set[Rule] = set()
         if self._constraint_sources:
-            heads = FactIndex(heads_of(current))
+            heads = ArgIndex(heads_of(current))
             for rule_ in self._constraint_sources:
-                for substitution in match_conjunction(rule_.positive_body, heads):
-                    grounded = intern_rule(rule_.substitute(substitution.as_dict()))
+                for mapping in iter_join(rule_.positive_body, heads):
+                    grounded = intern_rule(rule_.substitute(mapping))
                     if grounded.is_ground:
                         instances.add(grounded)
         return instances
@@ -580,7 +618,7 @@ class PerfectGrounder(Grounder):
         checkpoint: frozenset[Rule],
     ) -> GroundingState:
         constraints = self._instantiate_constraints(current)
-        heads = FactIndex(r.head for r in current if not r.is_constraint)
+        heads = ArgIndex(r.head for r in current if not r.is_constraint)
         fired = {r for r in atr_rules if r.active_atom in heads}
         for rule_ in fired:
             heads.add(rule_.result_atom)

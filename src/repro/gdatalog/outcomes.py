@@ -72,7 +72,7 @@ class PossibleOutcome:
         cached keys instead of recomputing them.
         """
         clone = PossibleOutcome(self.atr_rules, self.grounding, probability, self.translated)
-        for attribute in ("choice_key", "full_rules", "stable_models"):
+        for attribute in ("choice_key", "full_rules", "stable_models", "has_stable_model"):
             if attribute in self.__dict__:
                 clone.__dict__[attribute] = self.__dict__[attribute]
         return clone
@@ -97,9 +97,21 @@ class PossibleOutcome:
         """
         return frozenset(shared_solver().enumerate(self.ground_program()))
 
-    @property
+    @cached_property
     def has_stable_model(self) -> bool:
-        return bool(self.stable_models)
+        """Whether the outcome admits a stable model.
+
+        Answers from the already-materialized :attr:`stable_models` when
+        available; otherwise routes through the solver's lazy existence
+        check, which stops at the first model instead of eagerly
+        enumerating all of them (existence-only consumers — the sampler,
+        ``P(has stable model)`` — never pay for a full enumeration).
+        Cached per outcome, so repeated event evaluations cost one
+        attribute lookup.
+        """
+        if "stable_models" in self.__dict__:
+            return bool(self.stable_models)
+        return shared_solver().has_stable_model(self.ground_program())
 
     def stable_models_modulo(self, hide_active: bool = True, hide_result: bool = False) -> frozenset[frozenset[Atom]]:
         """Stable models with Active (and optionally Result) atoms projected away."""

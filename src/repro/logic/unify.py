@@ -17,6 +17,7 @@ matching machinery:
 from __future__ import annotations
 
 from collections import defaultdict
+from collections.abc import Set as AbstractSet
 from typing import Iterable, Iterator, Mapping, Sequence
 
 from repro.logic.atoms import Atom, Predicate
@@ -29,7 +30,47 @@ __all__ = [
     "match_conjunction_seminaive",
     "unify_atoms",
     "FactIndex",
+    "FactsView",
 ]
+
+
+class FactsView(AbstractSet):
+    """A read-only, live view over one predicate bucket of a :class:`FactIndex`.
+
+    :meth:`FactIndex.facts_for` used to hand out the internal mutable bucket
+    set; a caller mutating it would silently desynchronize the bucket from
+    the index's ``_all`` set.  The view supports the full read-only ``Set``
+    protocol (membership, iteration, ``len``, boolean algebra) but exposes no
+    mutators, and it stays *live*: facts added to the index after the view
+    was obtained are visible through it.
+    """
+
+    __slots__ = ("_facts",)
+
+    def __init__(self, facts: AbstractSet[Atom]):
+        self._facts = facts
+
+    def __contains__(self, item: object) -> bool:
+        return item in self._facts
+
+    def __iter__(self) -> Iterator[Atom]:
+        return iter(self._facts)
+
+    def __len__(self) -> int:
+        return len(self._facts)
+
+    @classmethod
+    def _from_iterable(cls, iterable: Iterable[Atom]) -> frozenset[Atom]:
+        # Set-algebra results (view | other, view - other, ...) materialize
+        # as plain frozensets, detached from the index.
+        return frozenset(iterable)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FactsView({set(self._facts)!r})"
+
+
+#: Shared empty bucket handed out by the raw accessor for absent predicates.
+_EMPTY_BUCKET: frozenset[Atom] = frozenset()
 
 
 def match_atom(pattern: Atom, ground: Atom, binding: Substitution | None = None) -> Substitution | None:
@@ -65,6 +106,7 @@ class FactIndex:
     def __init__(self, facts: Iterable[Atom] = ()):
         self._by_predicate: dict[Predicate, set[Atom]] = defaultdict(set)
         self._all: set[Atom] = set()
+        self._views: dict[Predicate, FactsView] = {}
         self.add_all(facts)
 
     def add(self, fact: Atom) -> bool:
@@ -88,9 +130,24 @@ class FactIndex:
     def __iter__(self) -> Iterator[Atom]:
         return iter(self._all)
 
-    def facts_for(self, predicate: Predicate) -> set[Atom]:
-        """All indexed atoms with the given predicate."""
-        return self._by_predicate.get(predicate, set())
+    def facts_for(self, predicate: Predicate) -> FactsView:
+        """All indexed atoms with the given predicate (read-only live view).
+
+        The returned :class:`FactsView` cannot be mutated — handing out the
+        internal bucket set would let callers silently corrupt the index and
+        desync it from ``_all``.  Views are cached per predicate and stay
+        live — facts added after the view was obtained are visible through
+        it, including for predicates that had no facts yet (the defaultdict
+        bucket is created on first request so the view tracks it).
+        """
+        view = self._views.get(predicate)
+        if view is None:
+            view = self._views[predicate] = FactsView(self._by_predicate[predicate])
+        return view
+
+    def _bucket(self, predicate: Predicate) -> AbstractSet[Atom]:
+        """The raw bucket for in-package hot paths (do **not** mutate)."""
+        return self._by_predicate.get(predicate, _EMPTY_BUCKET)
 
     def as_set(self) -> frozenset[Atom]:
         return frozenset(self._all)

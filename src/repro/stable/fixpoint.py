@@ -29,22 +29,30 @@ def immediate_consequences(rules: Iterable[Rule], interpretation: set[Atom]) -> 
     return derived
 
 
-def least_model(rules: Iterable[Rule]) -> frozenset[Atom]:
+def least_model(rules: Iterable[Rule], seed: Iterable[Atom] = ()) -> frozenset[Atom]:
     """The least model of a *positive* ground program (constraints ignored).
 
     Implemented semi-naively: rules are indexed by their body atoms so each
     round only revisits rules whose body gained a new atom.
+
+    *seed* may carry atoms known to belong to the least model (e.g. the
+    well-founded true atoms when computing reduct models for stable-model
+    guesses); the fixpoint then starts from the seed instead of from ``∅``.
+    The result is unchanged — seeding a non-member would be unsound and is
+    the caller's responsibility to avoid.
     """
     rule_list = [r for r in rules if not r.is_constraint]
     for r in rule_list:
         if r.negative_body:
             raise ValueError(f"least_model requires a positive program, rule has negation: {r}")
 
-    model: set[Atom] = set()
+    model: set[Atom] = set(seed)
     # Index: body atom -> rules waiting on it; counter of unsatisfied body atoms.
+    # Seed atoms enter through the queue like any derived atom, decrementing
+    # the wait counts of the rules watching them.
     waiting: dict[Atom, list[int]] = defaultdict(list)
     remaining: list[int] = []
-    queue: list[Atom] = []
+    queue: list[Atom] = list(model)
 
     for idx, r in enumerate(rule_list):
         remaining.append(len(set(r.positive_body)))

@@ -19,11 +19,12 @@ from typing import Iterable, Iterator, Sequence
 
 from repro.logic.atoms import Atom
 from repro.logic.database import Database
+from repro.logic.join import ArgIndex, iter_join
 from repro.logic.program import DatalogProgram
 from repro.logic.rules import Rule, fact_rule
 from repro.logic.unify import FactIndex, match_conjunction
 
-__all__ = ["GroundProgram", "ground_program", "ground_rules_against"]
+__all__ = ["GroundProgram", "ground_program", "ground_rules_against", "naive_ground_program"]
 
 
 @dataclass(frozen=True)
@@ -97,8 +98,17 @@ def ground_rules_against(rule: Rule, facts: FactIndex) -> Iterator[Rule]:
 
     Only homomorphisms of the positive body are considered; negative body
     atoms are instantiated by the same substitution (safety guarantees they
-    become ground).
+    become ground).  When *facts* is an :class:`~repro.logic.join.ArgIndex`
+    the instances are enumerated through the indexed join engine; a plain
+    :class:`FactIndex` falls back to the naive reference matcher (upgrading
+    a caller-owned, still-mutating index here would read a stale copy).
     """
+    if isinstance(facts, ArgIndex):
+        for mapping in iter_join(rule.positive_body, facts):
+            grounded = rule.substitute(mapping)
+            if grounded.is_ground:
+                yield grounded
+        return
     for substitution in match_conjunction(rule.positive_body, facts):
         grounded = rule.substitute(substitution.as_dict())
         if grounded.is_ground:
@@ -121,7 +131,7 @@ def ground_program(program: DatalogProgram, database: Database | Iterable[Atom] 
     else:
         facts = tuple(database)
 
-    derivable = FactIndex(facts)
+    derivable = ArgIndex(facts)
     ground_rules: set[Rule] = {fact_rule(a) for a in facts}
 
     proper = [r for r in program.rules if not r.is_constraint]
@@ -146,3 +156,48 @@ def ground_program(program: DatalogProgram, database: Database | Iterable[Atom] 
 
     ordered = tuple(sorted(ground_rules, key=str))
     return GroundProgram(ordered)
+
+
+def naive_ground_program(program: DatalogProgram, database: Database | Iterable[Atom] = ()) -> GroundProgram:
+    """Reference grounding through the naive matcher (the pre-join-engine loop).
+
+    Semantically identical to :func:`ground_program` but every body match
+    runs through :func:`~repro.logic.unify.match_conjunction` on a plain
+    :class:`~repro.logic.unify.FactIndex` — the nested-loop oracle the
+    indexed join engine is property-tested and benchmarked against
+    (``tests/property/test_join_equivalence.py``,
+    ``benchmarks/bench_e13_joins.py``).  Not used on any production path;
+    kept in the library so the test oracle and the benchmark gate cannot
+    silently diverge.
+    """
+    facts: Sequence[Atom]
+    if isinstance(database, Database):
+        facts = tuple(database.facts)
+    else:
+        facts = tuple(database)
+
+    derivable = FactIndex(facts)
+    ground_rules: set[Rule] = {fact_rule(a) for a in facts}
+    proper = [r for r in program.rules if not r.is_constraint]
+    constraints = [r for r in program.rules if r.is_constraint]
+
+    changed = True
+    while changed:
+        changed = False
+        for r in proper:
+            for substitution in match_conjunction(r.positive_body, derivable):
+                grounded = r.substitute(substitution.as_dict())
+                if not grounded.is_ground:
+                    continue
+                if grounded not in ground_rules:
+                    ground_rules.add(grounded)
+                    changed = True
+                if derivable.add(grounded.head):
+                    changed = True
+    for r in constraints:
+        for substitution in match_conjunction(r.positive_body, derivable):
+            grounded = r.substitute(substitution.as_dict())
+            if grounded.is_ground:
+                ground_rules.add(grounded)
+
+    return GroundProgram(tuple(sorted(ground_rules, key=str)))

@@ -67,9 +67,10 @@ class SolverConfig:
         Structurally equal programs — e.g. the same chase configuration
         re-sampled by the Monte-Carlo sampler, or outcomes re-queried under
         several marginals — are then solved exactly once per process.
-        With memoization the enumeration is materialized eagerly on a cache
-        miss (no early exit for ``has_stable_model``); disable for programs
-        with huge model counts where laziness matters more than reuse.
+        ``has_stable_model`` never pays the eager materialization of a
+        memoized ``enumerate``: on a model-cache miss it enumerates lazily,
+        stops at the first model, and records the boolean in a separate
+        existence memo so repeated checks stay O(1).
     cache_size:
         Maximum number of memoized programs (LRU eviction).
     """
@@ -86,6 +87,10 @@ class StableModelSolver:
     def __init__(self, config: SolverConfig | None = None):
         self.config = config or SolverConfig()
         self._cache: OrderedDict[tuple, tuple[frozenset[Atom], ...]] = OrderedDict()
+        #: Existence-only memo: canonical key -> whether a stable model exists.
+        #: Fed by :meth:`has_stable_model`, which must stay lazy (a partial
+        #: enumeration is not cacheable in ``_cache``).
+        self._has_model_cache: OrderedDict[tuple, bool] = OrderedDict()
         self.cache_hits = 0
         self.cache_misses = 0
 
@@ -113,10 +118,16 @@ class StableModelSolver:
 
     def cache_stats(self) -> dict[str, int]:
         """Memo-cache counters for profiling reports."""
-        return {"entries": len(self._cache), "hits": self.cache_hits, "misses": self.cache_misses}
+        return {
+            "entries": len(self._cache),
+            "existence_entries": len(self._has_model_cache),
+            "hits": self.cache_hits,
+            "misses": self.cache_misses,
+        }
 
     def clear_cache(self) -> None:
         self._cache.clear()
+        self._has_model_cache.clear()
         self.cache_hits = 0
         self.cache_misses = 0
 
@@ -126,10 +137,17 @@ class StableModelSolver:
 
         forced_true: set[Atom] = set()
         forced_false: set[Atom] = set()
+        wf_seed: frozenset[Atom] = frozenset()
         if self.config.use_well_founded:
             wf = well_founded_model(rules)
             forced_true = wf.true & negative_atoms
             forced_false = wf.false & negative_atoms
+            # Every guess S compatible with the well-founded model satisfies
+            # S ⊆ U∞ (it avoids the well-founded false atoms), and Γ is
+            # antimonotone, so lm(P^S) = Γ(S) ⊇ Γ(U∞) = wf.true: the
+            # well-founded true atoms belong to every guess's reduct model
+            # and can seed its fixpoint instead of being re-derived from ∅.
+            wf_seed = frozenset(wf.true)
 
         undecided = sorted(negative_atoms - forced_true - forced_false, key=str)
         guess_count = 1 << len(undecided)
@@ -144,7 +162,9 @@ class StableModelSolver:
         for size in range(len(undecided) + 1):
             for extra in combinations(undecided, size):
                 assumed_true = forced_true | set(extra)
-                candidate = self._candidate_for_guess(non_constraint_rules, negative_atoms, assumed_true)
+                candidate = self._candidate_for_guess(
+                    non_constraint_rules, negative_atoms, assumed_true, wf_seed
+                )
                 if candidate is None or candidate in seen:
                     continue
                 if violated_constraints(rules, candidate):
@@ -161,16 +181,32 @@ class StableModelSolver:
 
         Answers from the memo cache when the program was already enumerated;
         otherwise enumerates *lazily* and stops at the first model (a partial
-        enumeration is not cacheable, so existence checks never pay the
-        eager-materialization cost of a memoized :meth:`enumerate`).
+        enumeration is not cacheable in the model cache, so existence checks
+        never pay the eager-materialization cost of a memoized
+        :meth:`enumerate`).  The boolean itself is memoized in a separate
+        existence cache, so repeated existence checks of the same program
+        cost one dictionary lookup.
         """
         ground = program if isinstance(program, GroundProgram) else GroundProgram(tuple(program))
-        if self.config.memoize:
-            cached = self._cache.get(ground.canonical_key)
-            if cached is not None:
-                self.cache_hits += 1
-                return bool(cached)
-        return next(self._enumerate_uncached(ground), None) is not None
+        if not self.config.memoize:
+            return next(self._enumerate_uncached(ground), None) is not None
+        key = ground.canonical_key
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.cache_hits += 1
+            self._cache.move_to_end(key)
+            return bool(cached)
+        known = self._has_model_cache.get(key)
+        if known is not None:
+            self.cache_hits += 1
+            self._has_model_cache.move_to_end(key)
+            return known
+        self.cache_misses += 1
+        exists = next(self._enumerate_uncached(ground), None) is not None
+        self._has_model_cache[key] = exists
+        if len(self._has_model_cache) > self.config.cache_size:
+            self._has_model_cache.popitem(last=False)
+        return exists
 
     def count(self, program: GroundProgram | Iterable[Rule]) -> int:
         """The number of stable models."""
@@ -199,15 +235,24 @@ class StableModelSolver:
 
     @staticmethod
     def _candidate_for_guess(
-        rules: list[Rule], negative_atoms: set[Atom], assumed_true: set[Atom]
+        rules: list[Rule],
+        negative_atoms: set[Atom],
+        assumed_true: set[Atom],
+        seed: frozenset[Atom] = frozenset(),
     ) -> frozenset[Atom] | None:
-        """Least model of the reduct induced by a guess, or ``None`` if the guess is unstable."""
+        """Least model of the reduct induced by a guess, or ``None`` if the guess is unstable.
+
+        *seed* carries the well-founded true atoms: they are contained in
+        every compatible guess's reduct model (see the antimonotonicity
+        argument in :meth:`_enumerate_uncached`), so the fixpoint starts
+        from them instead of re-deriving them per guess.
+        """
         reduct: list[Rule] = []
         for r in rules:
             if any(b in assumed_true for b in r.negative_body):
                 continue
             reduct.append(Rule(r.head, r.positive_body, ()) if r.negative_body else r)
-        model = least_model(reduct)
+        model = least_model(reduct, seed=seed)
         if model & negative_atoms != assumed_true:
             return None
         return model
@@ -235,7 +280,7 @@ def shared_solver() -> StableModelSolver:
 def solver_cache_stats() -> dict[str, int]:
     """Cache counters of the shared solver (zeros before first use)."""
     if _shared_solver is None:
-        return {"entries": 0, "hits": 0, "misses": 0}
+        return {"entries": 0, "existence_entries": 0, "hits": 0, "misses": 0}
     return _shared_solver.cache_stats()
 
 

@@ -18,8 +18,9 @@ from repro.exceptions import StratificationError
 from repro.logic.atoms import Atom, Predicate
 from repro.logic.database import Database
 from repro.logic.program import DatalogProgram
+from repro.logic.join import ArgIndex, iter_join
 from repro.logic.rules import Rule
-from repro.logic.unify import FactIndex, match_conjunction
+from repro.logic.unify import FactIndex
 from repro.stable.fixpoint import violated_constraints
 from repro.stable.grounding import GroundProgram
 
@@ -38,7 +39,7 @@ def perfect_model(program: DatalogProgram, database: Database | Iterable[Atom] =
     """
     strata = program.stratification()
     facts = tuple(database.facts) if isinstance(database, Database) else tuple(database)
-    model = FactIndex(facts)
+    model = ArgIndex(facts)
 
     for component in strata:
         stratum_rules = [r for r in program.proper_rules() if r.head.predicate in component]
@@ -53,15 +54,15 @@ def perfect_model(program: DatalogProgram, database: Database | Iterable[Atom] =
     return result
 
 
-def _instantiate_constraints(program: DatalogProgram, model: FactIndex) -> list[Rule]:
+def _instantiate_constraints(program: DatalogProgram, model: ArgIndex) -> list[Rule]:
     instantiated: list[Rule] = []
     for constraint_rule in program.constraints():
-        for substitution in match_conjunction(constraint_rule.positive_body, model):
-            instantiated.append(constraint_rule.substitute(substitution.as_dict()))
+        for mapping in iter_join(constraint_rule.positive_body, model):
+            instantiated.append(constraint_rule.substitute(mapping))
     return instantiated
 
 
-def _saturate_stratum(rules: list[Rule], model: FactIndex) -> None:
+def _saturate_stratum(rules: list[Rule], model: ArgIndex) -> None:
     """Fixpoint of the rules of one stratum against the growing *model*.
 
     Negative literals are evaluated against the model *at application time*;
@@ -72,8 +73,8 @@ def _saturate_stratum(rules: list[Rule], model: FactIndex) -> None:
     while changed:
         changed = False
         for rule in rules:
-            for substitution in match_conjunction(rule.positive_body, model):
-                grounded = rule.substitute(substitution.as_dict())
+            for mapping in iter_join(rule.positive_body, model):
+                grounded = rule.substitute(mapping)
                 if not grounded.is_ground:
                     continue
                 if any(b in model for b in grounded.negative_body):

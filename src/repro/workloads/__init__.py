@@ -26,6 +26,12 @@ from repro.workloads.random_programs import (
     random_positive_program,
     random_stratified_program,
 )
+from repro.workloads.selective import (
+    HUB_NODE,
+    MID_NODE,
+    selective_join_database,
+    selective_join_program,
+)
 from repro.workloads.wide_program import (
     wide_database,
     wide_program,
@@ -53,6 +59,10 @@ __all__ = [
     "random_database",
     "random_positive_program",
     "random_stratified_program",
+    "HUB_NODE",
+    "MID_NODE",
+    "selective_join_database",
+    "selective_join_program",
     "wide_database",
     "wide_program",
     "wide_query_atoms",

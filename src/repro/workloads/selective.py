@@ -1,0 +1,69 @@
+"""A bound-argument-heavy join workload: wide relations, selective constants.
+
+The canonical stress case for the indexed join engine
+(:mod:`repro.logic.join`): a couple of *wide* extensional relations (many
+facts per predicate) queried by rules whose bodies carry *selective
+constants* — a hub node, a middle waypoint, a rare color.  A nested-loop
+matcher with predicate-level indexing scans (and stringify-sorts) the whole
+extent at every search node; the argument-indexed engine probes a handful of
+small buckets.
+
+The program is deterministic plain Datalog (no Δ-terms, no negation), so the
+grounding is a pure join benchmark: the same workload is ground through the
+production engine and through the naive reference matcher and the outputs
+must be bit-identical (see ``benchmarks/bench_e13_joins.py``).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.logic.atoms import fact
+from repro.logic.database import Database
+from repro.logic.parser import parse_datalog_program
+from repro.logic.program import DatalogProgram
+
+__all__ = ["selective_join_program", "selective_join_database", "HUB_NODE", "MID_NODE"]
+
+#: The distinguished constants the rule bodies select on.
+HUB_NODE = 7
+MID_NODE = 11
+
+_PROGRAM_SOURCE = f"""
+hub(Y) :- edge({HUB_NODE}, Y).
+backlink(X) :- edge(X, {HUB_NODE}).
+bridge(X, Z) :- edge(X, {MID_NODE}), edge({MID_NODE}, Z).
+redpair(X, Y) :- colored(X, red), edge(X, Y), colored(Y, red).
+reach1(Y) :- start(X), edge(X, Y).
+reach2(Z) :- reach1(Y), edge(Y, Z).
+meet(X) :- hub(X), backlink(X).
+"""
+
+
+def selective_join_program() -> DatalogProgram:
+    """Seven join rules over wide relations, all anchored by selective constants."""
+    return parse_datalog_program(_PROGRAM_SOURCE)
+
+
+def selective_join_database(
+    nodes: int,
+    edges_per_node: int = 4,
+    red_fraction: float = 0.05,
+    starts: int = 2,
+    seed: int = 0,
+) -> Database:
+    """A random wide instance: ``edge/2`` (≈ *nodes* × *edges_per_node* facts),
+    ``colored/2`` with a *red_fraction* of rare ``red`` labels, and a few
+    ``start/1`` seeds.  Deterministic given *seed*.
+    """
+    rng = random.Random(seed)
+    facts = []
+    for source in range(1, nodes + 1):
+        for _ in range(edges_per_node):
+            facts.append(fact("edge", source, rng.randint(1, nodes)))
+    for node in range(1, nodes + 1):
+        color = "red" if rng.random() < red_fraction else "blue"
+        facts.append(fact("colored", node, color))
+    for _ in range(starts):
+        facts.append(fact("start", rng.randint(1, nodes)))
+    return Database(facts)

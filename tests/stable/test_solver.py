@@ -94,6 +94,90 @@ class TestSolverBasics:
         assert default == unpruned
 
 
+class TestSolverFastPaths:
+    """The WF-seeded reduct fixpoints and the lazy existence memo."""
+
+    def _many_model_program(self, choices: int) -> GroundProgram:
+        """*choices* independent even loops: 2**choices stable models."""
+        rules = []
+        for i in range(choices):
+            p, q = atom(f"p{i}"), atom(f"q{i}")
+            rules.append(Rule(p, (), (q,)))
+            rules.append(Rule(q, (), (p,)))
+        return GroundProgram(tuple(rules))
+
+    def test_wf_seeding_preserves_models(self):
+        """Seeded and unseeded guess fixpoints enumerate identical model sets."""
+        base = (
+            fact_rule(atom("a")),
+            rule(atom("b"), [atom("a")]),
+            Rule(atom("p"), (atom("b"),), (atom("q"),)),
+            Rule(atom("q"), (atom("b"),), (atom("p"),)),
+            Rule(atom("r"), (), (atom("r"),)),  # odd loop: r stays undecided-false
+        )
+        seeded = StableModelSolver(SolverConfig(use_well_founded=True))
+        raw = StableModelSolver(SolverConfig(use_well_founded=False))
+        assert set(seeded.enumerate(base)) == set(raw.enumerate(base)) == set()
+        consistent = base[:4]
+        assert set(seeded.enumerate(consistent)) == set(raw.enumerate(consistent))
+        assert set(seeded.all_stable_models(consistent)) == {
+            frozenset({atom("a"), atom("b"), atom("p")}),
+            frozenset({atom("a"), atom("b"), atom("q")}),
+        }
+
+    def test_least_model_seeding_is_identity(self):
+        from repro.stable.fixpoint import least_model
+
+        rules = (
+            fact_rule(atom("a")),
+            rule(atom("b"), [atom("a")]),
+            rule(atom("c"), [atom("a"), atom("b")]),
+        )
+        full = least_model(rules)
+        assert least_model(rules, seed=[atom("a")]) == full
+        assert least_model(rules, seed=full) == full
+
+    def test_has_stable_model_miss_stays_lazy(self):
+        """A cache-missing existence check must not materialize the model cache."""
+        solver = StableModelSolver(SolverConfig(memoize=True))
+        program = self._many_model_program(6)  # 64 models
+        assert solver.has_stable_model(program)
+        stats = solver.cache_stats()
+        assert stats["entries"] == 0  # full enumeration never ran
+        assert stats["existence_entries"] == 1
+        assert stats["misses"] == 1
+
+    def test_repeated_existence_checks_hit_the_existence_memo(self):
+        solver = StableModelSolver(SolverConfig(memoize=True))
+        program = self._many_model_program(4)
+        assert solver.has_stable_model(program)
+        misses_after_first = solver.cache_misses
+        assert solver.has_stable_model(program)
+        assert solver.cache_misses == misses_after_first
+        assert solver.cache_hits >= 1
+
+    def test_existence_memo_records_negative_answers(self):
+        solver = StableModelSolver(SolverConfig(memoize=True))
+        ground = GroundProgram((Rule(atom("a"), (), (atom("a"),)),))
+        assert not solver.has_stable_model(ground)
+        assert not solver.has_stable_model(ground)
+        assert solver.cache_stats()["existence_entries"] == 1
+
+    def test_enumerate_after_existence_check_still_full(self):
+        solver = StableModelSolver(SolverConfig(memoize=True))
+        program = self._many_model_program(3)
+        assert solver.has_stable_model(program)
+        assert len(list(solver.enumerate(program))) == 8
+        # Once enumerated, existence answers from the model cache.
+        assert solver.has_stable_model(program)
+
+    def test_clear_cache_drops_the_existence_memo(self):
+        solver = StableModelSolver(SolverConfig(memoize=True))
+        solver.has_stable_model(even_loop_program())
+        solver.clear_cache()
+        assert solver.cache_stats()["existence_entries"] == 0
+
+
 class TestModuleLevelHelpers:
     def test_stable_models_of_reachability(self):
         program = parse_datalog_program(
