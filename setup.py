@@ -1,10 +1,36 @@
-"""Setuptools shim.
+"""Package metadata.
 
-The project metadata lives in ``pyproject.toml``; this file exists so that
-``pip install -e .`` also works on minimal environments that lack the
-``wheel`` package (legacy ``setup.py develop`` code path).
+NumPy is deliberately an *extra* (``pip install repro[fast]``) rather than a
+hard dependency: it powers the columnar ground core
+(:mod:`repro.logic.columnar`) and the ``numpy.random`` sampler streams, but
+every code path degrades to a pure-Python implementation when it is absent
+— the PR 5 indexed join engine and the :mod:`repro.rng` fallback generators.
+CI runs the full tier-1 suite in both configurations.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro",
+    version="0.6.0",
+    description=(
+        "Generative Datalog with stable negation: chase-based exact and "
+        "Monte-Carlo inference for probabilistic logic programs"
+    ),
+    python_requires=">=3.11",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    install_requires=[
+        "networkx",
+    ],
+    extras_require={
+        # Vectorized columnar join core + numpy.random sampler streams.
+        "fast": ["numpy"],
+        "test": ["pytest", "pytest-benchmark", "hypothesis"],
+    },
+    entry_points={
+        "console_scripts": [
+            "repro=repro.cli:main",
+        ],
+    },
+)

@@ -22,7 +22,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
-import numpy as np
+from repro.rng import default_rng
 
 from repro.baselines.problog import ProbabilisticFact
 from repro.exceptions import ValidationError
@@ -115,13 +115,14 @@ class PASPProgram:
 
     def estimate_query(self, atom: Atom, n: int = 1000, seed: int | None = None) -> CredalInterval:
         """Monte-Carlo estimate of the credal interval of *atom*."""
-        rng = np.random.default_rng(seed)
-        probabilities = np.array([f.probability for f in self.probabilistic_facts])
+        rng = default_rng(seed)
+        probabilities = [f.probability for f in self.probabilistic_facts]
         lower_hits = 0
         upper_hits = 0
         inconsistent = 0
         for _ in range(n):
-            selection = tuple(bool(b) for b in (rng.random(len(probabilities)) < probabilities))
+            draws = rng.random(len(probabilities))
+            selection = tuple(bool(u < p) for u, p in zip(draws, probabilities))
             models = self._stable_models_for_choice(selection)
             if not models:
                 inconsistent += 1

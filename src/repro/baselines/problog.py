@@ -22,7 +22,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
-import numpy as np
+from repro.rng import default_rng
 
 from repro.exceptions import ValidationError
 from repro.logic.atoms import Atom
@@ -111,12 +111,13 @@ class ProbLogProgram:
 
     def estimate_query(self, atom: Atom, n: int = 1000, seed: int | None = None) -> float:
         """Monte-Carlo estimate of the success probability of *atom*."""
-        rng = np.random.default_rng(seed)
-        probabilities = np.array([f.probability for f in self.probabilistic_facts])
+        rng = default_rng(seed)
+        probabilities = [f.probability for f in self.probabilistic_facts]
         successes = 0
         for _ in range(n):
-            selection = rng.random(len(probabilities)) < probabilities
-            if atom in self._model_for_choice(tuple(bool(b) for b in selection)):
+            draws = rng.random(len(probabilities))
+            selection = tuple(bool(u < p) for u, p in zip(draws, probabilities))
+            if atom in self._model_for_choice(selection):
                 successes += 1
         return successes / n
 

@@ -106,10 +106,16 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
         "(falls back to the sequential chase when the program is connected)",
     )
     parser.add_argument(
+        "--no-columnar",
+        action="store_true",
+        help="disable the vectorized columnar join core and fall back to the "
+        "indexed engine (the automatic behaviour when NumPy is not installed)",
+    )
+    parser.add_argument(
         "--profile",
         action="store_true",
         help="append a profile summary (chase tree size, cache hit rates, grounding time, "
-        "join-engine index probes vs. scans and plan-cache traffic)",
+        "join-engine index probes vs. scans, plan-cache traffic and columnar batch volumes)",
     )
 
 
@@ -477,6 +483,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "no_columnar", False):
+        from repro.logic.columnar import set_use_columnar
+
+        set_use_columnar(False)
     try:
         output = _COMMANDS[args.command](args)
     except (ReproError, OSError) as error:

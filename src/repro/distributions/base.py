@@ -26,11 +26,12 @@ via :meth:`validate_params` for callers that prefer strictness.
 from __future__ import annotations
 
 import abc
-from typing import Iterable, Sequence
-
-import numpy as np
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro.exceptions import DistributionError
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.rng import Generator
 
 __all__ = ["Outcome", "ParameterizedDistribution"]
 
@@ -66,7 +67,7 @@ class ParameterizedDistribution(abc.ABC):
     def has_finite_support(self, params: Sequence[float]) -> bool:
         """Whether :meth:`support` terminates for these parameters."""
 
-    def sample(self, params: Sequence[float], rng: np.random.Generator) -> Outcome:
+    def sample(self, params: Sequence[float], rng: "Generator") -> Outcome:
         """Draw one outcome according to ``δ⟨p̄⟩`` (default: inverse-CDF over support)."""
         target = float(rng.random())
         cumulative = 0.0

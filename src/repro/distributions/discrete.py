@@ -10,11 +10,12 @@ the paper's ``Die⟨p̄⟩`` does.
 from __future__ import annotations
 
 import math
-from typing import Iterable, Iterator, Sequence
-
-import numpy as np
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
 from repro.distributions.base import Outcome, ParameterizedDistribution
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.rng import Generator
 
 __all__ = [
     "FlipDistribution",
@@ -217,7 +218,7 @@ class GeometricDistribution(ParameterizedDistribution):
     def has_finite_support(self, params: Sequence[float]) -> bool:
         return not self.params_valid(params) or params[0] == 1.0
 
-    def sample(self, params: Sequence[float], rng: np.random.Generator) -> Outcome:
+    def sample(self, params: Sequence[float], rng: "Generator") -> Outcome:
         if not self.params_valid(params):
             return 0
         return int(rng.geometric(float(params[0])) - 1)
@@ -255,7 +256,7 @@ class PoissonDistribution(ParameterizedDistribution):
     def has_finite_support(self, params: Sequence[float]) -> bool:
         return not self.params_valid(params)
 
-    def sample(self, params: Sequence[float], rng: np.random.Generator) -> Outcome:
+    def sample(self, params: Sequence[float], rng: "Generator") -> Outcome:
         if not self.params_valid(params):
             return 0
         return int(rng.poisson(float(params[0])))

@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
-import numpy as np
+from repro.rng import default_rng, sqrt
 
 from repro.gdatalog.chase import ChaseConfig, ChaseEngine
 from repro.gdatalog.grounders import Grounder
@@ -65,7 +65,7 @@ class Estimate:
         z2 = z * z
         denominator = 1.0 + z2 / n
         center = (p + z2 / (2.0 * n)) / denominator
-        spread = (z / denominator) * float(np.sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)))
+        spread = (z / denominator) * float(sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)))
         return (max(center - spread, 0.0), min(center + spread, 1.0))
 
     def half_width(self, z: float = 1.96, method: str = "wilson") -> float:
@@ -96,7 +96,7 @@ class MonteCarloSampler:
 
     def __init__(self, grounder: Grounder, config: ChaseConfig | None = None, seed: int | None = None):
         self._engine = ChaseEngine(grounder, config or ChaseConfig())
-        self._rng = np.random.default_rng(seed)
+        self._rng = default_rng(seed)
 
     # -- sampling --------------------------------------------------------------
 
@@ -125,7 +125,7 @@ class MonteCarloSampler:
             if outcome is not None and predicate(outcome):
                 successes += 1
         p_hat = successes / n
-        standard_error = float(np.sqrt(max(p_hat * (1.0 - p_hat), 1e-300) / n))
+        standard_error = float(sqrt(max(p_hat * (1.0 - p_hat), 1e-300) / n))
         return Estimate(p_hat, standard_error, n)
 
     def estimate_has_stable_model(self, n: int = 1000) -> Estimate:
@@ -161,5 +161,5 @@ class MonteCarloSampler:
             samples=n,
             error_samples=error_samples,
             has_stable_model=stable,
-            mean_depth=float(np.mean(depths)) if depths else 0.0,
+            mean_depth=(sum(depths) / len(depths)) if depths else 0.0,
         )

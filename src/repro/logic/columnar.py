@@ -1,0 +1,805 @@
+"""Columnar ground core: vectorized NumPy hash joins over interned fact columns.
+
+The indexed join engine (:mod:`repro.logic.join`) replaced full-extent scans
+with per-argument hash buckets, but its execution is still *fact-at-a-time*:
+a backtracking search that manipulates Python tuples and a mutable binding
+dictionary, paying interpreter overhead per candidate fact.  This module
+makes the duckdb/soufflé-lineage move: each predicate's extent is kept as
+parallel NumPy ``int64`` arrays of interned constant ids, and a whole rule
+body is evaluated as a handful of array operations —
+
+* **selection** — bound constants and repeated variables become boolean
+  masks over the predicate's columns;
+* **hash join** — shared variables between the accumulated binding table and
+  the next atom are joined by ``argsort``/``searchsorted`` over joint integer
+  key codes (a radix-style hash join, entirely in C);
+* **projection** — the binding table is a dict of equal-length id columns,
+  one per variable; results decode back to :class:`~repro.logic.terms.Constant`
+  objects only at the yield boundary.
+
+Components
+----------
+
+* :class:`FactStore` — an :class:`~repro.logic.join.ArgIndex` subclass that
+  additionally maintains the column arrays (so every fact-level API — ``in``,
+  ``facts_for``, bucket probes — keeps working, and the PR 5 engine remains
+  available as a fallback on the *same* store).  Column buffers support
+  **copy-on-write snapshots**: :meth:`FactStore.copy` shares buffers with the
+  child and either side copies a predicate's buffer only when it next appends
+  to it, mirroring (and undercutting) ``ArgIndex.copy``'s per-bucket set
+  copies for chase-node reuse.
+* :class:`ColumnarPlan` — the compiled per-conjunction shape (constant
+  positions, variable positions, intra-atom repeated-variable equality
+  pairs), cached process-wide like :class:`~repro.logic.join.RulePlan`.
+* :func:`iter_join` / :func:`iter_join_seminaive` — drop-in dispatching
+  equivalents of the :mod:`repro.logic.join` entry points: they run the
+  columnar engine when the store is a :class:`FactStore` and the extents are
+  large enough to amortize the kernel overhead (``COLUMNAR_MIN_ROWS``), and
+  fall back to the indexed engine otherwise.  Either path yields the same
+  binding *set* — enumeration order may differ, which is invisible at the
+  grounding level because groundings are canonicalized sets.
+* :func:`join_arrays` — the raw batch API (variables + id columns, no dict
+  materialization), used by the benchmarks and by future batch consumers.
+
+Fallback and configuration
+--------------------------
+
+NumPy is an optional extra (``pip install repro[fast]``).  When it is not
+importable, :func:`make_fact_store` transparently builds a plain
+:class:`~repro.logic.join.ArgIndex` and every dispatcher falls back to the
+PR 5 indexed engine — same results, pure Python.  The behaviour is governed
+by :func:`set_use_columnar` / :func:`use_columnar` (default: on exactly when
+NumPy is importable).
+
+Determinism: the columnar engine's outputs are consumed exclusively by
+canonicalizing consumers (groundings are sets, chase triggers are sorted),
+and the differential property suite
+(``tests/property/test_columnar_equivalence.py``) plus the BENCH_e14 gate
+hold groundings, output spaces and seeded sampler streams bit-identical to
+the indexed and naive oracles.
+
+Profiling: batch activity is reported into the process-wide
+:data:`repro.logic.join.JOIN_STATS` (``batches_executed``, ``rows_selected``,
+``rows_joined``, ``snapshot_copies``) and surfaced by ``--profile``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.logic.atoms import Atom, Predicate
+from repro.logic.join import (
+    JOIN_STATS,
+    ArgIndex,
+    iter_join as _indexed_iter_join,
+    iter_join_seminaive as _indexed_iter_join_seminaive,
+)
+from repro.logic.substitution import Substitution
+from repro.logic.terms import Constant, Term, Variable
+from repro.logic.unify import FactIndex
+
+try:  # pragma: no cover - exercised via the no-NumPy CI job
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None
+
+NUMPY_AVAILABLE = np is not None
+
+__all__ = [
+    "NUMPY_AVAILABLE",
+    "COLUMNAR_MIN_ROWS",
+    "FactStore",
+    "ColumnarPlan",
+    "make_fact_store",
+    "use_columnar",
+    "set_use_columnar",
+    "iter_join",
+    "iter_join_seminaive",
+    "join_arrays",
+    "columnar_stats",
+    "clear_columnar_tables",
+]
+
+#: Minimum summed extent size (rows across the body's predicates) before the
+#: columnar engine takes over from the indexed one.  Below it, NumPy kernel
+#: overhead (~tens of microseconds per call) exceeds the cost of simply
+#: probing hash buckets; the two paths produce identical binding sets, so the
+#: switch is purely a performance decision.  Tests pin it to 0 to force the
+#: columnar path.
+COLUMNAR_MIN_ROWS = 256
+
+# ---------------------------------------------------------------------------
+# Constant interning: Constant <-> int64 id
+# ---------------------------------------------------------------------------
+
+_CONST_LOCK = threading.Lock()
+_CONSTANT_IDS: dict[Constant, int] = {}
+_CONSTANTS: list[Constant] = []
+_CONST_ARRAY = None  # lazily rebuilt object ndarray mirror of _CONSTANTS
+
+
+def _intern_constant(constant: Constant) -> int:
+    """The stable integer id of *constant* (assigned on first sight)."""
+    ident = _CONSTANT_IDS.get(constant)
+    if ident is not None:
+        return ident
+    with _CONST_LOCK:
+        ident = _CONSTANT_IDS.get(constant)
+        if ident is None:
+            ident = len(_CONSTANTS)
+            _CONSTANTS.append(constant)
+            _CONSTANT_IDS[constant] = ident
+    return ident
+
+
+def _lookup_constant(constant: Constant) -> int | None:
+    """The id of *constant*, or ``None`` if it was never interned (no fact
+    mentions it, hence no match is possible)."""
+    return _CONSTANT_IDS.get(constant)
+
+
+def _constants_array():
+    """An object ndarray decoding ids back to :class:`Constant` (cached)."""
+    global _CONST_ARRAY
+    with _CONST_LOCK:
+        if _CONST_ARRAY is None or len(_CONST_ARRAY) != len(_CONSTANTS):
+            arr = np.empty(len(_CONSTANTS), dtype=object)
+            arr[:] = _CONSTANTS
+            _CONST_ARRAY = arr
+        return _CONST_ARRAY
+
+
+def columnar_stats() -> dict[str, int]:
+    """Interner table size (for ``--profile`` reports and tests)."""
+    return {"constants": len(_CONSTANTS), "plans": len(_PLAN_CACHE)}
+
+
+def clear_columnar_tables() -> None:
+    """Drop the interner and plan cache (tests only — live stores hold ids)."""
+    global _CONST_ARRAY
+    with _CONST_LOCK:
+        _CONSTANT_IDS.clear()
+        _CONSTANTS.clear()
+        _CONST_ARRAY = None
+    with _PLAN_LOCK:
+        _PLAN_CACHE.clear()
+
+
+# ---------------------------------------------------------------------------
+# Column storage
+# ---------------------------------------------------------------------------
+
+
+class _PredColumns:
+    """Growable parallel id columns for one predicate (shape ``arity × cap``).
+
+    Buffers are append-only: rows below ``length`` are never mutated in
+    place, so snapshots taken by :meth:`share` stay valid while either side
+    keeps appending — an append on a *shared* buffer first duplicates it
+    (copy-on-write), an append on an owned one writes in place.
+    """
+
+    __slots__ = ("arity", "length", "data", "owned")
+
+    def __init__(self, arity: int):
+        self.arity = arity
+        self.length = 0
+        self.data = np.empty((arity, 8), dtype=np.int64)
+        self.owned = True
+
+    def append(self, ids: tuple[int, ...]) -> None:
+        capacity = self.data.shape[1]
+        if self.length == capacity:
+            grown = np.empty((self.arity, max(8, capacity * 2)), dtype=np.int64)
+            grown[:, : self.length] = self.data[:, : self.length]
+            self.data = grown
+            self.owned = True
+        elif not self.owned:
+            self.data = self.data.copy()
+            self.owned = True
+            JOIN_STATS.bump("snapshot_copies")
+        for position, ident in enumerate(ids):
+            self.data[position, self.length] = ident
+        self.length += 1
+
+    def share(self) -> "_PredColumns":
+        """A snapshot sharing this buffer; both sides turn copy-on-write."""
+        duplicate = _PredColumns.__new__(_PredColumns)
+        duplicate.arity = self.arity
+        duplicate.length = self.length
+        duplicate.data = self.data
+        duplicate.owned = False
+        self.owned = False
+        return duplicate
+
+    def view(self):
+        """The live ``(arity, length)`` window (stable under later appends)."""
+        return self.data[:, : self.length]
+
+
+class FactStore(ArgIndex):
+    """An :class:`ArgIndex` that additionally maintains interned id columns.
+
+    Every inherited API keeps working — membership, per-predicate views,
+    per-position bucket probes — so the indexed engine remains available on
+    the same store (the dispatchers use it for small extents).  The columns
+    power the vectorized batch engine; :meth:`copy` shares them copy-on-write
+    with the child, which is the chase-node reuse pattern
+    (``GroundingState.copy``) that made ``ArgIndex.copy`` deep-copy its
+    buckets in PR 5.
+    """
+
+    def __init__(self, facts: Iterable[Atom] = ()):
+        # Set before super().__init__: FactIndex.__init__ calls add().
+        self._columns: dict[Predicate, _PredColumns] = {}
+        super().__init__(facts)
+
+    def add(self, fact: Atom) -> bool:
+        if not super().add(fact):
+            return False
+        columns = self._columns.get(fact.predicate)
+        if columns is None:
+            columns = self._columns[fact.predicate] = _PredColumns(fact.predicate.arity)
+        columns.append(tuple(_intern_constant(argument) for argument in fact.args))
+        return True
+
+    def copy(self) -> "FactStore":
+        duplicate = FactStore()
+        duplicate._all = set(self._all)
+        for predicate, bucket in self._by_predicate.items():
+            duplicate._by_predicate[predicate] = set(bucket)
+        for key, buckets in self._arg_buckets.items():
+            duplicate._arg_buckets[key] = {c: set(facts) for c, facts in buckets.items()}
+        duplicate._built_positions = dict(self._built_positions)
+        for predicate, columns in self._columns.items():
+            duplicate._columns[predicate] = columns.share()
+        return duplicate
+
+    # -- columnar internals --------------------------------------------------
+
+    def _pred_columns(self, predicate: Predicate) -> _PredColumns | None:
+        return self._columns.get(predicate)
+
+    def _extent_size(self, predicate: Predicate) -> int:
+        columns = self._columns.get(predicate)
+        return 0 if columns is None else columns.length
+
+
+# ---------------------------------------------------------------------------
+# Configuration
+# ---------------------------------------------------------------------------
+
+_USE_COLUMNAR: bool | None = None  # None → auto (on iff NumPy importable)
+
+
+def use_columnar() -> bool:
+    """Whether new fact stores should be columnar (flag ∧ NumPy importable)."""
+    if not NUMPY_AVAILABLE:
+        return False
+    return True if _USE_COLUMNAR is None else bool(_USE_COLUMNAR)
+
+
+def set_use_columnar(flag: bool | None) -> None:
+    """Set the columnar flag: ``True``/``False``, or ``None`` for auto."""
+    global _USE_COLUMNAR
+    _USE_COLUMNAR = flag
+
+
+def make_fact_store(facts: Iterable[Atom] = ()) -> ArgIndex:
+    """A fact store for the grounding hot paths.
+
+    A columnar :class:`FactStore` when enabled (see :func:`use_columnar`),
+    otherwise a plain :class:`~repro.logic.join.ArgIndex` — the clean
+    pure-Python fallback to the PR 5 indexed path.
+    """
+    if use_columnar():
+        return FactStore(facts)
+    return ArgIndex(facts)
+
+
+# ---------------------------------------------------------------------------
+# Plans
+# ---------------------------------------------------------------------------
+
+
+class _AtomShape:
+    """The static columnar shape of one body atom."""
+
+    __slots__ = (
+        "atom",
+        "predicate",
+        "const_terms",
+        "var_first_pos",
+        "dup_pairs",
+        "variables",
+        "tie_break",
+    )
+
+    def __init__(self, atom: Atom):
+        self.atom = atom
+        self.predicate = atom.predicate
+        const_terms: list[tuple[int, Constant]] = []
+        first_seen: dict[Variable, int] = {}
+        dup_pairs: list[tuple[int, int]] = []
+        for position, term in enumerate(atom.args):
+            if isinstance(term, Constant):
+                const_terms.append((position, term))
+            else:
+                first = first_seen.get(term)
+                if first is None:
+                    first_seen[term] = position
+                else:
+                    dup_pairs.append((first, position))
+        self.const_terms = tuple(const_terms)
+        self.var_first_pos = tuple(first_seen.items())
+        self.dup_pairs = tuple(dup_pairs)
+        self.variables = frozenset(first_seen)
+        self.tie_break = atom.sort_key()
+
+
+_PLAN_LOCK = threading.Lock()
+_PLAN_CACHE: dict[tuple[Atom, ...], "ColumnarPlan"] = {}
+
+#: Same wholesale-clear policy as the RulePlan cache and the intern tables.
+MAX_PLAN_CACHE_SIZE = 65_536
+
+
+class ColumnarPlan:
+    """The compiled columnar shape of one conjunction of body atoms.
+
+    Holds only static per-atom shapes; the join order is recomputed per
+    execution from the current selection cardinalities (extents change as
+    the fixpoint derives facts).
+    """
+
+    __slots__ = ("patterns", "shapes")
+
+    def __init__(self, patterns: Sequence[Atom]):
+        self.patterns = tuple(patterns)
+        self.shapes = tuple(_AtomShape(a) for a in self.patterns)
+
+    @staticmethod
+    def for_patterns(patterns: Sequence[Atom]) -> "ColumnarPlan":
+        key = tuple(patterns)
+        plan = _PLAN_CACHE.get(key)
+        if plan is not None:
+            JOIN_STATS.bump("plans_reused")
+            return plan
+        JOIN_STATS.bump("plans_compiled")
+        plan = ColumnarPlan(key)
+        with _PLAN_LOCK:
+            if len(_PLAN_CACHE) >= MAX_PLAN_CACHE_SIZE:
+                _PLAN_CACHE.clear()
+            _PLAN_CACHE[key] = plan
+        return plan
+
+
+# ---------------------------------------------------------------------------
+# Execution
+# ---------------------------------------------------------------------------
+
+#: Extent kinds for the seminaive pivot decomposition.
+_ALL, _OLD, _DELTA = 0, 1, 2
+
+
+class _JoinResult:
+    """A batch join result: equal-length id columns, one per variable."""
+
+    __slots__ = ("variables", "columns", "length")
+
+    def __init__(self, variables: tuple[Variable, ...], columns: list, length: int):
+        self.variables = variables
+        self.columns = columns
+        self.length = length
+
+    @staticmethod
+    def empty() -> "_JoinResult":
+        return _JoinResult((), [], 0)
+
+    def iter_dicts(self, initial: Mapping[Variable, Term] | None = None) -> Iterator[dict]:
+        """Decode the id columns into per-row binding dicts."""
+        if self.length == 0:
+            return
+        if not self.variables:
+            base = dict(initial) if initial else {}
+            for _ in range(self.length):
+                yield dict(base)
+            return
+        consts = _constants_array()
+        decoded = [consts[column] for column in self.columns]
+        names = self.variables
+        if initial:
+            for values in zip(*decoded):
+                merged = dict(initial)
+                merged.update(zip(names, values))
+                yield merged
+        else:
+            for values in zip(*decoded):
+                yield dict(zip(names, values))
+
+
+def _hash_join(lcodes, rcodes):
+    """Vectorized equi-join of two integer code arrays.
+
+    Returns ``(left_idx, right_idx)`` index arrays enumerating every pair
+    ``(i, j)`` with ``lcodes[i] == rcodes[j]``, grouped by left row.
+    """
+    order = np.argsort(rcodes, kind="stable")
+    sorted_codes = rcodes[order]
+    starts = np.searchsorted(sorted_codes, lcodes, side="left")
+    ends = np.searchsorted(sorted_codes, lcodes, side="right")
+    counts = ends - starts
+    total = int(counts.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    left_idx = np.repeat(np.arange(lcodes.shape[0], dtype=np.int64), counts)
+    first_slot = np.repeat(np.cumsum(counts) - counts, counts)
+    within = np.arange(total, dtype=np.int64) - first_slot
+    right_idx = order[np.repeat(starts, counts) + within]
+    return left_idx, right_idx
+
+
+def _joint_codes(left_keys: list, right_keys: list):
+    """Collapse multi-column keys of both sides into one integer code array."""
+    if len(left_keys) == 1:
+        return left_keys[0], right_keys[0]
+    left_length = left_keys[0].shape[0]
+    stacked = np.stack(
+        [np.concatenate((l, r)) for l, r in zip(left_keys, right_keys)]
+    )
+    _, inverse = np.unique(stacked, axis=1, return_inverse=True)
+    inverse = np.asarray(inverse).ravel()
+    return inverse[:left_length], inverse[left_length:]
+
+
+class _Extent:
+    """One atom's resolved extent: an id matrix plus an optional row filter."""
+
+    __slots__ = ("matrix", "rows", "count")
+
+    def __init__(self, matrix, rows, count: int):
+        self.matrix = matrix  # (arity, n) int64
+        self.rows = rows  # int64 row indices into matrix, or None for all
+        self.count = count
+
+    def column(self, position: int):
+        full = self.matrix[position]
+        return full if self.rows is None else full[self.rows]
+
+
+def _select(shape: _AtomShape, matrix, row_filter=None) -> _Extent | None:
+    """Apply the atom's constant and repeated-variable selections.
+
+    *row_filter* (optional int64 row indices) pre-restricts the extent — the
+    seminaive ``facts − delta`` case.  Returns ``None`` when no row survives.
+    """
+    if matrix is None:
+        return None
+    base = matrix if row_filter is None else matrix[:, row_filter]
+    n = base.shape[1]
+    if n == 0:
+        return None
+    mask = None
+    for position, constant in shape.const_terms:
+        ident = _lookup_constant(constant)
+        if ident is None:
+            return None
+        current = base[position] == ident
+        mask = current if mask is None else (mask & current)
+    for first, position in shape.dup_pairs:
+        current = base[first] == base[position]
+        mask = current if mask is None else (mask & current)
+    if mask is None:
+        if row_filter is None:
+            return _Extent(matrix, None, n)
+        return _Extent(matrix, row_filter, n)
+    selected = np.nonzero(mask)[0]
+    if selected.shape[0] == 0:
+        return None
+    if row_filter is not None:
+        selected = row_filter[selected]
+    return _Extent(matrix, selected, int(selected.shape[0]))
+
+
+def _order_shapes(
+    shapes: Sequence[_AtomShape], extents: Sequence[_Extent | None]
+) -> tuple[int, ...]:
+    """Greedy deterministic join order: smallest selected extent first,
+    preferring atoms connected (by a shared variable) to those already
+    placed — cartesian products only when the body itself is disconnected."""
+    remaining = list(range(len(shapes)))
+    ordered: list[int] = []
+    bound: set[Variable] = set()
+    while remaining:
+        connected = [i for i in remaining if shapes[i].variables & bound]
+        pool = connected if connected else remaining
+        best = min(
+            pool,
+            key=lambda i: (
+                extents[i].count if extents[i] is not None else 0,
+                shapes[i].tie_break,
+            ),
+        )
+        remaining.remove(best)
+        ordered.append(best)
+        bound |= shapes[best].variables
+    return tuple(ordered)
+
+
+def _execute(
+    shapes: Sequence[_AtomShape],
+    extents: Sequence[_Extent | None],
+    order: Sequence[int],
+) -> _JoinResult:
+    """Run the batch join over pre-selected extents in the given order."""
+    selected_total = sum(e.count for e in extents if e is not None)
+    table: dict[Variable, object] = {}
+    length = 1  # rows of the (initially zero-column) binding table
+    for index in order:
+        extent = extents[index]
+        if extent is None:
+            JOIN_STATS.bump_batch(selected_total, 0)
+            return _JoinResult.empty()
+        shape = shapes[index]
+        shared = [(v, p) for v, p in shape.var_first_pos if v in table]
+        fresh = [(v, p) for v, p in shape.var_first_pos if v not in table]
+        if not table:
+            # First atom (or an all-ground atom before any variables bind):
+            # the candidates *are* the table.
+            if shared:  # pragma: no cover - unreachable (table empty)
+                raise AssertionError("shared variables with an empty table")
+            if not fresh:
+                length *= extent.count  # all-ground atom: 0 or 1 rows
+                if length == 0:
+                    JOIN_STATS.bump_batch(selected_total, 0)
+                    return _JoinResult.empty()
+                continue
+            for variable, position in fresh:
+                table[variable] = extent.column(position)
+            length = extent.count
+            continue
+        if not shared:
+            if not fresh:
+                # All-ground atom against a populated table: pure filter.
+                if extent.count == 0:
+                    JOIN_STATS.bump_batch(selected_total, 0)
+                    return _JoinResult.empty()
+                continue
+            # Disconnected atom: cartesian product.
+            left_idx = np.repeat(
+                np.arange(length, dtype=np.int64), extent.count
+            )
+            right_idx = np.tile(np.arange(extent.count, dtype=np.int64), length)
+        else:
+            left_keys = [table[v] for v, _ in shared]
+            right_keys = [extent.column(p) for _, p in shared]
+            lcodes, rcodes = _joint_codes(left_keys, right_keys)
+            left_idx, right_idx = _hash_join(lcodes, rcodes)
+        if left_idx.shape[0] == 0:
+            JOIN_STATS.bump_batch(selected_total, 0)
+            return _JoinResult.empty()
+        table = {v: column[left_idx] for v, column in table.items()}
+        for variable, position in fresh:
+            table[variable] = extent.column(position)[right_idx]
+        length = left_idx.shape[0]
+    variables = tuple(table)
+    JOIN_STATS.bump_batch(selected_total, length)
+    return _JoinResult(variables, [table[v] for v in variables], length)
+
+
+def _store_extents(
+    plan: ColumnarPlan, store: FactStore
+) -> list[_Extent | None]:
+    extents: list[_Extent | None] = []
+    for shape in plan.shapes:
+        columns = store._pred_columns(shape.predicate)
+        extents.append(
+            _select(shape, columns.view()) if columns is not None else None
+        )
+    return extents
+
+
+def _columnar_join(
+    plan: ColumnarPlan, store: FactStore
+) -> _JoinResult:
+    extents = _store_extents(plan, store)
+    if any(e is None for e in extents):
+        JOIN_STATS.bump_batch(sum(e.count for e in extents if e is not None), 0)
+        return _JoinResult.empty()
+    order = _order_shapes(plan.shapes, extents)
+    return _execute(plan.shapes, extents, order)
+
+
+# ---------------------------------------------------------------------------
+# Seminaive execution
+# ---------------------------------------------------------------------------
+
+
+def _delta_matrix(delta: FactIndex, predicate: Predicate):
+    """The delta's facts for *predicate* as an ``(arity, d)`` id matrix."""
+    bucket = delta._bucket(predicate)
+    if not bucket:
+        return None
+    rows = [
+        tuple(_intern_constant(argument) for argument in fact.args)
+        for fact in bucket
+    ]
+    matrix = np.array(rows, dtype=np.int64)
+    return matrix.reshape(len(rows), predicate.arity).T
+
+
+def _rows_not_in(matrix, other) -> object:
+    """Indices of *matrix* columns whose tuples do not occur in *other*."""
+    arity, n = matrix.shape
+    if other is None or other.shape[1] == 0:
+        return None  # nothing excluded: all rows
+    if arity == 0:
+        # A zero-arity predicate has at most one fact; it is in the delta.
+        return np.empty(0, dtype=np.int64)
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    joint = np.concatenate((matrix, other), axis=1)
+    if arity == 1:
+        store_codes, other_codes = joint[0, :n], joint[0, n:]
+    else:
+        _, inverse = np.unique(joint, axis=1, return_inverse=True)
+        inverse = np.asarray(inverse).ravel()
+        store_codes, other_codes = inverse[:n], inverse[n:]
+    keep = ~np.isin(store_codes, other_codes)
+    return np.nonzero(keep)[0]
+
+
+def _columnar_join_seminaive(
+    plan: ColumnarPlan, store: FactStore, delta: FactIndex
+) -> Iterator[_JoinResult]:
+    """Pivot-decomposed seminaive batch join (one result batch per pivot)."""
+    shapes = plan.shapes
+    deltas = {}
+    for shape in shapes:
+        if shape.predicate not in deltas:
+            deltas[shape.predicate] = _delta_matrix(delta, shape.predicate)
+    if all(matrix is None for matrix in deltas.values()):
+        return
+    full_extents = _store_extents(plan, store)
+    # One fixed order across all pivots keeps the decomposition disjoint.
+    order = _order_shapes(shapes, full_extents)
+    old_rows: dict[Predicate, object] = {}
+
+    def old_extent(position_in_order: int) -> _Extent | None:
+        shape = shapes[position_in_order]
+        columns = store._pred_columns(shape.predicate)
+        if columns is None:
+            return None
+        if shape.predicate not in old_rows:
+            old_rows[shape.predicate] = _rows_not_in(
+                columns.view(), deltas.get(shape.predicate)
+            )
+        rows = old_rows[shape.predicate]
+        return _select(shape, columns.view(), row_filter=rows)
+
+    for pivot_slot, pivot_index in enumerate(order):
+        pivot_shape = shapes[pivot_index]
+        pivot_matrix = deltas.get(pivot_shape.predicate)
+        if pivot_matrix is None:
+            continue
+        extents: list[_Extent | None] = list(full_extents)
+        extents[pivot_index] = _select(pivot_shape, pivot_matrix)
+        failed = extents[pivot_index] is None
+        for earlier_slot in range(pivot_slot):
+            earlier_index = order[earlier_slot]
+            extents[earlier_index] = old_extent(earlier_index)
+            if extents[earlier_index] is None:
+                failed = True
+        if failed:
+            continue
+        yield _execute(shapes, extents, order)
+
+
+# ---------------------------------------------------------------------------
+# Dispatchers (public API)
+# ---------------------------------------------------------------------------
+
+
+def _normalize_binding(
+    binding: Substitution | Mapping[Variable, Term] | None,
+) -> dict[Variable, Term]:
+    if binding is None:
+        return {}
+    if isinstance(binding, Substitution):
+        return binding.as_dict()
+    return dict(binding)
+
+
+def _columnar_applicable(store, patterns) -> bool:
+    """Whether to run the batch engine: a columnar store with real volume."""
+    if np is None or not isinstance(store, FactStore):
+        return False
+    total = 0
+    for pattern in patterns:
+        total += store._extent_size(pattern.predicate)
+        if total >= COLUMNAR_MIN_ROWS:
+            return True
+    return False
+
+
+def iter_join(
+    patterns: Sequence[Atom],
+    facts: FactIndex | Iterable[Atom],
+    binding: Substitution | Mapping[Variable, Term] | None = None,
+) -> Iterator[dict[Variable, Term]]:
+    """Dispatching equivalent of :func:`repro.logic.join.iter_join`.
+
+    Runs the columnar batch engine when *facts* is a :class:`FactStore`
+    whose relevant extents reach :data:`COLUMNAR_MIN_ROWS`; otherwise the
+    indexed engine.  Same binding set either way.
+    """
+    pattern_tuple = tuple(patterns)
+    if not _columnar_applicable(facts, pattern_tuple):
+        yield from _indexed_iter_join(pattern_tuple, facts, binding)
+        return
+    initial = _normalize_binding(binding)
+    if initial:
+        applied = tuple(a.substitute(initial) for a in pattern_tuple)
+        plan = ColumnarPlan(applied)  # binding-specific: bypass the cache
+        yield from _columnar_join(plan, facts).iter_dicts(initial)
+        return
+    if not pattern_tuple:
+        yield {}
+        return
+    plan = ColumnarPlan.for_patterns(pattern_tuple)
+    yield from _columnar_join(plan, facts).iter_dicts()
+
+
+def iter_join_seminaive(
+    patterns: Sequence[Atom],
+    facts: FactIndex | Iterable[Atom],
+    delta: FactIndex,
+    binding: Substitution | Mapping[Variable, Term] | None = None,
+) -> Iterator[dict[Variable, Term]]:
+    """Dispatching equivalent of :func:`repro.logic.join.iter_join_seminaive`."""
+    pattern_tuple = tuple(patterns)
+    if not _columnar_applicable(facts, pattern_tuple):
+        yield from _indexed_iter_join_seminaive(pattern_tuple, facts, delta, binding)
+        return
+    if not pattern_tuple or not len(delta):
+        return
+    initial = _normalize_binding(binding)
+    if initial:
+        plan = ColumnarPlan(tuple(a.substitute(initial) for a in pattern_tuple))
+        for result in _columnar_join_seminaive(plan, facts, delta):
+            yield from result.iter_dicts(initial)
+        return
+    plan = ColumnarPlan.for_patterns(pattern_tuple)
+    for result in _columnar_join_seminaive(plan, facts, delta):
+        yield from result.iter_dicts()
+
+
+def join_arrays(
+    patterns: Sequence[Atom],
+    store: FactStore,
+    binding: Substitution | Mapping[Variable, Term] | None = None,
+):
+    """The raw batch join: ``(variables, id columns, row count)``.
+
+    The zero-Python-per-row entry point used by the benchmarks (and open to
+    future batch consumers): no dict materialization, no Constant decoding —
+    the returned columns are NumPy ``int64`` arrays of interned ids.
+    Requires a :class:`FactStore` (and NumPy).
+    """
+    if np is None or not isinstance(store, FactStore):
+        raise TypeError("join_arrays requires NumPy and a columnar FactStore")
+    initial = _normalize_binding(binding)
+    pattern_tuple = tuple(
+        a.substitute(initial) for a in patterns
+    ) if initial else tuple(patterns)
+    if not pattern_tuple:
+        return ((), [], 1)
+    plan = (
+        ColumnarPlan(pattern_tuple)
+        if initial
+        else ColumnarPlan.for_patterns(pattern_tuple)
+    )
+    result = _columnar_join(plan, store)
+    return (result.variables, result.columns, result.length)

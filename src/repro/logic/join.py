@@ -66,7 +66,8 @@ kept process-wide in :data:`JOIN_STATS` and surfaced by ``--profile``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import threading
+from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Mapping, Sequence
 
 from repro.logic.atoms import Atom, Predicate
@@ -103,7 +104,15 @@ class JoinStats:
     buckets, ``full_scans`` those that had to enumerate a predicate's whole
     extent (no bound position), ``indexes_built`` the lazily-constructed
     per-position hash indexes, and ``plans_compiled`` / ``plans_reused`` the
-    plan-cache traffic.
+    plan-cache traffic.  The columnar engine
+    (:mod:`repro.logic.columnar`) reports its batch activity here as well:
+    ``batches_executed`` whole-body array evaluations, ``rows_selected`` /
+    ``rows_joined`` the selection and join output row volumes, and
+    ``snapshot_copies`` copy-on-write column-buffer duplications.
+
+    All mutation goes through the lock-guarded :meth:`bump` (plain ``+=`` on
+    a shared counter is a read-modify-write race under the threaded ``serve``
+    path); reads for reporting are tolerant of concurrent writers.
     """
 
     index_probes: int = 0
@@ -111,17 +120,45 @@ class JoinStats:
     indexes_built: int = 0
     plans_compiled: int = 0
     plans_reused: int = 0
+    batches_executed: int = 0
+    rows_selected: int = 0
+    rows_joined: int = 0
+    snapshot_copies: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False, compare=False)
+
+    def bump(self, counter: str, amount: int = 1) -> None:
+        """Atomically add *amount* to *counter* (thread-safe)."""
+        with self._lock:
+            setattr(self, counter, getattr(self, counter) + amount)
+
+    def bump_batch(self, selected: int, joined: int) -> None:
+        """Record one columnar whole-body evaluation (single lock acquisition)."""
+        with self._lock:
+            self.batches_executed += 1
+            self.rows_selected += selected
+            self.rows_joined += joined
 
     def reset(self) -> None:
-        self.index_probes = 0
-        self.full_scans = 0
-        self.indexes_built = 0
-        self.plans_compiled = 0
-        self.plans_reused = 0
+        with self._lock:
+            self.index_probes = 0
+            self.full_scans = 0
+            self.indexes_built = 0
+            self.plans_compiled = 0
+            self.plans_reused = 0
+            self.batches_executed = 0
+            self.rows_selected = 0
+            self.rows_joined = 0
+            self.snapshot_copies = 0
 
     def snapshot(self) -> tuple[int, int, int, int]:
         """(probes, scans, compiled, reused) — for delta-based per-run stats."""
-        return (self.index_probes, self.full_scans, self.plans_compiled, self.plans_reused)
+        with self._lock:
+            return (self.index_probes, self.full_scans, self.plans_compiled, self.plans_reused)
+
+    def columnar_snapshot(self) -> tuple[int, int, int, int]:
+        """(batches, selected, joined, snapshot copies) — columnar deltas."""
+        with self._lock:
+            return (self.batches_executed, self.rows_selected, self.rows_joined, self.snapshot_copies)
 
 
 #: The process-wide counter instance.
@@ -211,7 +248,7 @@ class ArgIndex(FactIndex):
             buckets.setdefault(fact.args[position], set()).add(fact)
         self._arg_buckets[(predicate, position)] = buckets
         self._built_positions[predicate] = self._built_positions.get(predicate, ()) + (position,)
-        JOIN_STATS.indexes_built += 1
+        JOIN_STATS.bump("indexes_built")
         return buckets
 
 
@@ -265,9 +302,9 @@ class RulePlan:
         key = tuple(patterns)
         plan = _PLAN_CACHE.get(key)
         if plan is not None:
-            JOIN_STATS.plans_reused += 1
+            JOIN_STATS.bump("plans_reused")
             return plan
-        JOIN_STATS.plans_compiled += 1
+        JOIN_STATS.bump("plans_compiled")
         plan = RulePlan(key)
         if len(_PLAN_CACHE) >= MAX_PLAN_CACHE_SIZE:
             _PLAN_CACHE.clear()
@@ -326,9 +363,9 @@ def _probe_candidates(info: _PatternInfo, binding: dict[Variable, Term], index: 
         if value is not None and isinstance(value, Constant):
             bound_pairs.append((position, value))
     if not bound_pairs:
-        JOIN_STATS.full_scans += 1
+        JOIN_STATS.bump("full_scans")
         return tuple(index._bucket(info.predicate))
-    JOIN_STATS.index_probes += 1
+    JOIN_STATS.bump("index_probes")
     if len(bound_pairs) == 1:
         position, value = bound_pairs[0]
         return tuple(index.probe(info.predicate, position, value))

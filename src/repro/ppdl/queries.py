@@ -134,9 +134,9 @@ class ConditionalQuery:
         if accepted == 0:
             return Estimate(float("nan"), float("nan"), 0)
         p_hat = satisfied / accepted
-        import numpy as np
+        from repro.rng import sqrt
 
-        standard_error = float(np.sqrt(max(p_hat * (1.0 - p_hat), 1e-300) / accepted))
+        standard_error = float(sqrt(max(p_hat * (1.0 - p_hat), 1e-300) / accepted))
         return Estimate(p_hat, standard_error, accepted)
 
     def __str__(self) -> str:

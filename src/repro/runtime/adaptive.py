@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
+from repro.rng import default_rng, sqrt
 
 from repro.gdatalog.chase import ChaseConfig, ChaseEngine
 from repro.gdatalog.grounders import Grounder
@@ -112,7 +112,7 @@ class AdaptiveSampler:
         if chunk_size <= 0:
             raise ValueError(f"chunk_size must be positive, got {chunk_size}")
         self._engine = ChaseEngine(grounder, config or ChaseConfig())
-        self._rng = np.random.default_rng(seed)
+        self._rng = default_rng(seed)
         self.target_half_width = float(target_half_width)
         self.z = float(z)
         self.chunk_size = int(chunk_size)
@@ -207,4 +207,4 @@ class AdaptiveSampler:
             if stratum.samples
         )
         variance_like = sum((stratum.mass * stratum.half_width(self.z)) ** 2 for stratum in strata)
-        return value, float(np.sqrt(variance_like))
+        return value, float(sqrt(variance_like))

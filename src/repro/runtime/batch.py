@@ -26,7 +26,7 @@ from __future__ import annotations
 import math
 from typing import Sequence
 
-import numpy as np
+from repro.rng import sqrt
 
 from repro.gdatalog.factorize import ProductSpace
 from repro.gdatalog.outcomes import PossibleOutcome
@@ -152,6 +152,6 @@ class QueryBatch:
         estimates: list[Estimate] = []
         for count in successes:
             p_hat = count / n if n else 0.0
-            standard_error = float(np.sqrt(max(p_hat * (1.0 - p_hat), 1e-300) / n)) if n else 0.0
+            standard_error = float(sqrt(max(p_hat * (1.0 - p_hat), 1e-300) / n)) if n else 0.0
             estimates.append(Estimate(p_hat, standard_error, n))
         return estimates

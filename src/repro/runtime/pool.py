@@ -56,14 +56,13 @@ from collections import deque
 from dataclasses import dataclass, replace
 from typing import Callable, Sequence
 
-import numpy as np
-
 from repro.exceptions import ChaseLimitError
 from repro.gdatalog.chase import ChaseConfig, ChaseEngine, ChaseNode, ChaseResult, ChaseStats
 from repro.gdatalog.grounders import Grounder
 from repro.gdatalog.outcomes import PossibleOutcome
 from repro.gdatalog.probability_space import OutputSpace
 from repro.gdatalog.sampler import Estimate, MonteCarloSampler
+from repro.rng import SeedSequence, default_rng, generate_uint64, sqrt
 
 __all__ = [
     "ParallelChaseExplorer",
@@ -79,22 +78,22 @@ def default_worker_count() -> int:
     return max(1, min(os.cpu_count() or 1, 8))
 
 
-def spawn_seed_sequences(seed: int | None, count: int) -> list[np.random.SeedSequence]:
+def spawn_seed_sequences(seed: int | None, count: int) -> list[SeedSequence]:
     """Independent per-worker RNG roots derived via ``SeedSequence.spawn``.
 
     Fork-based workers inherit the parent process's memory — including any
-    ``np.random.Generator`` state — so sampling with an inherited generator
+    RNG generator state — so sampling with an inherited generator
     would replay the *same* stream in every worker and silently correlate
     parallel Monte-Carlo estimates.  Spawned children are statistically
     independent and deterministic in *seed*, so multi-worker runs are
     reproducible without sharing a stream.
     """
-    return list(np.random.SeedSequence(seed).spawn(count))
+    return list(SeedSequence(seed).spawn(count))
 
 
-def _worker_trigger_seed(sequence: np.random.SeedSequence) -> int:
+def _worker_trigger_seed(sequence: SeedSequence) -> int:
     """A plain integer seed (for ``random.Random`` trigger selection) from a spawned root."""
-    return int(sequence.generate_state(1, dtype=np.uint64)[0])
+    return generate_uint64(sequence)
 
 
 @dataclass
@@ -496,7 +495,7 @@ def _sample_chunk(index: int) -> int:
     """Worker task: draw one chunk of samples on an independent RNG stream."""
     assert _SAMPLER_STATE is not None, "sampler state must be installed before forking"
     engine = ChaseEngine(_SAMPLER_STATE["grounder"], _SAMPLER_STATE["config"])
-    rng = np.random.default_rng(_SAMPLER_STATE["sequences"][index])
+    rng = default_rng(_SAMPLER_STATE["sequences"][index])
     predicate = _SAMPLER_STATE["predicate"]
     successes = 0
     for _ in range(_SAMPLER_STATE["budgets"][index]):
@@ -510,7 +509,7 @@ class ParallelSampler:
     """Monte-Carlo estimation split across workers with independent RNG streams.
 
     Forked workers inherit the parent's memory, so handing them the parent's
-    ``np.random.default_rng`` state would make every worker draw the *same*
+    ``default_rng`` generator state would make every worker draw the *same*
     sample paths — the merged estimate would quietly have the variance of a
     single worker's share.  Each worker therefore samples from its own
     ``SeedSequence.spawn`` child (:func:`spawn_seed_sequences`), which keeps
@@ -569,7 +568,7 @@ class ParallelSampler:
         successes = self._map_chunks(predicate, budgets, sequences)
         p_hat = successes / n if n else 0.0
         standard_error = (
-            float(np.sqrt(max(p_hat * (1.0 - p_hat), 1e-300) / n)) if n else 0.0
+            float(sqrt(max(p_hat * (1.0 - p_hat), 1e-300) / n)) if n else 0.0
         )
         return Estimate(p_hat, standard_error, n)
 
@@ -589,7 +588,7 @@ class ParallelSampler:
         self,
         predicate: Callable[[PossibleOutcome], bool],
         budgets: list[int],
-        sequences: list[np.random.SeedSequence],
+        sequences: list[SeedSequence],
     ) -> int:
         serial = self.backend == "serial" or (
             self.backend == "auto" and "fork" not in multiprocessing.get_all_start_methods()
@@ -614,7 +613,7 @@ class ParallelSampler:
         engine = ChaseEngine(self.grounder, self.config)
         successes = 0
         for budget, sequence in zip(budgets, sequences):
-            rng = np.random.default_rng(sequence)
+            rng = default_rng(sequence)
             for _ in range(budget):
                 outcome, _depth = engine.sample_path(rng)
                 if outcome is not None and predicate(outcome):

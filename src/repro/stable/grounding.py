@@ -19,7 +19,8 @@ from typing import Iterable, Iterator, Sequence
 
 from repro.logic.atoms import Atom
 from repro.logic.database import Database
-from repro.logic.join import ArgIndex, iter_join
+from repro.logic.columnar import iter_join, make_fact_store
+from repro.logic.join import ArgIndex
 from repro.logic.program import DatalogProgram
 from repro.logic.rules import Rule, fact_rule
 from repro.logic.unify import FactIndex, match_conjunction
@@ -99,9 +100,12 @@ def ground_rules_against(rule: Rule, facts: FactIndex) -> Iterator[Rule]:
     Only homomorphisms of the positive body are considered; negative body
     atoms are instantiated by the same substitution (safety guarantees they
     become ground).  When *facts* is an :class:`~repro.logic.join.ArgIndex`
-    the instances are enumerated through the indexed join engine; a plain
-    :class:`FactIndex` falls back to the naive reference matcher (upgrading
-    a caller-owned, still-mutating index here would read a stale copy).
+    the instances are enumerated through the dispatching join engine —
+    vectorized columnar batches for a large
+    :class:`~repro.logic.columnar.FactStore`, indexed bucket probing
+    otherwise; a plain :class:`FactIndex` falls back to the naive reference
+    matcher (upgrading a caller-owned, still-mutating index here would read
+    a stale copy).
     """
     if isinstance(facts, ArgIndex):
         for mapping in iter_join(rule.positive_body, facts):
@@ -131,7 +135,7 @@ def ground_program(program: DatalogProgram, database: Database | Iterable[Atom] 
     else:
         facts = tuple(database)
 
-    derivable = ArgIndex(facts)
+    derivable = make_fact_store(facts)
     ground_rules: set[Rule] = {fact_rule(a) for a in facts}
 
     proper = [r for r in program.rules if not r.is_constraint]

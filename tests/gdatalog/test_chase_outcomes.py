@@ -98,9 +98,9 @@ class TestChaseMechanics:
         assert result.finite_probability == pytest.approx(1.0 - result.error_probability, abs=1e-9)
 
     def test_sample_path_reaches_leaf(self, resilience_chase):
-        import numpy as np
+        from repro.rng import default_rng
 
-        outcome, depth = resilience_chase.sample_path(np.random.default_rng(0))
+        outcome, depth = resilience_chase.sample_path(default_rng(0))
         assert outcome is not None
         assert depth >= 2
         assert resilience_chase.grounder.is_terminal(outcome.atr_rules, outcome.grounding)

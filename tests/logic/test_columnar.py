@@ -1,0 +1,266 @@
+"""Unit tests of the columnar ground core: FactStore column maintenance,
+copy-on-write snapshots, adaptive dispatch, batch counters, plan caching,
+and the pure-Python fallback when NumPy is absent (monkeypatched import
+failure, mirroring the fork-less probe test of the parallel sampler).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.logic.columnar as columnar
+from repro.logic.atoms import atom, fact
+from repro.logic.columnar import ColumnarPlan, FactStore, make_fact_store
+from repro.logic.join import JOIN_STATS, ArgIndex
+
+np = pytest.importorskip("numpy", exc_type=ImportError)
+
+
+@pytest.fixture
+def forced(monkeypatch):
+    """Columnar engine forced on regardless of extent size."""
+    monkeypatch.setattr(columnar, "COLUMNAR_MIN_ROWS", 0)
+    monkeypatch.setattr(columnar, "_USE_COLUMNAR", True)
+
+
+def _edges(n):
+    return [fact("edge", i, (i + 1) % n) for i in range(n)]
+
+
+class TestFactStore:
+    def test_columns_track_extent(self):
+        store = FactStore(_edges(5))
+        assert store._extent_size(fact("edge", 0, 1).predicate) == 5
+        assert len(store) == 5
+
+    def test_duplicate_adds_do_not_grow_columns(self):
+        store = FactStore()
+        f = fact("edge", 1, 2)
+        assert store.add(f)
+        assert not store.add(f)
+        assert store._extent_size(f.predicate) == 1
+
+    def test_unknown_predicate_has_empty_extent(self):
+        store = FactStore(_edges(3))
+        assert store._extent_size(fact("nope", 1).predicate) == 0
+
+    def test_inherits_argindex_api(self):
+        store = FactStore(_edges(4))
+        assert isinstance(store, ArgIndex)
+        assert fact("edge", 0, 1) in store
+        assert len(list(store.facts_for(fact("edge", 0, 1).predicate))) == 4
+
+
+class TestCopyOnWrite:
+    def test_child_appends_do_not_leak_into_parent(self, forced):
+        parent = FactStore(_edges(4))
+        child = parent.copy()
+        child.add(fact("edge", 99, 98))
+        assert fact("edge", 99, 98) in child
+        assert fact("edge", 99, 98) not in parent
+        pattern = (atom("edge", 99, "Y"),)
+        assert len(list(columnar.iter_join(pattern, child))) == 1
+        assert list(columnar.iter_join(pattern, parent)) == []
+
+    def test_parent_appends_do_not_leak_into_child(self, forced):
+        parent = FactStore(_edges(4))
+        child = parent.copy()
+        parent.add(fact("edge", 77, 76))
+        pattern = (atom("edge", 77, "Y"),)
+        assert len(list(columnar.iter_join(pattern, parent))) == 1
+        assert list(columnar.iter_join(pattern, child)) == []
+
+    def test_snapshot_copy_counter_bumps_on_append_after_copy(self):
+        store = FactStore(_edges(4))
+        store.copy()
+        before = JOIN_STATS.columnar_snapshot()[3]
+        store.add(fact("edge", 55, 54))  # shared buffer → copy-on-write
+        assert JOIN_STATS.columnar_snapshot()[3] == before + 1
+
+    def test_copy_without_appends_shares_buffers(self):
+        store = FactStore(_edges(4))
+        child = store.copy()
+        pred = fact("edge", 0, 1).predicate
+        assert child._pred_columns(pred).data is store._pred_columns(pred).data
+
+
+class TestAdaptiveDispatch:
+    def test_small_extents_stay_on_the_indexed_path(self, monkeypatch):
+        monkeypatch.setattr(columnar, "COLUMNAR_MIN_ROWS", 1_000_000)
+        store = FactStore(_edges(10))
+        before = JOIN_STATS.columnar_snapshot()[0]
+        results = list(columnar.iter_join((atom("edge", "X", "Y"),), store))
+        assert len(results) == 10
+        assert JOIN_STATS.columnar_snapshot()[0] == before
+
+    def test_large_extents_run_batches(self, forced):
+        store = FactStore(_edges(10))
+        before = JOIN_STATS.columnar_snapshot()[0]
+        results = list(columnar.iter_join((atom("edge", "X", "Y"),), store))
+        assert len(results) == 10
+        assert JOIN_STATS.columnar_snapshot()[0] == before + 1
+
+    def test_plain_argindex_always_uses_the_indexed_path(self, forced):
+        index = ArgIndex(_edges(10))
+        before = JOIN_STATS.columnar_snapshot()[0]
+        assert len(list(columnar.iter_join((atom("edge", "X", "Y"),), index))) == 10
+        assert JOIN_STATS.columnar_snapshot()[0] == before
+
+
+class TestPlans:
+    def test_plan_cache_reuses_compiled_plans(self):
+        patterns = (atom("edge", "X", "Y"), atom("edge", "Y", "Z"))
+        first = ColumnarPlan.for_patterns(patterns)
+        second = ColumnarPlan.for_patterns(tuple(patterns))
+        assert first is second
+
+    def test_shapes_record_constants_and_duplicates(self):
+        plan = ColumnarPlan((atom("edge", 7, "X"), atom("edge", "Y", "Y")))
+        bound, dup = plan.shapes
+        assert len(bound.const_terms) == 1 and bound.const_terms[0][0] == 0
+        assert dup.dup_pairs == ((0, 1),)
+
+
+class TestBatchStats:
+    def test_batch_counters_accumulate_rows(self, forced):
+        store = FactStore(_edges(8))
+        before = JOIN_STATS.columnar_snapshot()
+        n = len(list(columnar.iter_join((atom("edge", "X", "Y"), atom("edge", "Y", "Z")), store)))
+        after = JOIN_STATS.columnar_snapshot()
+        assert n == 8
+        assert after[0] == before[0] + 1
+        assert after[1] >= before[1] + 16  # both extents selected
+        assert after[2] == before[2] + 8
+
+    def test_columnar_stats_reports_table_sizes(self):
+        FactStore(_edges(2))
+        stats = columnar.columnar_stats()
+        assert stats["constants"] >= 2
+        assert stats["plans"] >= 0
+
+
+class TestJoinArrays:
+    def test_returns_id_columns(self, forced):
+        store = FactStore(_edges(6))
+        variables, columns, length = columnar.join_arrays(
+            (atom("edge", "X", "Y"),), store
+        )
+        assert length == 6
+        assert {str(v) for v in variables} == {"X", "Y"}
+        assert all(c.dtype == np.int64 for c in columns)
+
+    def test_rejects_plain_argindex(self):
+        with pytest.raises(TypeError):
+            columnar.join_arrays((atom("edge", "X", "Y"),), ArgIndex(_edges(2)))
+
+
+class TestConfiguration:
+    def test_flag_round_trip(self):
+        try:
+            columnar.set_use_columnar(False)
+            assert not columnar.use_columnar()
+            assert isinstance(make_fact_store(), ArgIndex)
+            assert not isinstance(make_fact_store(), FactStore)
+            columnar.set_use_columnar(True)
+            assert columnar.use_columnar()
+            assert isinstance(make_fact_store(), FactStore)
+            columnar.set_use_columnar(None)  # auto: on, NumPy is importable here
+            assert columnar.use_columnar()
+        finally:
+            columnar.set_use_columnar(None)
+
+
+class TestNumpyAbsentFallback:
+    """Monkeypatched import-failure probe: the whole stack must degrade to
+    the PR 5 indexed path with identical results when NumPy is absent."""
+
+    @pytest.fixture
+    def no_numpy(self, monkeypatch):
+        monkeypatch.setattr(columnar, "np", None)
+        monkeypatch.setattr(columnar, "NUMPY_AVAILABLE", False)
+
+    def test_use_columnar_reports_off(self, no_numpy):
+        columnar.set_use_columnar(True)  # even an explicit opt-in cannot win
+        try:
+            assert not columnar.use_columnar()
+        finally:
+            columnar.set_use_columnar(None)
+
+    def test_make_fact_store_degrades_to_argindex(self, no_numpy):
+        store = make_fact_store(_edges(3))
+        assert isinstance(store, ArgIndex)
+        assert not isinstance(store, FactStore)
+
+    def test_dispatchers_fall_back_even_on_columnar_stores(self, no_numpy, monkeypatch):
+        monkeypatch.setattr(columnar, "COLUMNAR_MIN_ROWS", 0)
+        store = FactStore.__new__(FactStore)  # a store built before the "failure"
+        ArgIndex.__init__(store, ())
+        store._columns = {}
+        for f in _edges(5):
+            ArgIndex.add(store, f)
+        results = list(columnar.iter_join((atom("edge", "X", "Y"),), store))
+        assert len(results) == 5
+
+    def test_join_arrays_raises_without_numpy(self, no_numpy):
+        with pytest.raises(TypeError):
+            columnar.join_arrays((atom("edge", "X", "Y"),), FactStore())
+
+    def test_grounding_is_byte_identical_across_backends(self, monkeypatch):
+        from repro.stable.grounding import ground_program
+        from repro.workloads import selective_join_database, selective_join_program
+
+        program = selective_join_program()
+        database = selective_join_database(30, seed=1)
+        with_numpy = ground_program(program, database)
+        monkeypatch.setattr(columnar, "np", None)
+        monkeypatch.setattr(columnar, "NUMPY_AVAILABLE", False)
+        without_numpy = ground_program(program, database)
+        assert with_numpy.rules == without_numpy.rules
+
+
+class TestRngFallback:
+    """The pure-Python RNG substrate used when NumPy is uninstalled."""
+
+    def test_fallback_seed_sequence_is_deterministic(self):
+        from repro.rng import _FallbackSeedSequence
+
+        a = _FallbackSeedSequence(42)
+        b = _FallbackSeedSequence(42)
+        assert a.generate_state(4) == b.generate_state(4)
+        assert all(0 <= w < 2**64 for w in a.generate_state(4))
+
+    def test_fallback_spawn_decorrelates_children(self):
+        from repro.rng import _FallbackSeedSequence
+
+        parent = _FallbackSeedSequence(7)
+        first, second = parent.spawn(2)
+        third = parent.spawn(1)[0]
+        states = {
+            tuple(child.generate_state(2)) for child in (first, second, third)
+        }
+        assert len(states) == 3  # all distinct, including across spawn calls
+
+    def test_fallback_generator_draws(self):
+        from repro.rng import _FallbackGenerator
+
+        rng = _FallbackGenerator(123)
+        assert 0.0 <= rng.random() < 1.0
+        batch = rng.random(5)
+        assert len(batch) == 5 and all(0.0 <= u < 1.0 for u in batch)
+        assert rng.geometric(1.0) == 1
+        assert rng.geometric(0.5) >= 1
+        assert rng.poisson(0.0) == 0
+        assert rng.poisson(3.0) >= 0
+        with pytest.raises(ValueError):
+            rng.geometric(0.0)
+        with pytest.raises(ValueError):
+            rng.poisson(-1.0)
+
+    def test_fallback_default_rng_accepts_seed_material(self):
+        from repro.rng import _fallback_default_rng, _FallbackSeedSequence
+
+        seq = _FallbackSeedSequence(5)
+        a = _fallback_default_rng(seq).random()
+        b = _fallback_default_rng(_FallbackSeedSequence(5)).random()
+        assert a == b
+        assert _fallback_default_rng(17).random() == _fallback_default_rng(17).random()

@@ -1,0 +1,252 @@
+"""Property tests: the columnar batch engine is equivalent to the indexed
+engine and the naive matcher — ``columnar == indexed == naive`` — and
+groundings, output spaces and seeded sampler streams routed through it are
+bit-identical.
+
+PR 5's indexed engine (:mod:`repro.logic.join`) stays in the library exactly
+to serve as the differential oracle here, the same way
+:func:`~repro.logic.unify.match_conjunction` was kept as the oracle for the
+indexed engine.  The whole module forces the columnar path by zeroing the
+adaptive-dispatch threshold, so even the tiny hypothesis extents run through
+the batch kernels.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+np = pytest.importorskip("numpy", exc_type=ImportError)
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.logic.columnar as columnar
+from repro.gdatalog.engine import GDatalogEngine
+from repro.logic.atoms import Atom, Predicate
+from repro.logic.columnar import FactStore
+from repro.logic.join import ArgIndex
+from repro.logic.join import iter_join as indexed_iter_join
+from repro.logic.join import iter_join_seminaive as indexed_iter_join_seminaive
+from repro.logic.program import DatalogProgram
+from repro.logic.rules import rule
+from repro.logic.terms import Constant, Variable
+from repro.logic.unify import FactIndex, match_conjunction
+from repro.stable.grounding import ground_program, naive_ground_program
+from repro.stable.stratified import perfect_model
+from repro.workloads import (
+    random_database,
+    random_stratified_program,
+    selective_join_database,
+    selective_join_program,
+)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _force_columnar():
+    """Run the entire module with the batch engine forced on."""
+    previous_threshold = columnar.COLUMNAR_MIN_ROWS
+    columnar.COLUMNAR_MIN_ROWS = 0
+    columnar.set_use_columnar(True)
+    yield
+    columnar.COLUMNAR_MIN_ROWS = previous_threshold
+    columnar.set_use_columnar(None)
+
+
+# ---------------------------------------------------------------------------
+# Strategies (same shape space as test_join_equivalence)
+# ---------------------------------------------------------------------------
+
+_PREDICATES = (Predicate("p", 1), Predicate("q", 2), Predicate("r", 2), Predicate("s", 3))
+_CONSTANTS = tuple(Constant(v) for v in (1, 2, 3, "a", "b"))
+_VARIABLES = tuple(Variable(n) for n in ("X", "Y", "Z", "W"))
+
+
+@st.composite
+def ground_atoms(draw) -> Atom:
+    predicate = draw(st.sampled_from(_PREDICATES))
+    args = tuple(draw(st.sampled_from(_CONSTANTS)) for _ in range(predicate.arity))
+    return Atom(predicate, args)
+
+
+@st.composite
+def pattern_atoms(draw) -> Atom:
+    """Patterns mixing constants (bound arguments) and repeatable variables."""
+    predicate = draw(st.sampled_from(_PREDICATES))
+    args = tuple(
+        draw(st.sampled_from(_CONSTANTS + _VARIABLES)) for _ in range(predicate.arity)
+    )
+    return Atom(predicate, args)
+
+
+fact_sets = st.lists(ground_atoms(), min_size=0, max_size=30).map(tuple)
+conjunctions = st.lists(pattern_atoms(), min_size=1, max_size=3).map(tuple)
+bindings = st.dictionaries(
+    st.sampled_from(_VARIABLES), st.sampled_from(_CONSTANTS), max_size=2
+)
+
+
+def _dict_set(mappings):
+    return {frozenset(m.items()) for m in mappings}
+
+
+def _sub_set(substitutions):
+    return {frozenset(s.items()) for s in substitutions}
+
+
+# ---------------------------------------------------------------------------
+# Matcher equivalence: columnar == indexed == naive
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=120, deadline=None)
+@given(conjunctions, fact_sets)
+def test_columnar_join_equals_indexed_and_naive(patterns, facts):
+    naive = _sub_set(match_conjunction(patterns, FactIndex(facts)))
+    indexed = _dict_set(indexed_iter_join(patterns, ArgIndex(facts)))
+    batch = _dict_set(columnar.iter_join(patterns, FactStore(facts)))
+    assert naive == indexed == batch
+
+
+@settings(max_examples=120, deadline=None)
+@given(conjunctions, fact_sets, st.data())
+def test_columnar_seminaive_equals_indexed(patterns, facts, data):
+    delta_members = data.draw(st.lists(st.sampled_from(facts), unique=True)) if facts else []
+    delta = FactIndex(delta_members)
+    indexed = _dict_set(indexed_iter_join_seminaive(patterns, ArgIndex(facts), delta))
+    batch = _dict_set(columnar.iter_join_seminaive(patterns, FactStore(facts), delta))
+    assert indexed == batch
+
+
+@settings(max_examples=80, deadline=None)
+@given(conjunctions, fact_sets, bindings)
+def test_columnar_join_respects_initial_bindings(patterns, facts, binding):
+    indexed = _dict_set(indexed_iter_join(patterns, ArgIndex(facts), binding))
+    batch = _dict_set(columnar.iter_join(patterns, FactStore(facts), binding))
+    assert indexed == batch
+
+
+@settings(max_examples=60, deadline=None)
+@given(conjunctions, fact_sets, st.data())
+def test_columnar_seminaive_is_the_differential_of_the_full_join(patterns, facts, data):
+    """full(facts) − full(facts − delta) == seminaive(facts, delta)."""
+    delta_members = data.draw(st.lists(st.sampled_from(facts), unique=True)) if facts else []
+    delta = FactIndex(delta_members)
+    remainder = [f for f in facts if f not in delta]
+    full = _dict_set(columnar.iter_join(patterns, FactStore(facts)))
+    old = _dict_set(columnar.iter_join(patterns, FactStore(remainder)))
+    differential = _dict_set(columnar.iter_join_seminaive(patterns, FactStore(facts), delta))
+    assert differential == full - old
+
+
+@settings(max_examples=60, deadline=None)
+@given(conjunctions, fact_sets)
+def test_columnar_survives_copy_on_write_snapshots(patterns, facts):
+    """Joins over a COW snapshot equal joins over an independent rebuild,
+    and appends to the child never leak into the parent."""
+    parent = FactStore(facts)
+    child = parent.copy()
+    extra = Atom(_PREDICATES[1], (Constant("cow"), Constant("cow")))
+    child.add(extra)
+    rebuilt = FactStore(tuple(facts) + (extra,))
+    assert _dict_set(columnar.iter_join(patterns, child)) == _dict_set(
+        columnar.iter_join(patterns, rebuilt)
+    )
+    assert _dict_set(columnar.iter_join(patterns, parent)) == _dict_set(
+        columnar.iter_join(patterns, FactStore(facts))
+    )
+
+
+def test_columnar_empty_extent_edge_cases():
+    """Predicates with no facts at all (never interned) yield no matches."""
+    facts = (Atom(_PREDICATES[0], (Constant(1),)),)
+    store = FactStore(facts)
+    missing = Atom(Predicate("never_seen", 1), (Variable("X"),))
+    assert list(columnar.iter_join((missing,), store)) == []
+    both = (Atom(_PREDICATES[0], (Variable("X"),)), missing)
+    assert list(columnar.iter_join(both, store)) == []
+    # Bound constant that no fact mentions (absent from the interner).
+    unseen = Atom(_PREDICATES[0], (Constant("unseen-constant"),))
+    assert list(columnar.iter_join((unseen,), store)) == []
+    # Empty store entirely.
+    assert list(columnar.iter_join(both, FactStore())) == []
+
+
+# ---------------------------------------------------------------------------
+# Grounding-level equivalence (bit-identical, order included)
+# ---------------------------------------------------------------------------
+
+
+def test_ground_program_bit_identical_to_naive_reference():
+    """Columnar production grounding vs. the library's naive oracle."""
+    program = selective_join_program()
+    database = selective_join_database(60, seed=3)
+    assert ground_program(program, database).rules == naive_ground_program(program, database).rules
+
+
+@st.composite
+def datalog_rules(draw):
+    """Safe random Datalog rules: every head variable occurs in the body."""
+    body = draw(conjunctions)
+    body_variables = sorted(
+        {t for a in body for t in a.args if isinstance(t, Variable)}, key=str
+    )
+    head_predicate = draw(st.sampled_from(_PREDICATES))
+    args = tuple(
+        draw(st.sampled_from(tuple(body_variables) + _CONSTANTS))
+        if body_variables
+        else draw(st.sampled_from(_CONSTANTS))
+        for _ in range(head_predicate.arity)
+    )
+    return rule(Atom(head_predicate, args), body)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(datalog_rules(), min_size=1, max_size=4), fact_sets)
+def test_random_program_groundings_bit_identical(rules, facts):
+    program = DatalogProgram(rules)
+    assert ground_program(program, facts).rules == naive_ground_program(program, facts).rules
+
+
+def test_perfect_model_identical_across_engines():
+    program = selective_join_program()
+    database = selective_join_database(40, seed=7)
+    with_columnar = perfect_model(program, database)
+    columnar.set_use_columnar(False)
+    try:
+        without = perfect_model(program, database)
+    finally:
+        columnar.set_use_columnar(True)
+    assert with_columnar == without
+
+
+# ---------------------------------------------------------------------------
+# Output spaces and seeded sampler streams
+# ---------------------------------------------------------------------------
+
+
+def _space_key(space):
+    return [(o.choice_key, round(o.probability, 12)) for o in space]
+
+
+def test_output_spaces_and_seeded_streams_identical_across_engines():
+    """The engine produces the same output space and the same seeded
+    Monte-Carlo estimates with the columnar core on and off."""
+    for seed in range(3):
+        program = random_stratified_program(seed=seed, rule_count=3)
+        database = random_database(seed=seed)
+
+        with_columnar = GDatalogEngine(program, database, grounder="perfect")
+        space_on = _space_key(with_columnar.output_space())
+        estimate_on = with_columnar.estimate_has_stable_model(n=60, seed=1234)
+
+        columnar.set_use_columnar(False)
+        try:
+            without = GDatalogEngine(program, database, grounder="perfect")
+            space_off = _space_key(without.output_space())
+            estimate_off = without.estimate_has_stable_model(n=60, seed=1234)
+        finally:
+            columnar.set_use_columnar(True)
+
+        assert space_on == space_off
+        assert estimate_on.value == estimate_off.value
+        assert estimate_on.samples == estimate_off.samples

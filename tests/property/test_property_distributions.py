@@ -2,10 +2,11 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+
+from repro.rng import default_rng
 
 from repro.distributions import (
     BinomialDistribution,
@@ -91,7 +92,7 @@ def test_poisson_truncated_support_covers_tolerance(rate):
 @given(probabilities, st.integers(min_value=0, max_value=2**31 - 1))
 def test_sampled_outcomes_lie_in_the_support(p, seed):
     registry = default_registry()
-    rng = np.random.default_rng(seed)
+    rng = default_rng(seed)
     for name, params in (("flip", [p]), ("uniform_int", [0, 3]), ("binomial", [4, p])):
         distribution = registry.get(name)
         outcome = distribution.sample(params, rng)

@@ -1,7 +1,7 @@
 """Worker RNG correctness: SeedSequence-spawned streams, no duplicated paths.
 
 Fork-based workers inherit the parent's memory; sampling with an inherited
-``np.random.Generator`` would replay one stream in every worker.  These
+RNG generator would replay one stream in every worker.  These
 tests pin the fixed contract:
 
 * per-worker streams come from ``SeedSequence.spawn`` — deterministic in the
@@ -15,7 +15,6 @@ tests pin the fixed contract:
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.gdatalog.chase import ChaseConfig
@@ -23,6 +22,7 @@ from repro.gdatalog.grounders import SimpleGrounder
 from repro.gdatalog.sampler import MonteCarloSampler
 from repro.gdatalog.translate import translate_program
 from repro.ppdl.queries import AtomQuery
+from repro.rng import default_rng
 from repro.runtime.pool import ParallelSampler, spawn_seed_sequences
 from repro.workloads import independent_coins_database, independent_coins_program
 
@@ -39,20 +39,20 @@ class TestSpawnedStreams:
         first = spawn_seed_sequences(42, 4)
         second = spawn_seed_sequences(42, 4)
         for mine, theirs in zip(first, second):
-            assert np.random.default_rng(mine).random(8).tolist() == (
-                np.random.default_rng(theirs).random(8).tolist()
+            assert list(default_rng(mine).random(8)) == (
+                list(default_rng(theirs).random(8))
             )
 
     def test_streams_are_pairwise_distinct(self):
         sequences = spawn_seed_sequences(7, 8)
-        draws = [tuple(np.random.default_rng(s).random(16).tolist()) for s in sequences]
+        draws = [tuple(default_rng(s).random(16)) for s in sequences]
         assert len(set(draws)) == len(draws)
 
     def test_children_differ_from_the_parent_stream(self):
         # The bug being prevented: workers replaying the parent's generator.
-        parent = np.random.default_rng(7).random(16).tolist()
+        parent = list(default_rng(7).random(16))
         for child in spawn_seed_sequences(7, 4):
-            assert np.random.default_rng(child).random(16).tolist() != parent
+            assert list(default_rng(child).random(16)) != parent
 
 
 class TestParallelSampler:
@@ -96,7 +96,7 @@ class TestParallelSampler:
         counts = []
         for sequence in sequences:
             engine = ChaseEngine(coins_grounder, ChaseConfig())
-            rng = np.random.default_rng(sequence)
+            rng = default_rng(sequence)
             successes = 0
             for _ in range(200):
                 outcome, _depth = engine.sample_path(rng)

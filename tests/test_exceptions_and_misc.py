@@ -86,7 +86,7 @@ class TestDistributionBaseHelpers:
         assert mass == pytest.approx(0.875)
 
     def test_default_sampling_via_inverse_cdf(self):
-        import numpy as np
+        from repro.rng import default_rng
 
         class TwoPoint(ParameterizedDistribution):
             name = "two_point"
@@ -102,13 +102,13 @@ class TestDistributionBaseHelpers:
                 return True
 
         distribution = TwoPoint()
-        rng = np.random.default_rng(0)
+        rng = default_rng(0)
         samples = [distribution.sample([], rng) for _ in range(2000)]
         assert set(samples) == {10, 20}
         assert abs(samples.count(20) / len(samples) - 0.75) < 0.04
 
     def test_empty_support_sampling_raises(self):
-        import numpy as np
+        from repro.rng import default_rng
 
         class Broken(ParameterizedDistribution):
             name = "broken"
@@ -123,4 +123,4 @@ class TestDistributionBaseHelpers:
                 return True
 
         with pytest.raises(DistributionError):
-            Broken().sample([], np.random.default_rng(0))
+            Broken().sample([], default_rng(0))
