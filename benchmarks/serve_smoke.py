@@ -1,0 +1,93 @@
+"""CI smoke check: boot ``gdatalog serve --http``, one round-trip, clean SIGTERM.
+
+Run directly (not under pytest)::
+
+    PYTHONPATH=src python benchmarks/serve_smoke.py
+
+Exercises the full serving stack on whatever interpreter runs it — including
+the no-NumPy image, since :mod:`repro.server` is pure stdlib: spawns the CLI
+as a subprocess, parses the bound port from its stderr announcement, waits
+for ``/healthz`` behind a hard deadline (a hung startup fails fast instead
+of stalling the CI job), performs one exact query round-trip with an ``id``
+echo, then sends SIGTERM and requires a drained, zero-status exit.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.server.client import http_json, wait_until_healthy  # noqa: E402
+
+PROGRAM = "coin1(X, flip<0.5>[1, X]) :- src1(X).\nhit1(X) :- coin1(X, 1)."
+DATABASE = "src1(1)."
+STARTUP_TIMEOUT = 30.0
+
+
+def main() -> int:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--http", "127.0.0.1:0", "--shards", "1"],
+        env=env,
+        cwd=str(REPO_ROOT),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        deadline = time.monotonic() + STARTUP_TIMEOUT
+        port = None
+        while time.monotonic() < deadline and port is None:
+            line = process.stderr.readline()
+            if "serving on http://" in line:
+                port = int(line.split("http://", 1)[1].split()[0].rsplit(":", 1)[1])
+            elif process.poll() is not None:
+                raise SystemExit(f"server exited during startup: {process.stderr.read()}")
+        if port is None:
+            raise SystemExit(f"server did not announce a port within {STARTUP_TIMEOUT}s")
+
+        async def round_trip():
+            await wait_until_healthy("127.0.0.1", port, timeout=STARTUP_TIMEOUT)
+            return await http_json(
+                "127.0.0.1",
+                port,
+                "POST",
+                "/v1/query",
+                {
+                    "id": "smoke-1",
+                    "program": PROGRAM,
+                    "database": DATABASE,
+                    "queries": ["hit1(1)"],
+                },
+            )
+
+        status, payload = asyncio.run(round_trip())
+        assert status == 200, (status, payload)
+        assert payload["ok"] and payload["id"] == "smoke-1", payload
+        assert payload["results"] == [0.5], payload
+
+        process.send_signal(signal.SIGTERM)
+        _, stderr = process.communicate(timeout=STARTUP_TIMEOUT)
+        assert process.returncode == 0, f"exit {process.returncode}: {stderr}"
+        assert "drained cleanly" in stderr, stderr
+        print(f"serve smoke OK: port {port}, P(hit1(1)) = {payload['results'][0]}, clean exit")
+        return 0
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.communicate(timeout=10)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -200,7 +200,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_slice_argument(batch_parser)
 
     serve_parser = subparsers.add_parser(
-        "serve", help="JSON-lines inference service on stdin/stdout"
+        "serve",
+        help="inference service: JSON-lines on stdin/stdout, or --http HOST:PORT",
     )
     serve_parser.add_argument(
         "-g", "--grounder", choices=("simple", "perfect"), default="simple", help="grounder to use"
@@ -219,6 +220,51 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-requests", type=int, default=None, help="stop after N requests (mainly for tests)"
     )
     _add_slice_argument(serve_parser)
+    serve_parser.add_argument(
+        "--http",
+        metavar="HOST:PORT",
+        default=None,
+        help="serve over HTTP/WebSocket instead of stdin (e.g. 127.0.0.1:8080; "
+        "port 0 picks a free port, printed to stderr)",
+    )
+    serve_parser.add_argument(
+        "--shards",
+        type=int,
+        default=2,
+        help="persistent worker processes behind --http; requests are routed "
+        "by canonical program hash so each shard keeps an isolated engine cache",
+    )
+    serve_parser.add_argument(
+        "--batch-window",
+        type=float,
+        default=2.0,
+        help="micro-batch window in milliseconds: concurrent exact queries on "
+        "the same (program, database) coalesce into one QueryBatch pass (0 disables)",
+    )
+    serve_parser.add_argument(
+        "--max-queue",
+        type=int,
+        default=64,
+        help="per-shard in-flight bound before 503 load shedding (--http)",
+    )
+    serve_parser.add_argument(
+        "--client-rate",
+        type=float,
+        default=200.0,
+        help="per-client sustained requests/second before 429 (--http)",
+    )
+    serve_parser.add_argument(
+        "--client-burst",
+        type=float,
+        default=400.0,
+        help="per-client burst budget (token-bucket capacity, --http)",
+    )
+    serve_parser.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        help="maximum seconds to finish in-flight requests after SIGTERM (--http)",
+    )
 
     ground_parser = subparsers.add_parser("ground", help="show the translation and initial grounding")
     _add_common_arguments(ground_parser)
@@ -358,43 +404,56 @@ def _command_batch(args: argparse.Namespace) -> str:
     return rendered
 
 
-def _serve_one(service, request: dict) -> dict:
-    """Answer one ``serve`` request dict (see the README protocol section)."""
-    program = request.get("program")
-    if program is None and "program_path" in request:
-        program = _read_text(request["program_path"], role="program")
-    if program is None:
-        raise CLIError("serve request needs a 'program' or 'program_path' field")
-    database = request.get("database")
-    if database is None:
-        database = _read_text(request.get("database_path"), role="database")
-    queries = request.get("queries", [{"type": "has_stable_model"}])
-    if request.get("adaptive"):
-        results = [
-            service.estimate(
-                program,
-                database,
-                query,
-                target_half_width=request.get("half_width", 0.01),
-                stratify=bool(request.get("stratify", False)),
-                seed=request.get("seed"),
-            ).value
-            for query in queries
-        ]
-    else:
-        results = service.evaluate(program, database, queries, slice=request.get("slice"))
-    return {"ok": True, "results": results}
+def _parse_http_address(value: str) -> tuple[str, int]:
+    """``HOST:PORT`` (or ``:PORT`` / bare ``PORT``) → (host, port)."""
+    host, _, port_text = value.rpartition(":")
+    if not host:
+        host = "127.0.0.1"
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise CLIError(f"--http expects HOST:PORT, got {value!r}") from None
+    if not 0 <= port <= 65535:
+        raise CLIError(f"--http port must be in [0, 65535], got {port}")
+    return host, port
 
 
 def _command_serve(args: argparse.Namespace) -> str:
-    """Run the JSON-lines service loop; one request per stdin line.
+    """Run the inference service on the selected transport.
 
-    Responses mirror the request's ``id`` and either carry ``results``
-    (aligned with the ``queries`` list) or ``ok: false`` with a readable
-    ``error``.  Malformed requests never kill the loop.
+    The default transport is the JSON-lines loop (one request per stdin
+    line, one response per stdout line); ``--http HOST:PORT`` starts the
+    asyncio HTTP/WebSocket front end instead (sharded worker processes,
+    micro-batching, admission control — see :mod:`repro.server`).  In both
+    transports responses mirror the request's ``id`` and either carry
+    ``results`` (aligned with the ``queries`` list) or ``ok: false`` with a
+    readable ``error``; a malformed request never kills the serving loop.
     """
-    from repro.exceptions import ReproError as _ReproError
+    if args.http is not None:
+        import asyncio
+
+        from repro.server.http import ServerConfig, serve_http
+
+        host, port = _parse_http_address(args.http)
+        config = ServerConfig(
+            host=host,
+            port=port,
+            shards=args.shards,
+            cache_size=args.cache_size,
+            grounder=args.grounder,
+            factorize=args.factorize,
+            slice=args.slice,
+            batch_window=args.batch_window / 1000.0,
+            max_queue=args.max_queue,
+            client_rate=args.client_rate,
+            client_burst=args.client_burst,
+            drain_timeout=args.drain_timeout,
+        )
+        asyncio.run(serve_http(config))
+        return ""
+
     from repro.runtime.service import InferenceService
+    from repro.server.protocol import answer_line
 
     service = InferenceService(
         cache_size=args.cache_size,
@@ -408,21 +467,11 @@ def _command_serve(args: argparse.Namespace) -> str:
         line = line.strip()
         if not line:
             continue
-        request_id = None
-        try:
-            request = json.loads(line)
-            if not isinstance(request, dict):
-                raise CLIError("serve requests must be JSON objects")
-            request_id = request.get("id")
-            response = _serve_one(service, request)
-        except json.JSONDecodeError as error:
-            response = {"ok": False, "error": f"invalid JSON request: {error}"}
-        except (_ReproError, ValueError, TypeError, KeyError) as error:
-            # Malformed field types (e.g. a string half_width, a non-list
-            # queries) must answer with an error line, not kill the loop.
-            response = {"ok": False, "error": f"{type(error).__name__}: {error}"}
-        response["id"] = request_id
-        response["cache"] = {"hits": service.stats.hits, "misses": service.stats.misses}
+        # ``answer_line`` never raises and always echoes the request ``id``
+        # (``null`` when the line was not even valid JSON), so pipelined
+        # clients keep request/response correlation across malformed input.
+        response = answer_line(service, line)
+        response["cache"] = service.stats.snapshot()
         print(json.dumps(response), flush=True)
         served += 1
         if args.max_requests is not None and served >= args.max_requests:

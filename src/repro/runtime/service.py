@@ -81,11 +81,40 @@ class ServiceStats:
     #: engine/space even when the query atoms differ.
     slice_hits: int = 0
     slice_misses: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False, compare=False)
+
+    #: The counters :meth:`snapshot` exports (and :meth:`bump` accepts).
+    COUNTERS = (
+        "hits",
+        "misses",
+        "evictions",
+        "component_hits",
+        "component_misses",
+        "slice_hits",
+        "slice_misses",
+    )
+
+    def bump(self, counter: str, amount: int = 1) -> None:
+        """Atomically add *amount* to *counter* (thread-safe)."""
+        if counter not in self.COUNTERS:
+            raise ValueError(f"unknown service counter {counter!r}")
+        with self._lock:
+            setattr(self, counter, getattr(self, counter) + amount)
+
+    def snapshot(self) -> dict[str, int]:
+        """One consistent view of every counter as a plain dict.
+
+        ``/metrics`` and ``--profile`` read this instead of racing on
+        individual attribute reads while another thread is mid-update.
+        """
+        with self._lock:
+            return {name: getattr(self, name) for name in self.COUNTERS}
 
     @property
     def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        with self._lock:
+            total = self.hits + self.misses
+            return self.hits / total if total else 0.0
 
 
 @dataclass
@@ -230,10 +259,10 @@ class InferenceService:
         sliced_key = digest.hexdigest()
         entry = self._entries.get(sliced_key)
         if entry is not None:
-            self.stats.slice_hits += 1
+            self.stats.bump("slice_hits")
             self._entries.move_to_end(sliced_key)
         else:
-            self.stats.slice_misses += 1
+            self.stats.bump("slice_misses")
             engine = GDatalogEngine(
                 slice_.program,
                 slice_.database,
@@ -266,11 +295,11 @@ class InferenceService:
                 key = self._component_key(program_digest, component)
                 cached = self._component_spaces.get(key)
                 if cached is not None:
-                    self.stats.component_hits += 1
+                    self.stats.bump("component_hits")
                     self._component_spaces.move_to_end(key)
                     parts.append(cached)
                 else:
-                    self.stats.component_misses += 1
+                    self.stats.bump("component_misses")
                     missing.append((len(parts), key))
                     parts.append(None)
         if missing:
@@ -309,10 +338,10 @@ class InferenceService:
             self._raw_keys[raw] = key
         entry = self._entries.get(key)
         if entry is not None:
-            self.stats.hits += 1
+            self.stats.bump("hits")
             self._entries.move_to_end(key)
             return key, entry
-        self.stats.misses += 1
+        self.stats.bump("misses")
         engine = GDatalogEngine.from_source(
             program_source,
             database_source,
@@ -328,7 +357,7 @@ class InferenceService:
         self._entries[key] = entry
         if len(self._entries) > self.cache_size:
             self._entries.popitem(last=False)
-            self.stats.evictions += 1
+            self.stats.bump("evictions")
 
     def __len__(self) -> int:
         with self._lock:

@@ -1,0 +1,176 @@
+"""Admission control: per-client token buckets, bounded shard queues, drain.
+
+The HTTP front end admits a request **before** spending any work on it.
+Three gates, in order:
+
+1. **Draining** — after SIGTERM the server finishes in-flight work but
+   admits nothing new: ``503`` with ``Retry-After`` so load balancers fail
+   over immediately.
+2. **Per-client budget** — a token bucket per client identity (the
+   ``X-Client-Id`` header, else the peer address).  A client that bursts
+   past its budget gets ``429`` with the exact ``Retry-After`` the bucket
+   needs to refill one token; other clients are unaffected.
+3. **Per-shard queue bound** — each shard worker admits at most
+   ``max_queue`` in-flight requests.  A hot shard sheds load with ``503``
+   instead of growing an unbounded queue in front of a single worker
+   process (the failure mode of the stdin loop under concurrency).
+
+:meth:`AdmissionController.try_admit` returns either a :class:`Ticket`
+(whose ``release()`` must run exactly once when the request completes) or
+a :class:`Rejection` carrying the HTTP status and ``Retry-After`` seconds.
+All state is lock-guarded; a monotonic clock is injectable for tests.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = ["TokenBucket", "Ticket", "Rejection", "AdmissionController"]
+
+
+class TokenBucket:
+    """A standard token bucket: ``capacity`` burst, ``rate`` tokens/second."""
+
+    def __init__(self, rate: float, capacity: float, now: float):
+        self.rate = float(rate)
+        self.capacity = float(capacity)
+        self.tokens = float(capacity)
+        self.updated = now
+
+    def try_take(self, now: float) -> float:
+        """Take one token; returns 0.0 on success, else seconds until refill.
+
+        The returned wait is the exact time until one full token is
+        available — the ``Retry-After`` a well-behaved client should honor.
+        """
+        elapsed = max(0.0, now - self.updated)
+        self.tokens = min(self.capacity, self.tokens + elapsed * self.rate)
+        self.updated = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return 0.0
+        if self.rate <= 0.0:
+            return float("inf")
+        return (1.0 - self.tokens) / self.rate
+
+
+@dataclass
+class Rejection:
+    """An admission refusal: an HTTP status plus a Retry-After hint."""
+
+    status: int  # 429 (client budget) or 503 (queue full / draining)
+    reason: str  # "client_budget" | "queue_full" | "draining"
+    retry_after: float
+
+    @property
+    def message(self) -> str:
+        return {
+            "client_budget": "client request budget exhausted",
+            "queue_full": "shard queue full",
+            "draining": "server is draining",
+        }.get(self.reason, self.reason)
+
+
+class Ticket:
+    """One admitted request's reservation; ``release()`` exactly once."""
+
+    __slots__ = ("_controller", "_shard", "_released")
+
+    def __init__(self, controller: "AdmissionController", shard: int):
+        self._controller = controller
+        self._shard = shard
+        self._released = False
+
+    @property
+    def shard(self) -> int:
+        return self._shard
+
+    def release(self) -> None:
+        if not self._released:
+            self._released = True
+            self._controller._release(self._shard)
+
+    def __enter__(self) -> "Ticket":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+
+class AdmissionController:
+    """Draining flag + per-client buckets + bounded per-shard in-flight counts."""
+
+    #: At most this many distinct client buckets are retained (LRU): an
+    #: adversary cycling client ids cannot grow memory without bound.
+    MAX_CLIENTS = 4096
+
+    def __init__(
+        self,
+        shards: int,
+        max_queue: int = 64,
+        client_rate: float = 200.0,
+        client_burst: float = 400.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if shards < 1:
+            raise ValueError(f"shards must be at least 1, got {shards}")
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be at least 1, got {max_queue}")
+        self.max_queue = int(max_queue)
+        self.client_rate = float(client_rate)
+        self.client_burst = max(1.0, float(client_burst))
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._inflight = [0] * shards
+        self._buckets: OrderedDict[str, TokenBucket] = OrderedDict()
+        self._draining = False
+
+    # -- drain ---------------------------------------------------------------------
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def begin_drain(self) -> None:
+        self._draining = True
+
+    def inflight(self, shard: int | None = None) -> int:
+        with self._lock:
+            if shard is None:
+                return sum(self._inflight)
+            return self._inflight[shard]
+
+    # -- admission -----------------------------------------------------------------
+
+    def try_admit(self, client: str, shard: int) -> Ticket | Rejection:
+        if self._draining:
+            return Rejection(status=503, reason="draining", retry_after=1.0)
+        now = self._clock()
+        with self._lock:
+            bucket = self._buckets.get(client)
+            if bucket is None:
+                bucket = TokenBucket(self.client_rate, self.client_burst, now)
+                self._buckets[client] = bucket
+                if len(self._buckets) > self.MAX_CLIENTS:
+                    self._buckets.popitem(last=False)
+            else:
+                self._buckets.move_to_end(client)
+            wait = bucket.try_take(now)
+            if wait > 0.0:
+                retry = 1.0 if wait == float("inf") else wait
+                return Rejection(status=429, reason="client_budget", retry_after=retry)
+            if self._inflight[shard] >= self.max_queue:
+                # The token was spent; that is fine — the client *did* send
+                # the request, and refunding would let a single client spin
+                # on a saturated shard for free.
+                return Rejection(status=503, reason="queue_full", retry_after=0.5)
+            self._inflight[shard] += 1
+            return Ticket(self, shard)
+
+    def _release(self, shard: int) -> None:
+        with self._lock:
+            self._inflight[shard] -= 1

@@ -1,0 +1,140 @@
+"""Cross-request micro-batching: concurrent queries, one outcome pass.
+
+Under concurrency, many clients ask the *same* (program, database) —
+that is the whole point of the engine cache — but each request still pays
+its own :class:`~repro.runtime.batch.QueryBatch` pass over the outcome
+space, plus one pipe round-trip to the shard worker.  The
+:class:`MicroBatcher` holds the first exact query against a (program,
+database, slice) group for a short window (default 2 ms); every compatible
+request arriving inside the window appends its query specs to the group.
+On flush the group becomes **one** combined protocol request — one pipe
+message, one cache lookup, one ``QueryBatch`` pass in the worker — and the
+result vector is sliced back per requester.
+
+``QueryBatch`` accumulates each query's mass independently with
+``math.fsum`` over the same outcome enumeration order, so batched answers
+are **bit-identical** to per-request evaluation (the PR 2 property tests
+pin this); coalescing is therefore invisible to clients except as lower
+latency under load.  Query specs are validated per client *before*
+coalescing, so one malformed spec cannot poison its batch-mates; a failure
+of the combined request (e.g. a program parse error) by construction
+affects only clients that sent that same program.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any
+
+from repro.server.metrics import MetricsRegistry
+
+__all__ = ["MicroBatcher", "BatchFailed"]
+
+
+class BatchFailed(RuntimeError):
+    """The combined request answered ``ok: false``; carries the error text."""
+
+
+class _Group:
+    """Queries accumulated for one (shard, program, database, slice) key."""
+
+    __slots__ = ("shard", "request_core", "specs", "waiters", "timer")
+
+    def __init__(self, shard: int, request_core: dict):
+        self.shard = shard
+        self.request_core = request_core
+        self.specs: list[Any] = []
+        #: ``(start, count, future)`` per coalesced client request.
+        self.waiters: list[tuple[int, int, asyncio.Future]] = []
+        self.timer: asyncio.TimerHandle | None = None
+
+
+class MicroBatcher:
+    """Coalesce same-group exact queries inside a short window."""
+
+    def __init__(
+        self,
+        router,
+        window: float = 0.002,
+        max_batch: int = 64,
+        metrics: MetricsRegistry | None = None,
+    ):
+        self.router = router
+        self.window = max(0.0, float(window))
+        self.max_batch = max(1, int(max_batch))
+        self.metrics = metrics
+        self._groups: dict[tuple, _Group] = {}
+
+    async def submit(
+        self,
+        shard: int,
+        program: str,
+        database: str,
+        specs: list[Any],
+        slice_: Any = None,
+    ) -> list[float]:
+        """The results for *specs*, possibly answered by a shared batch pass."""
+        request_core = {"program": program, "database": database}
+        if slice_ is not None:
+            request_core["slice"] = bool(slice_)
+        if self.window <= 0.0:
+            return await self._evaluate(shard, request_core, specs)
+        loop = asyncio.get_running_loop()
+        key = (shard, program, database, request_core.get("slice"))
+        group = self._groups.get(key)
+        if group is None:
+            group = _Group(shard, request_core)
+            self._groups[key] = group
+            group.timer = loop.call_later(self.window, self._flush, key)
+        future: asyncio.Future = loop.create_future()
+        group.waiters.append((len(group.specs), len(specs), future))
+        group.specs.extend(specs)
+        if len(group.specs) >= self.max_batch:
+            self._flush(key)
+        return await future
+
+    # -- flushing ------------------------------------------------------------------
+
+    def _flush(self, key: tuple) -> None:
+        group = self._groups.pop(key, None)
+        if group is None:
+            return
+        if group.timer is not None:
+            group.timer.cancel()
+        if self.metrics is not None:
+            self.metrics.inc("gdatalog_microbatch_batches_total")
+            self.metrics.inc(
+                "gdatalog_microbatch_requests_total", amount=len(group.waiters)
+            )
+            if len(group.waiters) > 1:
+                self.metrics.inc(
+                    "gdatalog_microbatch_coalesced_total", amount=len(group.waiters) - 1
+                )
+        asyncio.ensure_future(self._run_group(group))
+
+    async def _run_group(self, group: _Group) -> None:
+        try:
+            results = await self._evaluate(group.shard, group.request_core, group.specs)
+        except Exception as error:  # noqa: BLE001 - fan the failure out per waiter
+            for _, _, future in group.waiters:
+                if not future.done():
+                    future.set_exception(error)
+            return
+        for start, count, future in group.waiters:
+            if not future.done():
+                future.set_result(results[start : start + count])
+
+    async def _evaluate(self, shard: int, request_core: dict, specs: list[Any]) -> list[float]:
+        """One protocol round-trip to the shard for a (possibly merged) batch."""
+        request = dict(request_core)
+        request["queries"] = list(specs)
+        response = await self.router.submit(shard, request)
+        if not response.get("ok"):
+            raise BatchFailed(str(response.get("error", "batch evaluation failed")))
+        results = response.get("results")
+        if not isinstance(results, list) or len(results) != len(specs):
+            raise BatchFailed(
+                f"shard returned {0 if not isinstance(results, list) else len(results)} "
+                f"results for {len(specs)} queries"
+            )
+        return results

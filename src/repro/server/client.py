@@ -1,0 +1,240 @@
+"""A minimal asyncio HTTP/1.1 + WebSocket client for the inference server.
+
+Deliberately tiny and dependency-free — this is the client half of the
+bundled load driver (``benchmarks/bench_e15_server.py``), the concurrency
+test suite, and the CI smoke round-trip, all of which must run on the
+pure-Python no-NumPy image.  It speaks exactly what the server speaks:
+keep-alive HTTP with ``Content-Length`` bodies, and masked RFC 6455 text
+frames.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import json
+import os
+import time
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+__all__ = [
+    "HttpResponse",
+    "HttpConnection",
+    "WebSocketConnection",
+    "http_json",
+    "wait_until_healthy",
+]
+
+
+@dataclass
+class HttpResponse:
+    status: int
+    headers: dict[str, str]
+    body: bytes
+
+    def json(self) -> Any:
+        return json.loads(self.body.decode("utf-8"))
+
+
+class HttpConnection:
+    """One keep-alive connection; requests are serial (HTTP/1.1 semantics)."""
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        self._reader = reader
+        self._writer = writer
+
+    @classmethod
+    async def open(cls, host: str, port: int) -> "HttpConnection":
+        reader, writer = await asyncio.open_connection(host, port, limit=8 * 1024 * 1024)
+        return cls(reader, writer)
+
+    async def request(
+        self,
+        method: str,
+        path: str,
+        body: bytes | None = None,
+        headers: Mapping[str, str] | None = None,
+    ) -> HttpResponse:
+        head = [f"{method} {path} HTTP/1.1", "Host: localhost"]
+        for name, value in (headers or {}).items():
+            head.append(f"{name}: {value}")
+        payload = body or b""
+        if method in ("POST", "PUT") or payload:
+            head.append("Content-Length: " + str(len(payload)))
+        self._writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + payload)
+        await self._writer.drain()
+        status_line = await self._reader.readline()
+        if not status_line:
+            raise ConnectionError("server closed the connection")
+        parts = status_line.decode("latin-1").split(None, 2)
+        status = int(parts[1])
+        response_headers: dict[str, str] = {}
+        while True:
+            line = await self._reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            response_headers[name.strip().lower()] = value.strip()
+        length = int(response_headers.get("content-length", "0"))
+        response_body = await self._reader.readexactly(length) if length else b""
+        return HttpResponse(status, response_headers, response_body)
+
+    async def post_json(
+        self, path: str, payload: Any, headers: Mapping[str, str] | None = None
+    ) -> tuple[int, Any]:
+        response = await self.request(
+            "POST",
+            path,
+            json.dumps(payload).encode("utf-8"),
+            {"Content-Type": "application/json", **(headers or {})},
+        )
+        return response.status, response.json()
+
+    async def close(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+async def http_json(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    payload: Any = None,
+    headers: Mapping[str, str] | None = None,
+) -> tuple[int, Any]:
+    """One-shot request on a fresh connection (JSON in, JSON out)."""
+    connection = await HttpConnection.open(host, port)
+    try:
+        body = None if payload is None else json.dumps(payload).encode("utf-8")
+        response = await connection.request(method, path, body, headers)
+        try:
+            decoded = response.json()
+        except (ValueError, UnicodeDecodeError):
+            decoded = response.body
+        return response.status, decoded
+    finally:
+        await connection.close()
+
+
+class WebSocketConnection:
+    """A masked-frame RFC 6455 client for the ``/v1/ws`` endpoint."""
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        self._reader = reader
+        self._writer = writer
+
+    @classmethod
+    async def open(
+        cls,
+        host: str,
+        port: int,
+        path: str = "/v1/ws",
+        headers: Mapping[str, str] | None = None,
+    ) -> "WebSocketConnection":
+        reader, writer = await asyncio.open_connection(host, port, limit=8 * 1024 * 1024)
+        key = base64.b64encode(os.urandom(16)).decode("latin-1")
+        head = [
+            f"GET {path} HTTP/1.1",
+            "Host: localhost",
+            "Upgrade: websocket",
+            "Connection: Upgrade",
+            f"Sec-WebSocket-Key: {key}",
+            "Sec-WebSocket-Version: 13",
+        ]
+        for name, value in (headers or {}).items():
+            head.append(f"{name}: {value}")
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1"))
+        await writer.drain()
+        status_line = await reader.readline()
+        if b"101" not in status_line:
+            raise ConnectionError(f"WebSocket handshake rejected: {status_line!r}")
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+        return cls(reader, writer)
+
+    async def send_text(self, text: str) -> None:
+        payload = text.encode("utf-8")
+        mask = os.urandom(4)
+        masked = bytes(byte ^ mask[index % 4] for index, byte in enumerate(payload))
+        header = bytearray([0x81])
+        length = len(payload)
+        if length < 126:
+            header.append(0x80 | length)
+        elif length < 1 << 16:
+            header.append(0x80 | 126)
+            header += length.to_bytes(2, "big")
+        else:
+            header.append(0x80 | 127)
+            header += length.to_bytes(8, "big")
+        self._writer.write(bytes(header) + mask + masked)
+        await self._writer.drain()
+
+    async def recv_text(self) -> str | None:
+        """The next text message (transparently answering pings); ``None`` on close."""
+        while True:
+            first = await self._reader.readexactly(2)
+            opcode = first[0] & 0x0F
+            length = first[1] & 0x7F
+            if length == 126:
+                length = int.from_bytes(await self._reader.readexactly(2), "big")
+            elif length == 127:
+                length = int.from_bytes(await self._reader.readexactly(8), "big")
+            payload = await self._reader.readexactly(length) if length else b""
+            if opcode == 0x8:
+                return None
+            if opcode == 0x9:
+                continue  # server pings are not expected; ignore
+            if opcode in (0x1, 0x0):
+                return payload.decode("utf-8")
+
+    async def send_json(self, payload: Any) -> None:
+        await self.send_text(json.dumps(payload))
+
+    async def recv_json(self) -> Any:
+        text = await self.recv_text()
+        return None if text is None else json.loads(text)
+
+    async def close(self) -> None:
+        try:
+            mask = os.urandom(4)
+            self._writer.write(bytes([0x88, 0x80]) + mask)
+            await self._writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+async def wait_until_healthy(
+    host: str, port: int, timeout: float = 10.0, interval: float = 0.05
+) -> dict:
+    """Poll ``/healthz`` until it answers 200, or raise ``TimeoutError``.
+
+    The startup-time guard every harness (tests, load driver, CI smoke)
+    uses: a server that hangs on boot fails within *timeout* seconds
+    instead of stalling its caller.
+    """
+    deadline = time.monotonic() + timeout
+    last_error: Exception | None = None
+    while time.monotonic() < deadline:
+        try:
+            status, payload = await http_json(host, port, "GET", "/healthz")
+            if status == 200 and isinstance(payload, dict) and payload.get("ok"):
+                return payload
+        except (ConnectionError, OSError, asyncio.IncompleteReadError) as error:
+            last_error = error
+        await asyncio.sleep(interval)
+    raise TimeoutError(
+        f"server at {host}:{port} not healthy within {timeout:.1f}s "
+        f"(last error: {last_error})"
+    )

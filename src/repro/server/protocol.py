@@ -1,0 +1,171 @@
+"""The serve wire protocol, shared by the stdin loop and the HTTP server.
+
+One request is one JSON object; one response is one JSON object.  The
+request names a program (``program`` inline text or ``program_path``), an
+optional database (``database`` / ``database_path``), a ``queries`` list of
+atom strings or ``{"type": ...}`` specs (see
+:func:`repro.ppdl.queries.query_from_spec`), and optionally ``adaptive``
+sampling parameters or a per-request ``slice`` override.  The response is
+``{"ok": true, "results": [...]}`` with results aligned to the queries, or
+``{"ok": false, "error": "..."}`` — and **always** echoes the client's
+``id`` field (or ``null`` when the request was too broken to carry one), so
+clients that pipeline requests never lose correlation.
+
+Both transports — the ``gdatalog serve`` stdin JSON-lines loop and the
+:mod:`repro.server.http` front end — funnel through :func:`answer`, which
+is guaranteed not to raise: a malformed request produces an error response,
+never a dead serving loop.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.exceptions import ReproError
+from repro.ppdl.queries import query_from_spec
+
+__all__ = [
+    "RequestError",
+    "read_request_file",
+    "resolve_sources",
+    "validate_queries",
+    "handle_request",
+    "answer",
+    "answer_line",
+    "error_response",
+]
+
+#: Queries assumed when a request omits the ``queries`` field.
+DEFAULT_QUERIES: tuple[Any, ...] = ({"type": "has_stable_model"},)
+
+
+class RequestError(ReproError):
+    """A malformed serve request: answered with ``ok: false``, never fatal."""
+
+
+def read_request_file(path: Any, role: str = "input") -> str:
+    """Read a ``program_path`` / ``database_path`` file with readable errors."""
+    if not isinstance(path, str) or not path:
+        raise RequestError(f"{role} path must be a non-empty string, got {path!r}")
+    try:
+        return Path(path).read_text(encoding="utf-8")
+    except FileNotFoundError:
+        raise RequestError(f"{role} file not found: {path}") from None
+    except IsADirectoryError:
+        raise RequestError(f"{role} path is a directory, not a file: {path}") from None
+    except OSError as error:
+        raise RequestError(f"cannot read {role} file {path}: {error.strerror or error}") from None
+
+
+def resolve_sources(request: Mapping[str, Any]) -> tuple[str, str]:
+    """``(program_source, database_source)`` of a request, reading path fields.
+
+    The HTTP front end calls this once per request *before* routing, so a
+    request forwarded to a shard worker always carries inline text and is
+    routed by the same program the worker will evaluate.
+    """
+    program = request.get("program")
+    if program is None and "program_path" in request:
+        program = read_request_file(request["program_path"], role="program")
+    if not isinstance(program, str):
+        raise RequestError("serve request needs a 'program' or 'program_path' field")
+    database = request.get("database")
+    if database is None and "database_path" in request:
+        database = read_request_file(request["database_path"], role="database")
+    if database is None:
+        database = ""
+    if not isinstance(database, str):
+        raise RequestError("serve request 'database' must be a string")
+    return program, database
+
+
+def request_queries(request: Mapping[str, Any]) -> list[Any]:
+    """The request's query spec list (defaulted, shape-checked)."""
+    queries = request.get("queries", list(DEFAULT_QUERIES))
+    if isinstance(queries, (str, Mapping)) or not isinstance(queries, (list, tuple)):
+        raise RequestError(
+            "serve request 'queries' must be a list of atom strings or query specs"
+        )
+    return list(queries)
+
+
+def validate_queries(specs: list[Any]) -> None:
+    """Reject unparseable query specs *before* they reach a shared batch.
+
+    The HTTP micro-batcher coalesces several clients' queries into one
+    :class:`~repro.runtime.batch.QueryBatch` pass; validating per client
+    keeps one bad spec from failing its batch-mates.
+    """
+    for spec in specs:
+        try:
+            query_from_spec(spec)
+        except (ReproError, ValueError, TypeError, KeyError) as error:
+            raise RequestError(f"invalid query spec {spec!r}: {error}") from None
+
+
+def handle_request(service, request: Mapping[str, Any]) -> dict[str, Any]:
+    """Answer one request dict against an :class:`InferenceService`.
+
+    Raises (:class:`RequestError` or an engine error) rather than catching:
+    :func:`answer` is the never-raises wrapper both transports use.
+    """
+    if not isinstance(request, Mapping):
+        raise RequestError("serve requests must be JSON objects")
+    program, database = resolve_sources(request)
+    queries = request_queries(request)
+    if request.get("adaptive"):
+        results = [
+            service.estimate(
+                program,
+                database,
+                query,
+                target_half_width=request.get("half_width", 0.01),
+                stratify=bool(request.get("stratify", False)),
+                seed=request.get("seed"),
+                max_samples=int(request.get("max_samples", 200_000)),
+            ).value
+            for query in queries
+        ]
+    else:
+        results = service.evaluate(program, database, queries, slice=request.get("slice"))
+    return {"ok": True, "results": results}
+
+
+def error_response(message: str, request_id: Any = None) -> dict[str, Any]:
+    """A protocol error response carrying the (possibly ``None``) request id."""
+    return {"ok": False, "error": message, "id": request_id}
+
+
+def answer(service, request: Any) -> dict[str, Any]:
+    """Answer one parsed request; **never raises** and always echoes ``id``.
+
+    Any failure — malformed fields, unreadable paths, parse errors, engine
+    limits, even an unexpected bug in the evaluation stack — becomes an
+    ``ok: false`` response so a single bad request cannot kill a serving
+    loop that multiplexes many clients.
+    """
+    request_id = None
+    try:
+        if not isinstance(request, Mapping):
+            raise RequestError("serve requests must be JSON objects")
+        request_id = request.get("id")
+        response = handle_request(service, request)
+    except (ReproError, ValueError, TypeError, KeyError) as error:
+        response = error_response(f"{type(error).__name__}: {error}", request_id)
+    except Exception as error:  # noqa: BLE001 - the loop must survive anything
+        response = error_response(
+            f"internal error ({type(error).__name__}): {error}", request_id
+        )
+    response["id"] = request_id
+    return response
+
+
+def answer_line(service, line: str) -> dict[str, Any]:
+    """Answer one raw JSON-lines request string (the stdin transport)."""
+    try:
+        request = json.loads(line)
+    except json.JSONDecodeError as error:
+        return error_response(f"invalid JSON request: {error}")
+    return answer(service, request)

@@ -1,0 +1,114 @@
+"""Admission control: token buckets, bounded shard queues, drain semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.server.admission import AdmissionController, Rejection, Ticket, TokenBucket
+
+
+class FakeClock:
+    def __init__(self, now: float = 1000.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, capacity=3.0, now=clock())
+        assert [bucket.try_take(clock()) for _ in range(3)] == [0.0, 0.0, 0.0]
+        wait = bucket.try_take(clock())
+        assert wait == pytest.approx(0.5)  # one token at 2 tokens/second
+        clock.advance(0.5)
+        assert bucket.try_take(clock()) == 0.0
+
+    def test_zero_rate_never_refills(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=0.0, capacity=1.0, now=clock())
+        assert bucket.try_take(clock()) == 0.0
+        assert bucket.try_take(clock()) == float("inf")
+        clock.advance(3600)
+        assert bucket.try_take(clock()) == float("inf")
+
+    def test_tokens_cap_at_capacity(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=100.0, capacity=2.0, now=clock())
+        clock.advance(60)
+        assert bucket.try_take(clock()) == 0.0
+        assert bucket.try_take(clock()) == 0.0
+        assert bucket.try_take(clock()) > 0.0
+
+
+class TestAdmissionController:
+    def controller(self, **kwargs) -> tuple[AdmissionController, FakeClock]:
+        clock = FakeClock()
+        defaults = dict(shards=2, max_queue=2, client_rate=1.0, client_burst=2.0, clock=clock)
+        defaults.update(kwargs)
+        return AdmissionController(**defaults), clock
+
+    def test_client_budget_yields_429_with_retry_after(self):
+        controller, clock = self.controller()
+        first = controller.try_admit("alice", 0)
+        second = controller.try_admit("alice", 0)
+        assert isinstance(first, Ticket) and isinstance(second, Ticket)
+        rejected = controller.try_admit("alice", 0)
+        assert isinstance(rejected, Rejection)
+        assert rejected.status == 429 and rejected.reason == "client_budget"
+        assert rejected.retry_after == pytest.approx(1.0)
+        # An unrelated client is unaffected (shard 1: alice's two live
+        # tickets legitimately fill shard 0's max_queue=2 bound).
+        assert isinstance(controller.try_admit("bob", 1), Ticket)
+        # After the bucket refills, alice is admitted again.
+        first.release()
+        second.release()
+        clock.advance(1.0)
+        assert isinstance(controller.try_admit("alice", 0), Ticket)
+
+    def test_shard_queue_bound_yields_503(self):
+        controller, _ = self.controller(client_rate=1000.0, client_burst=1000.0)
+        tickets = [controller.try_admit(f"c{i}", 0) for i in range(2)]
+        assert all(isinstance(t, Ticket) for t in tickets)
+        rejected = controller.try_admit("c9", 0)
+        assert isinstance(rejected, Rejection)
+        assert rejected.status == 503 and rejected.reason == "queue_full"
+        # The *other* shard still has room.
+        assert isinstance(controller.try_admit("c9", 1), Ticket)
+        # Releasing frees a slot.
+        tickets[0].release()
+        assert isinstance(controller.try_admit("c10", 0), Ticket)
+
+    def test_release_is_idempotent(self):
+        controller, _ = self.controller()
+        ticket = controller.try_admit("alice", 1)
+        assert isinstance(ticket, Ticket)
+        ticket.release()
+        ticket.release()
+        assert controller.inflight(1) == 0
+
+    def test_ticket_is_a_context_manager(self):
+        controller, _ = self.controller()
+        with controller.try_admit("alice", 0) as ticket:
+            assert ticket.shard == 0
+            assert controller.inflight(0) == 1
+        assert controller.inflight(0) == 0
+
+    def test_draining_rejects_everything_with_503(self):
+        controller, _ = self.controller()
+        controller.begin_drain()
+        rejected = controller.try_admit("alice", 0)
+        assert isinstance(rejected, Rejection)
+        assert rejected.status == 503 and rejected.reason == "draining"
+
+    def test_client_bucket_lru_is_bounded(self):
+        controller, _ = self.controller(client_rate=1000.0, client_burst=1000.0, max_queue=10_000)
+        for index in range(AdmissionController.MAX_CLIENTS + 50):
+            admitted = controller.try_admit(f"client-{index}", 0)
+            assert isinstance(admitted, Ticket)
+            admitted.release()
+        assert len(controller._buckets) <= AdmissionController.MAX_CLIENTS

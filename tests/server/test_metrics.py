@@ -1,0 +1,77 @@
+"""Histogram bucketing and Prometheus text rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.server.metrics import Histogram, MetricsRegistry
+
+
+class TestHistogram:
+    def test_observations_land_in_cumulative_buckets(self):
+        histogram = Histogram(buckets=(0.01, 0.1, 1.0))
+        for value in (0.005, 0.05, 0.5, 5.0):
+            histogram.observe(value)
+        counts, total_sum, total_count = histogram.snapshot()
+        assert counts == [1, 1, 1, 1]  # one per bucket, one in +Inf
+        assert total_count == 4
+        assert total_sum == pytest.approx(5.555)
+
+    def test_quantiles_report_bucket_upper_bounds(self):
+        histogram = Histogram(buckets=(0.01, 0.1, 1.0))
+        for _ in range(98):
+            histogram.observe(0.005)
+        histogram.observe(0.5)
+        histogram.observe(0.5)
+        assert histogram.quantile(0.5) == 0.01
+        assert histogram.quantile(0.99) == 1.0
+
+    def test_empty_histogram_quantile_is_zero(self):
+        assert Histogram().quantile(0.99) == 0.0
+
+
+class TestMetricsRegistry:
+    def test_counters_gauges_histograms_render(self):
+        registry = MetricsRegistry()
+        registry.describe("gdatalog_requests_total", "Requests answered")
+        registry.inc("gdatalog_requests_total", {"route": "query", "status": "200"})
+        registry.inc("gdatalog_requests_total", {"route": "query", "status": "200"})
+        registry.inc("gdatalog_requests_total", {"route": "query", "status": "429"})
+        registry.set_gauge("gdatalog_shard_up", 1, {"shard": "0"})
+        registry.observe("gdatalog_request_seconds", 0.004, {"route": "query"})
+        registry.observe("gdatalog_request_seconds", 0.3, {"route": "query"})
+        text = registry.render()
+        assert "# HELP gdatalog_requests_total Requests answered" in text
+        assert "# TYPE gdatalog_requests_total counter" in text
+        assert 'gdatalog_requests_total{route="query",status="200"} 2' in text
+        assert 'gdatalog_requests_total{route="query",status="429"} 1' in text
+        assert "# TYPE gdatalog_shard_up gauge" in text
+        assert 'gdatalog_shard_up{shard="0"} 1' in text
+        assert "# TYPE gdatalog_request_seconds histogram" in text
+        assert 'gdatalog_request_seconds_bucket{le="0.005",route="query"} 1' in text
+        assert 'gdatalog_request_seconds_bucket{le="+Inf",route="query"} 2' in text
+        assert 'gdatalog_request_seconds_count{route="query"} 2' in text
+        assert text.endswith("\n")
+
+    def test_bucket_counts_are_cumulative(self):
+        registry = MetricsRegistry()
+        for value in (0.001, 0.002, 0.004, 20.0):
+            registry.observe("latency", value)
+        text = registry.render()
+        assert 'latency_bucket{le="0.001"} 1' in text
+        assert 'latency_bucket{le="0.0025"} 2' in text
+        assert 'latency_bucket{le="0.005"} 3' in text
+        assert 'latency_bucket{le="10"} 3' in text
+        assert 'latency_bucket{le="+Inf"} 4' in text
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.inc("errors_total", {"message": 'said "hi"\\there'})
+        text = registry.render()
+        assert r'message="said \"hi\"\\there"' in text
+
+    def test_counter_value_reads_back(self):
+        registry = MetricsRegistry()
+        registry.inc("hits", {"shard": "1"}, amount=3)
+        assert registry.counter_value("hits", {"shard": "1"}) == 3
+        assert registry.counter_value("hits", {"shard": "2"}) == 0

@@ -1,0 +1,147 @@
+"""The shared serve wire protocol: id echo, never-raise, spec validation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.runtime.service import InferenceService
+from repro.server.protocol import (
+    RequestError,
+    answer,
+    answer_line,
+    resolve_sources,
+    validate_queries,
+)
+
+PROGRAM = """
+coin1(X, flip<0.5>[1, X]) :- src1(X).
+hit1(X) :- coin1(X, 1).
+"""
+DATABASE = "src1(1)."
+
+
+@pytest.fixture()
+def service() -> InferenceService:
+    return InferenceService(cache_size=4)
+
+
+class TestIdEcho:
+    def test_success_echoes_id(self, service):
+        response = answer(
+            service,
+            {"id": "req-7", "program": PROGRAM, "database": DATABASE, "queries": ["hit1(1)"]},
+        )
+        assert response["ok"] and response["id"] == "req-7"
+        assert response["results"] == [0.5]
+
+    def test_error_echoes_id(self, service):
+        response = answer(service, {"id": 42, "queries": ["hit1(1)"]})
+        assert not response["ok"] and response["id"] == 42
+        assert "program" in response["error"]
+
+    def test_unparseable_program_echoes_id(self, service):
+        response = answer(service, {"id": "x", "program": ":- :- :-", "queries": ["a(1)"]})
+        assert not response["ok"] and response["id"] == "x"
+
+    def test_invalid_json_line_echoes_null_id(self, service):
+        response = answer_line(service, "this is not json")
+        assert not response["ok"] and response["id"] is None
+        assert "invalid JSON" in response["error"]
+
+    def test_non_object_request_echoes_null_id(self, service):
+        response = answer(service, ["not", "an", "object"])
+        assert not response["ok"] and response["id"] is None
+
+    def test_zero_and_empty_ids_are_preserved(self, service):
+        for request_id in (0, "", False):
+            response = answer(
+                service, {"id": request_id, "program": PROGRAM, "queries": ["hit1(1)"]}
+            )
+            assert response["id"] == request_id
+
+
+class TestNeverRaises:
+    def test_unexpected_internal_error_becomes_a_response(self, service, monkeypatch):
+        def boom(*args, **kwargs):
+            raise RuntimeError("synthetic evaluation bug")
+
+        monkeypatch.setattr(service, "evaluate", boom)
+        response = answer(service, {"id": 5, "program": PROGRAM, "queries": ["hit1(1)"]})
+        assert not response["ok"] and response["id"] == 5
+        assert "internal error" in response["error"]
+        # The service is still usable afterwards — the loop survived.
+        monkeypatch.undo()
+        assert answer(service, {"id": 6, "program": PROGRAM, "queries": ["hit1(1)"]})["ok"]
+
+    def test_malformed_field_types_are_answered(self, service):
+        bad_requests = [
+            {"id": 1, "program": PROGRAM, "queries": 42},
+            {"id": 2, "program": PROGRAM, "queries": "hit1(1)"},
+            {"id": 3, "program": PROGRAM, "adaptive": True, "half_width": "wide"},
+            {"id": 4, "program": 17},
+            {"id": 5, "program": PROGRAM, "database": ["not", "text"]},
+            {"id": 6, "program": PROGRAM, "queries": [{"type": "mystery"}]},
+        ]
+        for request in bad_requests:
+            response = answer(service, request)
+            assert not response["ok"] and response["id"] == request["id"], request
+
+    def test_answer_line_sequence_preserves_correlation(self, service):
+        lines = [
+            json.dumps({"id": "a", "program": PROGRAM, "queries": ["hit1(1)"]}),
+            "garbage",
+            json.dumps({"id": "b", "queries": ["hit1(1)"]}),
+            json.dumps({"id": "c", "program": PROGRAM, "database": DATABASE, "queries": ["hit1(1)"]}),
+        ]
+        responses = [answer_line(service, line) for line in lines]
+        assert [r["id"] for r in responses] == ["a", None, "b", "c"]
+        assert [r["ok"] for r in responses] == [True, False, False, True]
+
+
+class TestResolveAndValidate:
+    def test_resolve_reads_path_fields(self, tmp_path):
+        program_file = tmp_path / "p.dl"
+        program_file.write_text(PROGRAM, encoding="utf-8")
+        program, database = resolve_sources({"program_path": str(program_file)})
+        assert program == PROGRAM and database == ""
+
+    def test_resolve_missing_file_is_a_request_error(self):
+        with pytest.raises(RequestError, match="not found"):
+            resolve_sources({"program_path": "/no/such/file.dl"})
+
+    def test_validate_queries_rejects_bad_specs_before_batching(self):
+        validate_queries(["hit1(1)", {"type": "has_stable_model"}])
+        with pytest.raises(RequestError, match="invalid query spec"):
+            validate_queries([{"type": "atom"}])
+        with pytest.raises(RequestError, match="invalid query spec"):
+            validate_queries([3.14])
+
+    def test_default_queries_is_has_stable_model(self, service):
+        response = answer(service, {"program": PROGRAM, "database": DATABASE})
+        assert response["ok"] and response["results"] == [1.0]
+
+    def test_adaptive_request_is_seed_deterministic(self, service):
+        request = {
+            "program": PROGRAM,
+            "database": DATABASE,
+            "queries": ["hit1(1)"],
+            "adaptive": True,
+            "seed": 7,
+            "half_width": 0.05,
+        }
+        first = answer(service, dict(request))
+        second = answer(service, dict(request))
+        assert first["ok"] and first["results"] == second["results"]
+
+    def test_stats_snapshot_is_a_plain_consistent_dict(self, service):
+        answer(service, {"program": PROGRAM, "database": DATABASE, "queries": ["hit1(1)"]})
+        answer(service, {"program": PROGRAM, "database": DATABASE, "queries": ["hit1(1)"]})
+        snapshot = service.stats.snapshot()
+        assert isinstance(snapshot, dict)
+        assert set(snapshot) == set(service.stats.COUNTERS)
+        assert snapshot["hits"] >= 1 and snapshot["misses"] >= 1
+        # The snapshot is a copy: mutating it does not touch the live stats.
+        snapshot["hits"] = -1
+        assert service.stats.hits >= 1
