@@ -1,0 +1,194 @@
+"""E16 — streaming fact deltas vs. re-chasing from scratch.
+
+The streaming-evidence gate: applying a **single-fact** insert or retract
+through :meth:`GDatalogEngine.updated` must be at least ``TARGET_SPEEDUP``×
+faster than rebuilding and re-chasing the post-delta engine, on both
+maintenance modes:
+
+* **selective / flat (patch mode)** — the telemetry workload
+  (:mod:`repro.workloads.streaming`): ``2^drivers`` chased outcomes, a
+  delta on the deterministic telemetry cone.  The patch splices one
+  root-level grounding diff into every outcome instead of re-chasing
+  ``2^drivers`` paths.
+* **wide / factorized (component mode)** — independent probabilistic
+  columns plus one small "pit lane" column that receives the delta; only
+  that component is re-chased, every heavy column is reused.
+
+Both scenarios assert **bit-identical spaces** (``==`` on groundings, AtR
+sets and float path probabilities — no tolerance), for the insert and for
+the retract, and the flat scenario additionally pins seeded Monte-Carlo
+estimates, which must coincide exactly because the maintained grounder's
+planted root state equals a fresh root saturation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import TextTable, Timer
+from repro.gdatalog.chase import ChaseConfig
+from repro.gdatalog.engine import GDatalogEngine
+from repro.logic.atoms import fact
+from repro.logic.database import Database
+from repro.logic.deltas import DbDelta
+from repro.logic.parser import parse_gdatalog_program
+from repro.workloads import telemetry_database, telemetry_program
+
+#: Required update-over-re-chase speedup, per scenario and per delta kind.
+TARGET_SPEEDUP = 10.0
+
+DRIVERS = 9  # 2^9 chased outcomes in the flat scenario
+
+COLUMNS = 14  # heavy factorized columns ...
+MEMBERS = 6  # ... of 2^6 outcomes each
+PIT_MEMBERS = 2  # the small column the stream touches
+
+
+def _column_program(columns: int) -> str:
+    """Independent coin columns; the ``pair`` join fuses each column's rows
+    into one ground component, so a column is the unit of invalidation."""
+    lines = []
+    for c in range(1, columns + 1):
+        lines.append(f"coin{c}(X, flip<0.5>[{c}, X]) :- member{c}(X).")
+        lines.append(f"hit{c}(X) :- coin{c}(X, 1).")
+        lines.append(f"pair{c}(X, Y) :- member{c}(X), member{c}(Y).")
+    return "\n".join(lines)
+
+
+def _column_database(columns: int, members: int, pit_members: int) -> Database:
+    facts = [
+        fact(f"member{c}", j)
+        for c in range(1, columns + 1)
+        for j in range(1, members + 1)
+    ]
+    facts += [fact(f"member{columns + 1}", j) for j in range(1, pit_members + 1)]
+    return Database(facts)
+
+
+def _flat_fingerprint(space):
+    return (
+        [(o.atr_rules, o.grounding, o.probability) for o in space.outcomes],
+        space.error_probability,
+    )
+
+
+def _product_fingerprint(space):
+    """Component-wise identity of a factorized space (never enumerated flat)."""
+    return {
+        part.component: _flat_fingerprint(part.space)
+        for part in space.components
+    }
+
+
+def _timed_update(base: GDatalogEngine, delta: DbDelta, repetitions: int = 3):
+    """(maintained engine, seconds) for one delta, space materialized.
+
+    ``updated()`` never mutates *base*, so the best of a few repetitions is
+    a fair measure — it strips scheduler/GC noise from a path whose true
+    cost is milliseconds, while the re-chase side is long enough that one
+    measurement is stable.
+    """
+    best = None
+    updated = None
+    for _ in range(repetitions):
+        with Timer() as timer:
+            updated = base.updated(delta)
+            updated.output_space()
+        best = timer.elapsed if best is None else min(best, timer.elapsed)
+    return updated, best
+
+
+def _timed_rebuild(program, database, config):
+    with Timer() as timer:
+        engine = GDatalogEngine(program, database, chase_config=config)
+        engine.output_space()
+    return engine, timer.elapsed
+
+
+def _flat_scenario():
+    """Patch mode: telemetry deltas on a 2^DRIVERS-outcome flat space."""
+    program = telemetry_program(sectors=3)
+    database = telemetry_database(DRIVERS, laps=2, sectors=3)
+    config = ChaseConfig()
+    base = GDatalogEngine(program, database, chase_config=config)
+    base.output_space()
+    rows = []
+    for label, delta in (
+        ("insert", DbDelta.of(inserts=["lap(1, 3)", "gate1(3)", "gate2(3)", "gate3(3)"])),
+        ("retract", DbDelta.of(retracts=["gate3(2)"])),
+    ):
+        updated, update_seconds = _timed_update(base, delta)
+        fresh, rebuild_seconds = _timed_rebuild(program, delta.apply(database), config)
+        assert updated.last_update_report.mode == "patch"
+        assert _flat_fingerprint(updated.output_space()) == _flat_fingerprint(
+            fresh.output_space()
+        )
+        estimate = updated.estimate_has_stable_model(n=128, seed=16)
+        assert estimate.value == fresh.estimate_has_stable_model(n=128, seed=16).value
+        rows.append(("flat/patch", label, rebuild_seconds, update_seconds))
+    return rows
+
+
+def _factorized_scenario():
+    """Component mode: pit-lane deltas leave every heavy column untouched."""
+    program = parse_gdatalog_program(_column_program(COLUMNS + 1))
+    database = _column_database(COLUMNS, MEMBERS, PIT_MEMBERS)
+    config = ChaseConfig(factorize=True)
+    base = GDatalogEngine(program, database, chase_config=config)
+    base.output_space()
+    pit = COLUMNS + 1
+    rows = []
+    for label, delta in (
+        ("insert", DbDelta.of(inserts=[f"member{pit}({PIT_MEMBERS + 1})"])),
+        ("retract", DbDelta.of(retracts=[f"member{pit}({PIT_MEMBERS})"])),
+    ):
+        updated, update_seconds = _timed_update(base, delta)
+        fresh, rebuild_seconds = _timed_rebuild(program, delta.apply(database), config)
+        report = updated.last_update_report
+        assert report.mode == "component"
+        assert report.invalidated_subtrees == 1
+        assert report.reused_subtrees == COLUMNS
+        assert _product_fingerprint(updated.output_space()) == _product_fingerprint(
+            fresh.output_space()
+        )
+        rows.append(("factorized/component", label, rebuild_seconds, update_seconds))
+    return rows
+
+
+def test_e16_report(benchmark):
+    def sweep():
+        return _flat_scenario() + _factorized_scenario()
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = TextTable(
+        ["scenario", "delta", "re-chase s", "update s", "speedup"],
+        title="E16 — single-fact streaming updates vs re-chase",
+    )
+    failures = []
+    for scenario, label, rebuild_seconds, update_seconds in rows:
+        speedup = rebuild_seconds / max(update_seconds, 1e-9)
+        table.add_row(
+            scenario, label, f"{rebuild_seconds:.3f}", f"{update_seconds:.3f}", f"{speedup:.1f}x"
+        )
+        if speedup < TARGET_SPEEDUP:
+            failures.append((scenario, label, speedup))
+    print()
+    print(table.render())
+    assert not failures, (
+        f"streaming updates below the {TARGET_SPEEDUP}x floor: "
+        + ", ".join(f"{s}/{l} at {x:.1f}x" for s, l, x in failures)
+    )
+
+
+def test_e16_update_beats_rechase_even_cold():
+    """A cold cache (no chased space) degrades to rebuild — never to wrong."""
+    program = telemetry_program(sectors=2)
+    database = telemetry_database(4, laps=1, sectors=2)
+    base = GDatalogEngine(program, database)  # never chased
+    delta = DbDelta.of(inserts=["lap(1, 2)", "gate1(2)", "gate2(2)"])
+    updated = base.updated(delta)
+    assert updated.last_update_report.mode == "rebuild"
+    fresh = GDatalogEngine(program, delta.apply(database))
+    assert _flat_fingerprint(updated.output_space()) == _flat_fingerprint(
+        fresh.output_space()
+    )

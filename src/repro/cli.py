@@ -10,6 +10,9 @@ Installed as the ``gdatalog`` console script (and callable with
   ``--workers N`` parallel chase exploration.
 * ``serve``    — JSON-lines inference service on stdin/stdout backed by the
   LRU-cached :class:`~repro.runtime.service.InferenceService`.
+* ``update``   — streaming evidence: apply fact-level deltas (JSON lines from
+  a file or stdin / ``--follow``) with incremental view maintenance, printing
+  one JSON line per delta with the maintenance report and fresh marginals.
 * ``ground``   — show the translation Σ_Π and the grounding of the empty AtR set.
 * ``graph``    — dependency graph / stratification of a program (Figure-1 style).
 
@@ -25,6 +28,8 @@ Examples::
     gdatalog query program.dl -d db.facts --slice --atom "a(1)"
     gdatalog batch program.dl -d db.facts --slice --atom "a(1)" --atom "b(2)"
     echo '{"program_path": "p.dl", "queries": ["a(1)"]}' | gdatalog serve --factorize --slice
+    echo '{"insert": ["lap(5)"]}' | gdatalog update race.dl -d telemetry.facts --atom "wins(44)"
+    tail -f laps.jsonl | gdatalog update race.dl -d telemetry.facts --follow --atom "wins(44)"
 """
 
 from __future__ import annotations
@@ -266,6 +271,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="maximum seconds to finish in-flight requests after SIGTERM (--http)",
     )
 
+    update_parser = subparsers.add_parser(
+        "update",
+        help="apply streaming fact deltas with incremental view maintenance",
+    )
+    _add_common_arguments(update_parser)
+    update_parser.add_argument(
+        "--deltas",
+        metavar="FILE",
+        default=None,
+        help="JSON-lines delta feed ('-' or omitted: read stdin); each line is "
+        'a delta object like {"insert": ["p(1)"], "retract": ["q(2)"]}',
+    )
+    update_parser.add_argument(
+        "--follow",
+        action="store_true",
+        help="stream from stdin, answering each delta as it arrives "
+        "(output is flushed per line; end the feed with EOF)",
+    )
+    update_parser.add_argument(
+        "--atom", action="append", default=[], help="atom to re-query after every delta (repeatable)"
+    )
+    update_parser.add_argument(
+        "--mode", choices=("brave", "cautious"), default="brave", help="marginal mode"
+    )
+
     ground_parser = subparsers.add_parser("ground", help="show the translation and initial grounding")
     _add_common_arguments(ground_parser)
 
@@ -453,7 +483,7 @@ def _command_serve(args: argparse.Namespace) -> str:
         return ""
 
     from repro.runtime.service import InferenceService
-    from repro.server.protocol import answer_line
+    from repro.server.protocol import StreamRegistry, answer_line
 
     service = InferenceService(
         cache_size=args.cache_size,
@@ -462,6 +492,9 @@ def _command_serve(args: argparse.Namespace) -> str:
         factorize=args.factorize,
         slice=args.slice,
     )
+    # Named evidence streams live in this loop, not in the service: the
+    # stdin transport is the front end here, mirroring the HTTP server.
+    streams = StreamRegistry()
     served = 0
     for line in sys.stdin:
         line = line.strip()
@@ -470,7 +503,7 @@ def _command_serve(args: argparse.Namespace) -> str:
         # ``answer_line`` never raises and always echoes the request ``id``
         # (``null`` when the line was not even valid JSON), so pipelined
         # clients keep request/response correlation across malformed input.
-        response = answer_line(service, line)
+        response = answer_line(service, line, streams)
         response["cache"] = service.stats.snapshot()
         print(json.dumps(response), flush=True)
         served += 1
@@ -482,6 +515,57 @@ def _command_serve(args: argparse.Namespace) -> str:
         f"served {served} request(s); cache hit rate {service.stats.hit_rate:.1%}",
         file=sys.stderr,
     )
+    return ""
+
+
+def _delta_lines(args: argparse.Namespace):
+    """The delta feed: JSON lines from ``--deltas FILE`` or stdin (``--follow``)."""
+    if args.deltas not in (None, "-"):
+        if args.follow:
+            raise CLIError("--follow streams from stdin; it cannot be combined with --deltas FILE")
+        return _read_text(args.deltas, role="deltas").splitlines()
+    return sys.stdin
+
+
+def _command_update(args: argparse.Namespace) -> str:
+    """Apply a feed of fact deltas, maintaining the output space incrementally.
+
+    One JSON output line per delta — the maintenance report (mode,
+    invalidated/reused subtree counts) plus fresh marginals for every
+    ``--atom`` — flushed per line so ``tail -f feed | gdatalog update
+    --follow`` behaves as a live dashboard.  A malformed line answers
+    ``ok: false`` and the feed continues: one bad delta must not kill a
+    stream, exactly as in the serve protocol.
+    """
+    engine = _make_engine(args)
+    engine.output_space()  # chase once up front; every delta then maintains it
+    applied = 0
+    for line in _delta_lines(args):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            spec = json.loads(line)
+        except json.JSONDecodeError as error:
+            print(json.dumps({"ok": False, "error": f"invalid JSON delta: {error}"}), flush=True)
+            continue
+        if isinstance(spec, dict) and isinstance(spec.get("delta"), dict):
+            spec = spec["delta"]
+        try:
+            engine = engine.updated(spec)
+            report = engine.last_update_report
+            response = {"ok": True, "update": report.as_dict()}
+            if args.atom:
+                response["results"] = {
+                    atom_text: engine.marginal(atom_text, mode=args.mode)
+                    for atom_text in args.atom
+                }
+        except ReproError as error:
+            response = {"ok": False, "error": str(error)}
+        else:
+            applied += 1
+        print(json.dumps(response), flush=True)
+    print(f"applied {applied} delta(s)", file=sys.stderr)
     return ""
 
 
@@ -523,6 +607,7 @@ _COMMANDS = {
     "sample": _command_sample,
     "batch": _command_batch,
     "serve": _command_serve,
+    "update": _command_update,
     "ground": _command_ground,
     "graph": _command_graph,
 }

@@ -152,6 +152,31 @@ class GDatalogEngine:
             )
         return self.__dict__["factorized"]
 
+    # -- streaming updates ---------------------------------------------------------
+
+    def updated(self, delta) -> "GDatalogEngine":
+        """The engine of the post-delta database, reusing this engine's chase work.
+
+        *delta* is a :class:`~repro.logic.deltas.DbDelta` (or a wire spec
+        like ``{"insert": ["lap(7, 3)"], "retract": [...]}``).  The returned
+        engine answers every query bit-identically to a from-scratch engine
+        over the updated database; how much chase structure was reused is
+        recorded on its :attr:`last_update_report` (see
+        :mod:`repro.gdatalog.incremental` for the patch/component/rebuild
+        modes).  This engine is not mutated and stays valid for the
+        pre-delta state.
+        """
+        from repro.gdatalog.incremental import maintain_engine
+
+        new_engine, _space, report = maintain_engine(self, delta)
+        new_engine.last_update_report = report
+        return new_engine
+
+    #: The :class:`~repro.gdatalog.incremental.UpdateReport` of the
+    #: :meth:`updated` call that produced this engine (``None`` for engines
+    #: built from scratch).
+    last_update_report = None
+
     # -- query-relevant slicing -----------------------------------------------------
 
     def sliced(self, queries: Iterable) -> "GDatalogEngine":

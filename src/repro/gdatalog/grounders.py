@@ -232,6 +232,7 @@ class Grounder(abc.ABC):
         )
         self._active_predicates: set[Predicate] = set(translated.active_predicates)
         self.stats = GrounderStats()
+        self._initial: GroundingState | None = None
 
     # -- interface ------------------------------------------------------------
 
@@ -249,8 +250,25 @@ class Grounder(abc.ABC):
     # -- incremental-state API ---------------------------------------------------
 
     def initial_state(self) -> GroundingState:
-        """The grounding state of the empty AtR set, ``G(∅)``."""
-        return self.state_for(frozenset())
+        """The grounding state of the empty AtR set, ``G(∅)`` (memoized).
+
+        Memoization is safe because every extension path copies the state
+        before mutating it (:meth:`GroundingState.copy`), and it is
+        load-bearing twice over: repeated chase runs and per-sample
+        :meth:`~repro.gdatalog.chase.ChaseEngine.sample_path` calls skip the
+        root fixpoint, and the streaming-update path can plant a
+        delta-derived root via :meth:`seed_initial_state` so an updated
+        engine never pays a from-scratch saturation.
+        """
+        if self._initial is None:
+            self._initial = self.state_for(frozenset())
+        return self._initial
+
+    def seed_initial_state(self, state: GroundingState) -> None:
+        """Plant a precomputed root state (the streaming-update fast path)."""
+        if state.atr_rules:
+            raise GroundingError("the initial grounding state must have an empty AtR set")
+        self._initial = state
 
     def state_for(self, atr_rules: frozenset[GroundAtRRule]) -> GroundingState:
         """A grounding state computed from scratch (reference path).
@@ -434,6 +452,97 @@ class SimpleGrounder(Grounder):
         state = GroundingState(
             frozenset(atr_rules), rules, set(), heads, set(), set(atr_rules)
         )
+        self._propagate(state, delta)
+        return state
+
+    def delta_root_state(
+        self,
+        old_root: GroundingState,
+        inserts: Iterable[Atom],
+        retracts: Iterable[Atom],
+    ) -> GroundingState:
+        """The root state ``G(∅)`` of *this* grounder, derived from another
+        grounder's root over the pre-delta database.
+
+        ``self`` grounds the post-delta database; *old_root* is the (already
+        computed) root of the pre-delta database.  Retraction runs
+        DRed-style delete/re-derive over the ground rule *instances* of the
+        old root — membership of an instance in the simple-grounder fixpoint
+        depends only on the derivability of its positive body atoms, so:
+
+        1. **Over-delete.**  Seed the deleted-atom set with the retracted
+           facts; transitively delete every instance with a deleted positive
+           body atom and mark its head deleted, regardless of remaining
+           alternative derivations.  Over-approximating here is what makes
+           cyclic self-support (``p :- q.  q :- p.`` after retracting the
+           external support of ``p``) come out right.
+        2. **Re-derive.**  Atoms that kept a surviving deriving instance,
+           plus the inserted facts, seed one semi-naive propagation
+           (:meth:`_propagate`) over the surviving instances — re-firing
+           exactly the over-deleted instances whose bodies are genuinely
+           still derivable, and re-instantiating any constraint whose body
+           touches a changed atom.
+
+        The result is set-identical to ``self.state_for(frozenset())``
+        computed from scratch (differentially tested), at the cost of the
+        changed cone instead of the whole fixpoint.
+        """
+        if old_root.atr_rules:
+            raise GroundingError("delta_root_state requires the root (empty-AtR) state")
+        self.stats.incremental_extensions += 1
+        inserted_rules = [intern_rule(fact_rule(a)) for a in inserts]
+        retracted = list(retracts)
+
+        if not retracted:
+            state = old_root.copy()
+            delta = FactIndex()
+            for rule_ in inserted_rules:
+                if rule_ not in state.rules:
+                    state.rules.add(rule_)
+                    if state.heads.add(rule_.head):
+                        delta.add(rule_.head)
+            self._propagate(state, delta)
+            return state
+
+        retracted_rules = {intern_rule(fact_rule(a)) for a in retracted}
+        body_index: dict[Atom, list[Rule]] = {}
+        for rule_ in old_root.rules:
+            for body_atom in rule_.positive_body:
+                body_index.setdefault(body_atom, []).append(rule_)
+
+        overdeleted: set[Rule] = {r for r in retracted_rules if r in old_root.rules}
+        deleted_atoms: set[Atom] = set()
+        worklist: list[Atom] = [intern_atom(a) for a in retracted]
+        while worklist:
+            atom_ = worklist.pop()
+            if atom_ in deleted_atoms:
+                continue
+            deleted_atoms.add(atom_)
+            for rule_ in body_index.get(atom_, ()):
+                if rule_ not in overdeleted:
+                    overdeleted.add(rule_)
+                    worklist.append(rule_.head)
+
+        surviving = set(old_root.rules) - overdeleted
+        heads = make_fact_store(r.head for r in surviving)
+        constraints = {
+            c
+            for c in old_root.constraints
+            if not any(b in deleted_atoms for b in c.positive_body)
+        }
+        state = GroundingState(frozenset(), surviving, constraints, heads, set(), set())
+
+        delta = FactIndex()
+        for rule_ in inserted_rules:
+            if rule_ not in state.rules:
+                state.rules.add(rule_)
+                if heads.add(rule_.head):
+                    delta.add(rule_.head)
+        for atom_ in deleted_atoms:
+            # Re-derivation seeds: over-deleted atoms still covered by a
+            # surviving instance re-enter the semi-naive frontier.
+            if atom_ in heads:
+                delta.add(atom_)
         self._propagate(state, delta)
         return state
 

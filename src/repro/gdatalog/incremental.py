@@ -1,0 +1,284 @@
+"""Incremental view maintenance of chased output spaces under fact deltas.
+
+Given an engine whose output space (flat or factorized) has already been
+chased, :func:`maintain_engine` builds the engine of the **post-delta**
+database while reusing as much chase structure as the change allows.  Three
+modes, picked per delta:
+
+``patch``
+    The delta's *affected cone* — the forward closure of the changed
+    predicates over ``dg(Π)`` (:func:`~repro.gdatalog.relevance.forward_reachable`)
+    — is disjoint from the *choice cone* (the forward closure of the
+    generative rule heads).  Then the delta can only change the
+    choice-independent part of every outcome's grounding, and it changes it
+    the **same way in every outcome**: the new root grounding ``G'(∅)`` is
+    derived DRed-style from the old one
+    (:meth:`~repro.gdatalog.grounders.SimpleGrounder.delta_root_state`), and
+    every chase leaf is patched as ``G'(Σ) = (G(Σ) − removed) ∪ added``
+    where ``removed``/``added`` are the root-level diffs.  The AtR sets,
+    trigger order and path probabilities are untouched, so the patched
+    space is bit-identical to a from-scratch chase — at the cost of one
+    root delta instead of ``|Ω|`` full groundings.
+
+    Soundness of the leaf patch: an instance of ``G(Σ)`` either derives
+    without choices (it is in ``G(∅)``, and the root diff covers it) or its
+    derivation touches a choice-derived atom, which puts its head predicate
+    in the choice cone — disjoint from the affected cone, hence identical
+    across the update.  Mixed derivations (a rule body joining an affected
+    atom with a choice atom) would put the head in **both** cones, which the
+    eligibility check excludes; constraint instances have no head, so
+    constraints whose positive body mixes the two cones are excluded
+    explicitly.  Gated to the simple grounder: the perfect grounder prunes
+    by negation against stratum-order head sets, which a root-level diff
+    does not commute with.
+
+``component``
+    The engine is factorized (``ChaseConfig.factorize``) and the post-delta
+    program still decomposes.  Components whose identity (atoms, facts) is
+    unchanged keep their already-chased
+    :class:`~repro.gdatalog.factorize.ComponentSpace`; only components the
+    delta touched (or newly created by merging/splitting) are re-chased.
+    Exact versus a fresh factorized engine because a component's space is a
+    deterministic function of its facts and the chase configuration.
+
+``rebuild``
+    Everything else (choice-cone deltas under a flat configuration, perfect
+    grounder retractions, engines with no cached chase).  The new engine is
+    returned cold and chases lazily — always correct, never reused.
+
+A flat configuration with an affected choice cone is deliberately **not**
+patched by re-chasing subtrees into a shared structure: outcome
+probabilities are products in path order, and splicing subtrees chased in a
+different trigger order would change float rounding — breaking the
+bit-identity contract that every maintained space obeys.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from repro.exceptions import ValidationError
+from repro.gdatalog.chase import ChaseResult
+from repro.gdatalog.engine import GDatalogEngine
+from repro.gdatalog.factorize import (
+    ComponentSpace,
+    ProductSpace,
+    decompose,
+    explore_component_spaces,
+)
+from repro.gdatalog.outcomes import PossibleOutcome
+from repro.gdatalog.probability_space import AbstractSpace, OutputSpace
+from repro.gdatalog.relevance import forward_reachable
+from repro.gdatalog.syntax import GDatalogProgram
+from repro.logic.deltas import DbDelta
+
+__all__ = ["UpdateReport", "maintain_engine", "patch_eligible"]
+
+
+@dataclass(frozen=True)
+class UpdateReport:
+    """What one delta update did: mode, effective size, and chase reuse.
+
+    ``reused_subtrees``/``invalidated_subtrees`` count chase outcomes in
+    ``patch`` mode and components in ``component`` mode; a ``rebuild``
+    reuses nothing.  ``reuse_ratio`` is the share of subtrees kept.
+    """
+
+    mode: str
+    inserted: int
+    retracted: int
+    invalidated_subtrees: int
+    reused_subtrees: int
+
+    @property
+    def reuse_ratio(self) -> float:
+        total = self.invalidated_subtrees + self.reused_subtrees
+        return self.reused_subtrees / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "mode": self.mode,
+            "inserted": self.inserted,
+            "retracted": self.retracted,
+            "invalidated_subtrees": self.invalidated_subtrees,
+            "reused_subtrees": self.reused_subtrees,
+            "reuse_ratio": self.reuse_ratio,
+        }
+
+
+def patch_eligible(program: GDatalogProgram, delta_predicates) -> bool:
+    """Whether a delta over *delta_predicates* admits the ``patch`` mode.
+
+    Requires the affected cone (forward closure of the changed predicates)
+    to be disjoint from the choice cone (forward closure of the generative
+    rule heads), and no constraint whose positive body joins the two cones.
+    Both conditions are judged on the source program; the ``Σ_Π``
+    translation only interposes Active/Result predicates *inside* source
+    edges, so source-level cones are exact.
+    """
+    affected = forward_reachable(program, delta_predicates)
+    generative_heads = {
+        r.head.predicate for r in program.rules if not r.is_constraint and r.is_generative
+    }
+    if not generative_heads:
+        return True
+    choice_cone = forward_reachable(program, generative_heads)
+    if affected & choice_cone:
+        return False
+    for rule_ in program.rules:
+        if rule_.is_constraint:
+            body = {a.predicate for a in rule_.positive_body}
+            if body & affected and body & choice_cone:
+                return False
+    return True
+
+
+def _report(mode: str, delta: DbDelta, invalidated: int = 0, reused: int = 0) -> UpdateReport:
+    return UpdateReport(
+        mode=mode,
+        inserted=len(delta.inserts),
+        retracted=len(delta.retracts),
+        invalidated_subtrees=invalidated,
+        reused_subtrees=reused,
+    )
+
+
+def _cached_flat_result(engine: GDatalogEngine, old_space) -> ChaseResult | None:
+    """The engine's already-chased flat result, if any (never triggers a chase)."""
+    result = engine.__dict__.get("chase_result")
+    if result is not None:
+        return result
+    if isinstance(old_space, OutputSpace):
+        # E.g. the service's parallel-explorer path: the space exists but
+        # the engine's cached_property was never populated.  Truncation
+        # counters are not recoverable from a space; they are reporting
+        # metadata only, so zero is safe.
+        return ChaseResult(
+            outcomes=list(old_space.outcomes),
+            error_probability=old_space.error_probability,
+            truncated_paths=0,
+            max_depth_reached=0,
+        )
+    return None
+
+
+def _patch_flat(
+    engine: GDatalogEngine,
+    new_engine: GDatalogEngine,
+    delta: DbDelta,
+    old_result: ChaseResult,
+) -> OutputSpace:
+    """Patch every chase leaf with the root-level grounding diff."""
+    old_root = engine.grounder.initial_state()
+    new_root = new_engine.grounder.delta_root_state(old_root, delta.inserts, delta.retracts)
+    new_engine.grounder.seed_initial_state(new_root)
+    removed = old_root.grounding() - new_root.grounding()
+    added = new_root.grounding() - old_root.grounding()
+
+    translated = new_engine.translated
+    outcomes = []
+    for outcome in old_result.outcomes:
+        patched = PossibleOutcome(
+            outcome.atr_rules,
+            (outcome.grounding - removed) | added,
+            outcome.probability,
+            translated,
+        )
+        if "choice_key" in outcome.__dict__:
+            patched.__dict__["choice_key"] = outcome.__dict__["choice_key"]
+        outcomes.append(patched)
+    result = ChaseResult(
+        outcomes=outcomes,
+        error_probability=old_result.error_probability,
+        truncated_paths=old_result.truncated_paths,
+        max_depth_reached=old_result.max_depth_reached,
+    )
+    new_engine.__dict__["chase_result"] = result
+    return OutputSpace(result.outcomes, error_probability=result.error_probability)
+
+
+def maintain_engine(
+    engine: GDatalogEngine,
+    delta: DbDelta | Mapping,
+    old_space: AbstractSpace | None = None,
+) -> tuple[GDatalogEngine, AbstractSpace | None, UpdateReport]:
+    """The engine of the post-delta database, reusing *engine*'s chase work.
+
+    *old_space* optionally carries the already-computed space when the
+    caller (the inference service) keeps it outside the engine; otherwise
+    the engine's own caches are consulted.  Returns the new engine, the
+    maintained space (``None`` when the new engine must chase lazily) and
+    the :class:`UpdateReport`.  The original engine is never mutated — its
+    caches stay valid for the pre-delta state.
+    """
+    if not isinstance(delta, DbDelta):
+        delta = DbDelta.from_spec(delta)
+    if engine.query_slice is not None:
+        raise ValidationError(
+            "cannot delta-update a query-sliced engine; update the base engine "
+            "(slices are rebuilt from it on demand)"
+        )
+    if engine._grounder_name is None:
+        raise ValidationError(
+            "cannot delta-update an engine with a custom grounder instance; "
+            "the post-delta grounder family cannot be rebuilt"
+        )
+
+    effective = delta.effective(engine.database)
+    if effective.is_empty:
+        return engine, old_space, _report("noop", effective)
+
+    new_engine = GDatalogEngine(
+        engine.program,
+        effective.apply(engine.database),
+        grounder=engine._grounder_name,
+        chase_config=engine.chase_config,
+    )
+    config = engine.chase_config
+
+    if config.factorize:
+        old_product = old_space if isinstance(old_space, ProductSpace) else None
+        if old_product is None:
+            cached = engine.__dict__.get("factorized")
+            old_product = cached if isinstance(cached, ProductSpace) else None
+        decomposition = decompose(new_engine.translated, new_engine.database, config)
+        if decomposition is not None and old_product is not None:
+            by_identity: dict = {part.component: part for part in old_product.components}
+            parts: list[ComponentSpace | None] = []
+            missing = []
+            for index, component in enumerate(decomposition.components):
+                reused_part = by_identity.get(component)
+                parts.append(reused_part)
+                if reused_part is None:
+                    missing.append((index, component))
+            fresh = explore_component_spaces(
+                new_engine.grounder, [c for _, c in missing], config
+            )
+            for (index, _), part in zip(missing, fresh):
+                parts[index] = part
+            space = ProductSpace(parts, new_engine.translated)
+            new_engine.__dict__["factorized"] = space
+            report = _report(
+                "component", effective, invalidated=len(missing), reused=len(parts) - len(missing)
+            )
+            return new_engine, space, report
+        # A factorized config whose fresh build would fall back to the flat
+        # chase (or with no product to reuse): patching the flat structure
+        # is only exact when the fresh path is flat too, so only continue
+        # when the post-delta program does not decompose.
+        if decomposition is not None:
+            return new_engine, None, _report("rebuild", effective)
+
+    old_result = _cached_flat_result(engine, old_space)
+    if (
+        old_result is not None
+        and engine._grounder_name == "simple"
+        and patch_eligible(engine.program, effective.predicates())
+    ):
+        space = _patch_flat(engine, new_engine, effective, old_result)
+        return new_engine, space, _report(
+            "patch", effective, invalidated=0, reused=len(old_result.outcomes)
+        )
+
+    return new_engine, None, _report("rebuild", effective)

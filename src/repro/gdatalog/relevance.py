@@ -64,6 +64,7 @@ from repro.logic.terms import Variable
 __all__ = [
     "QuerySlice",
     "relevant_predicates",
+    "forward_reachable",
     "permanent_seeds",
     "compute_slice",
     "atoms_for_queries",
@@ -136,6 +137,41 @@ def relevant_predicates(
                 if atom_.predicate not in closure:
                     closure.add(atom_.predicate)
                     frontier.append(atom_.predicate)
+    return frozenset(closure)
+
+
+def forward_reachable(
+    program: GDatalogProgram, seeds: Iterable[Predicate]
+) -> frozenset[Predicate]:
+    """The forward closure of *seeds* over the predicate dependency graph.
+
+    The dual of :func:`relevant_predicates`: a predicate is forward
+    reachable when it is a seed or is the **head** of a rule whose body —
+    positive or negative, for the same reason negation counts backwards —
+    mentions a forward-reachable predicate.  This is the "affected cone" of
+    a database delta: every predicate whose extension can change when facts
+    over the seed predicates are inserted or retracted lies in the closure,
+    so anything outside it is untouched and its chase structure can be
+    shared verbatim.  Constraint rules have no head and contribute no
+    edges; a delta's effect on constraint *instances* is judged separately
+    (see :mod:`repro.gdatalog.incremental`).
+    """
+    by_body: dict[Predicate, list[GDatalogRule]] = {}
+    for rule_ in program.rules:
+        if rule_.is_constraint:
+            continue
+        for atom_ in rule_.positive_body + rule_.negative_body:
+            by_body.setdefault(atom_.predicate, []).append(rule_)
+
+    closure: set[Predicate] = set(seeds)
+    frontier = list(closure)
+    while frontier:
+        predicate = frontier.pop()
+        for rule_ in by_body.get(predicate, ()):
+            head = rule_.head.predicate
+            if head not in closure:
+                closure.add(head)
+                frontier.append(head)
     return frozenset(closure)
 
 

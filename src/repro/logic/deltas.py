@@ -1,0 +1,149 @@
+"""Fact-level database deltas for streaming evidence.
+
+A :class:`DbDelta` is an immutable, canonicalized batch of EDB fact
+inserts and retracts — the unit of change the streaming-update stack
+(:meth:`GDatalogEngine.updated`, :meth:`InferenceService.update`, the
+``/v1/update`` server route and the ``gdatalog update`` CLI verb) threads
+through every layer.  Canonicalization matters: two textually different
+specs describing the same change produce equal deltas with the same
+``log_hash``, so derived cache keys and wire round-trips stay stable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass
+
+from repro.logic.atoms import Atom, ValidationError
+from repro.logic.database import Database
+from repro.logic.parser import parse_atom
+
+__all__ = ["DbDelta"]
+
+_INSERT_KEYS = ("insert", "inserts", "add")
+_RETRACT_KEYS = ("retract", "retracts", "delete", "remove")
+
+
+def _coerce_atoms(atoms: Iterable[Atom | str], role: str) -> tuple[Atom, ...]:
+    """Parse/validate one side of a delta into sorted, deduplicated ground atoms."""
+    seen: set[Atom] = set()
+    for item in atoms:
+        atom_ = parse_atom(item) if isinstance(item, str) else item
+        if not isinstance(atom_, Atom):
+            raise ValidationError(f"delta {role} entries must be atoms, got {type(item).__name__}")
+        if not atom_.is_ground:
+            raise ValidationError(f"delta {role} atoms must be ground, got {atom_}")
+        seen.add(atom_)
+    return tuple(sorted(seen, key=Atom.sort_key))
+
+
+@dataclass(frozen=True)
+class DbDelta:
+    """A canonical batch of EDB fact inserts and retracts.
+
+    Both sides are sorted, deduplicated tuples of ground atoms; an atom may
+    not appear on both sides (there is no well-defined order for applying
+    an insert and a retract of the same fact in one batch).
+    """
+
+    inserts: tuple[Atom, ...] = ()
+    retracts: tuple[Atom, ...] = ()
+
+    def __post_init__(self) -> None:
+        overlap = set(self.inserts) & set(self.retracts)
+        if overlap:
+            clash = ", ".join(str(a) for a in sorted(overlap, key=Atom.sort_key))
+            raise ValidationError(f"delta inserts and retracts overlap on: {clash}")
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def of(
+        cls,
+        inserts: Iterable[Atom | str] = (),
+        retracts: Iterable[Atom | str] = (),
+    ) -> "DbDelta":
+        """Build a delta from atoms or atom source strings (``"p(1)"``)."""
+        return cls(_coerce_atoms(inserts, "insert"), _coerce_atoms(retracts, "retract"))
+
+    @classmethod
+    def from_spec(cls, spec: Mapping[str, object]) -> "DbDelta":
+        """Build a delta from a wire/JSON spec like ``{"insert": [...], "retract": [...]}``.
+
+        Accepted keys: ``insert``/``inserts``/``add`` and
+        ``retract``/``retracts``/``delete``/``remove``; values are lists of
+        atom strings (or atoms).  Unknown keys are rejected so typos fail
+        loudly instead of silently dropping evidence.
+        """
+        if not isinstance(spec, Mapping):
+            raise ValidationError(f"delta spec must be a mapping, got {type(spec).__name__}")
+        known = set(_INSERT_KEYS) | set(_RETRACT_KEYS)
+        unknown = set(spec) - known
+        if unknown:
+            raise ValidationError(
+                f"unknown delta spec keys: {sorted(unknown)} (expected insert/retract)"
+            )
+        inserts: list[Atom | str] = []
+        retracts: list[Atom | str] = []
+        for key, bucket in ((_INSERT_KEYS, inserts), (_RETRACT_KEYS, retracts)):
+            for name in key:
+                value = spec.get(name)
+                if value is None:
+                    continue
+                if isinstance(value, (str, Atom)):
+                    bucket.append(value)
+                elif isinstance(value, Iterable):
+                    bucket.extend(value)
+                else:
+                    raise ValidationError(f"delta spec {name!r} must be a list of atoms")
+        return cls.of(inserts, retracts)
+
+    # -- inspection ---------------------------------------------------------
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.inserts and not self.retracts
+
+    def predicates(self) -> frozenset:
+        """Every predicate mentioned on either side of the delta."""
+        return frozenset(a.predicate for a in self.inserts) | frozenset(
+            a.predicate for a in self.retracts
+        )
+
+    def spec(self) -> dict[str, list[str]]:
+        """The canonical wire form (round-trips through :meth:`from_spec`)."""
+        return {
+            "insert": [str(a) for a in self.inserts],
+            "retract": [str(a) for a in self.retracts],
+        }
+
+    def log_hash(self) -> str:
+        """SHA-256 over the canonical insert/retract lines (delta-log identity)."""
+        payload = "\n".join(
+            ["+" + str(a) for a in self.inserts] + ["-" + str(a) for a in self.retracts]
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    # -- application --------------------------------------------------------
+
+    def effective(self, database: Database) -> "DbDelta":
+        """The sub-delta that actually changes *database*.
+
+        Inserts already present and retracts already absent are no-ops; the
+        update machinery works from the effective delta so "re-assert the
+        same lap time" costs nothing and patch eligibility is judged on real
+        changes only.
+        """
+        facts = database.facts
+        inserts = tuple(a for a in self.inserts if a not in facts)
+        retracts = tuple(a for a in self.retracts if a in facts)
+        if len(inserts) == len(self.inserts) and len(retracts) == len(self.retracts):
+            return self
+        return DbDelta(inserts, retracts)
+
+    def apply(self, database: Database) -> Database:
+        """The post-delta database (retracts removed, inserts added)."""
+        if self.is_empty:
+            return database
+        return Database((database.facts - frozenset(self.retracts)) | frozenset(self.inserts))

@@ -50,15 +50,19 @@ from repro.gdatalog.factorize import (
     decompose,
     explore_component_spaces,
 )
+from repro.gdatalog.incremental import UpdateReport, maintain_engine
 from repro.gdatalog.probability_space import AbstractSpace, OutputSpace
 from repro.gdatalog.relevance import atoms_for_queries, compute_slice
+from repro.logic.atoms import Atom
+from repro.logic.database import Database
+from repro.logic.deltas import DbDelta
 from repro.logic.parser import parse_database, parse_gdatalog_program
 from repro.ppdl.queries import Query, query_from_spec
 from repro.runtime.adaptive import AdaptiveEstimate, AdaptiveSampler
 from repro.runtime.batch import QueryBatch
 from repro.runtime.pool import ParallelChaseExplorer
 
-__all__ = ["ServiceStats", "InferenceService"]
+__all__ = ["ServiceStats", "InferenceService", "UpdateResult"]
 
 
 @dataclass
@@ -81,6 +85,13 @@ class ServiceStats:
     #: engine/space even when the query atoms differ.
     slice_hits: int = 0
     slice_misses: int = 0
+    #: Streaming-update traffic (:meth:`InferenceService.update`):
+    #: ``updates_applied`` counts effective deltas; the subtree counters
+    #: aggregate the per-update :class:`~repro.gdatalog.incremental.UpdateReport`
+    #: reuse numbers (outcomes in patch mode, components in component mode).
+    updates_applied: int = 0
+    subtrees_invalidated: int = 0
+    subtrees_reused: int = 0
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False, compare=False)
 
     #: The counters :meth:`snapshot` exports (and :meth:`bump` accepts).
@@ -92,6 +103,9 @@ class ServiceStats:
         "component_misses",
         "slice_hits",
         "slice_misses",
+        "updates_applied",
+        "subtrees_invalidated",
+        "subtrees_reused",
     )
 
     def bump(self, counter: str, amount: int = 1) -> None:
@@ -115,6 +129,20 @@ class ServiceStats:
         with self._lock:
             total = self.hits + self.misses
             return self.hits / total if total else 0.0
+
+
+@dataclass(frozen=True)
+class UpdateResult:
+    """What :meth:`InferenceService.update` hands back to the caller.
+
+    ``database_source`` is the canonical post-delta database text — clients
+    use it (or the derived ``key``) for follow-up queries, which then hit
+    the maintained cache entry.
+    """
+
+    key: str
+    database_source: str
+    report: UpdateReport
 
 
 @dataclass
@@ -175,11 +203,19 @@ class InferenceService:
 
         Parsing-then-sorting makes the key insensitive to rule order,
         whitespace and comments, so syntactic duplicates share one engine.
+        The same canonicalization keys the *post-delta* state of
+        :meth:`update`, so an updated entry and a fresh request for the
+        updated database share one key — no double-entry for equivalent
+        states (``tests/runtime/test_service_update.py``).
         """
         program = parse_gdatalog_program(program_source)
+        database = parse_database(database_source) if database_source.strip() else Database()
+        return self._canonical_key(program, database)
+
+    def _canonical_key(self, program, database: Database) -> str:
+        """The canonical hash of already-parsed (program, database) objects."""
         rule_lines = sorted(str(rule) for rule in program)
-        database = parse_database(database_source) if database_source.strip() else None
-        fact_lines = sorted(str(fact) for fact in database.facts) if database else []
+        fact_lines = sorted(str(fact) for fact in database.facts)
         digest = hashlib.sha256()
         digest.update("\n".join(rule_lines).encode("utf-8"))
         digest.update(b"\x00")
@@ -188,6 +224,16 @@ class InferenceService:
         digest.update(self.grounder.encode("utf-8"))
         digest.update(repr(self.chase_config).encode("utf-8"))
         return digest.hexdigest()
+
+    @staticmethod
+    def canonical_database_source(database: Database) -> str:
+        """*database* serialized as sorted ``fact.`` lines.
+
+        Round-trips through :func:`~repro.logic.parser.parse_database` to the
+        same :class:`Database`, so it is the textual form :meth:`update`
+        returns to clients — querying with it hits the maintained entry.
+        """
+        return "\n".join(f"{fact}." for fact in sorted(database.facts, key=Atom.sort_key))
 
     # -- cache management ----------------------------------------------------------
 
@@ -369,6 +415,60 @@ class InferenceService:
             self._entries.clear()
             self._raw_keys.clear()
             self._component_spaces.clear()
+
+    # -- streaming updates -------------------------------------------------------------
+
+    def update(
+        self,
+        program_source: str,
+        database_source: str,
+        delta: DbDelta | dict,
+    ) -> UpdateResult:
+        """Apply a fact delta to the cached (program, database) entry.
+
+        The base entry's engine (and its chased space, when present) is
+        delta-maintained via :func:`~repro.gdatalog.incremental.maintain_engine`
+        and the result is cached under the **canonical post-delta key** —
+        exactly the key :meth:`cache_key` computes for the returned
+        ``database_source``, so an updated entry and a fresh request for
+        the same database never occupy two slots.  The pre-delta entry is
+        kept (its caches stay valid for the old state) and ages out of the
+        LRU naturally.  Maintenance runs under the base entry's lock so a
+        concurrent chase of the same entry is reused, not raced.
+        """
+        if not isinstance(delta, DbDelta):
+            delta = DbDelta.from_spec(delta)
+        with self._lock:
+            _, base_entry = self._lookup(program_source, database_source)
+        with base_entry.lock:
+            new_engine, new_space, report = maintain_engine(
+                base_entry.engine, delta, base_entry.space
+            )
+        new_source = self.canonical_database_source(new_engine.database)
+        with self._lock:
+            new_key = self._canonical_key(new_engine.program, new_engine.database)
+            entry = self._entries.get(new_key)
+            if entry is None:
+                entry = _CacheEntry(engine=new_engine, space=new_space)
+                self._insert(new_key, entry)
+            else:
+                # The post-delta state was already cached (e.g. queried
+                # directly before, or a no-op delta): keep the existing
+                # entry — it may hold more chase work than ours.
+                self._entries.move_to_end(new_key)
+            if len(self._raw_keys) >= self._raw_keys_limit:
+                self._raw_keys.clear()
+            self._raw_keys[(program_source, new_source)] = new_key
+            self.stats.bump("updates_applied")
+            self.stats.bump("subtrees_invalidated", report.invalidated_subtrees)
+            self.stats.bump("subtrees_reused", report.reused_subtrees)
+        if entry.space is None and new_space is not None:
+            # Outside the global lock: entry locks are taken before the
+            # global lock elsewhere (chase paths), never after.
+            with entry.lock:
+                if entry.space is None:
+                    entry.space = new_space
+        return UpdateResult(key=new_key, database_source=new_source, report=report)
 
     # -- queries ---------------------------------------------------------------------
 

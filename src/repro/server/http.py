@@ -11,6 +11,14 @@ RFC 6455 WebSockets for streaming clients.  Routes:
   directly (it already is a batch).
 * ``POST /v1/sample`` — adaptive Monte-Carlo estimation (``adaptive`` is
   forced on).
+* ``POST /v1/update`` — streaming-evidence delta (``{"delta": {"insert":
+  [...], "retract": [...]}}``): the shard owning the program hash
+  delta-maintains its cached engine and answers with the canonical
+  post-delta ``database`` text (plus post-delta query results when the
+  request lists ``queries``).  Requests may name a ``stream`` instead of
+  re-sending sources; stream state lives in the front end, so shard
+  workers stay stateless and a respawned worker rebuilds correctly from
+  the forwarded request alone.
 * ``GET /healthz``    — liveness/readiness (``503`` while draining).
 * ``GET /metrics``    — Prometheus text: request/latency histograms,
   admission rejections, micro-batch volumes, and live per-shard cache +
@@ -43,9 +51,12 @@ from repro.server.batching import BatchFailed, MicroBatcher
 from repro.server.metrics import MetricsRegistry
 from repro.server.protocol import (
     RequestError,
+    StreamRegistry,
     error_response,
+    is_update_request,
     request_queries,
     resolve_sources,
+    resolve_stream,
     validate_queries,
 )
 from repro.server.shards import ShardConfig, ShardRouter, WorkerCrashed
@@ -226,6 +237,8 @@ class InferenceServer:
             max_batch=self.config.max_batch,
             metrics=self.metrics,
         )
+        #: Named evidence streams (front-end state; workers stay stateless).
+        self.streams = StreamRegistry()
         self._server: asyncio.base_events.Server | None = None
         self._inflight = 0
         self._drain_requested = asyncio.Event()
@@ -247,6 +260,21 @@ class InferenceServer:
             "Client requests that shared another request's batch pass",
         )
         self.metrics.describe("gdatalog_worker_respawns_total", "Crashed shard workers respawned")
+        self.metrics.describe(
+            "gdatalog_updates_applied_total", "Streaming fact deltas applied via /v1/update"
+        )
+        self.metrics.describe(
+            "gdatalog_subtrees_invalidated_total",
+            "Chase subtrees (outcomes/components) re-chased by streaming updates",
+        )
+        self.metrics.describe(
+            "gdatalog_subtrees_reused_total",
+            "Chase subtrees (outcomes/components) reused unchanged by streaming updates",
+        )
+        self.metrics.describe(
+            "gdatalog_chase_reuse_ratio",
+            "Share of chase subtrees reused across all applied updates",
+        )
         self.metrics.describe("gdatalog_service_cache", "Per-shard InferenceService counters")
         self.metrics.describe("gdatalog_join_counters", "Per-shard join-engine JOIN_STATS counters")
         self.metrics.describe("gdatalog_shard_up", "1 if the shard worker answered the last probe")
@@ -344,7 +372,7 @@ class InferenceServer:
         requests = int(
             sum(
                 self.metrics.counter_value("gdatalog_requests_total", {"route": route, "status": status})
-                for route in ("query", "batch", "sample", "ws")
+                for route in ("query", "batch", "sample", "update", "ws")
                 for status in ("200", "400", "429", "503")
             )
         )
@@ -447,7 +475,12 @@ class InferenceServer:
             )
         if path == "/metrics" and request.method == "GET":
             return 200, await self._render_metrics(), {}
-        route = {"/v1/query": "query", "/v1/batch": "batch", "/v1/sample": "sample"}.get(path)
+        route = {
+            "/v1/query": "query",
+            "/v1/batch": "batch",
+            "/v1/sample": "sample",
+            "/v1/update": "update",
+        }.get(path)
         if route is None:
             return 404, error_response(f"no such route: {path}"), {}
         if request.method != "POST":
@@ -473,9 +506,15 @@ class InferenceServer:
             return 400, error_response("serve requests must be JSON objects"), {}
         request_id = payload.get("id")
         try:
+            payload = resolve_stream(payload, self.streams)
             program, database = resolve_sources(payload)
         except RequestError as error:
             return 400, error_response(str(error), request_id), {}
+        stream = payload.get("stream")
+        if isinstance(stream, str) and stream and self.streams.get(stream) is None:
+            # First sighting of a named stream opens it (query or update),
+            # so follow-up requests may carry just the name and a delta.
+            self.streams.record(stream, program, database)
         shard = self.router.shard_for(program)
         admitted = self.admission.try_admit(client, shard)
         if isinstance(admitted, Rejection):
@@ -490,8 +529,23 @@ class InferenceServer:
         self._enter_request()
         try:
             with admitted:
-                adaptive = route == "sample" or bool(payload.get("adaptive"))
-                if adaptive:
+                update = route == "update" or is_update_request(payload)
+                adaptive = not update and (route == "sample" or bool(payload.get("adaptive")))
+                if update:
+                    forwarded = dict(payload)
+                    forwarded["program"] = program
+                    forwarded["database"] = database
+                    forwarded.pop("program_path", None)
+                    forwarded.pop("database_path", None)
+                    forwarded.pop("stream", None)
+                    forwarded["op"] = "update"
+                    response = await self._submit_update(shard, forwarded)
+                    if response.get("ok"):
+                        stream = payload.get("stream")
+                        if isinstance(stream, str) and stream:
+                            self.streams.record(stream, program, response.get("database", ""))
+                        self._record_update(response.get("update") or {})
+                elif adaptive:
                     forwarded = dict(payload)
                     forwarded["program"] = program
                     forwarded["database"] = database
@@ -531,6 +585,36 @@ class InferenceServer:
         response["id"] = request_id
         status = 200 if response.get("ok") else 400
         return status, response, {}
+
+    async def _submit_update(self, shard: int, forwarded: dict) -> dict:
+        """Forward one update to its shard, retrying once across a worker crash.
+
+        Safe because forwarded updates are fully specified (inline program,
+        database and delta — never a stream reference): re-answering on the
+        respawned worker recomputes the same post-delta state, just from a
+        cold cache.
+        """
+        try:
+            return await self.router.submit(shard, forwarded)
+        except WorkerCrashed:
+            self.metrics.inc("gdatalog_rejected_total", {"reason": "worker_crashed_retried"})
+            return await self.router.submit(shard, forwarded)
+
+    def _record_update(self, report: Mapping[str, Any]) -> None:
+        """Roll one update report into the streaming-update metrics."""
+        invalidated = int(report.get("invalidated_subtrees", 0) or 0)
+        reused = int(report.get("reused_subtrees", 0) or 0)
+        self.metrics.inc("gdatalog_updates_applied_total")
+        # Zero-amount increments still register the series, so all three
+        # counters appear on /metrics from the first applied update.
+        self.metrics.inc("gdatalog_subtrees_invalidated_total", amount=invalidated)
+        self.metrics.inc("gdatalog_subtrees_reused_total", amount=reused)
+        total_invalidated = self.metrics.counter_value("gdatalog_subtrees_invalidated_total")
+        total_reused = self.metrics.counter_value("gdatalog_subtrees_reused_total")
+        total = total_invalidated + total_reused
+        self.metrics.set_gauge(
+            "gdatalog_chase_reuse_ratio", total_reused / total if total else 0.0
+        )
 
     # -- metrics -------------------------------------------------------------------
 

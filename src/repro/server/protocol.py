@@ -20,6 +20,9 @@ never a dead serving loop.
 from __future__ import annotations
 
 import json
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Mapping
 
@@ -28,9 +31,13 @@ from repro.ppdl.queries import query_from_spec
 
 __all__ = [
     "RequestError",
+    "StreamRegistry",
     "read_request_file",
     "resolve_sources",
+    "resolve_stream",
     "validate_queries",
+    "is_update_request",
+    "handle_update",
     "handle_request",
     "answer",
     "answer_line",
@@ -43,6 +50,61 @@ DEFAULT_QUERIES: tuple[Any, ...] = ({"type": "has_stable_model"},)
 
 class RequestError(ReproError):
     """A malformed serve request: answered with ``ok: false``, never fatal."""
+
+
+@dataclass
+class _StreamState:
+    """One named evidence stream: its program and current database text."""
+
+    program: str
+    database: str
+    updates: int = 0
+
+
+class StreamRegistry:
+    """Named evidence streams for the streaming-update protocol.
+
+    A client opens a stream implicitly by sending an ``update`` (or query)
+    request carrying both a ``stream`` name and inline sources; follow-up
+    requests may send only the ``stream`` name and their deltas, and the
+    registry supplies the program and the *current* (post-all-deltas)
+    database.  State lives **in the front end** (HTTP loop / stdin loop),
+    never in shard workers: every forwarded request is fully specified, so
+    a respawned worker rebuilds correct answers from the request alone.
+
+    LRU-bounded; thread-safe (the HTTP front end touches it from the event
+    loop, tests from anywhere).
+    """
+
+    def __init__(self, limit: int = 256):
+        self._lock = threading.Lock()
+        self._streams: OrderedDict[str, _StreamState] = OrderedDict()
+        self._limit = max(1, int(limit))
+
+    def get(self, stream: str) -> _StreamState | None:
+        with self._lock:
+            state = self._streams.get(stream)
+            if state is not None:
+                self._streams.move_to_end(stream)
+            return state
+
+    def record(self, stream: str, program: str, database: str) -> None:
+        """Remember the stream's program and post-delta database text."""
+        with self._lock:
+            state = self._streams.get(stream)
+            if state is None:
+                self._streams[stream] = _StreamState(program, database, updates=1)
+                if len(self._streams) > self._limit:
+                    self._streams.popitem(last=False)
+            else:
+                state.program = program
+                state.database = database
+                state.updates += 1
+                self._streams.move_to_end(stream)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._streams)
 
 
 def read_request_file(path: Any, role: str = "input") -> str:
@@ -81,6 +143,34 @@ def resolve_sources(request: Mapping[str, Any]) -> tuple[str, str]:
     return program, database
 
 
+def resolve_stream(
+    request: Mapping[str, Any], streams: "StreamRegistry | None"
+) -> dict[str, Any]:
+    """Fill a ``stream`` request's missing program/database from the registry.
+
+    Returns a (possibly copied) request dict with inline sources.  A request
+    that names an unknown stream *and* carries no program of its own is
+    malformed — there is nothing to apply its delta or queries to.
+    """
+    stream = request.get("stream")
+    if stream is None:
+        return dict(request) if not isinstance(request, dict) else request
+    if not isinstance(stream, str) or not stream:
+        raise RequestError("serve request 'stream' must be a non-empty string")
+    state = streams.get(stream) if streams is not None else None
+    filled = dict(request)
+    if filled.get("program") is None and "program_path" not in filled:
+        if state is None:
+            raise RequestError(
+                f"unknown stream {stream!r}: the first request of a stream must "
+                "carry a 'program' (and optionally 'database')"
+            )
+        filled["program"] = state.program
+    if filled.get("database") is None and "database_path" not in filled and state is not None:
+        filled["database"] = state.database
+    return filled
+
+
 def request_queries(request: Mapping[str, Any]) -> list[Any]:
     """The request's query spec list (defaulted, shape-checked)."""
     queries = request.get("queries", list(DEFAULT_QUERIES))
@@ -105,7 +195,50 @@ def validate_queries(specs: list[Any]) -> None:
             raise RequestError(f"invalid query spec {spec!r}: {error}") from None
 
 
-def handle_request(service, request: Mapping[str, Any]) -> dict[str, Any]:
+def is_update_request(request: Mapping[str, Any]) -> bool:
+    """Whether a request is a streaming-update (``op: "update"`` or a ``delta``)."""
+    return request.get("op") == "update" or "delta" in request
+
+
+def handle_update(
+    service, request: Mapping[str, Any], streams: "StreamRegistry | None" = None
+) -> dict[str, Any]:
+    """Apply one delta request: maintain the cached entry, optionally query it.
+
+    The response carries the canonical post-delta ``database`` text (the
+    client's handle on the updated state) and the maintenance ``update``
+    report; when the request also lists ``queries`` they are answered
+    against the **post-delta** space in the same round trip.
+    """
+    request = resolve_stream(request, streams)
+    program, database = resolve_sources(request)
+    delta_spec = request.get("delta")
+    if not isinstance(delta_spec, Mapping):
+        raise RequestError(
+            "update requests need a 'delta' object like "
+            '{"insert": ["p(1)"], "retract": ["q(2)"]}'
+        )
+    result = service.update(program, database, delta_spec)
+    stream = request.get("stream")
+    if streams is not None and isinstance(stream, str) and stream:
+        streams.record(stream, program, result.database_source)
+    response: dict[str, Any] = {
+        "ok": True,
+        "database": result.database_source,
+        "update": result.report.as_dict(),
+    }
+    if "queries" in request:
+        queries = request_queries(request)
+        validate_queries(queries)
+        response["results"] = service.evaluate(
+            program, result.database_source, queries, slice=request.get("slice")
+        )
+    return response
+
+
+def handle_request(
+    service, request: Mapping[str, Any], streams: "StreamRegistry | None" = None
+) -> dict[str, Any]:
     """Answer one request dict against an :class:`InferenceService`.
 
     Raises (:class:`RequestError` or an engine error) rather than catching:
@@ -113,7 +246,15 @@ def handle_request(service, request: Mapping[str, Any]) -> dict[str, Any]:
     """
     if not isinstance(request, Mapping):
         raise RequestError("serve requests must be JSON objects")
+    if is_update_request(request):
+        return handle_update(service, request, streams)
+    request = resolve_stream(request, streams)
     program, database = resolve_sources(request)
+    stream = request.get("stream")
+    if streams is not None and isinstance(stream, str) and stream and streams.get(stream) is None:
+        # A query carrying a stream name and inline sources *opens* the
+        # stream, so follow-up updates may send just the name and a delta.
+        streams.record(stream, program, database)
     queries = request_queries(request)
     if request.get("adaptive"):
         results = [
@@ -138,20 +279,21 @@ def error_response(message: str, request_id: Any = None) -> dict[str, Any]:
     return {"ok": False, "error": message, "id": request_id}
 
 
-def answer(service, request: Any) -> dict[str, Any]:
+def answer(service, request: Any, streams: "StreamRegistry | None" = None) -> dict[str, Any]:
     """Answer one parsed request; **never raises** and always echoes ``id``.
 
     Any failure — malformed fields, unreadable paths, parse errors, engine
     limits, even an unexpected bug in the evaluation stack — becomes an
     ``ok: false`` response so a single bad request cannot kill a serving
-    loop that multiplexes many clients.
+    loop that multiplexes many clients.  *streams* (front-end transports
+    only) enables the named-stream shorthand of the update protocol.
     """
     request_id = None
     try:
         if not isinstance(request, Mapping):
             raise RequestError("serve requests must be JSON objects")
         request_id = request.get("id")
-        response = handle_request(service, request)
+        response = handle_request(service, request, streams)
     except (ReproError, ValueError, TypeError, KeyError) as error:
         response = error_response(f"{type(error).__name__}: {error}", request_id)
     except Exception as error:  # noqa: BLE001 - the loop must survive anything
@@ -162,10 +304,10 @@ def answer(service, request: Any) -> dict[str, Any]:
     return response
 
 
-def answer_line(service, line: str) -> dict[str, Any]:
+def answer_line(service, line: str, streams: "StreamRegistry | None" = None) -> dict[str, Any]:
     """Answer one raw JSON-lines request string (the stdin transport)."""
     try:
         request = json.loads(line)
     except json.JSONDecodeError as error:
         return error_response(f"invalid JSON request: {error}")
-    return answer(service, request)
+    return answer(service, request, streams)

@@ -32,6 +32,10 @@ from repro.workloads.selective import (
     selective_join_database,
     selective_join_program,
 )
+from repro.workloads.streaming import (
+    telemetry_database,
+    telemetry_program,
+)
 from repro.workloads.wide_program import (
     wide_database,
     wide_program,
@@ -63,6 +67,8 @@ __all__ = [
     "MID_NODE",
     "selective_join_database",
     "selective_join_program",
+    "telemetry_database",
+    "telemetry_program",
     "wide_database",
     "wide_program",
     "wide_query_atoms",

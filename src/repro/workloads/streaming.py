@@ -1,0 +1,61 @@
+"""A streaming-evidence workload: probabilistic form, deterministic telemetry.
+
+The canonical stress case for incremental view maintenance
+(:mod:`repro.gdatalog.incremental`): a race where each driver's *form* is a
+coin flip — the probabilistic part, ``2^drivers`` chase outcomes — while the
+*telemetry* (laps, sector gates) is plain deterministic Datalog whose
+forward cone never meets the choice cone.  A single telemetry fact arriving
+or being corrected mid-race is therefore ``patch``-eligible: the maintained
+space keeps every chased outcome and splices one root-level grounding diff,
+instead of re-chasing all ``2^drivers`` paths.
+
+The flip weights are dyadic on purpose, so maintained spaces are
+bit-identical to from-scratch chases (no tolerance needed anywhere).
+"""
+
+from __future__ import annotations
+
+from repro.gdatalog.syntax import GDatalogProgram
+from repro.logic.atoms import fact
+from repro.logic.database import Database
+from repro.logic.parser import parse_gdatalog_program
+
+__all__ = ["telemetry_program", "telemetry_database"]
+
+
+def telemetry_program(sectors: int = 3) -> GDatalogProgram:
+    """Coin-flip driver form plus a *sectors*-deep deterministic lap chain.
+
+    The choice cone is ``{form, strong, weak}``; the telemetry cone is
+    ``{lap, gate*, sector*, completed}``.  They are disjoint, so any delta
+    over ``lap``/``gate*`` facts admits the ``patch`` maintenance mode.
+    """
+    if sectors < 1:
+        raise ValueError(f"telemetry_program needs at least one sector, got {sectors}")
+    lines = [
+        "form(X, flip<0.5>[X]) :- driver(X).",
+        "strong(X) :- form(X, 1).",
+        "weak(X) :- driver(X), not strong(X).",
+        "sector1(X, L) :- lap(X, L), gate1(L).",
+    ]
+    for k in range(2, sectors + 1):
+        lines.append(f"sector{k}(X, L) :- sector{k - 1}(X, L), gate{k}(L).")
+    lines.append(f"completed(X, L) :- sector{sectors}(X, L).")
+    return parse_gdatalog_program("\n".join(lines))
+
+
+def telemetry_database(drivers: int, laps: int = 2, sectors: int = 3) -> Database:
+    """*drivers* coin flips and a full telemetry grid: every driver on every
+    lap, every sector gate open on every lap."""
+    facts = [fact("driver", i) for i in range(1, drivers + 1)]
+    facts += [
+        fact("lap", i, lap)
+        for i in range(1, drivers + 1)
+        for lap in range(1, laps + 1)
+    ]
+    facts += [
+        fact(f"gate{k}", lap)
+        for k in range(1, sectors + 1)
+        for lap in range(1, laps + 1)
+    ]
+    return Database(facts)

@@ -9,6 +9,7 @@ from repro.gdatalog.engine import GDatalogEngine
 from repro.gdatalog.relevance import (
     atoms_for_queries,
     compute_slice,
+    forward_reachable,
     permanent_seeds,
     relevant_predicates,
 )
@@ -198,3 +199,42 @@ class TestEngineWiring:
             grounder_name(alien)
         engine = GDatalogEngine(program, database, grounder=alien)
         assert engine.sliced(["hit_a(1)"]) is engine
+
+
+class TestForwardReachability:
+    """The affected-cone dual of backward relevance (streaming updates)."""
+
+    def test_closure_follows_bodies_to_heads(self):
+        program, _ = _parsed()
+        cone = forward_reachable(program, [Predicate("src_b", 1)])
+        # src_b feeds the coin, the coin feeds hit_b, and miss_b negates
+        # hit_b — negation counts forward exactly as it counts backward.
+        assert {p.name for p in cone} == {"src_b", "coin_b", "hit_b", "miss_b"}
+
+    def test_negative_bodies_count(self):
+        program, _ = _parsed()
+        cone = forward_reachable(program, [Predicate("hit_b", 1)])
+        assert {p.name for p in cone} == {"hit_b", "miss_b"}
+
+    def test_unrelated_column_is_not_reached(self):
+        program, _ = _parsed()
+        cone = forward_reachable(program, [Predicate("src_a", 1)])
+        assert {p.name for p in cone} == {"src_a", "coin_a", "hit_a"}
+
+    def test_seeds_are_included_even_when_underivable(self):
+        program, _ = _parsed()
+        assert forward_reachable(program, [Predicate("nowhere", 1)]) == frozenset(
+            [Predicate("nowhere", 1)]
+        )
+
+    def test_constraints_contribute_no_edges(self):
+        program = parse_gdatalog_program(
+            "p(X) :- e(X).\n:- p(X), q(X)."
+        )
+        cone = forward_reachable(program, [Predicate("e", 1)])
+        assert {p.name for p in cone} == {"e", "p"}
+
+    def test_cycles_terminate(self):
+        program = parse_gdatalog_program("p(X) :- q(X).\nq(X) :- p(X).\np(X) :- e(X).")
+        cone = forward_reachable(program, [Predicate("e", 1)])
+        assert {p.name for p in cone} == {"e", "p", "q"}

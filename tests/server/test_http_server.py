@@ -525,3 +525,128 @@ class TestServeCliHttp:
         from repro.cli import main
 
         assert main(["serve", "--http", "not-a-port"]) == 1
+
+
+STREAM_PROGRAM = """
+coin(X, flip<0.5>[X]) :- src(X).
+hit(X) :- coin(X, 1).
+base(X) :- src(X), aux(X).
+"""
+STREAM_DATABASE = "src(1). src(2). aux(1)."
+
+
+class TestStreamingUpdates:
+    """POST /v1/update: maintain, answer post-delta, survive crashes."""
+
+    def test_update_round_trips_through_the_sharded_server(self):
+        async def scenario(server: InferenceServer):
+            port = server.port
+            opening = await http_json(
+                "127.0.0.1", port, "POST", "/v1/query",
+                {
+                    "id": "open", "stream": "lap",
+                    "program": STREAM_PROGRAM, "database": STREAM_DATABASE,
+                    "queries": ["base(1)", "base(2)"],
+                },
+            )
+            update = await http_json(
+                "127.0.0.1", port, "POST", "/v1/update",
+                {
+                    "id": "u1", "stream": "lap",
+                    "delta": {"insert": ["aux(2)"]},
+                    "queries": ["base(2)", "hit(2)"],
+                },
+            )
+            follow_up = await http_json(
+                "127.0.0.1", port, "POST", "/v1/query",
+                {"id": "q2", "stream": "lap", "queries": ["base(2)"]},
+            )
+            retract = await http_json(
+                "127.0.0.1", port, "POST", "/v1/update",
+                {
+                    "id": "u2", "stream": "lap",
+                    "delta": {"retract": ["aux(1)"]},
+                    "queries": ["base(1)"],
+                },
+            )
+            metrics = await http_json("127.0.0.1", port, "GET", "/metrics")
+            return opening, update, follow_up, retract, metrics
+
+        opening, update, follow_up, retract, metrics = _run(
+            _with_server(ServerConfig(port=0, shards=2, batch_window=0.0), scenario)
+        )
+        assert opening[0] == 200 and opening[1]["results"] == [1.0, 0.0]
+        assert update[0] == 200 and update[1]["results"] == [1.0, 0.5]
+        assert update[1]["update"]["mode"] == "patch"
+        # Post-delta marginals match a direct service over the same state.
+        direct = InferenceService()
+        direct_result = direct.update(
+            STREAM_PROGRAM, STREAM_DATABASE, {"insert": ["aux(2)"]}
+        )
+        assert update[1]["database"] == direct_result.database_source
+        assert update[1]["results"] == direct.evaluate(
+            STREAM_PROGRAM, direct_result.database_source, ["base(2)", "hit(2)"]
+        )
+        assert follow_up[0] == 200 and follow_up[1]["results"] == [1.0]
+        assert retract[0] == 200 and retract[1]["results"] == [0.0]
+        body = metrics[1]
+        text = body.decode() if isinstance(body, bytes) else str(body)
+        assert "gdatalog_updates_applied_total 2" in text
+        assert "gdatalog_subtrees_invalidated_total" in text
+        assert "gdatalog_subtrees_reused_total" in text
+        assert "gdatalog_chase_reuse_ratio" in text
+
+    def test_bad_delta_is_a_400_not_a_crash(self):
+        async def scenario(server: InferenceServer):
+            return await http_json(
+                "127.0.0.1", server.port, "POST", "/v1/update",
+                {
+                    "program": STREAM_PROGRAM, "database": STREAM_DATABASE,
+                    "delta": {"isnert": ["aux(2)"]},
+                },
+            )
+
+        status, payload = _run(
+            _with_server(ServerConfig(port=0, shards=1, batch_window=0.0), scenario)
+        )
+        assert status == 400 and not payload["ok"]
+        assert "unknown delta spec keys" in payload["error"]
+
+    def test_worker_crash_mid_stream_rebuilds_from_the_front_end_state(self):
+        async def scenario(server: InferenceServer):
+            port = server.port
+            await http_json(
+                "127.0.0.1", port, "POST", "/v1/query",
+                {
+                    "stream": "lap",
+                    "program": STREAM_PROGRAM, "database": STREAM_DATABASE,
+                    "queries": ["base(1)"],
+                },
+            )
+            await http_json(
+                "127.0.0.1", port, "POST", "/v1/update",
+                {"stream": "lap", "delta": {"insert": ["aux(2)"]}},
+            )
+            shard = server.router.shard_for(STREAM_PROGRAM)
+            os.kill(server.router.worker_pids()[shard], signal.SIGKILL)
+            deadline = time.monotonic() + 5.0
+            while server.router.worker_alive(shard) and time.monotonic() < deadline:
+                await asyncio.sleep(0.02)
+            # The stream's post-delta database lives in the front end, so
+            # the respawned (cold) worker answers correctly from the
+            # forwarded request alone.
+            after = await http_json(
+                "127.0.0.1", port, "POST", "/v1/update",
+                {
+                    "stream": "lap",
+                    "delta": {"retract": ["aux(1)"]},
+                    "queries": ["base(1)", "base(2)"],
+                },
+            )
+            return after, server.router.respawns[shard]
+
+        after, respawns = _run(
+            _with_server(ServerConfig(port=0, shards=2, batch_window=0.0), scenario)
+        )
+        assert after[0] == 200 and after[1]["results"] == [0.0, 1.0]
+        assert respawns == 1

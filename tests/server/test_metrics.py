@@ -75,3 +75,45 @@ class TestMetricsRegistry:
         registry.inc("hits", {"shard": "1"}, amount=3)
         assert registry.counter_value("hits", {"shard": "1"}) == 3
         assert registry.counter_value("hits", {"shard": "2"}) == 0
+
+
+class TestStreamingUpdateMetrics:
+    """The /v1/update counters and the chase-reuse-ratio gauge."""
+
+    def _server(self):
+        from repro.server.http import InferenceServer, ServerConfig
+
+        # Never started: _record_update only touches the metrics registry.
+        return InferenceServer(ServerConfig(shards=1))
+
+    def test_one_report_registers_all_four_series(self):
+        server = self._server()
+        server._record_update(
+            {"mode": "patch", "invalidated_subtrees": 0, "reused_subtrees": 4}
+        )
+        text = server.metrics.render()
+        assert "gdatalog_updates_applied_total 1" in text
+        assert "gdatalog_subtrees_invalidated_total 0" in text
+        assert "gdatalog_subtrees_reused_total 4" in text
+        assert "gdatalog_chase_reuse_ratio 1" in text
+
+    def test_reuse_ratio_is_cumulative_across_updates(self):
+        server = self._server()
+        server._record_update({"invalidated_subtrees": 1, "reused_subtrees": 3})
+        server._record_update({"invalidated_subtrees": 2, "reused_subtrees": 2})
+        assert server.metrics.counter_value("gdatalog_updates_applied_total") == 2
+        assert server.metrics.counter_value("gdatalog_subtrees_invalidated_total") == 3
+        assert server.metrics.counter_value("gdatalog_subtrees_reused_total") == 5
+        assert "gdatalog_chase_reuse_ratio 0.625" in server.metrics.render()
+
+    def test_rebuild_reports_drive_the_ratio_to_zero(self):
+        server = self._server()
+        server._record_update({"mode": "rebuild", "invalidated_subtrees": 0, "reused_subtrees": 0})
+        assert "gdatalog_chase_reuse_ratio 0" in server.metrics.render()
+
+    def test_update_metrics_carry_help_text(self):
+        server = self._server()
+        server._record_update({"invalidated_subtrees": 0, "reused_subtrees": 1})
+        text = server.metrics.render()
+        assert "# HELP gdatalog_updates_applied_total" in text
+        assert "# HELP gdatalog_chase_reuse_ratio" in text

@@ -145,3 +145,87 @@ class TestResolveAndValidate:
         # The snapshot is a copy: mutating it does not touch the live stats.
         snapshot["hits"] = -1
         assert service.stats.hits >= 1
+
+
+STREAM_PROGRAM = PROGRAM + "base1(X) :- src1(X), aux1(X).\n"
+STREAM_DATABASE = "src1(1). aux1(1)."
+
+
+class TestStreamingUpdates:
+    def test_update_request_maintains_and_answers_in_one_round_trip(self, service):
+        response = answer(
+            service,
+            {
+                "id": 1,
+                "program": STREAM_PROGRAM,
+                "database": STREAM_DATABASE,
+                "delta": {"insert": ["src1(2)", "aux1(2)"]},
+                "queries": ["base1(2)"],
+            },
+        )
+        assert response["ok"] and response["results"] == [1.0]
+        assert response["update"]["inserted"] == 2
+        assert "src1(2)" in response["database"]
+
+    def test_op_update_without_queries_returns_report_only(self, service):
+        response = answer(
+            service,
+            {
+                "op": "update",
+                "program": STREAM_PROGRAM,
+                "database": STREAM_DATABASE,
+                "delta": {"retract": ["aux1(1)"]},
+            },
+        )
+        assert response["ok"] and "results" not in response
+        assert response["update"]["retracted"] == 1
+
+    def test_update_needs_a_delta_object(self, service):
+        response = answer(
+            service,
+            {"op": "update", "program": STREAM_PROGRAM, "database": STREAM_DATABASE},
+        )
+        assert not response["ok"] and "delta" in response["error"]
+
+    def test_stream_shorthand_carries_state_across_requests(self, service):
+        from repro.server.protocol import StreamRegistry
+
+        streams = StreamRegistry()
+        opening = answer(
+            service,
+            {
+                "stream": "s",
+                "program": STREAM_PROGRAM,
+                "database": STREAM_DATABASE,
+                "queries": ["base1(1)"],
+            },
+            streams,
+        )
+        assert opening["ok"] and opening["results"] == [1.0]
+        update = answer(
+            service,
+            {"stream": "s", "delta": {"insert": ["src1(2)", "aux1(2)"]}},
+            streams,
+        )
+        assert update["ok"]
+        follow_up = answer(service, {"stream": "s", "queries": ["base1(2)"]}, streams)
+        assert follow_up["ok"] and follow_up["results"] == [1.0]
+
+    def test_unknown_stream_without_program_is_an_error(self, service):
+        from repro.server.protocol import StreamRegistry
+
+        response = answer(
+            service,
+            {"stream": "ghost", "delta": {"insert": ["src1(2)"]}},
+            StreamRegistry(),
+        )
+        assert not response["ok"] and "unknown stream" in response["error"]
+
+    def test_stream_registry_is_lru_bounded(self):
+        from repro.server.protocol import StreamRegistry
+
+        streams = StreamRegistry(limit=2)
+        for name in ("a", "b", "c"):
+            streams.record(name, "p", "d")
+        assert len(streams) == 2
+        assert streams.get("a") is None and streams.get("c") is not None
