@@ -13,6 +13,9 @@ Installed as the ``gdatalog`` console script (and callable with
 * ``update``   — streaming evidence: apply fact-level deltas (JSON lines from
   a file or stdin / ``--follow``) with incremental view maintenance, printing
   one JSON line per delta with the maintenance report and fresh marginals.
+* ``check``    — static program checks: lint-style diagnostics with stable
+  ``GDLxxx`` codes and source spans (``--strict`` fails on warnings,
+  ``--json`` emits the structured analysis).
 * ``ground``   — show the translation Σ_Π and the grounding of the empty AtR set.
 * ``graph``    — dependency graph / stratification of a program (Figure-1 style).
 
@@ -296,6 +299,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--mode", choices=("brave", "cautious"), default="brave", help="marginal mode"
     )
 
+    check_parser = subparsers.add_parser(
+        "check",
+        help="static program checks: lint-style diagnostics with stable GDLxxx codes",
+    )
+    check_parser.add_argument("program", help="path to the GDatalog¬[Δ] program file")
+    check_parser.add_argument(
+        "-d", "--database", help="path to the database (facts) file", default=None
+    )
+    check_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full analysis (diagnostics + strategy summary) as JSON",
+    )
+    check_parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="treat warnings as failures (exit code 1)",
+    )
+
     ground_parser = subparsers.add_parser("ground", help="show the translation and initial grounding")
     _add_common_arguments(ground_parser)
 
@@ -569,6 +591,43 @@ def _command_update(args: argparse.Namespace) -> str:
     return ""
 
 
+def _command_check(args: argparse.Namespace) -> tuple[str, int]:
+    """Statically check a program (and optional database), lint style.
+
+    Exit code 0 when no error-severity diagnostic fired (``--strict`` also
+    fails on warnings); the diagnostics themselves go to stdout, one
+    ``file:line:col: severity GDLxxx: message`` line each (or the full
+    structured analysis with ``--json``).
+    """
+    from repro.gdatalog.checker import check_source, render_diagnostics
+
+    program_source = _read_text(args.program, role="program")
+    database_source = _read_text(args.database, role="database")
+    analysis = check_source(program_source, database_source)
+    errors = len(analysis.errors())
+    warnings = len(analysis.warnings())
+    infos = len(analysis.diagnostics) - errors - warnings
+    failed = errors > 0 or (args.strict and warnings > 0)
+    if args.json:
+        payload = analysis.as_dict()
+        payload["clean"] = not failed
+        return json.dumps(payload, indent=2), 1 if failed else 0
+    lines = []
+    rendered = render_diagnostics(
+        analysis.diagnostics,
+        filename=args.program,
+        database_filename=args.database or "<database>",
+    )
+    if rendered:
+        lines.append(rendered)
+    verdict = "FAILED" if failed else "OK"
+    lines.append(
+        f"{args.program}: {verdict} — {errors} error(s), "
+        f"{warnings} warning(s), {infos} info(s)"
+    )
+    return "\n".join(lines), 1 if failed else 0
+
+
 def _command_ground(args: argparse.Namespace) -> str:
     engine = _make_engine(args)
     translated = engine.translated
@@ -608,6 +667,7 @@ _COMMANDS = {
     "batch": _command_batch,
     "serve": _command_serve,
     "update": _command_update,
+    "check": _command_check,
     "ground": _command_ground,
     "graph": _command_graph,
 }
@@ -626,9 +686,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     except (ReproError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    # Lint-style commands return (text, exit_code); the rest return text
+    # (exit 0) — ``check`` signals findings through the code, not stderr.
+    code = 0
+    if isinstance(output, tuple):
+        output, code = output
     if output:
         print(output)
-    return 0
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

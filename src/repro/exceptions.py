@@ -8,6 +8,34 @@ errors vs. semantic validation vs. solver limits).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SourceSpan:
+    """A 1-based source position range attached to diagnostics and errors.
+
+    ``line``/``column`` locate the first character of the offending
+    construct; ``end_line``/``end_column`` (when known) locate the
+    character *after* its last one.
+    """
+
+    line: int
+    column: int
+    end_line: int | None = None
+    end_column: int | None = None
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.column}"
+
+    def as_dict(self) -> dict[str, int | None]:
+        return {
+            "line": self.line,
+            "column": self.column,
+            "end_line": self.end_line,
+            "end_column": self.end_column,
+        }
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the library."""
@@ -30,14 +58,37 @@ class ParseError(ReproError):
             location = f" (line {line}" + (f", column {column})" if column is not None else ")")
         super().__init__(message + location)
 
+    @property
+    def span(self) -> SourceSpan | None:
+        if self.line is None:
+            return None
+        return SourceSpan(self.line, self.column if self.column is not None else 1)
 
-class ValidationError(ReproError):
+
+class ValidationError(ReproError, ValueError):
     """Raised when a rule or program violates a syntactic restriction.
 
     Examples: unsafe rules (a head or negative-body variable that does not
     occur in the positive body), Δ-terms in body position, unknown
     distribution names, or arity mismatches.
+
+    Also derives from :class:`ValueError`: validation failures on
+    user-input paths were historically raised as bare ``ValueError``, and
+    the dual base keeps ``except ValueError`` call sites working while the
+    structured hierarchy (and optional :class:`SourceSpan`) is adopted.
     """
+
+    def __init__(self, message: str, span: SourceSpan | None = None):
+        self.span = span
+        super().__init__(message)
+
+    def with_span(self, span: SourceSpan | None) -> "ValidationError":
+        """A copy of this error carrying *span* (kept if already present)."""
+        if self.span is not None or span is None:
+            return self
+        replacement = type(self)(str(self), span)
+        replacement.__cause__ = self.__cause__
+        return replacement
 
 
 class StratificationError(ReproError):

@@ -25,13 +25,13 @@ by the equivalence tests and the E9 benchmark baseline).
 
 from __future__ import annotations
 
-import random
 import time
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Iterator, Sequence
 
 from repro.exceptions import ChaseLimitError, InferenceError
+from repro.rng import seeded_random
 from repro.gdatalog.atr import GroundAtRRule
 from repro.gdatalog.grounders import Grounder, GroundingState
 from repro.gdatalog.outcomes import PossibleOutcome
@@ -208,7 +208,7 @@ class ChaseEngine:
         self.grounder = grounder
         self.config = config or ChaseConfig()
         self._registry = grounder.translated.program.registry
-        self._rng = random.Random(self.config.seed)
+        self._rng = seeded_random(self.config.seed)
         self.stats = ChaseStats()
 
     # -- public API -------------------------------------------------------------

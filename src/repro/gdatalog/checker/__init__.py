@@ -1,0 +1,36 @@
+"""Static program checker for GDatalog¬[Δ]: diagnostics and pre-analysis.
+
+Two entry points:
+
+* :func:`check_source` — full source-level check: parses with
+  per-statement error recovery, attaches source spans to every
+  diagnostic, and returns a :class:`ProgramAnalysis`.
+* :func:`analyze_program` — object-level analysis of an
+  already-constructed :class:`~repro.gdatalog.syntax.GDatalogProgram`
+  (no spans); the engine and service use it to pre-select execution
+  strategies ahead of the first chase.
+
+Diagnostics carry stable ``GDLxxx`` codes (see
+:data:`~repro.gdatalog.checker.diagnostics.CODES`), a severity, and the
+source span when the source text is available.
+"""
+
+from repro.gdatalog.checker.analysis import ProgramAnalysis, analyze_program, check_source
+from repro.gdatalog.checker.diagnostics import (
+    CODES,
+    Diagnostic,
+    DiagnosticsError,
+    Severity,
+    render_diagnostics,
+)
+
+__all__ = [
+    "CODES",
+    "Diagnostic",
+    "DiagnosticsError",
+    "ProgramAnalysis",
+    "Severity",
+    "analyze_program",
+    "check_source",
+    "render_diagnostics",
+]

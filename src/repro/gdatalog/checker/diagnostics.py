@@ -1,0 +1,132 @@
+"""Structured diagnostics: stable codes, severities, rendering.
+
+Every finding of the static checker is a :class:`Diagnostic` with a
+stable ``GDLxxx`` code, so tooling (CI manifests, editors, the serve
+protocol's 400 responses) can match on codes rather than message text.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.exceptions import SourceSpan, ValidationError
+
+__all__ = [
+    "Severity",
+    "Diagnostic",
+    "DiagnosticsError",
+    "CODES",
+    "render_diagnostics",
+]
+
+
+class Severity(enum.Enum):
+    """Diagnostic severity; ``ERROR`` means the program cannot be evaluated."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: Stable diagnostic codes and their one-line titles.  Codes are grouped:
+#: 00x syntax/safety, 01x stratification, 02x schema, 03x choice structure,
+#: 04x cost smells.  Codes are never reused; retired codes stay reserved.
+CODES: dict[str, tuple[Severity, str]] = {
+    "GDL000": (Severity.ERROR, "syntax error"),
+    "GDL001": (Severity.ERROR, "unsafe head variable"),
+    "GDL002": (Severity.ERROR, "unsafe negated variable"),
+    "GDL003": (Severity.ERROR, "invalid Δ-term"),
+    # Not an error: GDatalog¬ evaluates under stable-model semantics, so
+    # negative cycles are legal (the paper's fair-coin program depends on
+    # one) — but they force the cycle's SCC into every query slice and can
+    # kill models, so the checker surfaces them with a witness path.
+    "GDL010": (Severity.WARNING, "program is not stratified"),
+    "GDL020": (Severity.WARNING, "arity clash"),
+    "GDL021": (Severity.WARNING, "fact asserted for derived predicate"),
+    "GDL022": (Severity.WARNING, "underivable predicate"),
+    "GDL023": (Severity.WARNING, "dead rule"),
+    "GDL024": (Severity.INFO, "unused predicate"),
+    "GDL030": (Severity.WARNING, "dependent probabilistic choices"),
+    "GDL040": (Severity.WARNING, "cross-product body"),
+    "GDL041": (Severity.WARNING, "negation joins disconnected body groups"),
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: a stable code, severity, message and source location.
+
+    ``origin`` distinguishes findings about the program text from findings
+    about the database text (both can carry spans into their respective
+    sources).
+    """
+
+    code: str
+    severity: Severity
+    message: str
+    span: SourceSpan | None = None
+    origin: str = "program"
+    predicate: str | None = None
+    rule: str | None = field(default=None)
+
+    def __post_init__(self) -> None:
+        if self.code not in CODES:
+            raise ValidationError(f"unknown diagnostic code {self.code!r}")
+
+    @property
+    def title(self) -> str:
+        return CODES[self.code][1]
+
+    def render(self, filename: str = "<program>") -> str:
+        """Lint-style one-liner: ``file:line:col: severity GDLxxx: message``."""
+        location = filename
+        if self.span is not None:
+            location = f"{filename}:{self.span.line}:{self.span.column}"
+        return f"{location}: {self.severity} {self.code}: {self.message}"
+
+    def as_dict(self) -> dict[str, object]:
+        payload: dict[str, object] = {
+            "code": self.code,
+            "severity": str(self.severity),
+            "message": self.message,
+            "origin": self.origin,
+        }
+        if self.span is not None:
+            payload["span"] = self.span.as_dict()
+        if self.predicate is not None:
+            payload["predicate"] = self.predicate
+        if self.rule is not None:
+            payload["rule"] = self.rule
+        return payload
+
+
+def render_diagnostics(
+    diagnostics: tuple[Diagnostic, ...] | list[Diagnostic],
+    filename: str = "<program>",
+    database_filename: str = "<database>",
+) -> str:
+    """Render a batch of diagnostics, one lint-style line each."""
+    return "\n".join(
+        d.render(database_filename if d.origin == "database" else filename)
+        for d in diagnostics
+    )
+
+
+class DiagnosticsError(ValidationError):
+    """A validation failure carrying the full structured diagnostics list.
+
+    Raised by the service's validation gate; the serve protocol serialises
+    :attr:`diagnostics` into the ``ok: false`` (HTTP 400) response.
+    """
+
+    def __init__(self, message: str, diagnostics: tuple[Diagnostic, ...] = ()):
+        self.diagnostics = tuple(diagnostics)
+        first_span = next((d.span for d in self.diagnostics if d.span is not None), None)
+        super().__init__(message, span=first_span)
+
+    def with_span(self, span: SourceSpan | None) -> "DiagnosticsError":
+        return self

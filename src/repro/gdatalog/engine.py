@@ -17,7 +17,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 from functools import cached_property
-from typing import Callable, Iterable
+from typing import TYPE_CHECKING, Callable, Iterable
+
+if TYPE_CHECKING:
+    from repro.gdatalog.checker import ProgramAnalysis
 
 from repro.exceptions import GroundingError, ValidationError
 from repro.gdatalog.chase import ChaseConfig, ChaseEngine, ChaseResult
@@ -47,6 +50,7 @@ class GDatalogEngine:
         chase_config: ChaseConfig | None = None,
         constraint_mode: str = "native",
         require_edb_database: bool = False,
+        analysis: "ProgramAnalysis | None" = None,
     ):
         if constraint_mode not in ("native", "desugar"):
             raise ValidationError(f"constraint_mode must be 'native' or 'desugar', got {constraint_mode!r}")
@@ -63,12 +67,21 @@ class GDatalogEngine:
         #: slicing was not requested; ``is_full`` when it cut nothing).
         self.query_slice: QuerySlice | None = None
         if self.chase_config.slice_for_query is not None:
+            permanent = analysis.permanent_seeds if analysis is not None else None
             self.query_slice = compute_slice(
-                self.program, self.database, self.chase_config.slice_for_query
+                self.program,
+                self.database,
+                self.chase_config.slice_for_query,
+                permanent=permanent,
             )
             if not self.query_slice.is_full:
                 self.program = self.query_slice.program
                 self.database = self.query_slice.database
+        if analysis is not None and analysis.program.rules == self.program.rules:
+            # A precomputed analysis is only valid for this exact rule set;
+            # when slicing or desugaring rewrote the program, the engine
+            # derives its own lazily instead.
+            self.analysis = analysis
         self.translated: TranslatedProgram = translate_program(self.program)
         self.grounder: Grounder = make_grounder(grounder, self.translated, self.database)
         try:
@@ -117,6 +130,21 @@ class GDatalogEngine:
                 f"intensional facts found: {offending}"
             )
 
+    # -- static analysis ------------------------------------------------------------
+
+    @cached_property
+    def analysis(self) -> "ProgramAnalysis":
+        """The static :class:`~repro.gdatalog.checker.ProgramAnalysis` of this engine.
+
+        Computed lazily (or supplied precomputed via the constructor); its
+        memoised strategy inputs — factorization decomposition, permanent
+        slice seeds, choice cone — replace the per-request derivations in
+        :meth:`output_space`, :meth:`sliced` and :meth:`updated`.
+        """
+        from repro.gdatalog.checker import analyze_program
+
+        return analyze_program(self.program, self.database)
+
     # -- exact inference --------------------------------------------------------------
 
     @cached_property
@@ -147,8 +175,18 @@ class GDatalogEngine:
     def _factorized_space(self, workers: int | None = None):
         """The cached factorized space, or ``None`` when the program is connected."""
         if "factorized" not in self.__dict__:
-            self.__dict__["factorized"] = factorized_space(
-                self.grounder, self.chase_config, workers=workers
+            decomposition = self.analysis.decomposition(
+                self.translated, self.database, self.chase_config
+            )
+            self.__dict__["factorized"] = (
+                None
+                if decomposition is None
+                else factorized_space(
+                    self.grounder,
+                    self.chase_config,
+                    workers=workers,
+                    decomposition=decomposition,
+                )
             )
         return self.__dict__["factorized"]
 
@@ -199,7 +237,9 @@ class GDatalogEngine:
         seeds = atoms_for_queries(resolved)
         if seeds is None:
             return self
-        slice_ = compute_slice(self.program, self.database, seeds)
+        slice_ = compute_slice(
+            self.program, self.database, seeds, permanent=self.analysis.permanent_seeds
+        )
         if slice_.is_full:
             return self
         cache: dict = self.__dict__.setdefault("_sliced_engines", {})

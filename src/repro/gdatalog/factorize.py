@@ -526,11 +526,22 @@ def explore_component_spaces(
 
 
 def factorized_space(
-    grounder: Grounder, config: ChaseConfig | None = None, workers: int | None = None
+    grounder: Grounder,
+    config: ChaseConfig | None = None,
+    workers: int | None = None,
+    decomposition: Decomposition | None = None,
 ) -> ProductSpace | None:
-    """The factorized output space of a grounder, or ``None`` to fall back."""
+    """The factorized output space of a grounder, or ``None`` to fall back.
+
+    *decomposition* lets callers holding a precomputed
+    :class:`~repro.gdatalog.checker.ProgramAnalysis` supply its memoised
+    component partition instead of re-deriving it here; it must be the
+    partition :func:`decompose` yields for this grounder's translated
+    program, database and *config*.
+    """
     config = config or ChaseConfig()
-    decomposition = decompose(grounder.translated, grounder.database, config)
+    if decomposition is None:
+        decomposition = decompose(grounder.translated, grounder.database, config)
     if decomposition is None:
         return None
     parts = explore_component_spaces(grounder, decomposition.components, config, workers=workers)

@@ -64,7 +64,6 @@ from repro.gdatalog.engine import GDatalogEngine
 from repro.gdatalog.factorize import (
     ComponentSpace,
     ProductSpace,
-    decompose,
     explore_component_spaces,
 )
 from repro.gdatalog.outcomes import PossibleOutcome
@@ -107,7 +106,7 @@ class UpdateReport:
         }
 
 
-def patch_eligible(program: GDatalogProgram, delta_predicates) -> bool:
+def patch_eligible(program: GDatalogProgram, delta_predicates, choice_cone=None) -> bool:
     """Whether a delta over *delta_predicates* admits the ``patch`` mode.
 
     Requires the affected cone (forward closure of the changed predicates)
@@ -115,15 +114,21 @@ def patch_eligible(program: GDatalogProgram, delta_predicates) -> bool:
     rule heads), and no constraint whose positive body joins the two cones.
     Both conditions are judged on the source program; the ``Σ_Π``
     translation only interposes Active/Result predicates *inside* source
-    edges, so source-level cones are exact.
+    edges, so source-level cones are exact.  *choice_cone* lets callers
+    holding a precomputed :class:`~repro.gdatalog.checker.ProgramAnalysis`
+    pass its cached cone instead of re-deriving it per update.
     """
-    affected = forward_reachable(program, delta_predicates)
-    generative_heads = {
-        r.head.predicate for r in program.rules if not r.is_constraint and r.is_generative
-    }
-    if not generative_heads:
+    graph = program.predicate_graph()
+    if choice_cone is None:
+        generative_heads = {
+            r.head.predicate for r in program.rules if not r.is_constraint and r.is_generative
+        }
+        if not generative_heads:
+            return True
+        choice_cone = graph.forward_closure(generative_heads)
+    elif not choice_cone:
         return True
-    choice_cone = forward_reachable(program, generative_heads)
+    affected = graph.forward_closure(delta_predicates)
     if affected & choice_cone:
         return False
     for rule_ in program.rules:
@@ -234,6 +239,10 @@ def maintain_engine(
         effective.apply(engine.database),
         grounder=engine._grounder_name,
         chase_config=engine.chase_config,
+        # The rule set is unchanged, so the pre-delta engine's static
+        # analysis (choice cone, permanent seeds, memoised decompositions)
+        # carries over verbatim.
+        analysis=engine.analysis,
     )
     config = engine.chase_config
 
@@ -242,7 +251,9 @@ def maintain_engine(
         if old_product is None:
             cached = engine.__dict__.get("factorized")
             old_product = cached if isinstance(cached, ProductSpace) else None
-        decomposition = decompose(new_engine.translated, new_engine.database, config)
+        decomposition = new_engine.analysis.decomposition(
+            new_engine.translated, new_engine.database, config
+        )
         if decomposition is not None and old_product is not None:
             by_identity: dict = {part.component: part for part in old_product.components}
             parts: list[ComponentSpace | None] = []
@@ -274,7 +285,7 @@ def maintain_engine(
     if (
         old_result is not None
         and engine._grounder_name == "simple"
-        and patch_eligible(engine.program, effective.predicates())
+        and engine.analysis.delta_patchable(effective.predicates())
     ):
         space = _patch_flat(engine, new_engine, effective, old_result)
         return new_engine, space, _report(

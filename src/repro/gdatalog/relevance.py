@@ -120,24 +120,13 @@ def relevant_predicates(
     A predicate is relevant when it is a seed or occurs in the body —
     positive **or** negative, since negation influences derivability just as
     positively as membership does — of a rule whose head predicate is
-    already relevant.  Constraint rules contribute no edges here; their
-    bodies enter through :func:`permanent_seeds` instead.
+    already relevant.  Constraint rules contribute no edges (they are
+    excluded from ``dg(Π)``); their bodies enter through
+    :func:`permanent_seeds` instead.  Delegates to the shared
+    :class:`~repro.logic.predgraph.PredicateGraph`, so repeated queries
+    reuse one memoised adjacency map.
     """
-    by_head: dict[Predicate, list[GDatalogRule]] = {}
-    for rule_ in program.rules:
-        if not rule_.is_constraint:
-            by_head.setdefault(rule_.head.predicate, []).append(rule_)
-
-    closure: set[Predicate] = set(seeds)
-    frontier = list(closure)
-    while frontier:
-        predicate = frontier.pop()
-        for rule_ in by_head.get(predicate, ()):
-            for atom_ in rule_.positive_body + rule_.negative_body:
-                if atom_.predicate not in closure:
-                    closure.add(atom_.predicate)
-                    frontier.append(atom_.predicate)
-    return frozenset(closure)
+    return program.predicate_graph().backward_closure(seeds)
 
 
 def forward_reachable(
@@ -156,23 +145,7 @@ def forward_reachable(
     edges; a delta's effect on constraint *instances* is judged separately
     (see :mod:`repro.gdatalog.incremental`).
     """
-    by_body: dict[Predicate, list[GDatalogRule]] = {}
-    for rule_ in program.rules:
-        if rule_.is_constraint:
-            continue
-        for atom_ in rule_.positive_body + rule_.negative_body:
-            by_body.setdefault(atom_.predicate, []).append(rule_)
-
-    closure: set[Predicate] = set(seeds)
-    frontier = list(closure)
-    while frontier:
-        predicate = frontier.pop()
-        for rule_ in by_body.get(predicate, ()):
-            head = rule_.head.predicate
-            if head not in closure:
-                closure.add(head)
-                frontier.append(head)
-    return frozenset(closure)
+    return program.predicate_graph().forward_closure(seeds)
 
 
 def permanent_seeds(program: GDatalogProgram) -> frozenset[Predicate]:
@@ -190,15 +163,9 @@ def permanent_seeds(program: GDatalogProgram) -> frozenset[Predicate]:
         elif rule_.is_generative and not _drops_exactly(rule_, program):
             seeds.add(rule_.head.predicate)
 
-    graph = program.dependency_graph()
-    components = graph.strongly_connected_components()
-    component_of: dict[Predicate, int] = {}
-    for index, component in enumerate(components):
-        for predicate in component:
-            component_of[predicate] = index
-    for source, target in graph.negative_edges:
-        if component_of.get(source) == component_of.get(target):
-            seeds.update(components[component_of[source]])
+    graph = program.predicate_graph()
+    for index in graph.negative_cycle_sccs:
+        seeds.update(graph.sccs[index])
     return frozenset(seeds)
 
 
@@ -244,15 +211,21 @@ def compute_slice(
     program: GDatalogProgram,
     database: Database,
     query_atoms: Sequence[Atom | str],
+    permanent: frozenset[Predicate] | None = None,
 ) -> QuerySlice:
     """The query-relevant slice of ``(Π, D)`` for a batch of query atoms.
 
     An empty *query_atoms* is valid and yields the "model-killing core"
     (constraints, negative cycles, inexact choices and their cones) — the
     exact slice for :class:`~repro.ppdl.queries.HasStableModelQuery`.
+    *permanent* lets callers holding a precomputed
+    :class:`~repro.gdatalog.checker.ProgramAnalysis` pass its cached
+    :func:`permanent_seeds` instead of re-deriving them per request.
     """
     atoms = tuple(parse_atom(a) if isinstance(a, str) else a for a in query_atoms)
-    seeds = {a.predicate for a in atoms} | set(permanent_seeds(program))
+    if permanent is None:
+        permanent = permanent_seeds(program)
+    seeds = {a.predicate for a in atoms} | set(permanent)
     relevant = relevant_predicates(program, seeds)
 
     kept_rules = tuple(

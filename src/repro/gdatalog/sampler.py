@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.exceptions import ValidationError
 from repro.rng import default_rng, sqrt
 
 from repro.gdatalog.chase import ChaseConfig, ChaseEngine
@@ -50,7 +51,7 @@ class Estimate:
             return (self.value - z * self.standard_error, self.value + z * self.standard_error)
         if method == "wilson":
             return self.wilson_interval(z)
-        raise ValueError(f"confidence interval method must be 'normal' or 'wilson', got {method!r}")
+        raise ValidationError(f"confidence interval method must be 'normal' or 'wilson', got {method!r}")
 
     def wilson_interval(self, z: float = 1.96) -> tuple[float, float]:
         """The Wilson-score interval for a Bernoulli proportion.

@@ -18,6 +18,7 @@ from repro.distributions.registry import DistributionRegistry, default_registry
 from repro.exceptions import StratificationError, ValidationError
 from repro.gdatalog.delta_terms import DeltaTerm
 from repro.logic.atoms import Atom, Predicate
+from repro.logic.predgraph import PredicateGraph
 from repro.logic.program import DatalogProgram, DependencyGraph
 from repro.logic.rules import FALSE_ATOM, FALSE_PREDICATE, Rule
 from repro.logic.terms import Constant, Term, Variable
@@ -203,6 +204,7 @@ class GDatalogProgram:
     ):
         self._rules: tuple[GDatalogRule, ...] = tuple(rules)
         self._registry = registry if registry is not None else default_registry()
+        self._cache: dict[str, object] = {}
         for rule_ in self._rules:
             if not isinstance(rule_, GDatalogRule):
                 raise ValidationError(f"GDatalog programs contain GDatalog rules, got {type(rule_).__name__}")
@@ -284,17 +286,30 @@ class GDatalogProgram:
 
     def dependency_graph(self) -> DependencyGraph:
         """``dg(Π)``: the predicate dependency multigraph (constraints excluded)."""
-        positive: set[tuple[Predicate, Predicate]] = set()
-        negative: set[tuple[Predicate, Predicate]] = set()
-        for rule_ in self._rules:
-            if rule_.is_constraint:
-                continue
-            head_predicate = rule_.head.predicate
-            for atom_ in rule_.positive_body:
-                positive.add((atom_.predicate, head_predicate))
-            for atom_ in rule_.negative_body:
-                negative.add((atom_.predicate, head_predicate))
-        return DependencyGraph(self.predicates(), frozenset(positive), frozenset(negative))
+        if "dependency_graph" not in self._cache:
+            positive: set[tuple[Predicate, Predicate]] = set()
+            negative: set[tuple[Predicate, Predicate]] = set()
+            for rule_ in self._rules:
+                if rule_.is_constraint:
+                    continue
+                head_predicate = rule_.head.predicate
+                for atom_ in rule_.positive_body:
+                    positive.add((atom_.predicate, head_predicate))
+                for atom_ in rule_.negative_body:
+                    negative.add((atom_.predicate, head_predicate))
+            self._cache["dependency_graph"] = DependencyGraph(
+                self.predicates(), frozenset(positive), frozenset(negative)
+            )
+        return self._cache["dependency_graph"]
+
+    def predicate_graph(self) -> PredicateGraph:
+        """The shared :class:`~repro.logic.predgraph.PredicateGraph` IR of ``dg(Π)``.
+
+        Memoised on the program, so relevance slicing, incremental
+        maintenance and the static checker all share one graph (and its
+        cached SCC/closure state) instead of rebuilding adjacency maps.
+        """
+        return self.dependency_graph().predicate_graph
 
     @property
     def is_stratified(self) -> bool:
@@ -303,10 +318,12 @@ class GDatalogProgram:
 
     def stratification(self) -> list[frozenset[Predicate]]:
         """A topological ordering over ``scc(Π)``; raises if not stratified."""
-        graph = self.dependency_graph()
-        if graph.has_negative_cycle():
-            raise StratificationError("GDatalog¬ program is not stratified")
-        return graph.strongly_connected_components()
+        graph = self.predicate_graph()
+        witness = graph.negative_cycle_witness()
+        if witness is not None:
+            path = f"{witness[0]} -[not]-> " + " -> ".join(str(p) for p in witness[1:])
+            raise StratificationError(f"GDatalog¬ program is not stratified ({path})")
+        return list(graph.sccs)
 
     # -- composition ----------------------------------------------------------------------
 

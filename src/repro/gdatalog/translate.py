@@ -31,7 +31,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
-from repro.exceptions import ValidationError
+from repro.exceptions import GroundingError, ValidationError
 from repro.gdatalog.atr import AtRSpec
 from repro.gdatalog.delta_terms import DeltaTerm
 from repro.gdatalog.syntax import GDatalogProgram, GDatalogRule, HeadAtom
@@ -98,7 +98,7 @@ class TranslatedProgram:
         for spec in self.atr_specs:
             if spec.active_predicate == predicate:
                 return spec
-        raise KeyError(f"no AtR spec for predicate {predicate}")
+        raise GroundingError(f"no AtR spec for predicate {predicate}")
 
     def rules_for_head_predicates(self, predicates: Iterable[Predicate]) -> tuple[Rule, ...]:
         """``Σ∄_{Π|C}``: existential-free rules stemming from source rules with head in *predicates*.

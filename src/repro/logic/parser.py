@@ -32,10 +32,10 @@ Two entry points are provided:
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterator, Sequence
 
-from repro.exceptions import ParseError
+from repro.exceptions import ParseError, SourceSpan, ValidationError
 from repro.logic.atoms import Atom, Predicate
 from repro.logic.database import Database
 from repro.logic.program import DatalogProgram
@@ -45,6 +45,8 @@ from repro.logic.terms import Constant, Term, Variable
 __all__ = [
     "Token",
     "tokenize",
+    "split_statements",
+    "parse_statements",
     "parse_datalog_program",
     "parse_gdatalog_program",
     "parse_atom",
@@ -121,6 +123,7 @@ class ParsedDeltaTerm:
     name: str
     parameters: tuple[Term, ...]
     event_signature: tuple[Term, ...]
+    span: SourceSpan | None = field(default=None, compare=False)
 
 
 @dataclass(frozen=True)
@@ -129,6 +132,7 @@ class ParsedAtom:
 
     name: str
     args: tuple[object, ...]  # Term | ParsedDeltaTerm
+    span: SourceSpan | None = field(default=None, compare=False)
 
     @property
     def has_delta(self) -> bool:
@@ -147,6 +151,7 @@ class ParsedRule:
     head: ParsedAtom | None  # ``None`` for constraints
     positive_body: tuple[ParsedAtom, ...]
     negative_body: tuple[ParsedAtom, ...]
+    span: SourceSpan | None = field(default=None, compare=False)
 
     @property
     def is_constraint(self) -> bool:
@@ -186,6 +191,11 @@ class _Parser:
         token = self._peek()
         return token is not None and token.kind == kind
 
+    def _span_from(self, start: Token) -> SourceSpan:
+        """The span from *start* to the most recently consumed token."""
+        end = self._tokens[self._position - 1] if self._position else start
+        return SourceSpan(start.line, start.column, end.line, end.column + len(end.text))
+
     # -- grammar ------------------------------------------------------------
 
     def parse_program(self) -> list[ParsedRule]:
@@ -195,19 +205,21 @@ class _Parser:
         return statements
 
     def _statement(self) -> ParsedRule:
+        start = self._peek()
+        assert start is not None
         if self._check("ARROW"):
             self._advance()
             positive, negative = self._body()
             self._expect("DOT")
-            return ParsedRule(None, positive, negative)
+            return ParsedRule(None, positive, negative, span=self._span_from(start))
         head = self._atom(allow_delta=True)
         if self._check("DOT"):
             self._advance()
-            return ParsedRule(head, (), ())
+            return ParsedRule(head, (), (), span=self._span_from(start))
         self._expect("ARROW")
         positive, negative = self._body()
         self._expect("DOT")
-        return ParsedRule(head, positive, negative)
+        return ParsedRule(head, positive, negative, span=self._span_from(start))
 
     def _body(self) -> tuple[tuple[ParsedAtom, ...], tuple[ParsedAtom, ...]]:
         positive: list[ParsedAtom] = []
@@ -233,7 +245,7 @@ class _Parser:
             raise ParseError(f"predicate names must start with a lowercase letter: {name!r}",
                              name_token.line, name_token.column)
         if not self._check("LPAREN"):
-            return ParsedAtom(name, ())
+            return ParsedAtom(name, (), span=self._span_from(name_token))
         self._advance()
         args: list[object] = []
         while True:
@@ -243,7 +255,7 @@ class _Parser:
                 continue
             break
         self._expect("RPAREN")
-        return ParsedAtom(name, tuple(args))
+        return ParsedAtom(name, tuple(args), span=self._span_from(name_token))
 
     def _head_term(self) -> object:
         token = self._peek()
@@ -255,7 +267,8 @@ class _Parser:
         return self._term()
 
     def _delta_term(self) -> ParsedDeltaTerm:
-        name = self._expect("IDENT").text
+        name_token = self._expect("IDENT")
+        name = name_token.text
         self._expect("LANGLE")
         parameters: list[Term] = [self._term()]
         while self._check("COMMA"):
@@ -271,7 +284,9 @@ class _Parser:
                     self._advance()
                     event_signature.append(self._term())
             self._expect("RBRACK")
-        return ParsedDeltaTerm(name, tuple(parameters), tuple(event_signature))
+        return ParsedDeltaTerm(
+            name, tuple(parameters), tuple(event_signature), span=self._span_from(name_token)
+        )
 
     def _term(self) -> Term:
         token = self._advance()
@@ -295,6 +310,43 @@ class _Parser:
 
 def _parsed_atom_to_atom(parsed: ParsedAtom) -> Atom:
     return parsed.to_atom()
+
+
+def split_statements(tokens: Sequence[Token]) -> list[list[Token]]:
+    """Split a token stream into per-statement groups at ``DOT`` boundaries.
+
+    Used by the static checker for error recovery: each group is parsed
+    independently, so one malformed statement yields one diagnostic
+    instead of aborting the whole check.  A trailing group without a dot
+    is kept (it will fail to parse, producing its own diagnostic).
+    """
+    groups: list[list[Token]] = []
+    current: list[Token] = []
+    for token in tokens:
+        current.append(token)
+        if token.kind == "DOT":
+            groups.append(current)
+            current = []
+    if current:
+        groups.append(current)
+    return groups
+
+
+def parse_statements(source: str) -> list[ParsedRule]:
+    """Parse *source* into raw :class:`ParsedRule` statements (with spans)."""
+    return _Parser(tokenize(source)).parse_program()
+
+
+def parse_statement_tokens(tokens: Sequence[Token]) -> ParsedRule:
+    """Parse exactly one statement from *tokens* (a :func:`split_statements` group)."""
+    parser = _Parser(tokens)
+    statement = parser._statement()
+    trailing = parser._peek()
+    if trailing is not None:
+        raise ParseError(
+            f"trailing input after statement: {trailing.text!r}", trailing.line, trailing.column
+        )
+    return statement
 
 
 def parse_atom(source: str) -> Atom:
@@ -330,15 +382,18 @@ def parse_datalog_program(source: str) -> DatalogProgram:
     for statement in statements:
         positive = tuple(_parsed_atom_to_atom(a) for a in statement.positive_body)
         negative = tuple(_parsed_atom_to_atom(a) for a in statement.negative_body)
-        if statement.is_constraint:
-            rules.append(Rule(FALSE_ATOM, positive, negative))
-            continue
-        assert statement.head is not None
-        if statement.head.has_delta:
-            raise ParseError(
-                f"Δ-term in head of {statement.head.name}: use parse_gdatalog_program for GDatalog¬[Δ] programs"
-            )
-        rules.append(Rule(_parsed_atom_to_atom(statement.head), positive, negative))
+        try:
+            if statement.is_constraint:
+                rules.append(Rule(FALSE_ATOM, positive, negative))
+                continue
+            assert statement.head is not None
+            if statement.head.has_delta:
+                raise ParseError(
+                    f"Δ-term in head of {statement.head.name}: use parse_gdatalog_program for GDatalog¬[Δ] programs"
+                )
+            rules.append(Rule(_parsed_atom_to_atom(statement.head), positive, negative))
+        except ValidationError as error:
+            raise error.with_span(statement.span)
     return DatalogProgram(rules)
 
 
@@ -359,18 +414,21 @@ def parse_gdatalog_program(source: str, registry=None):
     for statement in statements:
         positive = tuple(_parsed_atom_to_atom(a) for a in statement.positive_body)
         negative = tuple(_parsed_atom_to_atom(a) for a in statement.negative_body)
-        if statement.is_constraint:
-            rules.append(GDatalogRule.constraint(positive, negative))
-            continue
-        assert statement.head is not None
-        head_args: list[object] = []
-        for arg in statement.head.args:
-            if isinstance(arg, ParsedDeltaTerm):
-                if not active_registry.knows(arg.name):
-                    raise ParseError(f"unknown distribution {arg.name!r} in Δ-term")
-                head_args.append(DeltaTerm(arg.name, arg.parameters, arg.event_signature))
-            else:
-                head_args.append(arg)
-        head = HeadAtom(Predicate(statement.head.name, len(head_args)), tuple(head_args))
-        rules.append(GDatalogRule(head, positive, negative))
+        try:
+            if statement.is_constraint:
+                rules.append(GDatalogRule.constraint(positive, negative))
+                continue
+            assert statement.head is not None
+            head_args: list[object] = []
+            for arg in statement.head.args:
+                if isinstance(arg, ParsedDeltaTerm):
+                    if not active_registry.knows(arg.name):
+                        raise ParseError(f"unknown distribution {arg.name!r} in Δ-term")
+                    head_args.append(DeltaTerm(arg.name, arg.parameters, arg.event_signature))
+                else:
+                    head_args.append(arg)
+            head = HeadAtom(Predicate(statement.head.name, len(head_args)), tuple(head_args))
+            rules.append(GDatalogRule(head, positive, negative))
+        except ValidationError as error:
+            raise error.with_span(statement.span)
     return GDatalogProgram(rules, registry=active_registry)

@@ -1,0 +1,251 @@
+"""Shared predicate-graph IR: SCCs, condensation, closures, negative cycles.
+
+Before this module existed the same machinery lived in three places:
+Tarjan's algorithm in :mod:`repro.logic.program`, hand-rolled adjacency
+closures in :mod:`repro.gdatalog.relevance`, and a recomputed
+component-of map in ``permanent_seeds``.  :class:`PredicateGraph` is the
+single IR they now share, and the input the static checker
+(:mod:`repro.gdatalog.checker`) and the planned compilation-order
+analysis (ROADMAP item 3) build on.
+
+Everything is deterministic: adjacency lists, SCC emission and witness
+paths are ordered by predicate string form, never by hash order.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Iterable, Iterator, Mapping
+
+from repro.logic.atoms import Predicate
+
+__all__ = ["Edge", "PredicateGraph", "tarjan_scc"]
+
+Edge = tuple[Predicate, Predicate]
+
+
+def tarjan_scc(
+    vertices: Iterable[Predicate],
+    adjacency: Mapping[Predicate, list[Predicate]],
+) -> list[frozenset[Predicate]]:
+    """Tarjan's algorithm, iterative, deterministic, topological order.
+
+    Components are returned in topological order of the condensation: a
+    component only depends on components appearing *earlier* in the
+    returned list (Tarjan emits sinks first, so the raw emission order is
+    reversed before returning).  Callers must pass deterministically
+    ordered *vertices* and adjacency lists for reproducible output.
+    """
+    index_counter = 0
+    indices: dict[Predicate, int] = {}
+    lowlink: dict[Predicate, int] = {}
+    on_stack: set[Predicate] = set()
+    stack: list[Predicate] = []
+    components: list[frozenset[Predicate]] = []
+
+    for root in vertices:
+        if root in indices:
+            continue
+        work: list[tuple[Predicate, Iterator[Predicate]]] = [
+            (root, iter(adjacency.get(root, ())))
+        ]
+        indices[root] = lowlink[root] = index_counter
+        index_counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            vertex, successors = work[-1]
+            advanced = False
+            for successor in successors:
+                if successor not in indices:
+                    indices[successor] = lowlink[successor] = index_counter
+                    index_counter += 1
+                    stack.append(successor)
+                    on_stack.add(successor)
+                    work.append((successor, iter(adjacency.get(successor, ()))))
+                    advanced = True
+                    break
+                if successor in on_stack:
+                    lowlink[vertex] = min(lowlink[vertex], indices[successor])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[vertex])
+            if lowlink[vertex] == indices[vertex]:
+                component: set[Predicate] = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.add(member)
+                    if member == vertex:
+                        break
+                components.append(frozenset(component))
+    components.reverse()
+    return components
+
+
+@dataclass(frozen=True)
+class PredicateGraph:
+    """The predicate dependency multigraph ``dg(Π)`` as a reusable IR.
+
+    ``positive_edges`` and ``negative_edges`` are sets of ``(source,
+    target)`` pairs: an edge from ``R`` to ``P`` records that ``R`` occurs
+    in the body of a rule whose head predicate is ``P``.  All derived
+    views (adjacency, SCCs, condensation, closures) are memoised on the
+    instance, so one graph built per program serves every analysis that
+    used to rebuild its own adjacency maps.
+    """
+
+    vertices: frozenset[Predicate]
+    positive_edges: frozenset[Edge]
+    negative_edges: frozenset[Edge]
+
+    @cached_property
+    def edges(self) -> frozenset[Edge]:
+        return self.positive_edges | self.negative_edges
+
+    @cached_property
+    def successors_map(self) -> dict[Predicate, tuple[Predicate, ...]]:
+        """Deterministic forward adjacency (sorted by string form)."""
+        out: dict[Predicate, list[Predicate]] = defaultdict(list)
+        for source, target in sorted(self.edges, key=lambda e: (str(e[0]), str(e[1]))):
+            out[source].append(target)
+        return {p: tuple(ts) for p, ts in out.items()}
+
+    @cached_property
+    def predecessors_map(self) -> dict[Predicate, tuple[Predicate, ...]]:
+        """Deterministic backward adjacency (sorted by string form)."""
+        out: dict[Predicate, list[Predicate]] = defaultdict(list)
+        for source, target in sorted(self.edges, key=lambda e: (str(e[1]), str(e[0]))):
+            out[target].append(source)
+        return {p: tuple(ss) for p, ss in out.items()}
+
+    def successors(self, predicate: Predicate) -> tuple[Predicate, ...]:
+        return self.successors_map.get(predicate, ())
+
+    def predecessors(self, predicate: Predicate) -> tuple[Predicate, ...]:
+        return self.predecessors_map.get(predicate, ())
+
+    # -- condensation --------------------------------------------------------
+
+    @cached_property
+    def sccs(self) -> tuple[frozenset[Predicate], ...]:
+        """Strongly connected components in topological order."""
+        ordered = sorted(self.vertices, key=str)
+        adjacency = {p: list(self.successors_map.get(p, ())) for p in ordered}
+        return tuple(tarjan_scc(ordered, adjacency))
+
+    @cached_property
+    def scc_index(self) -> dict[Predicate, int]:
+        """Predicate → position of its component in :attr:`sccs`."""
+        return {
+            predicate: index
+            for index, component in enumerate(self.sccs)
+            for predicate in component
+        }
+
+    @cached_property
+    def condensation_edges(self) -> frozenset[tuple[int, int]]:
+        """Edges between distinct components, as index pairs into :attr:`sccs`."""
+        index = self.scc_index
+        return frozenset(
+            (index[source], index[target])
+            for source, target in self.edges
+            if index[source] != index[target]
+        )
+
+    @cached_property
+    def negative_cycle_sccs(self) -> tuple[int, ...]:
+        """Indices of components containing an internal negative edge."""
+        index = self.scc_index
+        bad = {
+            index[source]
+            for source, target in self.negative_edges
+            if index.get(source) == index.get(target)
+        }
+        return tuple(sorted(bad))
+
+    def has_negative_cycle(self) -> bool:
+        """Whether some cycle of the graph traverses a negative edge."""
+        return bool(self.negative_cycle_sccs)
+
+    def negative_cycle_witness(self) -> tuple[Predicate, ...] | None:
+        """A concrete cycle through a negative edge, or ``None``.
+
+        Returns a path ``(p0, p1, ..., pk)`` with ``pk == p0`` where the
+        first hop ``p0 → p1`` is a negative edge and the remaining hops
+        close the cycle inside the same SCC.  Deterministic: the
+        lexicographically first qualifying negative edge is chosen and the
+        closing path is a BFS shortest path over sorted adjacency.
+        """
+        if not self.negative_cycle_sccs:
+            return None
+        index = self.scc_index
+        source, target = min(
+            (
+                (s, t)
+                for s, t in self.negative_edges
+                if index.get(s) == index.get(t)
+            ),
+            key=lambda e: (str(e[0]), str(e[1])),
+        )
+        if source == target:
+            return (source, target)
+        component = self.sccs[index[source]]
+        # BFS from target back to source, restricted to the component.
+        parents: dict[Predicate, Predicate] = {}
+        queue: deque[Predicate] = deque([target])
+        seen = {target}
+        while queue:
+            current = queue.popleft()
+            if current == source:
+                break
+            for nxt in self.successors_map.get(current, ()):
+                if nxt in component and nxt not in seen:
+                    seen.add(nxt)
+                    parents[nxt] = current
+                    queue.append(nxt)
+        path = [source]
+        while path[-1] != target:
+            path.append(parents[path[-1]])
+        path.reverse()
+        return (source, *path)
+
+    # -- closures ------------------------------------------------------------
+
+    def forward_closure(self, seeds: Iterable[Predicate]) -> frozenset[Predicate]:
+        """Seeds plus everything reachable from them along edges.
+
+        This is the "affected cone" of a database delta over the seed
+        predicates, and the "choice cone" when seeded with generative
+        heads.
+        """
+        closure: set[Predicate] = set(seeds)
+        frontier = list(closure)
+        while frontier:
+            predicate = frontier.pop()
+            for nxt in self.successors_map.get(predicate, ()):
+                if nxt not in closure:
+                    closure.add(nxt)
+                    frontier.append(nxt)
+        return frozenset(closure)
+
+    def backward_closure(self, seeds: Iterable[Predicate]) -> frozenset[Predicate]:
+        """Seeds plus everything from which a seed is reachable.
+
+        The magic-sets relevance cone: every predicate that can influence
+        the extension of a seed predicate.
+        """
+        closure: set[Predicate] = set(seeds)
+        frontier = list(closure)
+        while frontier:
+            predicate = frontier.pop()
+            for prev in self.predecessors_map.get(predicate, ()):
+                if prev not in closure:
+                    closure.add(prev)
+                    frontier.append(prev)
+        return frozenset(closure)

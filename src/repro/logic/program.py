@@ -9,12 +9,13 @@ checks (positive / stratified).
 
 from __future__ import annotations
 
-from collections import defaultdict
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Iterable, Iterator, Sequence
 
 from repro.exceptions import StratificationError, ValidationError
 from repro.logic.atoms import Predicate
+from repro.logic.predgraph import PredicateGraph
 from repro.logic.rules import FALSE_PREDICATE, Rule
 
 __all__ = ["DependencyGraph", "DatalogProgram"]
@@ -34,103 +35,47 @@ class DependencyGraph:
     positive_edges: frozenset[tuple[Predicate, Predicate]]
     negative_edges: frozenset[tuple[Predicate, Predicate]]
 
+    @cached_property
+    def predicate_graph(self) -> PredicateGraph:
+        """The shared :class:`~repro.logic.predgraph.PredicateGraph` IR.
+
+        All condensation machinery (SCCs, closures, negative-cycle
+        witnesses) lives there; this class keeps only the program-facing
+        convenience API.
+        """
+        return PredicateGraph(self.vertices, self.positive_edges, self.negative_edges)
+
     @property
     def edges(self) -> frozenset[tuple[Predicate, Predicate]]:
         return self.positive_edges | self.negative_edges
 
     def successors(self, predicate: Predicate) -> set[Predicate]:
-        return {t for (s, t) in self.edges if s == predicate}
+        return set(self.predicate_graph.successors(predicate))
 
     def predecessors(self, predicate: Predicate) -> set[Predicate]:
-        return {s for (s, t) in self.edges if t == predicate}
+        return set(self.predicate_graph.predecessors(predicate))
 
     def depends_on(self, target: Predicate, source: Predicate) -> bool:
         """Whether *target* depends on *source*, i.e. a non-empty path from *source* to *target* exists."""
-        frontier = [source]
-        seen: set[Predicate] = set()
-        while frontier:
-            current = frontier.pop()
-            if current in seen:
-                continue
-            seen.add(current)
-            for nxt in self.successors(current):
-                if nxt == target:
-                    return True
-                if nxt not in seen:
-                    frontier.append(nxt)
-        return False
+        graph = self.predicate_graph
+        return any(
+            target in graph.forward_closure((successor,))
+            for successor in graph.successors(source)
+        )
 
     def strongly_connected_components(self) -> list[frozenset[Predicate]]:
-        """Tarjan's algorithm, iterative, deterministic output order.
+        """Strongly connected components in topological order.
 
-        Components are returned in topological order of the condensation:
-        a component only depends on components appearing *earlier* in the
-        returned list.  This is exactly the topological ordering over
-        ``scc(Π)`` required by the perfect grounder (Tarjan emits sinks
-        first, so the raw emission order is reversed before returning).
+        Delegates to the shared :class:`PredicateGraph` (iterative Tarjan,
+        deterministic): a component only depends on components appearing
+        *earlier* in the returned list — exactly the topological ordering
+        over ``scc(Π)`` required by the perfect grounder.
         """
-        adjacency: dict[Predicate, list[Predicate]] = defaultdict(list)
-        for source, target in sorted(self.edges, key=lambda e: (str(e[0]), str(e[1]))):
-            adjacency[source].append(target)
-        index_counter = 0
-        indices: dict[Predicate, int] = {}
-        lowlink: dict[Predicate, int] = {}
-        on_stack: set[Predicate] = set()
-        stack: list[Predicate] = []
-        components: list[frozenset[Predicate]] = []
-
-        ordered_vertices = sorted(self.vertices, key=str)
-
-        for root in ordered_vertices:
-            if root in indices:
-                continue
-            work: list[tuple[Predicate, Iterator[Predicate]]] = [(root, iter(adjacency[root]))]
-            indices[root] = lowlink[root] = index_counter
-            index_counter += 1
-            stack.append(root)
-            on_stack.add(root)
-            while work:
-                vertex, successors = work[-1]
-                advanced = False
-                for successor in successors:
-                    if successor not in indices:
-                        indices[successor] = lowlink[successor] = index_counter
-                        index_counter += 1
-                        stack.append(successor)
-                        on_stack.add(successor)
-                        work.append((successor, iter(adjacency[successor])))
-                        advanced = True
-                        break
-                    if successor in on_stack:
-                        lowlink[vertex] = min(lowlink[vertex], indices[successor])
-                if advanced:
-                    continue
-                work.pop()
-                if work:
-                    parent = work[-1][0]
-                    lowlink[parent] = min(lowlink[parent], lowlink[vertex])
-                if lowlink[vertex] == indices[vertex]:
-                    component: set[Predicate] = set()
-                    while True:
-                        member = stack.pop()
-                        on_stack.discard(member)
-                        component.add(member)
-                        if member == vertex:
-                            break
-                    components.append(frozenset(component))
-        components.reverse()
-        return components
+        return list(self.predicate_graph.sccs)
 
     def has_negative_cycle(self) -> bool:
         """Whether some cycle of the graph traverses a negative edge."""
-        component_of: dict[Predicate, int] = {}
-        for i, component in enumerate(self.strongly_connected_components()):
-            for predicate in component:
-                component_of[predicate] = i
-        for source, target in self.negative_edges:
-            if component_of.get(source) == component_of.get(target):
-                return True
-        return False
+        return self.predicate_graph.has_negative_cycle()
 
 
 class DatalogProgram:
@@ -245,10 +190,14 @@ class DatalogProgram:
         The returned components are ordered so that no predicate of ``C_i``
         depends on a predicate of ``C_j`` for ``i < j``.
         """
-        graph = self.dependency_graph()
-        if graph.has_negative_cycle():
-            raise StratificationError("program is not stratified: a cycle traverses a negative edge")
-        return graph.strongly_connected_components()
+        graph = self.dependency_graph().predicate_graph
+        witness = graph.negative_cycle_witness()
+        if witness is not None:
+            path = f"{witness[0]} -[not]-> " + " -> ".join(str(p) for p in witness[1:])
+            raise StratificationError(
+                f"program is not stratified: a cycle traverses a negative edge ({path})"
+            )
+        return list(graph.sccs)
 
     def strata(self) -> list["DatalogProgram"]:
         """The sub-programs ``Π|_{C_1}, ..., Π|_{C_n}`` along the stratification."""

@@ -11,6 +11,7 @@ from __future__ import annotations
 import abc
 from dataclasses import dataclass
 
+from repro.exceptions import ValidationError
 from repro.gdatalog.outcomes import PossibleOutcome
 from repro.gdatalog.probability_space import AbstractSpace
 from repro.gdatalog.sampler import Estimate, MonteCarloSampler
@@ -160,14 +161,14 @@ def query_from_spec(spec) -> Query:
     try:
         kind = spec["type"]
     except (TypeError, KeyError) as exc:
-        raise ValueError(f"query spec must be an atom string or a mapping with a 'type': {spec!r}") from exc
+        raise ValidationError(f"query spec must be an atom string or a mapping with a 'type': {spec!r}") from exc
     if kind == "atom":
         if "atom" not in spec:
-            raise ValueError(f"atom query spec is missing the 'atom' field: {spec!r}")
+            raise ValidationError(f"atom query spec is missing the 'atom' field: {spec!r}")
         mode = spec.get("mode", "brave")
         if mode not in ("brave", "cautious"):
-            raise ValueError(f"atom query mode must be 'brave' or 'cautious', got {mode!r}")
+            raise ValidationError(f"atom query mode must be 'brave' or 'cautious', got {mode!r}")
         return AtomQuery.of(spec["atom"], mode)
     if kind == "has_stable_model":
         return HasStableModelQuery()
-    raise ValueError(f"unknown query type {kind!r}; expected 'atom' or 'has_stable_model'")
+    raise ValidationError(f"unknown query type {kind!r}; expected 'atom' or 'has_stable_model'")

@@ -38,6 +38,7 @@ __all__ = [
     "Generator",
     "default_rng",
     "generate_uint64",
+    "seeded_random",
     "sqrt",
 ]
 
@@ -55,6 +56,20 @@ _UINT64_MASK = (1 << 64) - 1
 def sqrt(value: float) -> float:
     """Correctly-rounded square root (identical to ``numpy.sqrt`` on floats)."""
     return math.sqrt(value)
+
+
+def seeded_random(seed: int | None = None) -> "random.Random":
+    """A fresh :class:`random.Random` stream (the library's only sanctioned one).
+
+    Every stdlib-random consumer — chase trigger ordering, workload
+    generators — builds its stream here, so randomness stays auditable:
+    ``tools/lint_invariants.py`` forbids ``import random`` anywhere else in
+    the library, which is what makes "seeded runs are reproducible" a
+    checkable property rather than a convention.
+    """
+    import random
+
+    return random.Random(seed)
 
 
 class _FallbackSeedSequence:

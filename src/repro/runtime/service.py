@@ -42,12 +42,13 @@ import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 
+from repro.exceptions import ValidationError
 from repro.gdatalog.chase import ChaseConfig
+from repro.gdatalog.checker import ProgramAnalysis, check_source
 from repro.gdatalog.engine import GDatalogEngine
 from repro.gdatalog.factorize import (
     ComponentSpace,
     ProductSpace,
-    decompose,
     explore_component_spaces,
 )
 from repro.gdatalog.incremental import UpdateReport, maintain_engine
@@ -167,9 +168,10 @@ class InferenceService:
         workers: int | None = None,
         factorize: bool = False,
         slice: bool = False,
+        validate: bool = False,
     ):
         if cache_size < 1:
-            raise ValueError(f"cache_size must be at least 1, got {cache_size}")
+            raise ValidationError(f"cache_size must be at least 1, got {cache_size}")
         self.cache_size = int(cache_size)
         self.grounder = grounder
         self.chase_config = chase_config or ChaseConfig()
@@ -179,6 +181,12 @@ class InferenceService:
         #: Default for query-relevant slicing of exact requests (each
         #: request may override it; see :meth:`evaluate`).
         self.slice = bool(slice)
+        #: With validation on, every request's sources pass through the
+        #: static checker (:func:`~repro.gdatalog.checker.check_source`) on
+        #: first sighting; error diagnostics raise
+        #: :class:`~repro.gdatalog.checker.DiagnosticsError` and the
+        #: analysis (clean or not) is cached so repeats are free.
+        self.validate = bool(validate)
         self.stats = ServiceStats()
         # The LRU caches are plain OrderedDicts; every get/put/evict below
         # runs under this lock so threaded callers (e.g. a threaded wrapper
@@ -195,6 +203,11 @@ class InferenceService:
         # whose decomposition contains an identical block.
         self._component_spaces: OrderedDict[str, ComponentSpace] = OrderedDict()
         self._component_limit = max(self.cache_size * 8, 64)
+        # Source-level check results, keyed on the raw request text.  Failed
+        # analyses are cached too, so a client hammering one bad program
+        # pays for the checker exactly once.
+        self._analyses: OrderedDict[tuple[str, str], ProgramAnalysis] = OrderedDict()
+        self._analyses_limit = max(self.cache_size * 2, 16)
 
     # -- canonical keys -----------------------------------------------------------
 
@@ -234,6 +247,30 @@ class InferenceService:
         returns to clients — querying with it hits the maintained entry.
         """
         return "\n".join(f"{fact}." for fact in sorted(database.facts, key=Atom.sort_key))
+
+    # -- static checking -----------------------------------------------------------
+
+    def check(self, program_source: str, database_source: str = "") -> ProgramAnalysis:
+        """The static check of a request's sources (cached on raw text).
+
+        Never raises for diagnostics — callers inspect
+        :attr:`~repro.gdatalog.checker.ProgramAnalysis.ok` /
+        :attr:`~repro.gdatalog.checker.ProgramAnalysis.diagnostics`.  The
+        same cached analysis backs the validation gate, so checking first
+        and then querying costs one checker run total.
+        """
+        raw = (program_source, database_source)
+        with self._lock:
+            analysis = self._analyses.get(raw)
+            if analysis is not None:
+                self._analyses.move_to_end(raw)
+                return analysis
+        analysis = check_source(program_source, database_source)
+        with self._lock:
+            self._analyses[raw] = analysis
+            if len(self._analyses) > self._analyses_limit:
+                self._analyses.popitem(last=False)
+        return analysis
 
     # -- cache management ----------------------------------------------------------
 
@@ -295,7 +332,12 @@ class InferenceService:
         seeds = atoms_for_queries(queries)
         if seeds is None:
             return base_entry
-        slice_ = compute_slice(base_entry.engine.program, base_entry.engine.database, seeds)
+        slice_ = compute_slice(
+            base_entry.engine.program,
+            base_entry.engine.database,
+            seeds,
+            permanent=base_entry.engine.analysis.permanent_seeds,
+        )
         if slice_.is_full:
             return base_entry
         digest = hashlib.sha256()
@@ -328,12 +370,12 @@ class InferenceService:
         component concurrently — duplicated work, but both write identical
         content-addressed entries).
         """
-        decomposition = decompose(engine.translated, engine.database, self.chase_config)
+        decomposition = engine.analysis.decomposition(
+            engine.translated, engine.database, self.chase_config
+        )
         if decomposition is None:
             return None
-        program_digest = hashlib.sha256(
-            "\n".join(sorted(str(rule) for rule in engine.program)).encode("utf-8")
-        ).hexdigest()
+        program_digest = engine.analysis.program_digest
         parts: list[ComponentSpace | None] = []
         missing: list[tuple[int, str]] = []
         with self._lock:
@@ -374,11 +416,25 @@ class InferenceService:
         return digest.hexdigest()
 
     def _lookup(self, program_source: str, database_source: str) -> tuple[str, _CacheEntry]:
-        """``(key, entry)`` for a raw request, inserting on miss.  Caller holds the lock."""
+        """``(key, entry)`` for a raw request, inserting on miss.  Caller holds the lock.
+
+        With :attr:`validate` set, the sources pass the static checker
+        before any key computation (a malformed program must produce
+        structured diagnostics, not a bare parse failure), and the engine
+        is built from the checker's analysis so its strategy inputs are
+        pre-selected rather than re-derived on first use.
+        """
         raw = (program_source, database_source)
+        analysis: ProgramAnalysis | None = None
+        if self.validate:
+            analysis = self.check(program_source, database_source)
+            analysis.raise_for_errors()
         key = self._raw_keys.get(raw)
         if key is None:
-            key = self.cache_key(program_source, database_source)
+            if analysis is not None:
+                key = self._canonical_key(analysis.program, analysis.database or Database())
+            else:
+                key = self.cache_key(program_source, database_source)
             if len(self._raw_keys) >= self._raw_keys_limit:
                 self._raw_keys.clear()
             self._raw_keys[raw] = key
@@ -388,12 +444,21 @@ class InferenceService:
             self._entries.move_to_end(key)
             return key, entry
         self.stats.bump("misses")
-        engine = GDatalogEngine.from_source(
-            program_source,
-            database_source,
-            grounder=self.grounder,
-            chase_config=self.chase_config,
-        )
+        if analysis is not None:
+            engine = GDatalogEngine(
+                analysis.program,
+                analysis.database or Database(),
+                grounder=self.grounder,
+                chase_config=self.chase_config,
+                analysis=analysis,
+            )
+        else:
+            engine = GDatalogEngine.from_source(
+                program_source,
+                database_source,
+                grounder=self.grounder,
+                chase_config=self.chase_config,
+            )
         entry = _CacheEntry(engine=engine)
         self._insert(key, entry)
         return key, entry
@@ -415,6 +480,7 @@ class InferenceService:
             self._entries.clear()
             self._raw_keys.clear()
             self._component_spaces.clear()
+            self._analyses.clear()
 
     # -- streaming updates -------------------------------------------------------------
 

@@ -32,7 +32,17 @@ __all__ = ["MicroBatcher", "BatchFailed"]
 
 
 class BatchFailed(RuntimeError):
-    """The combined request answered ``ok: false``; carries the error text."""
+    """The combined request answered ``ok: false``; carries the error text.
+
+    When the worker's response included structured checker findings (the
+    validation gate's :class:`~repro.gdatalog.checker.DiagnosticsError`),
+    they ride along in :attr:`diagnostics` so the HTTP 400 payload keeps
+    the codes and spans instead of just the flattened message.
+    """
+
+    def __init__(self, message: str, diagnostics: list | None = None):
+        super().__init__(message)
+        self.diagnostics = diagnostics
 
 
 class _Group:
@@ -130,7 +140,10 @@ class MicroBatcher:
         request["queries"] = list(specs)
         response = await self.router.submit(shard, request)
         if not response.get("ok"):
-            raise BatchFailed(str(response.get("error", "batch evaluation failed")))
+            raise BatchFailed(
+                str(response.get("error", "batch evaluation failed")),
+                response.get("diagnostics"),
+            )
         results = response.get("results")
         if not isinstance(results, list) or len(results) != len(specs):
             raise BatchFailed(

@@ -100,6 +100,9 @@ class ServerConfig:
     #: Upper bound on graceful-drain wait after SIGTERM.
     drain_timeout: float = 30.0
     max_body_bytes: int = 4 * 1024 * 1024
+    #: Static-check programs on first sighting; failures answer 400 with
+    #: structured diagnostics instead of a bare engine error.
+    validate: bool = True
 
     def shard_config(self) -> ShardConfig:
         return ShardConfig(
@@ -107,6 +110,7 @@ class ServerConfig:
             cache_size=self.cache_size,
             factorize=self.factorize,
             slice=self.slice,
+            validate=self.validate,
         )
 
 
@@ -372,7 +376,7 @@ class InferenceServer:
         requests = int(
             sum(
                 self.metrics.counter_value("gdatalog_requests_total", {"route": route, "status": status})
-                for route in ("query", "batch", "sample", "update", "ws")
+                for route in ("query", "batch", "sample", "update", "check", "ws")
                 for status in ("200", "400", "429", "503")
             )
         )
@@ -480,6 +484,7 @@ class InferenceServer:
             "/v1/batch": "batch",
             "/v1/sample": "sample",
             "/v1/update": "update",
+            "/v1/check": "check",
         }.get(path)
         if route is None:
             return 404, error_response(f"no such route: {path}"), {}
@@ -529,9 +534,21 @@ class InferenceServer:
         self._enter_request()
         try:
             with admitted:
-                update = route == "update" or is_update_request(payload)
-                adaptive = not update and (route == "sample" or bool(payload.get("adaptive")))
-                if update:
+                check = route == "check" or payload.get("op") == "check"
+                update = not check and (route == "update" or is_update_request(payload))
+                adaptive = not check and not update and (
+                    route == "sample" or bool(payload.get("adaptive"))
+                )
+                if check:
+                    forwarded = dict(payload)
+                    forwarded["program"] = program
+                    forwarded["database"] = database
+                    forwarded.pop("program_path", None)
+                    forwarded.pop("database_path", None)
+                    forwarded.pop("stream", None)
+                    forwarded["op"] = "check"
+                    response = await self.router.submit(shard, forwarded)
+                elif update:
                     forwarded = dict(payload)
                     forwarded["program"] = program
                     forwarded["database"] = database
@@ -570,7 +587,10 @@ class InferenceServer:
         except RequestError as error:
             return 400, error_response(str(error), request_id), {}
         except BatchFailed as error:
-            return 400, error_response(str(error), request_id), {}
+            response = error_response(str(error), request_id)
+            if error.diagnostics:
+                response["diagnostics"] = error.diagnostics
+            return 400, response, {}
         except WorkerCrashed:
             self.metrics.inc("gdatalog_rejected_total", {"reason": "worker_crashed"})
             response = error_response("shard worker crashed; please retry", request_id)

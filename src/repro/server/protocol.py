@@ -27,6 +27,7 @@ from pathlib import Path
 from typing import Any, Mapping
 
 from repro.exceptions import ReproError
+from repro.gdatalog.checker import DiagnosticsError
 from repro.ppdl.queries import query_from_spec
 
 __all__ = [
@@ -37,6 +38,8 @@ __all__ = [
     "resolve_stream",
     "validate_queries",
     "is_update_request",
+    "is_check_request",
+    "handle_check",
     "handle_update",
     "handle_request",
     "answer",
@@ -200,6 +203,31 @@ def is_update_request(request: Mapping[str, Any]) -> bool:
     return request.get("op") == "update" or "delta" in request
 
 
+def is_check_request(request: Mapping[str, Any]) -> bool:
+    """Whether a request asks for a static check only (``op: "check"``)."""
+    return request.get("op") == "check"
+
+
+def handle_check(service, request: Mapping[str, Any]) -> dict[str, Any]:
+    """Statically check a request's sources without evaluating anything.
+
+    Always ``ok: true`` when the check *ran* — findings are data, not
+    protocol failures.  ``clean`` is true when no error-severity
+    diagnostic fired; warnings and infos ride along in ``diagnostics``.
+    """
+    program, database = resolve_sources(request)
+    analysis = service.check(program, database)
+    return {
+        "ok": True,
+        "clean": analysis.ok,
+        "errors": len(analysis.errors()),
+        "warnings": len(analysis.warnings()),
+        "diagnostics": [d.as_dict() for d in analysis.diagnostics],
+        "strategy": analysis.strategy_summary(),
+        "program_digest": analysis.program_digest,
+    }
+
+
 def handle_update(
     service, request: Mapping[str, Any], streams: "StreamRegistry | None" = None
 ) -> dict[str, Any]:
@@ -246,6 +274,8 @@ def handle_request(
     """
     if not isinstance(request, Mapping):
         raise RequestError("serve requests must be JSON objects")
+    if is_check_request(request):
+        return handle_check(service, request)
     if is_update_request(request):
         return handle_update(service, request, streams)
     request = resolve_stream(request, streams)
@@ -294,6 +324,12 @@ def answer(service, request: Any, streams: "StreamRegistry | None" = None) -> di
             raise RequestError("serve requests must be JSON objects")
         request_id = request.get("id")
         response = handle_request(service, request, streams)
+    except DiagnosticsError as error:
+        # The validation gate rejected the program: the structured findings
+        # travel with the error so clients (and the HTTP 400 payload) can
+        # match on codes and spans instead of scraping the message.
+        response = error_response(f"{type(error).__name__}: {error}", request_id)
+        response["diagnostics"] = [d.as_dict() for d in error.diagnostics]
     except (ReproError, ValueError, TypeError, KeyError) as error:
         response = error_response(f"{type(error).__name__}: {error}", request_id)
     except Exception as error:  # noqa: BLE001 - the loop must survive anything

@@ -54,6 +54,9 @@ class ShardConfig:
     cache_size: int = 32
     factorize: bool = False
     slice: bool = False
+    #: Run the static checker on first sighting of each program; error
+    #: diagnostics become structured ``ok: false`` responses (HTTP 400).
+    validate: bool = True
 
 
 def canonical_program_key(program_source: str) -> str:
@@ -103,6 +106,7 @@ def _shard_worker_main(conn, config: ShardConfig) -> None:
         grounder=config.grounder,
         factorize=config.factorize,
         slice=config.slice,
+        validate=config.validate,
     )
     while True:
         try:

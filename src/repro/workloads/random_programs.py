@@ -16,14 +16,18 @@ chase enumeration stays tractable inside tests.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from random import Random
 
 from repro.gdatalog.delta_terms import DeltaTerm
 from repro.gdatalog.syntax import GDatalogProgram, GDatalogRule, HeadAtom
 from repro.logic.atoms import Atom, Predicate, fact
 from repro.logic.database import Database
 from repro.logic.terms import Constant, Variable
+from repro.rng import seeded_random
 
 __all__ = ["WorkloadSchema", "random_positive_program", "random_stratified_program", "random_database"]
 
@@ -42,7 +46,7 @@ class WorkloadSchema:
 
 def random_database(seed: int = 0, domain_size: int = 3, schema: WorkloadSchema | None = None) -> Database:
     """A random extensional database with constants ``1..domain_size``."""
-    rng = random.Random(seed)
+    rng = seeded_random(seed)
     active_schema = schema or WorkloadSchema()
     facts = []
     for predicate in active_schema.edb:
@@ -53,7 +57,7 @@ def random_database(seed: int = 0, domain_size: int = 3, schema: WorkloadSchema 
 
 
 def _random_body(
-    rng: random.Random, schema: WorkloadSchema, variables: list[Variable], allowed_heads: list[Predicate]
+    rng: "Random", schema: WorkloadSchema, variables: list[Variable], allowed_heads: list[Predicate]
 ) -> tuple[Atom, ...]:
     """A positive body of 1–2 atoms that binds every variable in *variables*."""
     body: list[Atom] = []
@@ -82,7 +86,7 @@ def random_positive_program(
     a ``flip`` Δ-term keyed by the rule's frontier variable, the rest are
     deterministic.
     """
-    rng = random.Random(seed)
+    rng = seeded_random(seed)
     active_schema = schema or WorkloadSchema()
     x, y = Variable("X"), Variable("Y")
     rules: list[GDatalogRule] = []
@@ -118,7 +122,7 @@ def random_stratified_program(
     (The default of ``0.0`` draws no extra randomness, so seeded programs
     are unchanged for existing callers.)
     """
-    rng = random.Random(seed)
+    rng = seeded_random(seed)
     active_schema = schema or WorkloadSchema()
     x, y = Variable("X"), Variable("Y")
     layers: list[Predicate] = []

@@ -16,12 +16,12 @@ must be bit-identical (see ``benchmarks/bench_e13_joins.py``).
 
 from __future__ import annotations
 
-import random
 
 from repro.logic.atoms import fact
 from repro.logic.database import Database
 from repro.logic.parser import parse_datalog_program
 from repro.logic.program import DatalogProgram
+from repro.rng import seeded_random
 
 __all__ = ["selective_join_program", "selective_join_database", "HUB_NODE", "MID_NODE"]
 
@@ -56,7 +56,7 @@ def selective_join_database(
     ``colored/2`` with a *red_fraction* of rare ``red`` labels, and a few
     ``start/1`` seeds.  Deterministic given *seed*.
     """
-    rng = random.Random(seed)
+    rng = seeded_random(seed)
     facts = []
     for source in range(1, nodes + 1):
         for _ in range(edges_per_node):

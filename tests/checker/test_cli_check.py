@@ -1,0 +1,116 @@
+"""``gdatalog check``: lint-style exit codes, rendering, --json, --strict."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser, main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+COIN_PROGRAM = REPO_ROOT / "examples" / "programs" / "coin.dl"
+DIME_QUARTER_PROGRAM = REPO_ROOT / "examples" / "programs" / "dime_quarter.dl"
+DIME_QUARTER_FACTS = REPO_ROOT / "examples" / "programs" / "dime_quarter.facts"
+
+CLEAN = "reach(X) :- edge(X).\nreach(Y) :- reach(X), edge2(X, Y).\n"
+UNSAFE = "h(X, Y) :- b(X).\nc(flipp<0.5>).\n"
+
+
+@pytest.fixture()
+def clean_path(tmp_path):
+    path = tmp_path / "clean.dl"
+    path.write_text(CLEAN)
+    (tmp_path / "clean.facts").write_text("edge(1).\nedge2(1, 2).\n")
+    return path
+
+
+@pytest.fixture()
+def unsafe_path(tmp_path):
+    path = tmp_path / "unsafe.dl"
+    path.write_text(UNSAFE)
+    return path
+
+
+class TestParser:
+    def test_check_defaults(self):
+        args = build_parser().parse_args(["check", "p.dl"])
+        assert args.command == "check"
+        assert args.database is None
+        assert not args.json and not args.strict
+
+    def test_check_flags(self):
+        args = build_parser().parse_args(
+            ["check", "p.dl", "-d", "p.facts", "--json", "--strict"]
+        )
+        assert args.database == "p.facts" and args.json and args.strict
+
+
+class TestExitCodes:
+    def test_clean_program_exits_zero(self, capsys, clean_path):
+        code = main(["check", str(clean_path), "-d", str(clean_path.with_suffix(".facts"))])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "OK" in out and "0 error(s)" in out
+
+    def test_errors_exit_one_with_spans(self, capsys, unsafe_path):
+        code = main(["check", str(unsafe_path)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert f"{unsafe_path}:1:" in out and "GDL001" in out
+        assert "GDL003" in out
+        assert "FAILED" in out
+
+    def test_warnings_pass_by_default_and_fail_strict(self, capsys):
+        # The fair-coin program carries the deliberate GDL010 warning.
+        assert main(["check", str(COIN_PROGRAM)]) == 0
+        first = capsys.readouterr().out
+        assert "GDL010" in first and "warning" in first
+        assert main(["check", str(COIN_PROGRAM), "--strict"]) == 1
+
+    def test_missing_file_is_a_cli_error(self, capsys, tmp_path):
+        assert main(["check", str(tmp_path / "absent.dl")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestJson:
+    def test_json_payload_shape(self, capsys, unsafe_path):
+        code = main(["check", str(unsafe_path), "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert payload["ok"] is False and payload["clean"] is False
+        assert payload["errors"] >= 2
+        assert {d["code"] for d in payload["diagnostics"]} >= {"GDL001", "GDL003"}
+        spans = [d["span"] for d in payload["diagnostics"] if "span" in d]
+        assert spans and all({"line", "column"} <= set(s) for s in spans)
+
+    def test_json_strict_flips_clean_but_not_ok(self, capsys):
+        code = main(["check", str(COIN_PROGRAM), "--json", "--strict"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert payload["ok"] is True  # evaluable: no error-severity findings
+        assert payload["clean"] is False  # but --strict fails on the warning
+        assert payload["strategy"]["stratified"] is False
+
+    def test_json_reports_strategy_for_examples(self, capsys):
+        code = main(
+            ["check", str(DIME_QUARTER_PROGRAM), "-d", str(DIME_QUARTER_FACTS), "--json"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        strategy = payload["strategy"]
+        assert strategy["dependent_choice_groups"]  # dimes condition quarters
+        assert payload["program_digest"]
+
+
+class TestDatabaseFindings:
+    def test_database_diagnostics_render_with_database_filename(self, capsys, tmp_path):
+        program = tmp_path / "p.dl"
+        program.write_text("d(X) :- e(X).\n")
+        facts = tmp_path / "p.facts"
+        facts.write_text("e(1).\nd(1).\n")
+        code = main(["check", str(program), "-d", str(facts)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert f"{facts}:2:" in out and "GDL021" in out

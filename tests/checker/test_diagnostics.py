@@ -1,0 +1,309 @@
+"""Unit tests for the static checker: every GDLxxx code fires with a span.
+
+Each test feeds :func:`check_source` a minimal program exhibiting exactly
+one pathology and asserts the stable code, the severity, and the source
+span (line/column) — the contract editors, CI manifests and the serve
+protocol's 400 responses match on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.gdatalog.checker import (
+    CODES,
+    Diagnostic,
+    DiagnosticsError,
+    Severity,
+    analyze_program,
+    check_source,
+    render_diagnostics,
+)
+from repro.logic.parser import parse_gdatalog_program
+
+
+def codes(analysis):
+    return [d.code for d in analysis.diagnostics]
+
+
+def only(analysis, code):
+    found = [d for d in analysis.diagnostics if d.code == code]
+    assert found, f"expected {code}, got {codes(analysis)}"
+    return found[0]
+
+
+class TestSyntaxRecovery:
+    def test_broken_statement_yields_gdl000_and_checking_continues(self):
+        source = "p(1).\nq( :- junk.\nr(2)."
+        analysis = check_source(source)
+        assert "GDL000" in codes(analysis)
+        # The two well-formed statements still made it into the program.
+        names = {r.head.predicate.name for r in analysis.program.rules}
+        assert names == {"p", "r"}
+        assert not analysis.ok
+
+    def test_gdl000_span_points_at_offending_line(self):
+        analysis = check_source("p(1).\nq( :- junk.")
+        diagnostic = only(analysis, "GDL000")
+        assert diagnostic.span is not None and diagnostic.span.line == 2
+
+    def test_database_syntax_errors_carry_database_origin(self):
+        analysis = check_source("p(X) :- e(X).", "e(1).\nbad( :-.")
+        diagnostic = only(analysis, "GDL000")
+        assert diagnostic.origin == "database"
+
+    def test_database_rejects_rules_and_nonground_facts(self):
+        analysis = check_source("p(X) :- e(X).", "e(X) :- p(X).\ne(Y).")
+        messages = [d.message for d in analysis.diagnostics if d.code == "GDL000"]
+        assert any("only contain facts" in m for m in messages)
+        assert any("must be ground" in m for m in messages)
+
+
+class TestSafety:
+    def test_unsafe_head_variable_is_gdl001(self):
+        analysis = check_source("h(X, Y) :- b(X).")
+        diagnostic = only(analysis, "GDL001")
+        assert diagnostic.severity is Severity.ERROR
+        assert "Y" in diagnostic.message and "h" in diagnostic.message
+        assert diagnostic.span is not None and diagnostic.span.line == 1
+        assert not analysis.ok
+
+    def test_unsafe_negated_variable_is_gdl002(self):
+        analysis = check_source("h(X) :- b(X), not q(Y).")
+        diagnostic = only(analysis, "GDL002")
+        assert diagnostic.severity is Severity.ERROR
+        assert "Y" in diagnostic.message and "q" in diagnostic.message
+
+    def test_delta_term_parameters_count_as_bound(self):
+        # The Δ-term's event signature uses X, bound by the positive body.
+        analysis = check_source("c(X, flip<0.5>[X]) :- e(X).")
+        assert "GDL001" not in codes(analysis)
+
+    def test_unsafe_rule_is_excluded_from_the_checked_program(self):
+        analysis = check_source("h(X, Y) :- b(X).\nsafe(X) :- b(X).")
+        names = {r.head.predicate.name for r in analysis.program.rules}
+        assert names == {"safe"}
+
+
+class TestDeltaTerms:
+    def test_unknown_distribution_is_gdl003_listing_known_names(self):
+        analysis = check_source("c(flipp<0.5>).")
+        diagnostic = only(analysis, "GDL003")
+        assert diagnostic.severity is Severity.ERROR
+        assert "flipp" in diagnostic.message
+        assert "flip" in diagnostic.message  # the known-names list
+
+    def test_wrong_parameter_count_is_gdl003(self):
+        analysis = check_source("c(flip<0.5, 0.3>).")
+        diagnostic = only(analysis, "GDL003")
+        assert "parameter" in diagnostic.message
+
+
+class TestStratification:
+    COIN = "coin(flip<0.5>).\naux2 :- coin(1), not aux1.\naux1 :- coin(1), not aux2.\n:- coin(0)."
+
+    def test_negative_cycle_is_gdl010_warning_not_error(self):
+        # Stable-model semantics evaluates negative cycles (the paper's
+        # fair-coin program depends on one) — the finding must not make the
+        # program un-runnable.
+        analysis = check_source(self.COIN)
+        diagnostic = only(analysis, "GDL010")
+        assert diagnostic.severity is Severity.WARNING
+        assert analysis.ok
+        assert not analysis.stratified
+
+    def test_gdl010_message_carries_a_witness_path(self):
+        diagnostic = only(check_source(self.COIN), "GDL010")
+        assert "-[not]->" in diagnostic.message
+        assert "aux1" in diagnostic.message or "aux2" in diagnostic.message
+
+    def test_gdl010_span_points_at_a_cycle_rule(self):
+        diagnostic = only(check_source(self.COIN), "GDL010")
+        assert diagnostic.span is not None and diagnostic.span.line in (2, 3)
+        assert diagnostic.rule is not None and "not" in diagnostic.rule
+
+    def test_stratified_program_has_no_gdl010(self):
+        analysis = check_source("p(X) :- e(X).\nq(X) :- e(X), not p(X).")
+        assert "GDL010" not in codes(analysis)
+        assert analysis.stratified
+
+
+class TestSchema:
+    def test_arity_clash_is_gdl020(self):
+        analysis = check_source("p(1).\nq(X) :- p(X, X).")
+        diagnostic = only(analysis, "GDL020")
+        assert diagnostic.severity is Severity.WARNING
+        assert "'p'" in diagnostic.message and "1, 2" in diagnostic.message
+
+    def test_arity_clash_across_program_and_database(self):
+        analysis = check_source("q(X) :- p(X).", "p(1, 2).")
+        assert "GDL020" in codes(analysis)
+
+    def test_fact_for_derived_predicate_is_gdl021_with_database_origin(self):
+        analysis = check_source("d(X) :- e(X).", "e(1).\nd(1).")
+        diagnostic = only(analysis, "GDL021")
+        assert diagnostic.origin == "database"
+        assert diagnostic.span is not None and diagnostic.span.line == 2
+        assert "d" in diagnostic.message
+
+    def test_gdl021_fires_once_per_predicate(self):
+        analysis = check_source("d(X) :- e(X).", "d(1).\nd(2).\nd(3).")
+        assert codes(analysis).count("GDL021") == 1
+
+
+class TestDerivability:
+    def test_underivable_predicate_is_gdl022_and_its_rule_gdl023(self):
+        analysis = check_source("h(X) :- ghost(X).", "e(1).")
+        gdl022 = only(analysis, "GDL022")
+        assert "ghost" in gdl022.message
+        gdl023 = only(analysis, "GDL023")
+        assert "ghost" in gdl023.message and gdl023.rule is not None
+
+    def test_source_check_judges_an_empty_database(self):
+        # check_source always materialises a database (empty without -d),
+        # so an EDB predicate with no facts is flagged as underivable.
+        analysis = check_source("h(X) :- e(X).")
+        assert "GDL022" in codes(analysis)
+
+    def test_object_level_none_database_cannot_judge_missing_facts(self):
+        # analyze_program(program, None) means "database unknown": only
+        # intensional predicates with no deriving rule are underivable.
+        program = parse_gdatalog_program("h(X) :- e(X).")
+        analysis = analyze_program(program, None)
+        assert "GDL022" not in codes(analysis)
+
+    def test_dead_constraint_is_flagged(self):
+        analysis = check_source("h(X) :- e(X).\n:- ghost(X).", "e(1).")
+        gdl023 = [d for d in analysis.diagnostics if d.code == "GDL023"]
+        assert any("constraint" in d.message for d in gdl023)
+
+    def test_unused_derived_predicate_is_gdl024_info(self):
+        analysis = check_source("out(X) :- e(X), used(X).\nused(X) :- e(X).")
+        diagnostic = only(analysis, "GDL024")
+        assert diagnostic.severity is Severity.INFO
+        assert "out" in diagnostic.message
+        assert analysis.ok
+
+
+class TestChoiceStructure:
+    def test_dependent_choices_are_gdl030(self):
+        # quartertail is conditioned on the dimes through somedimetail, so
+        # the two choice cones overlap and cannot be factorized apart.
+        source = (
+            "dimetail(X, flip<0.5>[X]) :- dime(X).\n"
+            "somedimetail :- dimetail(X, 1).\n"
+            "quartertail(X, flip<0.5>[X]) :- quarter(X), not somedimetail."
+        )
+        analysis = check_source(source)
+        diagnostic = only(analysis, "GDL030")
+        assert "dimetail" in diagnostic.message and "quartertail" in diagnostic.message
+        assert "2^" in diagnostic.message
+
+    def test_independent_choices_are_not_flagged(self):
+        source = "a(X, flip<0.5>[X]) :- e1(X).\nb(X, flip<0.5>[X]) :- e2(X)."
+        assert "GDL030" not in codes(check_source(source))
+
+
+class TestCostSmells:
+    def test_cross_product_body_is_gdl040(self):
+        analysis = check_source("h(X, Y) :- a(X), b(Y).")
+        diagnostic = only(analysis, "GDL040")
+        assert "cartesian" in diagnostic.message
+
+    def test_joined_body_is_not_flagged(self):
+        assert "GDL040" not in codes(check_source("h(X, Y) :- a(X, Y), b(Y)."))
+
+    def test_negation_joining_disconnected_groups_is_gdl041(self):
+        analysis = check_source("h(X, Y) :- a(X), b(Y), not c(X, Y).")
+        diagnostic = only(analysis, "GDL041")
+        assert "c(X, Y)" in diagnostic.message
+
+    def test_ground_atoms_do_not_trigger_cost_smells(self):
+        # Variable-free atoms form no open group; p(1), q(2) is not a join.
+        assert "GDL040" not in codes(check_source("h(X) :- e(X), p(1), q(2)."))
+
+
+class TestDiagnosticType:
+    def test_unknown_code_is_rejected(self):
+        with pytest.raises(ValidationError):
+            Diagnostic("GDL999", Severity.ERROR, "nope")
+
+    def test_render_format(self):
+        analysis = check_source("h(X, Y) :- b(X).")
+        line = only(analysis, "GDL001").render("prog.dl")
+        assert line.startswith("prog.dl:1:")
+        assert " error GDL001: " in line
+
+    def test_render_diagnostics_routes_database_findings(self):
+        analysis = check_source("d(X) :- e(X).", "e(1).\nd(1).")
+        text = render_diagnostics(analysis.diagnostics, "p.dl", "d.facts")
+        assert "d.facts:2:" in text
+
+    def test_as_dict_carries_span_and_code(self):
+        payload = only(check_source("h(X, Y) :- b(X)."), "GDL001").as_dict()
+        assert payload["code"] == "GDL001"
+        assert payload["severity"] == "error"
+        assert payload["span"]["line"] == 1
+
+    def test_every_code_has_severity_and_title(self):
+        for code, (severity, title) in CODES.items():
+            assert code.startswith("GDL") and len(code) == 6
+            assert isinstance(severity, Severity) and title
+
+
+class TestVerdicts:
+    def test_raise_for_errors_raises_diagnostics_error_with_findings(self):
+        analysis = check_source("h(X, Y) :- b(X).\nc(flipp<0.5>).")
+        with pytest.raises(DiagnosticsError) as excinfo:
+            analysis.raise_for_errors()
+        error = excinfo.value
+        assert {d.code for d in error.diagnostics} >= {"GDL001", "GDL003"}
+        # DiagnosticsError is a ValidationError is a ValueError.
+        assert isinstance(error, ValueError)
+
+    def test_raise_for_errors_is_a_noop_on_warnings(self):
+        analysis = check_source(TestStratification.COIN)
+        assert analysis.warnings()
+        analysis.raise_for_errors()
+
+    def test_diagnostics_are_sorted_by_position(self):
+        analysis = check_source("h(X, Y) :- b(X).\nc(flipp<0.5>).")
+        lines = [d.span.line for d in analysis.diagnostics if d.span is not None]
+        assert lines == sorted(lines)
+
+    def test_as_dict_shape(self):
+        payload = check_source("p(X) :- e(X).").as_dict()
+        assert payload["ok"] is True
+        assert set(payload) >= {
+            "ok", "errors", "warnings", "rules", "predicates",
+            "program_digest", "diagnostics", "strategy",
+        }
+        strategy = payload["strategy"]
+        assert set(strategy) >= {
+            "stratified", "generative_rules", "choice_cone",
+            "permanent_slice_seeds", "dependent_choice_groups",
+            "outcome_space_log2", "patchable_predicates",
+        }
+
+
+class TestAnalyzeProgram:
+    def test_object_level_analysis_has_no_spans(self):
+        program = parse_gdatalog_program("d(X) :- e(X).\nd2(X) :- ghost(X).")
+        analysis = analyze_program(program)
+        assert all(d.span is None for d in analysis.diagnostics)
+
+    def test_object_level_matches_source_level_codes(self):
+        from repro.logic.parser import parse_database
+
+        source = "out(X) :- e(X), used(X).\nused(X) :- e(X)."
+        database_source = "e(1)."
+        program = parse_gdatalog_program(source)
+        database = parse_database(database_source)
+        object_codes = sorted(
+            d.code for d in analyze_program(program, database).diagnostics
+        )
+        source_codes = sorted(
+            d.code for d in check_source(source, database_source).diagnostics
+        )
+        assert object_codes == source_codes

@@ -1,0 +1,141 @@
+"""Service-level validation gate and analysis-driven strategy pre-selection.
+
+The acceptance-criteria core: an :class:`InferenceService` with
+``validate=True`` answers **bit-identically** to a plain service and to a
+direct engine — pre-selecting factorize/slice/patch from the cached
+:class:`ProgramAnalysis` must change cost, never answers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gdatalog.checker import DiagnosticsError
+from repro.gdatalog.engine import GDatalogEngine
+from repro.runtime.service import InferenceService
+from repro.workloads import (
+    INDEPENDENT_COINS_PROGRAM_SOURCE,
+    independent_coins_database,
+)
+
+PROGRAM = """
+dimetail(X, flip<0.5>[X]) :- dime(X).
+somedimetail :- dimetail(X, 1).
+quartertail(X, flip<0.5>[X]) :- quarter(X), not somedimetail.
+"""
+DATABASE = "dime(1). dime(2). quarter(1)."
+QUERIES = ["somedimetail", "quartertail(1, 1)", {"type": "has_stable_model"}]
+
+UNSAFE = "h(X, Y) :- b(X).\n"
+COIN = "coin(flip<0.5>).\naux2 :- coin(1), not aux1.\naux1 :- coin(1), not aux2.\n:- coin(0)."
+
+
+def _coins_sources():
+    facts = "\n".join(f"{fact}." for fact in sorted(
+        independent_coins_database(4).facts, key=str
+    ))
+    return INDEPENDENT_COINS_PROGRAM_SOURCE, facts
+
+
+class TestBitIdentity:
+    def test_validating_service_matches_plain_service_and_engine(self):
+        validating = InferenceService(validate=True)
+        plain = InferenceService()
+        expected = GDatalogEngine.from_source(PROGRAM, DATABASE).evaluate_queries(QUERIES)
+        assert validating.evaluate(PROGRAM, DATABASE, QUERIES) == expected
+        assert plain.evaluate(PROGRAM, DATABASE, QUERIES) == expected
+
+    def test_preselected_slicing_matches(self):
+        validating = InferenceService(validate=True, slice=True)
+        plain = InferenceService(slice=True)
+        assert validating.evaluate(PROGRAM, DATABASE, QUERIES) == (
+            plain.evaluate(PROGRAM, DATABASE, QUERIES)
+        )
+
+    def test_preselected_factorization_matches(self):
+        program, database = _coins_sources()
+        queries = ["heads(1)", "lucky(2)", {"type": "has_stable_model"}]
+        validating = InferenceService(validate=True, factorize=True)
+        plain = InferenceService(factorize=True)
+        flat = InferenceService()
+        expected = flat.evaluate(program, database, queries)
+        assert validating.evaluate(program, database, queries) == expected
+        assert plain.evaluate(program, database, queries) == expected
+
+    def test_validating_and_plain_service_share_canonical_keys(self):
+        # Reordered-but-equal sources canonicalize to one cache entry on
+        # both the validate path (via the analysis) and the raw path.
+        validating = InferenceService(validate=True)
+        reordered = "\n".join(reversed(PROGRAM.strip().splitlines()))
+        validating.evaluate(PROGRAM, DATABASE, ["somedimetail"])
+        validating.evaluate(reordered, DATABASE, ["somedimetail"])
+        counters = validating.stats.snapshot()
+        assert counters["misses"] == 1 and counters["hits"] == 1
+
+    def test_update_pipeline_still_exact_under_validation(self):
+        validating = InferenceService(validate=True)
+        plain = InferenceService()
+        results = []
+        for service in (validating, plain):
+            service.evaluate(PROGRAM, DATABASE, QUERIES)
+            update = service.update(
+                PROGRAM, DATABASE, {"insert": ["quarter(2)"], "retract": ["dime(2)"]}
+            )
+            results.append(
+                service.evaluate(PROGRAM, update.database_source, QUERIES)
+            )
+        assert results[0] == results[1]
+
+
+class TestValidationGate:
+    def test_unsafe_program_raises_diagnostics_error(self):
+        service = InferenceService(validate=True)
+        with pytest.raises(DiagnosticsError) as excinfo:
+            service.evaluate(UNSAFE, "b(1).", ["h(1, 1)"])
+        codes = {d.code for d in excinfo.value.diagnostics}
+        assert "GDL001" in codes
+
+    def test_warnings_do_not_block_evaluation(self):
+        service = InferenceService(validate=True)
+        analysis = service.check(COIN)
+        assert analysis.warnings() and analysis.ok
+        assert service.evaluate(COIN, "", [{"type": "has_stable_model"}]) == [0.5]
+
+    def test_gate_off_by_default(self):
+        assert InferenceService().validate is False
+
+    def test_failed_analyses_are_cached(self):
+        service = InferenceService(validate=True)
+        for _ in range(2):
+            with pytest.raises(DiagnosticsError):
+                service.evaluate(UNSAFE, "b(1).", ["h(1, 1)"])
+        assert service.check(UNSAFE, "b(1).") is service.check(UNSAFE, "b(1).")
+
+
+class TestCheckMethod:
+    def test_check_never_raises_and_is_cached_on_raw_text(self):
+        service = InferenceService()
+        first = service.check(UNSAFE)
+        assert not first.ok
+        assert service.check(UNSAFE) is first
+
+    def test_check_feeds_the_validation_gate(self):
+        # check() then evaluate() runs the checker exactly once: the gate
+        # reuses the cached analysis.
+        service = InferenceService(validate=True)
+        analysis = service.check(PROGRAM, DATABASE)
+        assert analysis.ok
+        service.evaluate(PROGRAM, DATABASE, ["somedimetail"])
+        assert service.check(PROGRAM, DATABASE) is analysis
+
+    def test_clear_drops_cached_analyses(self):
+        service = InferenceService(validate=True)
+        analysis = service.check(PROGRAM, DATABASE)
+        service.clear()
+        assert service.check(PROGRAM, DATABASE) is not analysis
+
+    def test_engine_carries_the_precomputed_analysis(self):
+        service = InferenceService(validate=True)
+        analysis = service.check(PROGRAM, DATABASE)
+        engine = service.engine(PROGRAM, DATABASE)
+        assert engine.analysis is analysis

@@ -184,7 +184,7 @@ class TestTranslation:
         assert len(translated.active_predicates) == 1
         spec = translated.atr_specs[0]
         assert translated.spec_for_active(spec.active_predicate) == spec
-        with pytest.raises(KeyError):
+        with pytest.raises(GroundingError):
             translated.spec_for_active(Predicate("active_unknown_1_0", 1))
 
     def test_rules_for_head_predicates(self):

@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Static-check the whole program corpus against an expected-diagnostics manifest.
+
+Runs :func:`repro.gdatalog.checker.check_source` over
+
+* every ``examples/programs/*.dl`` file (with its sibling ``.facts`` file
+  when present), and
+* every named workload program in :mod:`repro.workloads` (serialized back
+  to source, with its canonical database where the workload defines one),
+
+and enforces two gates:
+
+1. **No error-severity diagnostics anywhere.**  The corpus is the set of
+   programs this repository promises to evaluate; an error here means the
+   checker and the engine disagree about what is runnable.
+2. **Warnings/infos match** ``tools/corpus_manifest.json`` exactly (sorted
+   code multiset per corpus item).  Expected findings — e.g. the fair-coin
+   program's deliberate negative cycle (GDL010) — are pinned, so a checker
+   change that silently adds or drops findings fails CI instead of drifting.
+
+Exit 0 on success; prints one line per mismatch otherwise.  Also exposed as
+a tier-1 test via ``tests/checker/test_corpus.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.gdatalog.checker import check_source  # noqa: E402
+from repro.logic.atoms import Atom  # noqa: E402
+
+MANIFEST_PATH = REPO_ROOT / "tools" / "corpus_manifest.json"
+
+
+def _program_source(program) -> str:
+    return "\n".join(str(rule) for rule in program.rules)
+
+
+def _database_source(database) -> str:
+    if database is None:
+        return ""
+    return "\n".join(f"{fact}." for fact in sorted(database.facts, key=Atom.sort_key))
+
+
+def _workload_cases() -> dict[str, tuple[str, str]]:
+    """Named workload programs as (program_source, database_source) pairs.
+
+    Arguments are pinned so the manifest stays stable; add new workloads
+    here *and* to the manifest in the same change.
+    """
+    import repro.workloads as w
+
+    cases = {
+        "workload:coin_program": (w.coin_program(), None),
+        "workload:dime_quarter_program": (w.dime_quarter_program(), w.dime_quarter_database()),
+        "workload:independent_coins_program": (
+            w.independent_coins_program(4),
+            w.independent_coins_database(4),
+        ),
+        "workload:biased_die_program": (w.biased_die_program([1 / 6.0] * 6), None),
+        "workload:resilience_program": (w.resilience_program(), w.paper_example_database()),
+        "workload:monotone_infection_program": (w.monotone_infection_program(), None),
+        "workload:wide_program": (w.wide_program(3, 2), w.wide_database(3, 4)),
+        "workload:telemetry_program": (w.telemetry_program(2), w.telemetry_database(2, laps=3)),
+        "workload:selective_join_program": (
+            w.selective_join_program(),
+            w.selective_join_database(10, seed=1),
+        ),
+    }
+    return {
+        name: (_program_source(program), _database_source(database))
+        for name, (program, database) in cases.items()
+    }
+
+
+def _example_cases() -> dict[str, tuple[str, str]]:
+    cases = {}
+    for program_path in sorted((REPO_ROOT / "examples" / "programs").glob("*.dl")):
+        facts_path = program_path.with_suffix(".facts")
+        database_source = facts_path.read_text() if facts_path.exists() else ""
+        cases[f"examples/{program_path.name}"] = (program_path.read_text(), database_source)
+    return cases
+
+
+def corpus_findings() -> dict[str, list[str]]:
+    """``{corpus item: sorted diagnostic codes}`` for the whole corpus."""
+    findings: dict[str, list[str]] = {}
+    for name, (program_source, database_source) in {
+        **_example_cases(),
+        **_workload_cases(),
+    }.items():
+        analysis = check_source(program_source, database_source)
+        errors = analysis.errors()
+        if errors:
+            for diagnostic in errors:
+                print(f"{name}: unexpected ERROR {diagnostic.code}: {diagnostic.message}")
+        findings[name] = sorted(d.code for d in analysis.diagnostics)
+    return findings
+
+
+def main(argv: list[str]) -> int:
+    findings = corpus_findings()
+    if "--update" in argv:
+        MANIFEST_PATH.write_text(json.dumps(findings, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {MANIFEST_PATH.relative_to(REPO_ROOT)}")
+        return 0
+    expected = json.loads(MANIFEST_PATH.read_text())
+    failures = 0
+    for name in sorted(set(findings) | set(expected)):
+        got = findings.get(name)
+        want = expected.get(name)
+        if got is None:
+            print(f"{name}: in manifest but not in corpus (remove or re-add the program)")
+            failures += 1
+        elif want is None:
+            print(f"{name}: new corpus item not in manifest (run with --update and review)")
+            failures += 1
+        elif got != want:
+            print(f"{name}: diagnostics changed: expected {want}, got {got}")
+            failures += 1
+    # Errors fail even when the manifest (incorrectly) lists them: the
+    # no-errors gate is absolute, the manifest only pins warnings/infos.
+    failures += sum(
+        1 for codes in findings.values() if any(c in _ERROR_CODES for c in codes)
+    )
+    print(
+        f"check_corpus: {len(findings)} corpus item(s), {failures} failure(s)",
+        file=sys.stderr,
+    )
+    return 1 if failures else 0
+
+
+from repro.gdatalog.checker import CODES, Severity  # noqa: E402
+
+_ERROR_CODES = {code for code, (severity, _) in CODES.items() if severity is Severity.ERROR}
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
