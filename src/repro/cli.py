@@ -273,6 +273,38 @@ def build_parser() -> argparse.ArgumentParser:
         default=30.0,
         help="maximum seconds to finish in-flight requests after SIGTERM (--http)",
     )
+    serve_parser.add_argument(
+        "--journal",
+        metavar="DIR",
+        default=None,
+        help="write-ahead journal directory for named streams: every stream "
+        "open and delta is made durable before it is acknowledged, and on "
+        "boot the journal replays so streams resume at their exact "
+        "post-delta state (--http only)",
+    )
+    serve_parser.add_argument(
+        "--journal-fsync",
+        choices=("always", "batch", "never"),
+        default="always",
+        help="journal durability policy: fsync every record (always, the "
+        "default), every few records (batch), or leave flushing to the OS "
+        "(never)",
+    )
+    serve_parser.add_argument(
+        "--journal-max-bytes",
+        type=int,
+        default=None,
+        help="compact the journal with a snapshot once it grows past this "
+        "many bytes (default 16 MiB)",
+    )
+    serve_parser.add_argument(
+        "--request-timeout",
+        type=float,
+        default=None,
+        help="per-request deadline in seconds: a request that exceeds it "
+        "answers 504 with no state recorded, so it is always safe to retry "
+        "(--http only; default: no deadline)",
+    )
 
     update_parser = subparsers.add_parser(
         "update",
@@ -481,12 +513,21 @@ def _command_serve(args: argparse.Namespace) -> str:
     ``results`` (aligned with the ``queries`` list) or ``ok: false`` with a
     readable ``error``; a malformed request never kills the serving loop.
     """
+    if args.http is None and (args.journal or args.request_timeout is not None):
+        raise CLIError(
+            "--journal and --request-timeout require the HTTP transport (--http HOST:PORT)"
+        )
     if args.http is not None:
         import asyncio
 
         from repro.server.http import ServerConfig, serve_http
+        from repro.server.journal import DEFAULT_MAX_BYTES
 
         host, port = _parse_http_address(args.http)
+        if args.journal_max_bytes is not None and args.journal_max_bytes < 1:
+            raise CLIError("--journal-max-bytes must be positive")
+        if args.request_timeout is not None and args.request_timeout <= 0:
+            raise CLIError("--request-timeout must be positive")
         config = ServerConfig(
             host=host,
             port=port,
@@ -500,6 +541,12 @@ def _command_serve(args: argparse.Namespace) -> str:
             client_rate=args.client_rate,
             client_burst=args.client_burst,
             drain_timeout=args.drain_timeout,
+            journal_dir=args.journal,
+            journal_fsync=args.journal_fsync,
+            journal_max_bytes=(
+                DEFAULT_MAX_BYTES if args.journal_max_bytes is None else args.journal_max_bytes
+            ),
+            request_timeout=args.request_timeout,
         )
         asyncio.run(serve_http(config))
         return ""
@@ -558,36 +605,71 @@ def _command_update(args: argparse.Namespace) -> str:
     --follow`` behaves as a live dashboard.  A malformed line answers
     ``ok: false`` and the feed continues: one bad delta must not kill a
     stream, exactly as in the serve protocol.
+
+    The feed always ends with a flushed summary line
+    ``{"ok": true, "done": true, "applied": N, "errors": M, ...}`` and exit
+    code 0 — including when Ctrl-C lands mid-stream or the upstream pipe
+    closes stdin, so a supervisor tailing the output can always tell a
+    clean shutdown from a crash.
     """
     engine = _make_engine(args)
     engine.output_space()  # chase once up front; every delta then maintains it
     applied = 0
-    for line in _delta_lines(args):
-        line = line.strip()
-        if not line:
-            continue
-        try:
-            spec = json.loads(line)
-        except json.JSONDecodeError as error:
-            print(json.dumps({"ok": False, "error": f"invalid JSON delta: {error}"}), flush=True)
-            continue
-        if isinstance(spec, dict) and isinstance(spec.get("delta"), dict):
-            spec = spec["delta"]
-        try:
-            engine = engine.updated(spec)
-            report = engine.last_update_report
-            response = {"ok": True, "update": report.as_dict()}
-            if args.atom:
-                response["results"] = {
-                    atom_text: engine.marginal(atom_text, mode=args.mode)
-                    for atom_text in args.atom
-                }
-        except ReproError as error:
-            response = {"ok": False, "error": str(error)}
-        else:
-            applied += 1
-        print(json.dumps(response), flush=True)
-    print(f"applied {applied} delta(s)", file=sys.stderr)
+    errors = 0
+    interrupted = False
+    try:
+        for line in _delta_lines(args):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                spec = json.loads(line)
+            except json.JSONDecodeError as error:
+                errors += 1
+                print(
+                    json.dumps({"ok": False, "error": f"invalid JSON delta: {error}"}),
+                    flush=True,
+                )
+                continue
+            if isinstance(spec, dict) and isinstance(spec.get("delta"), dict):
+                spec = spec["delta"]
+            try:
+                engine = engine.updated(spec)
+                report = engine.last_update_report
+                response = {"ok": True, "update": report.as_dict()}
+                if args.atom:
+                    response["results"] = {
+                        atom_text: engine.marginal(atom_text, mode=args.mode)
+                        for atom_text in args.atom
+                    }
+            except ReproError as error:
+                errors += 1
+                response = {"ok": False, "error": str(error)}
+            else:
+                applied += 1
+            print(json.dumps(response), flush=True)
+    except KeyboardInterrupt:
+        # Ctrl-C mid-stream is a *normal* way to end a --follow session.
+        interrupted = True
+    except ValueError:
+        # Reading from a stdin the upstream already closed raises
+        # "I/O operation on closed file" — treat it like EOF.
+        interrupted = True
+    summary = {
+        "ok": True,
+        "done": True,
+        "applied": applied,
+        "errors": errors,
+        "interrupted": interrupted,
+    }
+    try:
+        print(json.dumps(summary), flush=True)
+    except BrokenPipeError:
+        pass
+    try:
+        print(f"applied {applied} delta(s)", file=sys.stderr)
+    except BrokenPipeError:
+        pass
     return ""
 
 

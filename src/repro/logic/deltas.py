@@ -125,6 +125,38 @@ class DbDelta:
         )
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
+    # -- journal records ------------------------------------------------------
+
+    def journal_record(self) -> dict[str, object]:
+        """The delta's durable-log form: canonical spec plus its log hash.
+
+        The embedded hash lets :meth:`from_journal_record` verify a record
+        end to end — a journal entry that decodes but does not hash back to
+        itself is treated as corruption, not silently replayed.
+        """
+        record: dict[str, object] = dict(self.spec())
+        record["log_hash"] = self.log_hash()
+        return record
+
+    @classmethod
+    def from_journal_record(cls, record: object) -> "DbDelta":
+        """Rebuild a delta from :meth:`journal_record` output, hash-verified."""
+        if not isinstance(record, Mapping):
+            raise ValidationError(
+                f"delta journal record must be a mapping, got {type(record).__name__}"
+            )
+        fields = dict(record)
+        expected = fields.pop("log_hash", None)
+        if expected is not None and not isinstance(expected, str):
+            raise ValidationError(f"delta journal 'log_hash' must be a string, got {expected!r}")
+        delta = cls.from_spec(fields)
+        if expected is not None and delta.log_hash() != expected:
+            raise ValidationError(
+                "delta journal record failed hash verification "
+                f"(expected {expected[:12]}…, recomputed {delta.log_hash()[:12]}…)"
+            )
+        return delta
+
     # -- application --------------------------------------------------------
 
     def effective(self, database: Database) -> "DbDelta":

@@ -40,6 +40,7 @@ from __future__ import annotations
 import hashlib
 import threading
 from collections import OrderedDict
+from collections.abc import Iterable
 from dataclasses import dataclass, field, replace
 
 from repro.exceptions import ValidationError
@@ -535,6 +536,42 @@ class InferenceService:
                 if entry.space is None:
                     entry.space = new_space
         return UpdateResult(key=new_key, database_source=new_source, report=report)
+
+    def replay(
+        self,
+        program_source: str,
+        database_source: str,
+        deltas: "Iterable[DbDelta | dict]",
+    ) -> UpdateResult:
+        """Fold a recorded delta sequence through :meth:`update` — the recovery path.
+
+        Crash recovery (:mod:`repro.server.journal`) is *proved* against
+        this method: replaying a stream's journaled deltas from its opening
+        sources must land on exactly the state an uninterrupted server
+        holds — same canonical ``database_source``, hence the same cache
+        ``key`` and the same seeded estimates.  With no deltas the result
+        simply canonicalizes the given sources (report mode ``"noop"``).
+        """
+        result: UpdateResult | None = None
+        database = database_source
+        for delta in deltas:
+            result = self.update(program_source, database, delta)
+            database = result.database_source
+        if result is not None:
+            return result
+        program = parse_gdatalog_program(program_source)
+        parsed = parse_database(database_source) if database_source.strip() else Database()
+        return UpdateResult(
+            key=self._canonical_key(program, parsed),
+            database_source=self.canonical_database_source(parsed),
+            report=UpdateReport(
+                mode="noop",
+                inserted=0,
+                retracted=0,
+                invalidated_subtrees=0,
+                reused_subtrees=0,
+            ),
+        )
 
     # -- queries ---------------------------------------------------------------------
 

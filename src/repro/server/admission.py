@@ -29,17 +29,43 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.rng import seeded_random
+
 __all__ = ["TokenBucket", "Ticket", "Rejection", "AdmissionController"]
 
 
 class TokenBucket:
-    """A standard token bucket: ``capacity`` burst, ``rate`` tokens/second."""
+    """A token bucket (``capacity`` burst, ``rate``/second) on a monotonic epoch.
+
+    Refill is computed as ``(now - epoch) * rate`` — one multiplication
+    against a fixed reference point — instead of accumulating
+    ``elapsed * rate`` micro-increments per request.  Under sustained load
+    the per-request increments are tiny floats added to a comparatively
+    large balance, and the representation error compounds request after
+    request (the classic drift bug: a bucket that slowly leaks or grows
+    budget it never had).  Spending is exact by construction: ``spent``
+    only ever changes by ``+= 1.0``, and the epoch rebases whenever the
+    bucket is observed full, so neither term grows without bound.
+    """
 
     def __init__(self, rate: float, capacity: float, now: float):
         self.rate = float(rate)
         self.capacity = float(capacity)
-        self.tokens = float(capacity)
-        self.updated = now
+        #: Start of the current accounting window (monotonic seconds).
+        self.epoch = now
+        #: Whole tokens taken since the epoch (always an exact float).
+        self.spent = 0.0
+
+    def _available(self, now: float) -> float:
+        earned = max(0.0, now - self.epoch) * self.rate
+        available = self.capacity + earned - self.spent
+        if available >= self.capacity:
+            # Full again: idle credit beyond capacity is forfeited.  Rebase
+            # the epoch so neither `earned` nor `spent` grows unboundedly.
+            self.epoch = now
+            self.spent = 0.0
+            return self.capacity
+        return available
 
     def try_take(self, now: float) -> float:
         """Take one token; returns 0.0 on success, else seconds until refill.
@@ -47,24 +73,33 @@ class TokenBucket:
         The returned wait is the exact time until one full token is
         available — the ``Retry-After`` a well-behaved client should honor.
         """
-        elapsed = max(0.0, now - self.updated)
-        self.tokens = min(self.capacity, self.tokens + elapsed * self.rate)
-        self.updated = now
-        if self.tokens >= 1.0:
-            self.tokens -= 1.0
+        available = self._available(now)
+        if available >= 1.0:
+            self.spent += 1.0
             return 0.0
         if self.rate <= 0.0:
             return float("inf")
-        return (1.0 - self.tokens) / self.rate
+        return (1.0 - available) / self.rate
 
 
 @dataclass
 class Rejection:
-    """An admission refusal: an HTTP status plus a Retry-After hint."""
+    """An admission refusal: an HTTP status plus a Retry-After hint.
+
+    ``retry_after`` is the *exact* wait (what the JSON body reports);
+    ``retry_after_hint`` is the jittered value the emitted ``Retry-After``
+    header should use — without jitter, every client rejected in the same
+    burst retries in the same instant and the thundering herd repeats.
+    """
 
     status: int  # 429 (client budget) or 503 (queue full / draining)
     reason: str  # "client_budget" | "queue_full" | "draining"
     retry_after: float
+    retry_after_hint: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.retry_after_hint:
+            self.retry_after_hint = self.retry_after
 
     @property
     def message(self) -> str:
@@ -115,6 +150,8 @@ class AdmissionController:
         client_rate: float = 200.0,
         client_burst: float = 400.0,
         clock: Callable[[], float] = time.monotonic,
+        retry_jitter: float = 0.25,
+        jitter_seed: int | None = None,
     ):
         if shards < 1:
             raise ValueError(f"shards must be at least 1, got {shards}")
@@ -123,11 +160,20 @@ class AdmissionController:
         self.max_queue = int(max_queue)
         self.client_rate = float(client_rate)
         self.client_burst = max(1.0, float(client_burst))
+        #: Fractional spread added to emitted Retry-After hints (0 disables).
+        self.retry_jitter = max(0.0, float(retry_jitter))
+        self._jitter_rng = seeded_random(jitter_seed)
         self._clock = clock
         self._lock = threading.Lock()
         self._inflight = [0] * shards
         self._buckets: OrderedDict[str, TokenBucket] = OrderedDict()
         self._draining = False
+
+    def _jittered(self, wait: float) -> float:
+        """A Retry-After hint spread over [wait, wait * (1 + retry_jitter)]."""
+        if self.retry_jitter <= 0.0:
+            return wait
+        return wait * (1.0 + self.retry_jitter * self._jitter_rng.random())
 
     # -- drain ---------------------------------------------------------------------
 
@@ -148,7 +194,10 @@ class AdmissionController:
 
     def try_admit(self, client: str, shard: int) -> Ticket | Rejection:
         if self._draining:
-            return Rejection(status=503, reason="draining", retry_after=1.0)
+            return Rejection(
+                status=503, reason="draining", retry_after=1.0,
+                retry_after_hint=self._jittered(1.0),
+            )
         now = self._clock()
         with self._lock:
             bucket = self._buckets.get(client)
@@ -162,12 +211,18 @@ class AdmissionController:
             wait = bucket.try_take(now)
             if wait > 0.0:
                 retry = 1.0 if wait == float("inf") else wait
-                return Rejection(status=429, reason="client_budget", retry_after=retry)
+                return Rejection(
+                    status=429, reason="client_budget", retry_after=retry,
+                    retry_after_hint=self._jittered(retry),
+                )
             if self._inflight[shard] >= self.max_queue:
                 # The token was spent; that is fine — the client *did* send
                 # the request, and refunding would let a single client spin
                 # on a saturated shard for free.
-                return Rejection(status=503, reason="queue_full", retry_after=0.5)
+                return Rejection(
+                    status=503, reason="queue_full", retry_after=0.5,
+                    retry_after_hint=self._jittered(0.5),
+                )
             self._inflight[shard] += 1
             return Ticket(self, shard)
 

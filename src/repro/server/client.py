@@ -18,13 +18,24 @@ import time
 from dataclasses import dataclass
 from typing import Any, Mapping
 
+from repro.rng import seeded_random
+
 __all__ = [
     "HttpResponse",
     "HttpConnection",
     "WebSocketConnection",
+    "RetryPolicy",
+    "RetryExhausted",
+    "RETRYABLE_STATUSES",
     "http_json",
+    "http_json_retry",
     "wait_until_healthy",
 ]
+
+#: Statuses the server marks safe to retry: admission backpressure (429),
+#: transient infrastructure failure (503: worker crash, journal error,
+#: draining), and a missed per-request deadline (504).
+RETRYABLE_STATUSES: tuple[int, ...] = (429, 503, 504)
 
 
 @dataclass
@@ -119,6 +130,106 @@ async def http_json(
         return response.status, decoded
     finally:
         await connection.close()
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with seeded jitter for retryable failures.
+
+    The delay before attempt *n* (0-based) is
+    ``min(max_delay, base_delay * 2**n) * (1 + jitter * rng())``, except
+    that a server-supplied ``retry_after`` takes precedence as the floor —
+    the server knows its refill schedule better than the client does.
+    """
+
+    attempts: int = 4
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    jitter: float = 0.5
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError(f"attempts must be at least 1, got {self.attempts}")
+
+    def delay(self, attempt: int, rng: Any, retry_after: float | None = None) -> float:
+        backoff = min(self.max_delay, self.base_delay * (2.0 ** attempt))
+        if retry_after is not None and retry_after > 0:
+            backoff = max(backoff, min(self.max_delay, float(retry_after)))
+        return backoff * (1.0 + self.jitter * rng.random())
+
+
+class RetryExhausted(ConnectionError):
+    """Every attempt failed retryably; carries the last status and payload."""
+
+    def __init__(self, message: str, status: int | None = None, payload: Any = None):
+        super().__init__(message)
+        self.status = status
+        self.payload = payload
+
+
+async def http_json_retry(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    payload: Any = None,
+    headers: Mapping[str, str] | None = None,
+    policy: RetryPolicy | None = None,
+    idempotency_key: str | None = None,
+) -> tuple[int, Any]:
+    """Like :func:`http_json`, but retries retryable failures with backoff.
+
+    Retries connection-level failures (refused, reset, truncated) and the
+    retryable statuses (429/503/504) — never 4xx client errors or 200s.
+    Each attempt opens a fresh connection, so a half-dead keep-alive socket
+    cannot poison the retry.  When *idempotency_key* is set it rides along
+    as the ``Idempotency-Key`` header and in update payloads, making the
+    retry exactly-once in effect even if the first attempt was applied but
+    its acknowledgement was lost.
+    """
+    policy = policy or RetryPolicy()
+    rng = seeded_random(policy.seed)
+    request_headers = dict(headers or {})
+    request_payload = payload
+    if idempotency_key:
+        request_headers.setdefault("Idempotency-Key", idempotency_key)
+        if isinstance(payload, dict):
+            request_payload = dict(payload)
+            request_payload.setdefault("idempotency_key", idempotency_key)
+    last_status: int | None = None
+    last_payload: Any = None
+    last_error: Exception | None = None
+    for attempt in range(policy.attempts):
+        try:
+            status, decoded = await http_json(
+                host, port, method, path, request_payload, request_headers
+            )
+        except (ConnectionError, OSError, asyncio.IncompleteReadError) as error:
+            last_error, last_status, last_payload = error, None, None
+        else:
+            if status not in RETRYABLE_STATUSES:
+                return status, decoded
+            last_error, last_status, last_payload = None, status, decoded
+        if attempt + 1 >= policy.attempts:
+            break
+        retry_after = None
+        if isinstance(last_payload, dict):
+            hint = last_payload.get("retry_after")
+            if isinstance(hint, (int, float)):
+                retry_after = float(hint)
+        await asyncio.sleep(policy.delay(attempt, rng, retry_after))
+    if last_status is not None:
+        raise RetryExhausted(
+            f"{method} {path} still failing with status {last_status} "
+            f"after {policy.attempts} attempts",
+            status=last_status,
+            payload=last_payload,
+        )
+    raise RetryExhausted(
+        f"{method} {path} unreachable after {policy.attempts} attempts "
+        f"(last error: {last_error})"
+    )
 
 
 class WebSocketConnection:

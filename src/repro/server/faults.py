@@ -1,0 +1,306 @@
+"""Deterministic, seeded fault injection for the serving stack.
+
+Chaos testing needs faults that are *reproducible*: "the worker died on
+the third update" must mean the same third update on every run, on every
+machine, or a failing chaos test cannot be debugged.  This module is the
+single switchboard every injected failure goes through:
+
+* A :class:`FaultSpec` names an **injection point** (a dotted string like
+  ``"worker.update"``) and when it fires: on exactly the Nth hit (``at``),
+  on every Nth hit (``every``), or with a seeded per-hit probability
+  (``probability``), optionally capped to a total number of firings
+  (``times``) and carrying a ``delay`` for slow-path faults.
+* The process-wide :data:`FAULTS` injector holds the active specs.  Shard
+  workers are **forked**, so configuring the parent before
+  ``ShardRouter.start()`` arms the workers too; for subprocess tests the
+  same specs travel via the ``GDATALOG_FAULTS`` / ``GDATALOG_FAULTS_SEED``
+  environment variables (JSON list of spec objects), re-read by
+  :func:`install_from_env` at worker startup.
+* Production code never checks "is chaos on" — the helpers below are
+  no-ops when no spec matches, so the injection points cost one dict
+  lookup on the hot path.
+
+Injection points wired through the server (see the failure matrix in the
+README):
+
+========================  =====================================================
+``worker.request``        kill the shard worker before answering any request
+``worker.update``         kill the shard worker before answering an update
+``worker.slow``           sleep ``delay`` seconds before answering a request
+``pipe.send``             parent→worker pipe write fails (worker marked dead)
+``pipe.frame``            worker→parent frame is treated as corrupt (dead)
+``journal.fsync``         ``os.fsync`` on the journal raises ``OSError``
+``journal.torn``          a journal append stops mid-record (simulated crash)
+``journal.corrupt``       a journal record's payload is silently bit-flipped
+========================  =====================================================
+
+All randomness funnels through :func:`repro.rng.seeded_random` (the R1
+lint invariant), so a seeded injector fires identically across runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping, NoReturn
+
+from repro.exceptions import ReproError
+from repro.rng import seeded_random
+
+__all__ = [
+    "FaultSpec",
+    "FaultInjector",
+    "FAULTS",
+    "install_from_env",
+    "should_fire",
+    "maybe_fail",
+    "maybe_kill",
+    "maybe_sleep",
+    "ENV_SPECS",
+    "ENV_SEED",
+    "KILL_EXIT_CODE",
+]
+
+#: Environment variables carrying fault specs across process boundaries
+#: (CLI subprocess tests, spawn-context platforms where fork inheritance
+#: does not apply).
+ENV_SPECS = "GDATALOG_FAULTS"
+ENV_SEED = "GDATALOG_FAULTS_SEED"
+
+#: Exit code of a worker killed by an injected ``worker.*`` fault — distinct
+#: from real crash codes so post-mortems can tell chaos from genuine bugs.
+KILL_EXIT_CODE = 70
+
+
+class FaultConfigError(ReproError):
+    """A malformed fault spec (bad JSON, unknown field, bad trigger)."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injection rule: where it fires, when, and how often.
+
+    Exactly one trigger among ``at`` (the Nth hit, 1-based), ``every``
+    (every Nth hit) and ``probability`` (seeded coin per hit) must be set;
+    ``times`` bounds total firings (``None`` = unlimited) and ``delay`` is
+    the sleep for ``maybe_sleep`` points.
+    """
+
+    point: str
+    at: int | None = None
+    every: int | None = None
+    probability: float | None = None
+    times: int | None = None
+    delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.point or not isinstance(self.point, str):
+            raise FaultConfigError(f"fault spec needs a non-empty 'point', got {self.point!r}")
+        triggers = sum(value is not None for value in (self.at, self.every, self.probability))
+        if triggers != 1:
+            raise FaultConfigError(
+                f"fault spec for {self.point!r} must set exactly one of "
+                f"at/every/probability, got {triggers}"
+            )
+        if self.at is not None and self.at < 1:
+            raise FaultConfigError(f"fault 'at' must be >= 1, got {self.at}")
+        if self.every is not None and self.every < 1:
+            raise FaultConfigError(f"fault 'every' must be >= 1, got {self.every}")
+        if self.probability is not None and not 0.0 <= self.probability <= 1.0:
+            raise FaultConfigError(f"fault 'probability' must be in [0, 1], got {self.probability}")
+        if self.times is not None and self.times < 1:
+            raise FaultConfigError(f"fault 'times' must be >= 1, got {self.times}")
+        if self.delay < 0.0:
+            raise FaultConfigError(f"fault 'delay' must be >= 0, got {self.delay}")
+
+    @classmethod
+    def from_dict(cls, spec: Mapping[str, object]) -> "FaultSpec":
+        """Build a spec from a JSON object, rejecting unknown keys loudly."""
+        if not isinstance(spec, Mapping):
+            raise FaultConfigError(f"fault spec must be an object, got {type(spec).__name__}")
+        known = {"point", "at", "every", "probability", "times", "delay"}
+        unknown = set(spec) - known
+        if unknown:
+            raise FaultConfigError(f"unknown fault spec keys: {sorted(unknown)}")
+        point = spec.get("point")
+        if not isinstance(point, str):
+            raise FaultConfigError(f"fault spec 'point' must be a string, got {point!r}")
+
+        def _int(name: str) -> int | None:
+            value = spec.get(name)
+            if value is None:
+                return None
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise FaultConfigError(f"fault spec {name!r} must be an integer, got {value!r}")
+            return value
+
+        probability = spec.get("probability")
+        if probability is not None and not isinstance(probability, (int, float)):
+            raise FaultConfigError(f"fault spec 'probability' must be a number, got {probability!r}")
+        delay = spec.get("delay", 0.0)
+        if not isinstance(delay, (int, float)):
+            raise FaultConfigError(f"fault spec 'delay' must be a number, got {delay!r}")
+        return cls(
+            point=point,
+            at=_int("at"),
+            every=_int("every"),
+            probability=None if probability is None else float(probability),
+            times=_int("times"),
+            delay=float(delay),
+        )
+
+
+class FaultInjector:
+    """The per-process fault switchboard: specs, hit counters, seeded RNG.
+
+    Hit counts are **per process**: a forked shard worker inherits the
+    parent's specs but advances its own counters, so "kill on the 2nd
+    update" means the 2nd update *that worker* sees — which is what a
+    respawn race needs (the respawned worker starts counting from zero).
+    """
+
+    def __init__(self, specs: Iterable[FaultSpec] = (), seed: int | None = None):
+        self._lock = threading.Lock()
+        self._specs: dict[str, FaultSpec] = {}
+        self._hits: dict[str, int] = {}
+        self._fired: dict[str, int] = {}
+        self._rng = seeded_random(seed)
+        self._seed = seed
+        for spec in specs:
+            self._specs[spec.point] = spec
+
+    def configure(self, specs: Iterable[FaultSpec], seed: int | None = None) -> None:
+        """Replace the active specs (and reseed); counters reset."""
+        with self._lock:
+            self._specs = {spec.point: spec for spec in specs}
+            self._hits = {}
+            self._fired = {}
+            self._seed = seed
+            self._rng = seeded_random(seed)
+
+    def clear(self) -> None:
+        """Disarm every injection point (production state)."""
+        self.configure(())
+
+    @property
+    def active(self) -> bool:
+        with self._lock:
+            return bool(self._specs)
+
+    @property
+    def injected_total(self) -> int:
+        """Total faults fired by this process (the metrics counter's source)."""
+        with self._lock:
+            return sum(self._fired.values())
+
+    def counters(self) -> dict[str, int]:
+        """Per-point fired counts (for worker stats payloads and tests)."""
+        with self._lock:
+            return dict(self._fired)
+
+    def should_fire(self, point: str) -> FaultSpec | None:
+        """Count one hit at *point*; the spec when the fault fires, else ``None``."""
+        with self._lock:
+            spec = self._specs.get(point)
+            if spec is None:
+                return None
+            hits = self._hits.get(point, 0) + 1
+            self._hits[point] = hits
+            fired = self._fired.get(point, 0)
+            if spec.times is not None and fired >= spec.times:
+                return None
+            fire = False
+            if spec.at is not None:
+                fire = hits == spec.at
+            elif spec.every is not None:
+                fire = hits % spec.every == 0
+            elif spec.probability is not None:
+                fire = self._rng.random() < spec.probability
+            if not fire:
+                return None
+            self._fired[point] = fired + 1
+            return spec
+
+    def env(self) -> dict[str, str]:
+        """The environment variables reproducing this configuration."""
+        with self._lock:
+            specs = list(self._specs.values())
+            seed = self._seed
+        payload: list[dict[str, object]] = []
+        for spec in specs:
+            entry: dict[str, object] = {"point": spec.point}
+            for name in ("at", "every", "probability", "times"):
+                value = getattr(spec, name)
+                if value is not None:
+                    entry[name] = value
+            if spec.delay:
+                entry["delay"] = spec.delay
+            payload.append(entry)
+        env = {ENV_SPECS: json.dumps(payload)}
+        if seed is not None:
+            env[ENV_SEED] = str(seed)
+        return env
+
+
+#: The process-wide injector.  Forked workers inherit its state; cleared
+#: (the default) it makes every injection point a cheap no-op.
+FAULTS = FaultInjector()
+
+
+def install_from_env(injector: FaultInjector | None = None) -> bool:
+    """Arm the injector from ``GDATALOG_FAULTS`` (JSON spec list), if set.
+
+    A no-op when the variable is absent — programmatic configuration (the
+    in-process chaos tests, which rely on fork inheritance) is never
+    clobbered.  Returns whether anything was installed.
+    """
+    raw = os.environ.get(ENV_SPECS)
+    if not raw:
+        return False
+    target = FAULTS if injector is None else injector
+    try:
+        entries = json.loads(raw)
+    except json.JSONDecodeError as error:
+        raise FaultConfigError(f"invalid {ENV_SPECS} JSON: {error}") from None
+    if not isinstance(entries, list):
+        raise FaultConfigError(f"{ENV_SPECS} must be a JSON list of spec objects")
+    seed_text = os.environ.get(ENV_SEED)
+    seed = int(seed_text) if seed_text else None
+    target.configure([FaultSpec.from_dict(entry) for entry in entries], seed=seed)
+    return True
+
+
+def should_fire(point: str) -> FaultSpec | None:
+    """Module-level shorthand over :data:`FAULTS`."""
+    return FAULTS.should_fire(point)
+
+
+def maybe_fail(point: str, make_error: Callable[[], BaseException]) -> None:
+    """Raise ``make_error()`` when *point* fires (e.g. a simulated fsync error)."""
+    if FAULTS.should_fire(point) is not None:
+        raise make_error()
+
+
+def maybe_kill(point: str) -> None:
+    """Hard-kill this process when *point* fires (simulates ``kill -9``).
+
+    ``os._exit`` skips every atexit/finally handler — exactly what a real
+    SIGKILL does, which is the failure the respawn + journal recovery
+    paths must survive.
+    """
+    if FAULTS.should_fire(point) is not None:
+        _die()
+
+
+def _die() -> NoReturn:  # pragma: no cover - exercised in forked workers
+    os._exit(KILL_EXIT_CODE)
+
+
+def maybe_sleep(point: str) -> None:
+    """Sleep the spec's ``delay`` when *point* fires (slow-shard simulation)."""
+    spec = FAULTS.should_fire(point)
+    if spec is not None and spec.delay > 0.0:
+        time.sleep(spec.delay)

@@ -43,11 +43,14 @@ import json
 import signal
 import sys
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
+from repro.server import faults
 from repro.server.admission import AdmissionController, Rejection
 from repro.server.batching import BatchFailed, MicroBatcher
+from repro.server.journal import DEFAULT_MAX_BYTES, JournalError, StreamJournal
 from repro.server.metrics import MetricsRegistry
 from repro.server.protocol import (
     RequestError,
@@ -74,6 +77,7 @@ _STATUS_PHRASES = {
     429: "Too Many Requests",
     500: "Internal Server Error",
     503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
 
@@ -103,6 +107,18 @@ class ServerConfig:
     #: Static-check programs on first sighting; failures answer 400 with
     #: structured diagnostics instead of a bare engine error.
     validate: bool = True
+    #: Write-ahead journal directory for named streams (None disables
+    #: durability); on boot the journal is replayed so every stream resumes
+    #: at bit-identical post-delta state.
+    journal_dir: str | None = None
+    #: Journal fsync policy: "always" | "batch" | "never".
+    journal_fsync: str = "always"
+    #: Journal size that triggers snapshot compaction.
+    journal_max_bytes: int = DEFAULT_MAX_BYTES
+    #: Per-request deadline in seconds (None disables): an expired request
+    #: answers 504 with a typed retryable error and its partial work is
+    #: discarded (no stream/journal state is recorded).
+    request_timeout: float | None = None
 
     def shard_config(self) -> ShardConfig:
         return ShardConfig(
@@ -243,6 +259,23 @@ class InferenceServer:
         )
         #: Named evidence streams (front-end state; workers stay stateless).
         self.streams = StreamRegistry()
+        # Env-armed chaos specs (subprocess harnesses); a no-op otherwise.
+        faults.install_from_env()
+        #: Durable write-ahead journal — opening it replays any prior
+        #: history, so recovered streams are live before the first request.
+        self.journal: StreamJournal | None = None
+        if self.config.journal_dir:
+            self.journal = StreamJournal(
+                self.config.journal_dir,
+                fsync=self.config.journal_fsync,
+                max_bytes=self.config.journal_max_bytes,
+            )
+            for recovered in self.journal.recovered_streams():
+                self.streams.record(recovered.name, recovered.program, recovered.database)
+        #: Idempotency-key → response LRU: a client retry that raced a lost
+        #: ack replays the recorded response instead of re-applying.
+        self._idempotency: OrderedDict[str, dict] = OrderedDict()
+        self._idempotency_limit = 1024
         self._server: asyncio.base_events.Server | None = None
         self._inflight = 0
         self._drain_requested = asyncio.Event()
@@ -283,6 +316,19 @@ class InferenceServer:
         self.metrics.describe("gdatalog_join_counters", "Per-shard join-engine JOIN_STATS counters")
         self.metrics.describe("gdatalog_shard_up", "1 if the shard worker answered the last probe")
         self.metrics.describe("gdatalog_shard_cache_entries", "Engines cached per shard")
+        self.metrics.describe(
+            "gdatalog_journal_records_total", "Records appended to the stream write-ahead journal"
+        )
+        self.metrics.describe(
+            "gdatalog_journal_truncated_total", "Torn journal tails truncated on open"
+        )
+        self.metrics.describe(
+            "gdatalog_recoveries_total", "Named streams restored by boot-time journal replay"
+        )
+        self.metrics.describe(
+            "gdatalog_faults_injected_total",
+            "Faults fired by the deterministic injection harness (front end + live workers)",
+        )
 
     # -- lifecycle -----------------------------------------------------------------
 
@@ -351,6 +397,8 @@ class InferenceServer:
             self._server.close()
             await self._server.wait_closed()
         self.router.stop()
+        if self.journal is not None:
+            self.journal.close()
         return drained or not drain
 
     async def run(self) -> None:
@@ -508,103 +556,192 @@ class InferenceServer:
     ) -> tuple[int, dict, dict[str, str]]:
         """Admit, route, and answer one protocol request (HTTP or WS)."""
         if not isinstance(payload, dict):
-            return 400, error_response("serve requests must be JSON objects"), {}
+            return 400, error_response(
+                "serve requests must be JSON objects", kind="bad_request", retryable=False
+            ), {}
         request_id = payload.get("id")
         try:
             payload = resolve_stream(payload, self.streams)
             program, database = resolve_sources(payload)
         except RequestError as error:
-            return 400, error_response(str(error), request_id), {}
-        stream = payload.get("stream")
-        if isinstance(stream, str) and stream and self.streams.get(stream) is None:
-            # First sighting of a named stream opens it (query or update),
-            # so follow-up requests may carry just the name and a delta.
-            self.streams.record(stream, program, database)
+            return 400, error_response(
+                str(error), request_id, kind="bad_request", retryable=False
+            ), {}
         shard = self.router.shard_for(program)
         admitted = self.admission.try_admit(client, shard)
         if isinstance(admitted, Rejection):
             self.metrics.inc("gdatalog_rejected_total", {"reason": admitted.reason})
-            response = error_response(admitted.message, request_id)
+            response = error_response(
+                admitted.message, request_id, kind=admitted.reason, retryable=True
+            )
             response["retry_after"] = round(admitted.retry_after, 3)
             return (
                 admitted.status,
                 response,
-                {"Retry-After": str(max(1, int(admitted.retry_after + 0.999)))},
+                {"Retry-After": str(max(1, int(admitted.retry_after_hint + 0.999)))},
             )
         self._enter_request()
         try:
             with admitted:
-                check = route == "check" or payload.get("op") == "check"
-                update = not check and (route == "update" or is_update_request(payload))
-                adaptive = not check and not update and (
-                    route == "sample" or bool(payload.get("adaptive"))
-                )
-                if check:
-                    forwarded = dict(payload)
-                    forwarded["program"] = program
-                    forwarded["database"] = database
-                    forwarded.pop("program_path", None)
-                    forwarded.pop("database_path", None)
-                    forwarded.pop("stream", None)
-                    forwarded["op"] = "check"
-                    response = await self.router.submit(shard, forwarded)
-                elif update:
-                    forwarded = dict(payload)
-                    forwarded["program"] = program
-                    forwarded["database"] = database
-                    forwarded.pop("program_path", None)
-                    forwarded.pop("database_path", None)
-                    forwarded.pop("stream", None)
-                    forwarded["op"] = "update"
-                    response = await self._submit_update(shard, forwarded)
-                    if response.get("ok"):
-                        stream = payload.get("stream")
-                        if isinstance(stream, str) and stream:
-                            self.streams.record(stream, program, response.get("database", ""))
-                        self._record_update(response.get("update") or {})
-                elif adaptive:
-                    forwarded = dict(payload)
-                    forwarded["program"] = program
-                    forwarded["database"] = database
-                    forwarded.pop("program_path", None)
-                    forwarded.pop("database_path", None)
-                    forwarded["adaptive"] = True
-                    response = await self.router.submit(shard, forwarded)
-                elif route == "batch":
-                    forwarded = dict(payload)
-                    forwarded["program"] = program
-                    forwarded["database"] = database
-                    forwarded.pop("program_path", None)
-                    forwarded.pop("database_path", None)
-                    response = await self.router.submit(shard, forwarded)
+                work = self._execute(payload, route, program, database, shard)
+                if self.config.request_timeout is not None:
+                    try:
+                        response = await asyncio.wait_for(
+                            work, timeout=self.config.request_timeout
+                        )
+                    except asyncio.TimeoutError:
+                        # Partial-work cleanup is implicit in the write order:
+                        # stream registry, journal and idempotency records are
+                        # written only after the worker answered, so a request
+                        # cancelled mid-flight leaves no half-applied state —
+                        # the retry re-runs it from scratch.
+                        self.metrics.inc("gdatalog_rejected_total", {"reason": "deadline"})
+                        response = error_response(
+                            f"request exceeded its {self.config.request_timeout:.3f}s "
+                            "deadline (no state was recorded; safe to retry)",
+                            request_id,
+                            kind="deadline",
+                            retryable=True,
+                        )
+                        response["retry_after"] = 1.0
+                        return 504, response, {"Retry-After": "1"}
                 else:
-                    specs = request_queries(payload)
-                    validate_queries(specs)
-                    results = await self.batcher.submit(
-                        shard, program, database, specs, payload.get("slice")
-                    )
-                    response = {"ok": True, "results": results}
+                    response = await work
         except RequestError as error:
-            return 400, error_response(str(error), request_id), {}
+            return 400, error_response(
+                str(error), request_id, kind="bad_request", retryable=False
+            ), {}
         except BatchFailed as error:
-            response = error_response(str(error), request_id)
+            response = error_response(str(error), request_id, kind="bad_request", retryable=False)
             if error.diagnostics:
                 response["diagnostics"] = error.diagnostics
             return 400, response, {}
+        except JournalError as error:
+            # The update may have reached the worker, but it was never
+            # acknowledged nor recorded in the stream registry: retrying is
+            # safe (set-semantics delta + log-hash dedup) and required.
+            self.metrics.inc("gdatalog_rejected_total", {"reason": "journal_error"})
+            response = error_response(
+                f"durable journal write failed: {error}", request_id,
+                kind="journal_error", retryable=True,
+            )
+            response["retry_after"] = 1.0
+            return 503, response, {"Retry-After": "1"}
         except WorkerCrashed:
             self.metrics.inc("gdatalog_rejected_total", {"reason": "worker_crashed"})
-            response = error_response("shard worker crashed; please retry", request_id)
+            response = error_response(
+                "shard worker crashed; please retry", request_id,
+                kind="worker_crashed", retryable=True,
+            )
             response["retry_after"] = 1.0
             return 503, response, {"Retry-After": "1"}
         except Exception as error:  # noqa: BLE001 - a bug must answer, not hang up
             return 500, error_response(
-                f"internal error ({type(error).__name__}): {error}", request_id
+                f"internal error ({type(error).__name__}): {error}", request_id,
+                kind="internal", retryable=False,
             ), {}
         finally:
             self._exit_request()
         response["id"] = request_id
         status = 200 if response.get("ok") else 400
         return status, response, {}
+
+    async def _execute(
+        self, payload: dict, route: str, program: str, database: str, shard: int
+    ) -> dict:
+        """Dispatch one admitted request (the deadline-bounded inner work)."""
+        stream = payload.get("stream")
+        if isinstance(stream, str) and stream and self.streams.get(stream) is None:
+            # First sighting of a named stream opens it (query or update),
+            # so follow-up requests may carry just the name and a delta —
+            # journaled first so a crash cannot forget an open stream.
+            self._open_stream(stream, program, database)
+        check = route == "check" or payload.get("op") == "check"
+        update = not check and (route == "update" or is_update_request(payload))
+        adaptive = not check and not update and (
+            route == "sample" or bool(payload.get("adaptive"))
+        )
+        if check:
+            forwarded = self._forwarded(payload, program, database)
+            forwarded.pop("stream", None)
+            forwarded["op"] = "check"
+            return await self.router.submit(shard, forwarded)
+        if update:
+            return await self._handle_update(payload, program, database, shard)
+        if adaptive:
+            forwarded = self._forwarded(payload, program, database)
+            forwarded["adaptive"] = True
+            return await self.router.submit(shard, forwarded)
+        if route == "batch":
+            forwarded = self._forwarded(payload, program, database)
+            return await self.router.submit(shard, forwarded)
+        specs = request_queries(payload)
+        validate_queries(specs)
+        results = await self.batcher.submit(
+            shard, program, database, specs, payload.get("slice")
+        )
+        return {"ok": True, "results": results}
+
+    @staticmethod
+    def _forwarded(payload: dict, program: str, database: str) -> dict:
+        """A worker-bound copy of the request with inline sources only."""
+        forwarded = dict(payload)
+        forwarded["program"] = program
+        forwarded["database"] = database
+        forwarded.pop("program_path", None)
+        forwarded.pop("database_path", None)
+        return forwarded
+
+    def _open_stream(self, stream: str, program: str, database: str) -> None:
+        """Open a named stream: journal its sources (when durable), register it."""
+        if self.journal is not None:
+            self.journal.record_open(stream, program, database)
+        self.streams.record(stream, program, database)
+
+    async def _handle_update(
+        self, payload: dict, program: str, database: str, shard: int
+    ) -> dict:
+        """One update: idempotency replay, worker apply, journal, registry.
+
+        Write order is the durability contract (see
+        :mod:`repro.server.journal`): worker apply → journal append →
+        stream registry → idempotency record → client ack.  Any failure
+        before the ack leaves the registry at the pre-delta state and the
+        client retries; set-semantics deltas plus log-hash dedup make the
+        retry exactly-once in effect.
+        """
+        idempotency_key = payload.get("idempotency_key")
+        if idempotency_key is not None and not isinstance(idempotency_key, str):
+            raise RequestError("'idempotency_key' must be a string")
+        if idempotency_key:
+            cached = self._idempotency.get(idempotency_key)
+            if cached is not None:
+                self._idempotency.move_to_end(idempotency_key)
+                response = dict(cached)
+                response["replayed"] = True
+                return response
+        forwarded = self._forwarded(payload, program, database)
+        forwarded.pop("stream", None)
+        forwarded.pop("idempotency_key", None)
+        forwarded["op"] = "update"
+        response = await self._submit_update(shard, forwarded)
+        if response.get("ok"):
+            stream = payload.get("stream")
+            database_after = response.get("database", "")
+            if isinstance(stream, str) and stream:
+                if self.journal is not None:
+                    self.journal.record_delta(
+                        stream, forwarded.get("delta") or {}, database_after=database_after
+                    )
+                self.streams.record(stream, program, database_after)
+            self._record_update(response.get("update") or {})
+            if idempotency_key:
+                self._idempotency[idempotency_key] = {
+                    key: value for key, value in response.items() if key != "id"
+                }
+                if len(self._idempotency) > self._idempotency_limit:
+                    self._idempotency.popitem(last=False)
+        return response
 
     async def _submit_update(self, shard: int, forwarded: dict) -> dict:
         """Forward one update to its shard, retrying once across a worker crash.
@@ -660,6 +797,24 @@ class InferenceServer:
                 self.metrics.set_gauge(
                     "gdatalog_join_counters", value, {"shard": str(shard), "counter": counter}
                 )
+        if self.journal is not None:
+            stats = self.journal.stats()
+            self.metrics.set_counter(
+                "gdatalog_journal_records_total", stats["records_appended"]
+            )
+            self.metrics.set_counter(
+                "gdatalog_journal_truncated_total", stats["truncations"]
+            )
+            self.metrics.set_counter("gdatalog_recoveries_total", stats["recoveries"])
+        # Faults fired in this process plus every live worker's count.  A
+        # killed worker takes its tally with it — the metric undercounts by
+        # exactly the fault that killed it, which the respawn counter shows.
+        faults_total = faults.FAULTS.injected_total
+        for snapshot in snapshots:
+            if snapshot is not None:
+                faults_total += sum(snapshot.get("faults", {}).values())
+        if faults_total or faults.FAULTS.active:
+            self.metrics.set_counter("gdatalog_faults_injected_total", faults_total)
         return self.metrics.render().encode("utf-8")
 
     # -- websocket -----------------------------------------------------------------

@@ -1,0 +1,443 @@
+"""Crash-consistent write-ahead journal for named evidence streams.
+
+``gdatalog serve --http --journal DIR`` must survive ``kill -9``: every
+acknowledged update to a named stream is durable, and a restarted server
+replays the journal to **bit-identical** post-delta state — the same
+canonical database text, hence the same cache keys and the same seeded
+estimates an uninterrupted server would produce.
+
+Format (single file ``streams.wal`` under the journal directory)::
+
+    MAGIC ("GDWAL1\\n")
+    record*        where record = >I payload-length | >I CRC32(payload) | payload
+
+The payload is canonical JSON (sorted keys, no whitespace) of one of:
+
+* ``{"kind": "open", "stream", "program", "database"}`` — a stream's
+  canonical sources at open (or re-open with changed sources);
+* ``{"kind": "delta", "stream", "delta": {...,"log_hash"}}`` — one
+  applied :class:`~repro.logic.deltas.DbDelta` in its hash-carrying
+  journal form (:meth:`DbDelta.journal_record`), verified on replay;
+* ``{"kind": "snapshot", ...}`` — an ``open`` plus the stream's update
+  count, written by compaction.
+
+Durability policy and invariants:
+
+* **Write order**: the server journals an update *after* the shard worker
+  applied it but *before* acknowledging the client.  A crash between
+  apply and journal loses nothing the client was told succeeded; the
+  client retries and the set-semantics delta (plus ``log_hash`` dedup
+  here and idempotency keys upstream) makes the retry a no-op.
+* **Torn tails**: a crash mid-append leaves a short or CRC-broken final
+  record.  :meth:`StreamJournal` scans on open and truncates the file at
+  the last fully-verified record — the journal is always a *prefix* of
+  acknowledged history, never a corrupted suffix.
+* **fsync policy**: ``always`` (fsync per append — the default and the
+  only policy that survives power loss), ``batch`` (fsync every
+  :data:`BATCH_SYNC_EVERY` appends — survives process crash, bounded
+  loss on power failure) or ``never`` (the OS decides).
+* **Compaction**: when the file exceeds ``max_bytes`` the journal
+  rewrites itself as one snapshot record per live stream into a temp
+  file and atomically ``os.replace``\\ s it — readers never observe a
+  half-compacted journal.
+* **Failed is failed**: any append error (including injected torn/fsync
+  faults) marks the journal failed; further appends raise
+  :class:`JournalError` (surfaced as a retryable 503) until a fresh
+  :class:`StreamJournal` re-opens and truncates.  A journal that might
+  have lost a write must not keep acknowledging new ones.
+
+Single-writer: one server process owns a journal directory at a time.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import threading
+import zlib
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import IO, Mapping
+
+from repro.exceptions import ReproError, ValidationError
+from repro.logic.database import Database
+from repro.logic.deltas import DbDelta
+from repro.logic.parser import parse_database
+from repro.server import faults
+
+__all__ = [
+    "JournalError",
+    "RecoveredStream",
+    "StreamJournal",
+    "FSYNC_POLICIES",
+    "DEFAULT_MAX_BYTES",
+]
+
+MAGIC = b"GDWAL1\n"
+_HEADER = struct.Struct(">II")
+#: Accepted ``--journal-fsync`` values, strongest first.
+FSYNC_POLICIES = ("always", "batch", "never")
+#: Appends between fsyncs under the ``batch`` policy.
+BATCH_SYNC_EVERY = 16
+DEFAULT_MAX_BYTES = 64 * 1024 * 1024
+#: Replay refuses records claiming to be longer than this — a corrupt
+#: length field must not allocate gigabytes before the CRC check.
+_MAX_RECORD_BYTES = 256 * 1024 * 1024
+
+
+class JournalError(ReproError):
+    """A journal append/open failure: the write is NOT durable; retry applies."""
+
+
+@dataclass
+class RecoveredStream:
+    """One stream's journaled state: canonical sources plus update history."""
+
+    name: str
+    program: str
+    database: str
+    updates: int = 0
+    last_delta_hash: str | None = None
+
+
+def _canonical_post_delta(database_source: str, delta: DbDelta) -> str:
+    """The canonical post-delta database text, bit-identical to ``update()``.
+
+    Delegates to :meth:`InferenceService.canonical_database_source` (lazy
+    import — the journal must not drag the engine stack into every
+    importer) so replayed state and served state can never drift apart.
+    """
+    from repro.runtime.service import InferenceService
+
+    database = parse_database(database_source) if database_source.strip() else Database()
+    return InferenceService.canonical_database_source(delta.apply(database))
+
+
+class StreamJournal:
+    """The append/replay engine over one ``streams.wal`` file."""
+
+    def __init__(
+        self,
+        directory: str | Path,
+        fsync: str = "always",
+        max_bytes: int = DEFAULT_MAX_BYTES,
+    ):
+        if fsync not in FSYNC_POLICIES:
+            raise JournalError(
+                f"unknown fsync policy {fsync!r} (expected one of {', '.join(FSYNC_POLICIES)})"
+            )
+        if max_bytes < 4096:
+            raise JournalError(f"journal max_bytes must be at least 4096, got {max_bytes}")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.path = self.directory / "streams.wal"
+        self.fsync_policy = fsync
+        self.max_bytes = int(max_bytes)
+        self._lock = threading.RLock()
+        self._streams: dict[str, RecoveredStream] = {}
+        self._file: IO[bytes] | None = None
+        self._size = 0
+        self._appends_since_sync = 0
+        self._failed = False
+        # Counters (externally owned; /metrics renders them via set_counter).
+        self.records_appended = 0
+        self.records_replayed = 0
+        self.truncations = 0
+        self.recoveries = 0
+        self.compactions = 0
+        self.dedup_skipped = 0
+        self._open_and_recover()
+
+    # -- open / recovery -----------------------------------------------------------
+
+    def _open_and_recover(self) -> None:
+        """Scan the file, truncate any torn tail, materialize stream states."""
+        existed = self.path.exists()
+        if existed:
+            try:
+                data = self.path.read_bytes()
+            except OSError as error:
+                raise JournalError(f"cannot read journal {self.path}: {error}") from error
+            if not data.startswith(MAGIC):
+                # Refuse to truncate a file we did not write: silently
+                # destroying a foreign file is worse than failing to boot.
+                raise JournalError(f"{self.path} is not a gdatalog journal (bad magic)")
+            offset = len(MAGIC)
+            while offset < len(data):
+                if offset + _HEADER.size > len(data):
+                    break  # torn header
+                length, crc = _HEADER.unpack_from(data, offset)
+                start = offset + _HEADER.size
+                end = start + length
+                if length > _MAX_RECORD_BYTES or end > len(data):
+                    break  # torn or insane payload
+                payload = data[start:end]
+                if zlib.crc32(payload) != crc:
+                    break  # bit rot / injected corruption
+                try:
+                    record = json.loads(payload.decode("utf-8"))
+                except (UnicodeDecodeError, json.JSONDecodeError):
+                    break
+                if not self._apply_record(record):
+                    break  # semantically corrupt (hash mismatch, unknown kind)
+                self.records_replayed += 1
+                offset = end
+            if offset < len(data):
+                try:
+                    with open(self.path, "r+b") as handle:
+                        handle.truncate(offset)
+                        handle.flush()
+                        if self.fsync_policy != "never":
+                            os.fsync(handle.fileno())
+                except OSError as error:
+                    raise JournalError(
+                        f"cannot truncate torn journal tail in {self.path}: {error}"
+                    ) from error
+                self.truncations += 1
+            self._size = offset
+            if self.records_replayed:
+                self.recoveries = len(self._streams)
+        try:
+            self._file = open(self.path, "ab")
+            if not existed:
+                self._file.write(MAGIC)
+                self._file.flush()
+                if self.fsync_policy != "never":
+                    os.fsync(self._file.fileno())
+                self._size = len(MAGIC)
+        except OSError as error:
+            raise JournalError(f"cannot open journal {self.path}: {error}") from error
+
+    def _apply_record(self, record: object) -> bool:
+        """Fold one replayed record into the stream states; ``False`` = corrupt."""
+        if not isinstance(record, Mapping):
+            return False
+        kind = record.get("kind")
+        stream = record.get("stream")
+        if not isinstance(stream, str) or not stream:
+            return False
+        if kind in ("open", "snapshot"):
+            program = record.get("program")
+            database = record.get("database")
+            if not isinstance(program, str) or not isinstance(database, str):
+                return False
+            updates = record.get("updates", 0)
+            last_hash = record.get("last_delta_hash")
+            if not isinstance(updates, int) or updates < 0:
+                return False
+            if last_hash is not None and not isinstance(last_hash, str):
+                return False
+            self._streams[stream] = RecoveredStream(
+                name=stream,
+                program=program,
+                database=database,
+                updates=updates,
+                last_delta_hash=last_hash,
+            )
+            return True
+        if kind == "delta":
+            state = self._streams.get(stream)
+            if state is None:
+                return False  # a delta for an unopened stream cannot be ours
+            try:
+                delta = DbDelta.from_journal_record(record.get("delta"))
+                state.database = _canonical_post_delta(state.database, delta)
+            except (ValidationError, ReproError, TypeError, KeyError):
+                return False
+            state.updates += 1
+            state.last_delta_hash = delta.log_hash()
+            return True
+        return False
+
+    def recovered_streams(self) -> list[RecoveredStream]:
+        """Copies of every live stream state, sorted by name (boot seeding)."""
+        with self._lock:
+            return [replace(self._streams[name]) for name in sorted(self._streams)]
+
+    # -- appends -------------------------------------------------------------------
+
+    def record_open(self, stream: str, program: str, database: str) -> bool:
+        """Journal a stream's sources at open; ``False`` when already current."""
+        with self._lock:
+            state = self._streams.get(stream)
+            if state is not None and state.program == program and state.database == database:
+                self.dedup_skipped += 1
+                return False
+            self._append({"kind": "open", "stream": stream, "program": program, "database": database})
+            self._streams[stream] = RecoveredStream(name=stream, program=program, database=database)
+            self._maybe_compact()
+            return True
+
+    def record_delta(
+        self,
+        stream: str,
+        delta: DbDelta | Mapping[str, object],
+        database_after: str | None = None,
+    ) -> bool:
+        """Journal one applied delta; ``False`` when deduplicated by log hash.
+
+        *database_after* (the worker's canonical post-delta text) is
+        cross-checked against the journal's own replay of the delta: a
+        divergence means recovery would lie, so it fails loudly instead of
+        journaling state that cannot be reproduced.
+        """
+        with self._lock:
+            state = self._streams.get(stream)
+            if state is None:
+                raise JournalError(
+                    f"cannot journal a delta for unopened stream {stream!r} "
+                    "(record_open must precede record_delta)"
+                )
+            if not isinstance(delta, DbDelta):
+                delta = DbDelta.from_spec(delta)
+            log_hash = delta.log_hash()
+            post = _canonical_post_delta(state.database, delta)
+            if database_after is not None and post != database_after:
+                raise JournalError(
+                    f"journal replay for stream {stream!r} diverges from the served "
+                    "post-delta state; refusing to journal an unrecoverable record"
+                )
+            if state.last_delta_hash == log_hash and state.database == post:
+                # The immediately-repeated delta (client retry after a lost
+                # ack) is a no-op by set semantics: skip the duplicate record.
+                self.dedup_skipped += 1
+                return False
+            self._append({"kind": "delta", "stream": stream, "delta": delta.journal_record()})
+            state.database = post
+            state.updates += 1
+            state.last_delta_hash = log_hash
+            self._maybe_compact()
+            return True
+
+    def _append(self, record: Mapping[str, object]) -> None:
+        """Frame, checksum and write one record under the active fsync policy."""
+        if self._failed:
+            raise JournalError(
+                "journal is failed after an earlier write error; restart the "
+                "server (journal re-open truncates and recovers) before new updates"
+            )
+        if self._file is None:
+            raise JournalError("journal is closed")
+        payload = json.dumps(record, sort_keys=True, separators=(",", ":")).encode("utf-8")
+        header = _HEADER.pack(len(payload), zlib.crc32(payload))
+        if faults.should_fire("journal.corrupt") is not None:
+            # Silent on-disk corruption: the CRC was computed over the clean
+            # payload, so the damage surfaces only at the next open's scan.
+            payload = payload[:-1] + bytes([payload[-1] ^ 0xFF])
+        try:
+            if faults.should_fire("journal.torn") is not None:
+                # Simulated crash mid-append: half a payload hits the disk
+                # and this journal never writes again (the process "died").
+                self._file.write(header + payload[: max(1, len(payload) // 2)])
+                self._file.flush()
+                self._failed = True
+                raise JournalError("injected torn append (simulated crash mid-write)")
+            self._file.write(header + payload)
+            self._file.flush()
+            self._sync()
+        except OSError as error:
+            self._failed = True
+            raise JournalError(f"journal append failed: {error}") from error
+        self._size += _HEADER.size + len(payload)
+        self.records_appended += 1
+
+    def _sync(self) -> None:
+        """Apply the fsync policy after one append (fault-injectable)."""
+        if self._file is None or self.fsync_policy == "never":
+            return
+        self._appends_since_sync += 1
+        if self.fsync_policy == "batch" and self._appends_since_sync < BATCH_SYNC_EVERY:
+            return
+        faults.maybe_fail("journal.fsync", lambda: OSError("injected fsync failure"))
+        os.fsync(self._file.fileno())
+        self._appends_since_sync = 0
+
+    # -- compaction ----------------------------------------------------------------
+
+    def _maybe_compact(self) -> None:
+        """Rewrite as snapshots when past ``max_bytes`` (atomic rename)."""
+        if self._size <= self.max_bytes or self._file is None:
+            return
+        buffer = bytearray(MAGIC)
+        for name in sorted(self._streams):
+            state = self._streams[name]
+            record: dict[str, object] = {
+                "kind": "snapshot",
+                "stream": name,
+                "program": state.program,
+                "database": state.database,
+                "updates": state.updates,
+                "last_delta_hash": state.last_delta_hash,
+            }
+            payload = json.dumps(record, sort_keys=True, separators=(",", ":")).encode("utf-8")
+            buffer += _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+        tmp_path = self.path.with_name(self.path.name + ".tmp")
+        try:
+            with open(tmp_path, "wb") as handle:
+                handle.write(bytes(buffer))
+                handle.flush()
+                if self.fsync_policy != "never":
+                    os.fsync(handle.fileno())
+            self._file.close()
+            os.replace(tmp_path, self.path)
+            self._fsync_directory()
+            self._file = open(self.path, "ab")
+        except OSError as error:
+            self._failed = True
+            raise JournalError(f"journal compaction failed: {error}") from error
+        self._size = len(buffer)
+        self._appends_since_sync = 0
+        self.compactions += 1
+
+    def _fsync_directory(self) -> None:
+        """Best-effort directory fsync so the rename itself is durable."""
+        if self.fsync_policy == "never":
+            return
+        try:
+            fd = os.open(self.directory, os.O_RDONLY)
+        except OSError:  # pragma: no cover - platform-dependent
+            return
+        try:
+            os.fsync(fd)
+        except OSError:  # pragma: no cover - platform-dependent
+            return
+        finally:
+            os.close(fd)
+
+    # -- introspection / lifecycle -------------------------------------------------
+
+    @property
+    def failed(self) -> bool:
+        return self._failed
+
+    def stats(self) -> dict[str, int]:
+        """Counter snapshot for ``/metrics`` and tests."""
+        with self._lock:
+            return {
+                "records_appended": self.records_appended,
+                "records_replayed": self.records_replayed,
+                "truncations": self.truncations,
+                "recoveries": self.recoveries,
+                "compactions": self.compactions,
+                "dedup_skipped": self.dedup_skipped,
+                "streams": len(self._streams),
+                "size_bytes": self._size,
+            }
+
+    def close(self) -> None:
+        """Flush, fsync (per policy) and close; idempotent."""
+        with self._lock:
+            if self._file is None:
+                return
+            try:
+                self._file.flush()
+                if self.fsync_policy != "never" and not self._failed:
+                    os.fsync(self._file.fileno())
+            except OSError:  # pragma: no cover - nothing actionable at close
+                self._failed = True
+            finally:
+                try:
+                    self._file.close()
+                finally:
+                    self._file = None

@@ -145,6 +145,17 @@ class MetricsRegistry:
         with self._lock:
             self._gauges.setdefault(name, {})[self._key(labels)] = value
 
+    def set_counter(self, name: str, value: float, labels: Mapping[str, str] | None = None) -> None:
+        """Overwrite a counter series with an externally-tracked cumulative total.
+
+        For monotone totals owned elsewhere (the journal's append/truncate
+        counts, the fault injector's fired count): the owner counts, the
+        registry only renders — scraping must not race an owner that keeps
+        its own lock.
+        """
+        with self._lock:
+            self._counters.setdefault(name, {})[self._key(labels)] = value
+
     def histogram(self, name: str, labels: Mapping[str, str] | None = None) -> Histogram:
         """The (created-on-first-use) histogram for a label set."""
         with self._lock:

@@ -304,9 +304,27 @@ def handle_request(
     return {"ok": True, "results": results}
 
 
-def error_response(message: str, request_id: Any = None) -> dict[str, Any]:
-    """A protocol error response carrying the (possibly ``None``) request id."""
-    return {"ok": False, "error": message, "id": request_id}
+def error_response(
+    message: str,
+    request_id: Any = None,
+    *,
+    kind: str | None = None,
+    retryable: bool | None = None,
+) -> dict[str, Any]:
+    """A protocol error response carrying the (possibly ``None``) request id.
+
+    *kind* is a stable machine-matchable error class (``"deadline"``,
+    ``"journal_error"``, ``"worker_crashed"``, ...) and *retryable* tells
+    clients whether re-sending the same request can succeed — the contract
+    the chaos suite asserts: every injected fault surfaces as a typed
+    retryable error, never a silent wrong answer.
+    """
+    response: dict[str, Any] = {"ok": False, "error": message, "id": request_id}
+    if kind is not None:
+        response["error_kind"] = kind
+    if retryable is not None:
+        response["retryable"] = retryable
+    return response
 
 
 def answer(service, request: Any, streams: "StreamRegistry | None" = None) -> dict[str, Any]:

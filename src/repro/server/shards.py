@@ -35,6 +35,7 @@ from typing import Any
 
 from repro.logic.join import JOIN_STATS
 from repro.logic.parser import parse_gdatalog_program
+from repro.server import faults
 
 __all__ = ["ShardConfig", "ShardRouter", "WorkerCrashed", "canonical_program_key"]
 
@@ -99,8 +100,12 @@ def _shard_worker_main(conn, config: ShardConfig) -> None:
     signal.signal(signal.SIGINT, signal.SIG_IGN)
     signal.signal(signal.SIGTERM, signal.SIG_IGN)
     from repro.runtime.service import InferenceService
-    from repro.server.protocol import answer
+    from repro.server import faults
+    from repro.server.protocol import answer, is_update_request
 
+    # Fork-started workers inherit the parent's armed injector; env specs
+    # cover subprocess harnesses and spawn-context platforms.
+    faults.install_from_env()
     service = InferenceService(
         cache_size=config.cache_size,
         grounder=config.grounder,
@@ -123,8 +128,17 @@ def _shard_worker_main(conn, config: ShardConfig) -> None:
                 "cache_entries": len(service),
                 "service": service.stats.snapshot(),
                 "join": _join_stats_snapshot(),
+                "faults": faults.FAULTS.counters(),
             }
         else:
+            # Chaos injection points: a request-scoped hard kill (the crash
+            # the respawn + retry-once + journal recovery paths must absorb)
+            # and a slow-shard sleep (what the deadline budget must bound).
+            # Stats probes skip them so health checks stay truthful.
+            faults.maybe_kill("worker.request")
+            if isinstance(message[2], dict) and is_update_request(message[2]):
+                faults.maybe_kill("worker.update")
+            faults.maybe_sleep("worker.slow")
             payload = answer(service, message[2])
         try:
             conn.send((seq, payload))
@@ -173,6 +187,11 @@ class _WorkerHandle:
             message = self._outbound.get()
             if message is None:
                 return
+            if faults.should_fire("pipe.send") is not None:
+                # Injected parent→worker write failure: same observable
+                # outcome as a broken pipe (worker dead, futures failed).
+                self._mark_dead()
+                return
             try:
                 self._conn.send(message)
             except (BrokenPipeError, OSError):
@@ -184,6 +203,11 @@ class _WorkerHandle:
             try:
                 seq, payload = self._conn.recv()
             except (EOFError, OSError):
+                self._mark_dead()
+                return
+            if faults.should_fire("pipe.frame") is not None:
+                # Injected corrupt/malformed frame from the worker: the only
+                # safe reaction is to distrust the pipe entirely.
                 self._mark_dead()
                 return
             with self._pending_lock:

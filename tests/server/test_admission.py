@@ -44,6 +44,49 @@ class TestTokenBucket:
         assert bucket.try_take(clock()) == 0.0
         assert bucket.try_take(clock()) > 0.0
 
+    def test_no_refill_drift_under_sustained_load(self):
+        """Millions of tiny refill steps must not leak or lose budget.
+
+        The old implementation accumulated ``elapsed * rate`` per call; the
+        representation error compounded with every request.  The epoch
+        formulation computes refill from a fixed reference, so after any
+        number of exactly-paced takes the bucket balance is still exact.
+        """
+        clock = FakeClock()
+        rate = 3.0  # deliberately not a power of two: 1/3 never rounds exactly
+        bucket = TokenBucket(rate=rate, capacity=5.0, now=clock())
+        for _ in range(5):
+            assert bucket.try_take(clock()) == 0.0
+        # One token's worth of time per take, a million times.  The clock
+        # itself accumulates float error, so an occasional take may miss by
+        # a representation epsilon — but the miss must stay at machine
+        # precision forever instead of compounding into real waits.
+        step = 1.0 / rate
+        rejections = 0
+        for _ in range(1_000_000):
+            clock.advance(step)
+            wait = bucket.try_take(clock())
+            if wait:
+                assert wait < 1e-9, f"drifted: paced take reported {wait}s"
+                rejections += 1
+        assert rejections < 1000  # epsilon misses, not systematic leakage
+        # No leaked budget either: every token still available now was
+        # banked by one of those epsilon misses, never invented by drift.
+        extra = 0
+        while bucket.try_take(clock()) == 0.0:
+            extra += 1
+            assert extra <= rejections + 1, "bucket leaked budget it never earned"
+
+    def test_epoch_rebases_when_idle_restores_capacity(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, capacity=2.0, now=clock())
+        for _ in range(2):
+            assert bucket.try_take(clock()) == 0.0
+        clock.advance(1e9)  # a long idle must not bank 1e9 tokens
+        assert bucket.try_take(clock()) == 0.0
+        assert bucket.try_take(clock()) == 0.0
+        assert bucket.try_take(clock()) == pytest.approx(1.0)
+
 
 class TestAdmissionController:
     def controller(self, **kwargs) -> tuple[AdmissionController, FakeClock]:
@@ -112,3 +155,32 @@ class TestAdmissionController:
             assert isinstance(admitted, Ticket)
             admitted.release()
         assert len(controller._buckets) <= AdmissionController.MAX_CLIENTS
+
+    def test_retry_after_hint_is_jittered_but_body_value_is_exact(self):
+        """The JSON body reports the exact wait; only the emitted header hint
+        spreads, so a rejected burst does not retry in lock-step."""
+        controller, _ = self.controller(
+            client_rate=1.0, client_burst=1.0, retry_jitter=0.25, jitter_seed=7
+        )
+        hints = []
+        for index in range(16):
+            admitted = controller.try_admit("alice", 0)
+            if isinstance(admitted, Rejection):
+                assert admitted.retry_after == pytest.approx(1.0)  # exact
+                assert 1.0 <= admitted.retry_after_hint <= 1.25
+                hints.append(admitted.retry_after_hint)
+        assert len(set(hints)) > 1  # the herd is actually spread
+
+    def test_jitter_is_seeded_and_disablable(self):
+        def hints(seed):
+            controller, _ = self.controller(
+                client_rate=1.0, client_burst=1.0, retry_jitter=0.25, jitter_seed=seed
+            )
+            controller.try_admit("alice", 0)
+            return [controller.try_admit("alice", 0).retry_after_hint for _ in range(8)]
+
+        assert hints(3) == hints(3)  # deterministic under a seed
+        controller, _ = self.controller(client_rate=1.0, client_burst=1.0, retry_jitter=0.0)
+        controller.try_admit("alice", 0)
+        rejected = controller.try_admit("alice", 0)
+        assert rejected.retry_after_hint == rejected.retry_after

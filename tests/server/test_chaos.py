@@ -1,0 +1,488 @@
+"""Seeded chaos: every injected fault answers right or fails retryably.
+
+The suite's single invariant: under any injected fault the server is
+**never wrong and never hung** — it either answers bit-identically to an
+un-faulted run, or it answers a typed, retryable error the client can act
+on.  Faults are deterministic (:mod:`repro.server.faults` counts hits and
+seeds its RNG), so every failure here reproduces exactly.
+
+Worker-side faults (``worker.*``) are configured on the process-wide
+:data:`FAULTS` injector *before* the server starts: shard workers are
+forked, so they inherit the armed specs while keeping their own hit
+counters — a respawned worker starts counting from zero, which is what
+the respawn-race tests rely on.  Parent-side faults (``pipe.*``,
+``journal.*``) are configured after startup so readiness probes do not
+consume hits.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.runtime.service import InferenceService
+from repro.server import faults
+from repro.server.client import (
+    RetryExhausted,
+    RetryPolicy,
+    http_json,
+    http_json_retry,
+)
+from repro.server.faults import FaultInjector, FaultSpec
+from repro.server.http import InferenceServer, ServerConfig
+
+PROGRAM = (
+    "coin(X, flip<0.5>[X]) :- src(X).\n"
+    "hit(X) :- coin(X, 1).\n"
+    "base(X) :- src(X), aux(X)."
+)
+DATABASE = "src(1). src(2). aux(1)."
+
+
+@pytest.fixture(autouse=True)
+def _clear_faults():
+    faults.FAULTS.clear()
+    yield
+    faults.FAULTS.clear()
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+async def _with_server(config: ServerConfig, scenario):
+    server = InferenceServer(config)
+    await server.start()
+    try:
+        await server.wait_ready(timeout=20.0)
+        return await scenario(server)
+    finally:
+        await server.stop(drain=False)
+
+
+def _oracle_database(deltas) -> str:
+    service = InferenceService(cache_size=8)
+    return service.replay(PROGRAM, DATABASE, deltas).database_source
+
+
+class TestFaultInjectorUnit:
+    def test_at_fires_exactly_once(self):
+        injector = FaultInjector([FaultSpec(point="p", at=2)])
+        assert injector.should_fire("p") is None
+        assert injector.should_fire("p") is not None
+        assert injector.should_fire("p") is None
+        assert injector.counters() == {"p": 1}
+
+    def test_every_fires_periodically_with_times_cap(self):
+        injector = FaultInjector([FaultSpec(point="p", every=2, times=2)])
+        fired = [injector.should_fire("p") is not None for _ in range(8)]
+        assert fired == [False, True, False, True, False, False, False, False]
+
+    def test_probability_is_deterministic_under_a_seed(self):
+        def trace(seed):
+            injector = FaultInjector([FaultSpec(point="p", probability=0.5)], seed=seed)
+            return [injector.should_fire("p") is not None for _ in range(64)]
+
+        assert trace(7) == trace(7)
+        assert trace(7) != trace(8)  # astronomically unlikely to collide
+        assert any(trace(7)) and not all(trace(7))
+
+    def test_unarmed_point_is_a_no_op(self):
+        injector = FaultInjector()
+        assert injector.should_fire("anything") is None
+        assert injector.injected_total == 0
+        assert not injector.active
+
+    def test_spec_validation_rejects_nonsense(self):
+        with pytest.raises(ReproError):
+            FaultSpec(point="p")  # no trigger
+        with pytest.raises(ReproError):
+            FaultSpec(point="p", at=1, every=2)  # two triggers
+        with pytest.raises(ReproError):
+            FaultSpec(point="p", at=0)
+        with pytest.raises(ReproError):
+            FaultSpec(point="p", probability=1.5)
+        with pytest.raises(ReproError):
+            FaultSpec.from_dict({"point": "p", "at": 1, "bogus": True})
+
+    def test_env_round_trip(self, monkeypatch):
+        source = FaultInjector(
+            [FaultSpec(point="a", at=3, times=1), FaultSpec(point="b", probability=0.25)],
+            seed=42,
+        )
+        for name, value in source.env().items():
+            monkeypatch.setenv(name, value)
+        target = FaultInjector()
+        assert faults.install_from_env(target) is True
+        assert target.active
+        assert {spec.point for spec in target._specs.values()} == {"a", "b"}
+
+    def test_install_from_env_is_a_no_op_when_unset(self, monkeypatch):
+        monkeypatch.delenv(faults.ENV_SPECS, raising=False)
+        target = FaultInjector([FaultSpec(point="keep", at=1)])
+        assert faults.install_from_env(target) is False
+        assert target.active  # programmatic config untouched
+
+
+class TestWorkerKillDuringUpdate:
+    def test_retry_once_absorbs_a_mid_update_worker_kill(self, tmp_path):
+        """Satellite: a worker killed racing an in-flight update never
+        double-applies — the transparent retry lands on a fresh worker and
+        the final state is bit-identical to an un-faulted run."""
+        # The worker dies on the 2nd update *it* sees; the respawned worker
+        # restarts its hit counter, so the server's retry-once succeeds.
+        faults.FAULTS.configure([FaultSpec(point="worker.update", at=2)])
+        deltas = [{"insert": ["src(3)"]}, {"insert": ["src(4)"]}]
+        expected = _oracle_database(deltas)
+
+        async def scenario(server: InferenceServer):
+            port = server.port
+            status, first = await http_json(
+                "127.0.0.1", port, "POST", "/v1/update",
+                {"stream": "s", "program": PROGRAM, "database": DATABASE,
+                 "delta": deltas[0]},
+            )
+            assert status == 200 and first["ok"]
+            status, second = await http_json(
+                "127.0.0.1", port, "POST", "/v1/update",
+                {"stream": "s", "delta": deltas[1]},
+            )
+            assert status == 200 and second["ok"]
+            assert second["database"] == expected
+            assert server.router.respawns[0] == 1
+            # The journal agrees: exactly two deltas, applied exactly once.
+            stats = server.journal.stats()
+            assert stats["records_appended"] == 3  # open + 2 deltas
+            # And the served stream answers from the post-delta state.
+            status, queried = await http_json(
+                "127.0.0.1", port, "POST", "/v1/query",
+                {"stream": "s", "queries": ["hit(4)"]},
+            )
+            assert status == 200 and queried["results"] == [0.5]
+
+        _run(_with_server(
+            ServerConfig(port=0, shards=1, journal_dir=str(tmp_path)), scenario
+        ))
+
+    def test_double_kill_answers_typed_retryable_503(self):
+        """Every fresh worker dies on its first update: after the one
+        transparent retry the server answers 503, never hangs or lies."""
+        faults.FAULTS.configure([FaultSpec(point="worker.update", at=1)])
+
+        async def scenario(server: InferenceServer):
+            status, payload = await http_json(
+                "127.0.0.1", server.port, "POST", "/v1/update",
+                {"stream": "s", "program": PROGRAM, "database": DATABASE,
+                 "delta": {"insert": ["src(3)"]}},
+            )
+            assert status == 503
+            assert payload["retryable"] is True
+            assert payload["error_kind"] == "worker_crashed"
+            assert payload["retry_after"] > 0
+            # Queries do not hit the update fault: the server still answers.
+            status, queried = await http_json(
+                "127.0.0.1", server.port, "POST", "/v1/query",
+                {"program": PROGRAM, "database": DATABASE, "queries": ["hit(1)"]},
+            )
+            assert status == 200 and queried["results"] == [0.5]
+
+        _run(_with_server(ServerConfig(port=0, shards=1), scenario))
+
+
+class TestPipeFaults:
+    @pytest.mark.parametrize("point", ["pipe.send", "pipe.frame"])
+    def test_broken_pipe_is_typed_retryable_then_recovers(self, point):
+        async def scenario(server: InferenceServer):
+            port = server.port
+            # Arm only after readiness probes are done with the pipes.
+            faults.FAULTS.configure([FaultSpec(point=point, at=1)])
+            status, payload = await http_json(
+                "127.0.0.1", port, "POST", "/v1/query",
+                {"program": PROGRAM, "database": DATABASE, "queries": ["hit(1)"]},
+            )
+            assert status == 503
+            assert payload["retryable"] is True
+            assert payload["error_kind"] == "worker_crashed"
+            # The very next request respawns the worker and answers exactly.
+            status, payload = await http_json(
+                "127.0.0.1", port, "POST", "/v1/query",
+                {"program": PROGRAM, "database": DATABASE, "queries": ["hit(1)"]},
+            )
+            assert status == 200 and payload["results"] == [0.5]
+
+        _run(_with_server(ServerConfig(port=0, shards=1), scenario))
+
+    def test_update_rides_through_a_send_fault_via_retry_once(self):
+        async def scenario(server: InferenceServer):
+            faults.FAULTS.configure([FaultSpec(point="pipe.send", at=1)])
+            status, payload = await http_json(
+                "127.0.0.1", server.port, "POST", "/v1/update",
+                {"stream": "s", "program": PROGRAM, "database": DATABASE,
+                 "delta": {"insert": ["src(3)"]}},
+            )
+            assert status == 200 and payload["ok"]
+            assert payload["database"] == _oracle_database([{"insert": ["src(3)"]}])
+
+        _run(_with_server(ServerConfig(port=0, shards=1), scenario))
+
+
+class TestDeadline:
+    def test_slow_shard_answers_504_then_identical_answer(self):
+        # The first request sleeps past the deadline; the fault is capped to
+        # one firing, so the retry answers — bit-identically.
+        faults.FAULTS.configure(
+            [FaultSpec(point="worker.slow", every=1, times=1, delay=1.0)]
+        )
+
+        async def scenario(server: InferenceServer):
+            port = server.port
+            request = {"program": PROGRAM, "database": DATABASE, "queries": ["hit(1)"]}
+            status, payload = await http_json(
+                "127.0.0.1", port, "POST", "/v1/query", request
+            )
+            assert status == 504
+            assert payload["retryable"] is True
+            assert payload["error_kind"] == "deadline"
+            # The single worker is still sleeping off the injected delay;
+            # retry after it drains (a client would back off here anyway).
+            await asyncio.sleep(1.2)
+            status, payload = await http_json(
+                "127.0.0.1", port, "POST", "/v1/query", request
+            )
+            assert status == 200 and payload["results"] == [0.5]
+
+        _run(_with_server(
+            ServerConfig(port=0, shards=1, request_timeout=0.4), scenario
+        ))
+
+    def test_deadline_records_no_state(self, tmp_path):
+        """A timed-out update leaves no journal record and no stream change:
+        the 504 promise ('safe to retry') is literal."""
+        faults.FAULTS.configure(
+            [FaultSpec(point="worker.slow", every=1, times=1, delay=1.0)]
+        )
+
+        async def scenario(server: InferenceServer):
+            port = server.port
+            status, payload = await http_json(
+                "127.0.0.1", port, "POST", "/v1/update",
+                {"stream": "s", "program": PROGRAM, "database": DATABASE,
+                 "delta": {"insert": ["src(3)"]}},
+            )
+            assert status == 504
+            # Only the stream open was journaled — never the unacked delta.
+            assert server.journal.stats()["records_appended"] <= 1
+            await asyncio.sleep(1.2)  # let the worker sleep off the fault
+            status, payload = await http_json(
+                "127.0.0.1", port, "POST", "/v1/update",
+                {"stream": "s", "delta": {"insert": ["src(3)"]}},
+            )
+            assert status == 200
+            assert payload["database"] == _oracle_database([{"insert": ["src(3)"]}])
+
+        _run(_with_server(
+            ServerConfig(port=0, shards=1, request_timeout=0.4,
+                         journal_dir=str(tmp_path)),
+            scenario,
+        ))
+
+
+class TestJournalFaults:
+    def test_fsync_fault_is_503_and_a_restart_recovers(self, tmp_path):
+        delta = {"insert": ["src(3)"]}
+
+        async def faulty(server: InferenceServer):
+            # Hit 1 is the stream-open append; the fault targets the delta.
+            faults.FAULTS.configure([FaultSpec(point="journal.fsync", at=2)])
+            status, payload = await http_json(
+                "127.0.0.1", server.port, "POST", "/v1/update",
+                {"stream": "s", "program": PROGRAM, "database": DATABASE,
+                 "delta": delta},
+            )
+            assert status == 503
+            assert payload["retryable"] is True
+            assert payload["error_kind"] == "journal_error"
+            # Failed is failed: the journal refuses new appends until reopen.
+            faults.FAULTS.clear()
+            status, payload = await http_json(
+                "127.0.0.1", server.port, "POST", "/v1/update",
+                {"stream": "s", "delta": delta},
+            )
+            assert status == 503
+
+        _run(_with_server(
+            ServerConfig(port=0, shards=1, journal_dir=str(tmp_path)), faulty
+        ))
+        faults.FAULTS.clear()
+
+        async def recovered(server: InferenceServer):
+            # The client retries the unacked delta on the restarted server;
+            # set semantics + dedup make it exactly-once regardless of
+            # whether the faulted append reached the disk.
+            status, payload = await http_json(
+                "127.0.0.1", server.port, "POST", "/v1/update",
+                {"stream": "s", "delta": delta},
+            )
+            assert status == 200
+            assert payload["database"] == _oracle_database([delta])
+
+        _run(_with_server(
+            ServerConfig(port=0, shards=1, journal_dir=str(tmp_path)), recovered
+        ))
+
+    def test_torn_append_is_503_and_truncated_on_restart(self, tmp_path):
+        async def faulty(server: InferenceServer):
+            # Hit 1 is the stream-open append; tear the delta append.
+            faults.FAULTS.configure([FaultSpec(point="journal.torn", at=2)])
+            status, payload = await http_json(
+                "127.0.0.1", server.port, "POST", "/v1/update",
+                {"stream": "s", "program": PROGRAM, "database": DATABASE,
+                 "delta": {"insert": ["src(3)"]}},
+            )
+            assert status == 503
+            assert payload["error_kind"] == "journal_error"
+
+        _run(_with_server(
+            ServerConfig(port=0, shards=1, journal_dir=str(tmp_path)), faulty
+        ))
+        faults.FAULTS.clear()
+
+        async def recovered(server: InferenceServer):
+            assert server.journal.stats()["truncations"] == 1
+            # The torn record vanished; the stream is back at its pre-delta
+            # state and accepts the retry.
+            status, payload = await http_json(
+                "127.0.0.1", server.port, "POST", "/v1/update",
+                {"stream": "s", "delta": {"insert": ["src(3)"]}},
+            )
+            assert status == 200
+            assert payload["database"] == _oracle_database([{"insert": ["src(3)"]}])
+
+        _run(_with_server(
+            ServerConfig(port=0, shards=1, journal_dir=str(tmp_path)), recovered
+        ))
+
+
+class TestMalformedInput:
+    def test_garbage_http_answers_400_and_the_server_survives(self):
+        async def scenario(server: InferenceServer):
+            port = server.port
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            writer.write(b"\x00\xffTHIS IS NOT HTTP\r\n\r\n")
+            await writer.drain()
+            line = await asyncio.wait_for(reader.readline(), timeout=5.0)
+            # Rejected with a 4xx (or the connection dropped) — never hung.
+            assert line == b"" or b" 400 " in line or b" 404 " in line
+            writer.close()
+            status, payload = await http_json(
+                "127.0.0.1", port, "POST", "/v1/query",
+                {"program": PROGRAM, "database": DATABASE, "queries": ["hit(1)"]},
+            )
+            assert status == 200 and payload["results"] == [0.5]
+
+        _run(_with_server(ServerConfig(port=0, shards=1), scenario))
+
+    def test_non_object_json_is_a_typed_400(self):
+        async def scenario(server: InferenceServer):
+            status, payload = await http_json(
+                "127.0.0.1", server.port, "POST", "/v1/query", [1, 2, 3]
+            )
+            assert status == 400
+            assert payload["retryable"] is False
+            assert payload["error_kind"] == "bad_request"
+
+        _run(_with_server(ServerConfig(port=0, shards=1), scenario))
+
+
+class TestClientRetries:
+    def test_retry_rides_through_a_transient_crash(self):
+        async def scenario(server: InferenceServer):
+            faults.FAULTS.configure([FaultSpec(point="pipe.frame", at=1)])
+            status, payload = await http_json_retry(
+                "127.0.0.1", server.port, "POST", "/v1/query",
+                {"program": PROGRAM, "database": DATABASE, "queries": ["hit(1)"]},
+                policy=RetryPolicy(attempts=3, base_delay=0.01, seed=1),
+            )
+            assert status == 200 and payload["results"] == [0.5]
+
+        _run(_with_server(ServerConfig(port=0, shards=1), scenario))
+
+    def test_retry_exhausted_carries_the_last_typed_error(self):
+        async def scenario(server: InferenceServer):
+            request = {"program": PROGRAM, "database": DATABASE, "queries": ["hit(1)"]}
+            # The client's one-token budget never refills (rate 0): the
+            # first request spends it, every retry after that answers 429.
+            status, _ = await http_json(
+                "127.0.0.1", server.port, "POST", "/v1/query", request
+            )
+            assert status == 200
+            with pytest.raises(RetryExhausted) as excinfo:
+                await http_json_retry(
+                    "127.0.0.1", server.port, "POST", "/v1/query", request,
+                    policy=RetryPolicy(attempts=2, base_delay=0.01, max_delay=0.02, seed=1),
+                )
+            assert excinfo.value.status == 429
+            assert excinfo.value.payload["error_kind"] == "client_budget"
+            assert excinfo.value.payload["retryable"] is True
+
+        _run(_with_server(
+            ServerConfig(port=0, shards=1, client_rate=0.0, client_burst=1.0), scenario
+        ))
+
+    def test_backoff_is_seeded_and_bounded(self):
+        policy = RetryPolicy(attempts=5, base_delay=0.1, max_delay=1.0, jitter=0.5)
+        from repro.rng import seeded_random
+
+        delays_a = [policy.delay(n, seeded_random(3)) for n in range(5)]
+        delays_b = [policy.delay(n, seeded_random(3)) for n in range(5)]
+        assert delays_a == delays_b  # same seed, same schedule
+        for attempt, delay in enumerate(delays_a):
+            base = min(1.0, 0.1 * 2**attempt)
+            assert base <= delay <= base * 1.5
+        # A server-supplied Retry-After floors the backoff.
+        assert policy.delay(0, seeded_random(3), retry_after=0.9) >= 0.9
+
+    def test_invalid_policy_is_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(attempts=0)
+
+
+class TestIdempotency:
+    def test_key_replay_returns_the_recorded_response(self, tmp_path):
+        async def scenario(server: InferenceServer):
+            port = server.port
+            request = {"stream": "s", "program": PROGRAM, "database": DATABASE,
+                       "delta": {"insert": ["src(3)"]}}
+            status, first = await http_json_retry(
+                "127.0.0.1", port, "POST", "/v1/update", request,
+                idempotency_key="update-1",
+            )
+            assert status == 200 and "replayed" not in first
+            status, second = await http_json_retry(
+                "127.0.0.1", port, "POST", "/v1/update", request,
+                idempotency_key="update-1",
+            )
+            assert status == 200
+            assert second["replayed"] is True
+            assert second["database"] == first["database"]
+            # The replay did not re-apply: still one journaled delta.
+            stats = server.journal.stats()
+            assert stats["records_appended"] == 2  # open + one delta
+
+        _run(_with_server(
+            ServerConfig(port=0, shards=1, journal_dir=str(tmp_path)), scenario
+        ))
+
+    def test_non_string_key_is_rejected(self):
+        async def scenario(server: InferenceServer):
+            status, payload = await http_json(
+                "127.0.0.1", server.port, "POST", "/v1/update",
+                {"stream": "s", "program": PROGRAM, "database": DATABASE,
+                 "delta": {"insert": ["src(3)"]}, "idempotency_key": 7},
+            )
+            assert status == 400
+            assert payload["error_kind"] == "bad_request"
+
+        _run(_with_server(ServerConfig(port=0, shards=1), scenario))

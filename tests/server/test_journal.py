@@ -1,0 +1,358 @@
+"""The write-ahead journal's durability contract, tested in isolation.
+
+The properties a crash-safe journal must hold:
+
+* replaying an intact journal reproduces every stream's canonical
+  post-delta state **bit-identically** to the
+  :meth:`InferenceService.replay` oracle — same database text, same cache
+  key, same seeded estimates;
+* a torn tail (short header, short payload, CRC mismatch, bad JSON,
+  semantic corruption) is truncated on open, keeping the verified prefix;
+* compaction rewrites history as snapshots without changing any state;
+* deduplication swallows the immediately-repeated delta (a client retry
+  after a lost acknowledgement) instead of journaling it twice;
+* a journal that failed a write refuses further appends until reopened.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from pathlib import Path
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.logic.deltas import DbDelta
+from repro.runtime.service import InferenceService
+from repro.server import faults
+from repro.server.journal import (
+    MAGIC,
+    JournalError,
+    StreamJournal,
+)
+
+PROGRAM = (
+    "coin(X, flip<0.5>[X]) :- src(X).\n"
+    "hit(X) :- coin(X, 1).\n"
+    "base(X) :- src(X), aux(X)."
+)
+DATABASE = "src(1). src(2). aux(1)."
+
+DELTAS = [
+    {"insert": ["src(3)"]},
+    {"insert": ["aux(2)"], "retract": ["aux(1)"]},
+    {"insert": ["src(4)", "aux(4)"]},
+]
+
+_HEADER = struct.Struct(">II")
+
+
+@pytest.fixture(autouse=True)
+def _clear_faults():
+    faults.FAULTS.clear()
+    yield
+    faults.FAULTS.clear()
+
+
+def _canonical(program: str, database: str) -> str:
+    service = InferenceService(cache_size=4)
+    return service.replay(program, database, []).database_source
+
+
+def _journal_with_history(tmp_path: Path, deltas=DELTAS) -> tuple[StreamJournal, str]:
+    """A journal holding one opened stream plus *deltas*; returns final text."""
+    journal = StreamJournal(tmp_path)
+    journal.record_open("s", PROGRAM, DATABASE)
+    service = InferenceService(cache_size=8)
+    database = service.replay(PROGRAM, DATABASE, []).database_source
+    for delta in deltas:
+        result = service.update(PROGRAM, database, delta)
+        database = result.database_source
+        journal.record_delta("s", delta, database_after=database)
+    return journal, database
+
+
+class TestRoundTrip:
+    def test_replay_is_bit_identical_to_service_replay(self, tmp_path):
+        journal, final_database = _journal_with_history(tmp_path)
+        journal.close()
+
+        reopened = StreamJournal(tmp_path)
+        recovered = reopened.recovered_streams()
+        assert [stream.name for stream in recovered] == ["s"]
+        state = recovered[0]
+        assert state.program == PROGRAM
+        assert state.updates == len(DELTAS)
+
+        # The oracle: an uninterrupted service replaying the same deltas.
+        oracle = InferenceService(cache_size=8)
+        expected = oracle.replay(PROGRAM, DATABASE, DELTAS)
+        assert state.database == expected.database_source == final_database
+        # Same canonical text ⇒ same cache key ⇒ same seeded estimates.
+        check = InferenceService(cache_size=8)
+        assert check.replay(state.program, state.database, []).key == expected.key
+        reopened.close()
+
+    def test_recovered_estimates_match_uninterrupted_run(self, tmp_path):
+        journal, _ = _journal_with_history(tmp_path)
+        journal.close()
+        state = StreamJournal(tmp_path).recovered_streams()[0]
+
+        oracle = InferenceService(cache_size=8)
+        expected_db = oracle.replay(PROGRAM, DATABASE, DELTAS).database_source
+        recovered_service = InferenceService(cache_size=8)
+        for query in ("hit(1)", "hit(3)", "base(4)"):
+            expected = oracle.evaluate(PROGRAM, expected_db, [query])
+            recovered = recovered_service.evaluate(state.program, state.database, [query])
+            assert recovered == expected
+
+    def test_empty_then_reopen_recovers_nothing(self, tmp_path):
+        StreamJournal(tmp_path).close()
+        journal = StreamJournal(tmp_path)
+        assert journal.recovered_streams() == []
+        assert journal.stats()["recoveries"] == 0
+        journal.close()
+
+    def test_open_is_deduplicated_when_sources_unchanged(self, tmp_path):
+        journal = StreamJournal(tmp_path)
+        assert journal.record_open("s", PROGRAM, DATABASE) is True
+        assert journal.record_open("s", PROGRAM, DATABASE) is False
+        assert journal.stats()["dedup_skipped"] == 1
+        journal.close()
+
+    def test_repeated_delta_is_deduplicated(self, tmp_path):
+        journal = StreamJournal(tmp_path)
+        journal.record_open("s", PROGRAM, _canonical(PROGRAM, DATABASE))
+        delta = {"insert": ["src(9)"]}
+        assert journal.record_delta("s", delta) is True
+        # The client retry after a lost ack: same delta, same post-state.
+        assert journal.record_delta("s", delta) is False
+        assert journal.stats()["dedup_skipped"] == 1
+        journal.close()
+
+    def test_delta_for_unopened_stream_raises(self, tmp_path):
+        journal = StreamJournal(tmp_path)
+        with pytest.raises(JournalError, match="unopened stream"):
+            journal.record_delta("ghost", {"insert": ["src(1)"]})
+        journal.close()
+
+    def test_diverging_database_after_refuses_to_journal(self, tmp_path):
+        journal = StreamJournal(tmp_path)
+        journal.record_open("s", PROGRAM, DATABASE)
+        with pytest.raises(JournalError, match="diverges"):
+            journal.record_delta(
+                "s", {"insert": ["src(3)"]}, database_after="definitely wrong text"
+            )
+        journal.close()
+
+
+class TestTornTail:
+    def _record_count(self, tmp_path) -> int:
+        journal = StreamJournal(tmp_path)
+        try:
+            return journal.stats()["records_replayed"]
+        finally:
+            journal.close()
+
+    def test_short_header_is_truncated(self, tmp_path):
+        journal, _ = _journal_with_history(tmp_path)
+        journal.close()
+        wal = tmp_path / "streams.wal"
+        intact = wal.read_bytes()
+        wal.write_bytes(intact + b"\x00\x00\x00")
+
+        reopened = StreamJournal(tmp_path)
+        assert reopened.stats()["truncations"] == 1
+        assert wal.read_bytes() == intact
+        # Every verified record survived the truncation.
+        assert reopened.stats()["records_replayed"] == 1 + len(DELTAS)
+        reopened.close()
+
+    def test_torn_payload_is_truncated(self, tmp_path):
+        journal, _ = _journal_with_history(tmp_path)
+        journal.close()
+        wal = tmp_path / "streams.wal"
+        intact = wal.read_bytes()
+        payload = b'{"kind":"delta"}'
+        frame = _HEADER.pack(len(payload) + 50, zlib.crc32(payload)) + payload
+        wal.write_bytes(intact + frame)
+
+        reopened = StreamJournal(tmp_path)
+        assert reopened.stats()["truncations"] == 1
+        assert wal.read_bytes() == intact
+        reopened.close()
+
+    def test_crc_mismatch_truncates_from_the_bad_record(self, tmp_path):
+        journal, _ = _journal_with_history(tmp_path)
+        journal.close()
+        wal = tmp_path / "streams.wal"
+        data = bytearray(wal.read_bytes())
+        data[-1] ^= 0xFF  # flip one payload bit in the final record
+        wal.write_bytes(bytes(data))
+
+        reopened = StreamJournal(tmp_path)
+        assert reopened.stats()["truncations"] == 1
+        # One fewer delta than written; the prefix still replays cleanly.
+        assert reopened.stats()["records_replayed"] == len(DELTAS)  # open + (n-1) deltas
+        state = reopened.recovered_streams()[0]
+        oracle = InferenceService(cache_size=8)
+        expected = oracle.replay(PROGRAM, DATABASE, DELTAS[:-1]).database_source
+        assert state.database == expected
+        reopened.close()
+
+    def test_hash_mismatch_record_is_treated_as_corrupt(self, tmp_path):
+        journal = StreamJournal(tmp_path)
+        journal.record_open("s", PROGRAM, _canonical(PROGRAM, DATABASE))
+        journal.close()
+        # Append a CRC-valid record whose delta log_hash lies about content.
+        record = DbDelta.from_spec({"insert": ["src(3)"]}).journal_record()
+        record["log_hash"] = "0" * 64
+        payload = json.dumps(
+            {"kind": "delta", "stream": "s", "delta": record},
+            sort_keys=True,
+            separators=(",", ":"),
+        ).encode("utf-8")
+        wal = tmp_path / "streams.wal"
+        with open(wal, "ab") as handle:
+            handle.write(_HEADER.pack(len(payload), zlib.crc32(payload)) + payload)
+
+        reopened = StreamJournal(tmp_path)
+        assert reopened.stats()["truncations"] == 1
+        assert reopened.recovered_streams()[0].updates == 0
+        reopened.close()
+
+    def test_foreign_file_is_refused_not_destroyed(self, tmp_path):
+        wal = tmp_path / "streams.wal"
+        wal.write_bytes(b"PRECIOUS USER DATA\n")
+        with pytest.raises(JournalError, match="bad magic"):
+            StreamJournal(tmp_path)
+        assert wal.read_bytes() == b"PRECIOUS USER DATA\n"
+
+
+class TestFailurePolicy:
+    def test_fsync_fault_fails_the_journal_until_reopen(self, tmp_path):
+        journal = StreamJournal(tmp_path, fsync="always")
+        journal.record_open("s", PROGRAM, _canonical(PROGRAM, DATABASE))
+        faults.FAULTS.configure([faults.FaultSpec(point="journal.fsync", at=1)])
+        with pytest.raises(JournalError):
+            journal.record_delta("s", {"insert": ["src(3)"]})
+        assert journal.failed
+        faults.FAULTS.clear()
+        # Failed is failed: even clean appends are refused now.
+        with pytest.raises(JournalError, match="failed"):
+            journal.record_delta("s", {"insert": ["src(4)"]})
+        journal.close()
+
+        reopened = StreamJournal(tmp_path)
+        assert not reopened.failed
+        # The record reached the page cache before the fsync failed, so the
+        # reopen replays it; the client's retry then dedups to a no-op —
+        # exactly the "retry is safe" contract the 503 promised.
+        state = reopened.recovered_streams()[0]
+        assert "src(3)" in state.database
+        assert reopened.record_delta("s", {"insert": ["src(3)"]}) is False
+        assert reopened.record_delta("s", {"insert": ["src(4)"]}) is True
+        reopened.close()
+
+    def test_torn_append_fault_leaves_a_recoverable_prefix(self, tmp_path):
+        journal = StreamJournal(tmp_path)
+        journal.record_open("s", PROGRAM, _canonical(PROGRAM, DATABASE))
+        journal.record_delta("s", DELTAS[0])
+        faults.FAULTS.configure([faults.FaultSpec(point="journal.torn", at=1)])
+        with pytest.raises(JournalError):
+            journal.record_delta("s", DELTAS[1])
+        journal.close()
+        faults.FAULTS.clear()
+
+        reopened = StreamJournal(tmp_path)
+        assert reopened.stats()["truncations"] == 1
+        state = reopened.recovered_streams()[0]
+        oracle = InferenceService(cache_size=8)
+        assert state.database == oracle.replay(PROGRAM, DATABASE, DELTAS[:1]).database_source
+        reopened.close()
+
+    def test_corrupt_append_fault_surfaces_at_next_open(self, tmp_path):
+        journal = StreamJournal(tmp_path)
+        journal.record_open("s", PROGRAM, _canonical(PROGRAM, DATABASE))
+        faults.FAULTS.configure([faults.FaultSpec(point="journal.corrupt", at=1)])
+        journal.record_delta("s", DELTAS[0])  # silently written corrupt
+        journal.close()
+        faults.FAULTS.clear()
+
+        reopened = StreamJournal(tmp_path)
+        assert reopened.stats()["truncations"] == 1
+        assert reopened.recovered_streams()[0].updates == 0
+        reopened.close()
+
+    def test_unknown_fsync_policy_is_rejected(self, tmp_path):
+        with pytest.raises(JournalError, match="fsync policy"):
+            StreamJournal(tmp_path, fsync="sometimes")
+
+    def test_batch_policy_survives_reopen(self, tmp_path):
+        journal = StreamJournal(tmp_path, fsync="batch")
+        journal.record_open("s", PROGRAM, _canonical(PROGRAM, DATABASE))
+        for n in range(3, 9):
+            journal.record_delta("s", {"insert": [f"src({n})"]})
+        journal.close()
+        reopened = StreamJournal(tmp_path, fsync="batch")
+        assert reopened.recovered_streams()[0].updates == 6
+        reopened.close()
+
+
+class TestCompaction:
+    def test_compaction_preserves_state_and_shrinks_the_file(self, tmp_path):
+        journal = StreamJournal(tmp_path, max_bytes=4096)
+        journal.record_open("s", PROGRAM, _canonical(PROGRAM, DATABASE))
+        database = journal.recovered_streams()[0].database
+        service = InferenceService(cache_size=8)
+        deltas = [{"insert": [f"src({n})"]} for n in range(10, 40)]
+        for delta in deltas:
+            result = service.update(PROGRAM, database, delta)
+            database = result.database_source
+            journal.record_delta("s", delta, database_after=database)
+        stats = journal.stats()
+        assert stats["compactions"] >= 1
+        assert stats["size_bytes"] <= 4096 + 2048  # one snapshot per stream
+        journal.close()
+
+        reopened = StreamJournal(tmp_path, max_bytes=4096)
+        state = reopened.recovered_streams()[0]
+        assert state.database == database
+        assert state.updates == len(deltas)
+        reopened.close()
+
+    def test_snapshot_plus_later_deltas_replay(self, tmp_path):
+        journal = StreamJournal(tmp_path, max_bytes=4096)
+        journal.record_open("s", PROGRAM, _canonical(PROGRAM, DATABASE))
+        for n in range(10, 40):
+            journal.record_delta("s", {"insert": [f"src({n})"]})
+        assert journal.stats()["compactions"] >= 1
+        journal.record_delta("s", {"insert": ["aux(99)"]})
+        expected = journal.recovered_streams()[0].database
+        journal.close()
+
+        reopened = StreamJournal(tmp_path, max_bytes=4096)
+        assert reopened.recovered_streams()[0].database == expected
+        assert "aux(99)" in expected
+        reopened.close()
+
+
+class TestDeltaJournalRecord:
+    def test_round_trip(self):
+        delta = DbDelta.from_spec({"insert": ["src(3)", "aux(2)"], "retract": ["aux(1)"]})
+        record = delta.journal_record()
+        assert record["log_hash"] == delta.log_hash()
+        restored = DbDelta.from_journal_record(record)
+        assert restored.log_hash() == delta.log_hash()
+
+    def test_tampered_record_is_rejected(self):
+        record = DbDelta.from_spec({"insert": ["src(3)"]}).journal_record()
+        record["insert"] = ["src(4)"]  # content changed, hash did not
+        with pytest.raises(ValidationError, match="hash verification"):
+            DbDelta.from_journal_record(record)
+
+    def test_magic_prefix_present(self, tmp_path):
+        StreamJournal(tmp_path).close()
+        assert (tmp_path / "streams.wal").read_bytes().startswith(MAGIC)

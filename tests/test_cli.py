@@ -365,3 +365,85 @@ class TestSliceFlag:
         lines = [json.loads(line) for line in captured.out.strip().splitlines()]
         assert [line["ok"] for line in lines] == [True, True]
         assert lines[0]["results"] == lines[1]["results"] == [pytest.approx(0.5)]
+
+
+class TestUpdateCommand:
+    """The streaming-update loop always ends with a flushed JSON summary."""
+
+    @pytest.fixture
+    def stream_program(self, tmp_path):
+        program = tmp_path / "stream.dl"
+        program.write_text("coin(X, flip<0.5>[X]) :- src(X).\nhit(X) :- coin(X, 1).\n")
+        facts = tmp_path / "stream.facts"
+        facts.write_text("src(1).\n")
+        return str(program), str(facts)
+
+    def _summary(self, captured_out):
+        import json
+
+        lines = [json.loads(line) for line in captured_out.strip().splitlines()]
+        assert lines, "update printed no output"
+        summary = lines[-1]
+        assert summary.get("done") is True
+        return lines[:-1], summary
+
+    def test_clean_eof_emits_summary_and_exits_zero(self, capsys, monkeypatch, stream_program):
+        import io
+        import json
+
+        program, facts = stream_program
+        feed = [
+            json.dumps({"insert": ["src(2)"]}),
+            "this is not json",
+            json.dumps({"insert": ["src(3)"]}),
+        ]
+        monkeypatch.setattr("sys.stdin", io.StringIO("\n".join(feed) + "\n"))
+        exit_code = main(["update", program, "-d", facts, "--atom", "hit(2)"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        responses, summary = self._summary(captured.out)
+        assert [r["ok"] for r in responses] == [True, False, True]
+        assert summary == {
+            "ok": True, "done": True, "applied": 2, "errors": 1, "interrupted": False,
+        }
+
+    def test_sigint_mid_stream_still_flushes_summary(self, capsys, monkeypatch, stream_program):
+        import json
+
+        program, facts = stream_program
+
+        class InterruptedFeed:
+            """One good delta, then Ctrl-C lands mid-read."""
+
+            def __iter__(self):
+                yield json.dumps({"insert": ["src(2)"]})
+                raise KeyboardInterrupt
+
+        monkeypatch.setattr("sys.stdin", InterruptedFeed())
+        exit_code = main(["update", program, "-d", facts])
+        captured = capsys.readouterr()
+        assert exit_code == 0  # a Ctrl-C'd follow session is a clean exit
+        responses, summary = self._summary(captured.out)
+        assert [r["ok"] for r in responses] == [True]
+        assert summary == {
+            "ok": True, "done": True, "applied": 1, "errors": 0, "interrupted": True,
+        }
+
+    def test_closed_stdin_is_treated_as_eof(self, capsys, monkeypatch, stream_program):
+        import json
+
+        program, facts = stream_program
+
+        class ClosingFeed:
+            """The upstream pipe closes stdin under us (tail -f killed)."""
+
+            def __iter__(self):
+                yield json.dumps({"insert": ["src(2)"]})
+                raise ValueError("I/O operation on closed file")
+
+        monkeypatch.setattr("sys.stdin", ClosingFeed())
+        exit_code = main(["update", program, "-d", facts])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        _, summary = self._summary(captured.out)
+        assert summary["interrupted"] is True and summary["applied"] == 1

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """AST lint for repository-wide invariants the type checker cannot see.
 
-Three rules, each protecting a property other layers rely on:
+Four rules, each protecting a property other layers rely on:
 
 * **R1 — randomness/time funnels through** :mod:`repro.rng`.
   ``import random`` / ``from random import ...`` (outside ``TYPE_CHECKING``
@@ -24,6 +24,15 @@ Three rules, each protecting a property other layers rely on:
   any ``*.stats`` object are only allowed in ``src/repro/logic/join.py``
   and ``src/repro/runtime/service.py`` (whose ``bump``/``snapshot`` methods
   hold the lock).  A drive-by ``service.stats.hits += 1`` elsewhere races.
+
+* **R4 — no silently swallowed exceptions in the server layer.**
+  Inside ``src/repro/server/`` a bare ``except:`` is forbidden, and so is
+  ``except Exception:`` / ``except BaseException:`` whose body is only
+  ``pass``/``...``.  The durability contract (journal-before-ack, typed
+  retryable errors) only holds if failures *surface*; a swallowed
+  exception turns a crash-safe path into silent data loss.  Handlers that
+  log, re-raise, count, or return an error response are fine — the rule
+  targets the empty-body pattern specifically.
 
 Exit code 0 when clean, 1 with one ``file:line: RULE message`` per finding.
 Run from the repository root (CI does); no third-party dependencies.
@@ -209,12 +218,57 @@ def _check_counter_mutations(path: Path, tree: ast.Module, findings: list[str]) 
                 )
 
 
+def _check_swallowed_exceptions(path: Path, tree: ast.Module, findings: list[str]) -> None:
+    try:
+        relative = path.relative_to(SRC_ROOT)
+    except ValueError:
+        return
+    if relative.parts[0] != "server":
+        return
+
+    def names_blanket(handler: ast.ExceptHandler) -> str | None:
+        """The blanket exception name this handler catches, if any."""
+        if handler.type is None:
+            return "bare except"
+        node = handler.type
+        if isinstance(node, ast.Name) and node.id in ("Exception", "BaseException"):
+            return f"except {node.id}"
+        return None
+
+    def body_is_empty(handler: ast.ExceptHandler) -> bool:
+        return all(
+            isinstance(stmt, ast.Pass)
+            or (
+                isinstance(stmt, ast.Expr)
+                and isinstance(stmt.value, ast.Constant)
+                and stmt.value.value is Ellipsis
+            )
+            for stmt in handler.body
+        )
+
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        blanket = names_blanket(node)
+        if blanket == "bare except":
+            findings.append(
+                f"{path}:{node.lineno}: R4 bare except in the server layer "
+                "(name the exception types; failures must surface, not vanish)"
+            )
+        elif blanket is not None and body_is_empty(node):
+            findings.append(
+                f"{path}:{node.lineno}: R4 {blanket}: pass swallows every failure "
+                "(log it, count it, or answer a typed retryable error)"
+            )
+
+
 def lint_file(path: Path) -> list[str]:
     findings: list[str] = []
     tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
     _check_rng(path, tree, findings)
     _check_typed_raises(path, tree, findings)
     _check_counter_mutations(path, tree, findings)
+    _check_swallowed_exceptions(path, tree, findings)
     return findings
 
 
